@@ -1,0 +1,69 @@
+//! End-to-end benchmarks of the experiment drivers themselves (at reduced
+//! run counts): one evaluation point of each table/figure of the paper.
+//! These quantify the cost of regenerating the evaluation and act as a
+//! regression guard for the harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mdrr_eval::experiments::{accuracy, fig1, runner::MethodSpec, ExperimentConfig};
+use mdrr_eval::{build_clustering, evaluate_method};
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig { records: 8_000, runs: 4, seed: 42, alpha: 0.05 }
+}
+
+fn bench_analytic_drivers(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig1_full_grid", |b| b.iter(|| fig1::run(black_box(&config)).unwrap()));
+    c.bench_function("accuracy_analysis_adult_prefixes", |b| {
+        b.iter(|| accuracy::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_empirical_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_points");
+    group.sample_size(10);
+    let config = bench_config();
+    let dataset = config.adult().unwrap();
+
+    group.bench_function("fig2_point_randomized_p07_sigma01", |b| {
+        b.iter(|| {
+            evaluate_method(
+                black_box(&dataset),
+                &MethodSpec::Randomized { p: 0.7 },
+                0.1,
+                config.runs,
+                config.seed,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("fig3_point_independent_p07_sigma01", |b| {
+        b.iter(|| {
+            evaluate_method(
+                black_box(&dataset),
+                &MethodSpec::Independent { p: 0.7 },
+                0.1,
+                config.runs,
+                config.seed,
+            )
+            .unwrap()
+        })
+    });
+    let clustering = build_clustering(&dataset, 0.7, 50, 0.1, config.seed).unwrap();
+    group.bench_function("table1_point_clusters_p07_tv50_td01", |b| {
+        b.iter(|| {
+            evaluate_method(
+                black_box(&dataset),
+                &MethodSpec::Clusters { p: 0.7, clustering: clustering.clone() },
+                0.1,
+                config.runs,
+                config.seed,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic_drivers, bench_empirical_points);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the numerical substrate: matrix inversion (general
+//! Gauss–Jordan vs the closed form used for the structured randomization
+//! matrices), χ² quantiles / the Figure 1 `B` factor, and the contingency
+//! statistics that feed the clustering algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrr_math::linsolve::{invert, invert_uniform_perturbation, solve_uniform_perturbation};
+use mdrr_math::{b_factor, chi2_quantile, ContingencyTable, Matrix};
+
+fn rr_matrix(p: f64, r: usize) -> Matrix {
+    let off = (1.0 - p) / r as f64;
+    Matrix::from_fn(r, r, |i, j| if i == j { p + off } else { off })
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_inversion");
+    for &r in &[9usize, 42, 150, 300] {
+        let matrix = rr_matrix(0.7, r);
+        group.bench_with_input(BenchmarkId::new("gauss_jordan", r), &matrix, |b, m| {
+            b.iter(|| invert(black_box(m)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", r), &r, |b, &r| {
+            let off = 0.3 / r as f64;
+            b.iter(|| invert_uniform_perturbation(black_box(0.7), black_box(off), r).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form_solve", r), &r, |b, &r| {
+            let off = 0.3 / r as f64;
+            let v: Vec<f64> = (0..r).map(|i| (i as f64 + 1.0) / r as f64).collect();
+            b.iter(|| solve_uniform_perturbation(black_box(0.7), black_box(off), black_box(&v)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chi2");
+    group.bench_function("quantile_df1", |b| {
+        b.iter(|| chi2_quantile(black_box(0.999_95), black_box(1.0)).unwrap())
+    });
+    group.bench_function("quantile_df10", |b| {
+        b.iter(|| chi2_quantile(black_box(0.95), black_box(10.0)).unwrap())
+    });
+    group.bench_function("b_factor_r_100000", |b| {
+        b.iter(|| b_factor(black_box(0.05), black_box(100_000)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_contingency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency");
+    // Synthetic paired codes with a known structure.
+    let n = 32_561usize;
+    let xs: Vec<u32> = (0..n).map(|i| (i % 16) as u32).collect();
+    let ys: Vec<u32> = (0..n).map(|i| ((i / 3) % 15) as u32).collect();
+    group.bench_function("build_16x15_table_adult_sized", |b| {
+        b.iter(|| ContingencyTable::from_codes(black_box(&xs), black_box(&ys), 16, 15).unwrap())
+    });
+    let table = ContingencyTable::from_codes(&xs, &ys, 16, 15).unwrap();
+    group.bench_function("cramers_v_16x15", |b| b.iter(|| black_box(&table).cramers_v()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion, bench_chi2, bench_contingency);
+criterion_main!(benches);

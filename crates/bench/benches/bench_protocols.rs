@@ -1,0 +1,125 @@
+//! Benchmarks of the full protocols on the synthetic Adult data set:
+//! RR-Independent, RR-Clusters (randomization + estimation), RR-Adjustment,
+//! the privacy-preserving dependence estimation feeding Algorithm 1 and the
+//! secure-sum substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrr_data::{AdultSynthesizer, Dataset};
+use mdrr_protocols::{
+    cluster_attributes, dependence_via_randomized_attributes, rr_adjustment, AdjustmentConfig,
+    AdjustmentTarget, Clustering, ClusteringConfig, RRClusters, RRIndependent, RandomizationLevel,
+    SecureSumSession,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn adult(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(7);
+    AdultSynthesizer::new(n).unwrap().generate(&mut rng)
+}
+
+fn paper_clustering(dataset: &Dataset) -> Clustering {
+    let mut rng = StdRng::seed_from_u64(11);
+    let dependences = dependence_via_randomized_attributes(dataset, 0.7, &mut rng).unwrap();
+    cluster_attributes(
+        &dependences.matrix,
+        &dataset.schema().cardinalities(),
+        ClusteringConfig::new(50, 0.1).unwrap(),
+    )
+    .unwrap()
+}
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_runs");
+    group.sample_size(10);
+    for &n in &[4_000usize, 32_561] {
+        let dataset = adult(n);
+        let independent =
+            RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.7))
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("rr_independent", n), &dataset, |b, ds| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| independent.run(black_box(ds), &mut rng).unwrap())
+        });
+
+        let clustering = paper_clustering(&dataset);
+        let clusters = RRClusters::with_equivalent_risk_from_keep_probability(
+            dataset.schema().clone(),
+            clustering,
+            0.7,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("rr_clusters_tv50", n), &dataset, |b, ds| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| clusters.run(black_box(ds), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_adjustment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rr_adjustment");
+    group.sample_size(10);
+    let dataset = adult(32_561);
+    let protocol =
+        RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.7)).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let release = protocol.run(&dataset, &mut rng).unwrap();
+    let targets = AdjustmentTarget::from_independent(&release);
+    for &iterations in &[10usize, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("adult_sized", iterations),
+            &iterations,
+            |b, &iterations| {
+                let config = AdjustmentConfig::new(iterations, 1e-12).unwrap();
+                b.iter(|| rr_adjustment(black_box(release.randomized()), black_box(&targets), config).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dependence_and_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_estimation");
+    group.sample_size(10);
+    let dataset = adult(32_561);
+    group.bench_function("randomized_attributes_adult", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| dependence_via_randomized_attributes(black_box(&dataset), 0.7, &mut rng).unwrap())
+    });
+    let mut rng = StdRng::seed_from_u64(6);
+    let dependences = dependence_via_randomized_attributes(&dataset, 0.7, &mut rng).unwrap();
+    group.bench_function("algorithm1_clustering", |b| {
+        b.iter(|| {
+            cluster_attributes(
+                black_box(&dependences.matrix),
+                &dataset.schema().cardinalities(),
+                ClusteringConfig::new(300, 0.1).unwrap(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_secure_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_sum");
+    for &n in &[64usize, 256, 1_024] {
+        let session = SecureSumSession::new(n).unwrap();
+        let indicators: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("full_share_exchange", n), &indicators, |b, ind| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| session.sum_indicators(black_box(ind), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_runs,
+    bench_adjustment,
+    bench_dependence_and_clustering,
+    bench_secure_sum
+);
+criterion_main!(benches);

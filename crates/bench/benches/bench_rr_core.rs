@@ -1,0 +1,63 @@
+//! Microbenchmarks of the core RR mechanism: per-value randomization, whole
+//! column randomization at Adult scale, frequency estimation (Equation (2)
+//! plus the simplex projection) and the iterative Bayesian update.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrr_core::{
+    empirical_distribution, estimate_proper, iterative_bayesian_update, randomize_attribute,
+    RRMatrix,
+};
+use mdrr_data::AdultSynthesizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_randomize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomize");
+    for &r in &[2usize, 16, 240] {
+        let matrix = RRMatrix::from_epsilon(2.0, r).unwrap();
+        group.bench_with_input(BenchmarkId::new("single_value", r), &matrix, |b, m| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| m.randomize(black_box(0), &mut rng).unwrap())
+        });
+    }
+
+    // Column-wise randomization of one Adult attribute (Education, 16
+    // categories, 32 561 records) — the dominant cost of RR-Independent.
+    let mut rng = StdRng::seed_from_u64(2);
+    let adult = AdultSynthesizer::paper_sized().generate(&mut rng);
+    let education = RRMatrix::uniform_keep(0.7, 16).unwrap();
+    group.bench_function("adult_education_column", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| randomize_attribute(black_box(&adult), 1, black_box(&education), &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimation");
+    for &r in &[16usize, 240, 1_000] {
+        let matrix = RRMatrix::from_epsilon(3.0, r).unwrap();
+        let pi: Vec<f64> = {
+            let raw: Vec<f64> = (0..r).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / total).collect()
+        };
+        let lambda = matrix.expected_reported_distribution(&pi).unwrap();
+        group.bench_with_input(BenchmarkId::new("equation2_plus_projection", r), &r, |b, _| {
+            b.iter(|| estimate_proper(black_box(&matrix), black_box(&lambda)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("iterative_bayesian_update", r), &r, |b, _| {
+            b.iter(|| iterative_bayesian_update(black_box(&matrix), black_box(&lambda), 50, 1e-9).unwrap())
+        });
+    }
+
+    // Empirical distribution of an Adult-sized report column.
+    let reports: Vec<u32> = (0..32_561u32).map(|i| i % 16).collect();
+    group.bench_function("empirical_distribution_adult_sized", |b| {
+        b.iter(|| empirical_distribution(black_box(&reports), 16).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomize, bench_estimation);
+criterion_main!(benches);

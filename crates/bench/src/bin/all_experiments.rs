@@ -1,0 +1,87 @@
+//! Runs every experiment of the paper's evaluation section in sequence and
+//! optionally dumps a single JSON document with all results (the source of
+//! the numbers recorded in EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p mdrr-bench --release --bin all_experiments -- --runs 100 --out results.json
+//! ```
+
+use mdrr_bench::{maybe_write_json, print_header, CliOptions};
+use mdrr_eval::experiments::{accuracy, covariance, fig1, fig2, fig3, table1, table2};
+use mdrr_eval::{render_panel, render_table, FigurePanel};
+use serde::Serialize;
+
+/// The combined results of one full harness run.
+#[derive(Debug, Serialize)]
+struct AllResults {
+    config: mdrr_eval::ExperimentConfig,
+    fig1: fig1::Fig1Result,
+    fig2: fig2::Fig2Result,
+    table1: table1::TableExperimentResult,
+    fig3: fig3::Fig3Result,
+    table2: table1::TableExperimentResult,
+    accuracy: accuracy::AccuracyAnalysisResult,
+    covariance: Vec<covariance::CovarianceAttenuationResult>,
+}
+
+fn main() {
+    let options = CliOptions::from_env();
+    let config = options.experiment_config();
+    print_header("MDRR — full experiment suite", &config);
+
+    println!("\n[1/7] Figure 1: sqrt(B) vs number of categories");
+    let fig1_result = fig1::run(&config).expect("Figure 1 failed");
+    let fig1_panel = FigurePanel {
+        title: "Figure 1".to_string(),
+        x_label: "categories r".to_string(),
+        y_label: "sqrt(B)".to_string(),
+        series: vec![fig1_result.series.clone()],
+    };
+    println!("{}", render_panel(&fig1_panel));
+
+    println!("\n[2/7] Figure 2: Randomized vs RR-Independent (p = 0.7)");
+    let fig2_result = fig2::run(&config).expect("Figure 2 failed");
+    println!("{}", render_panel(&fig2_result.absolute));
+    println!("{}", render_panel(&fig2_result.relative));
+
+    println!("\n[3/7] Table 1: RR-Clusters on Adult");
+    let table1_result = table1::run(&config).expect("Table 1 failed");
+    println!("{}", render_table(&table1_result.table));
+
+    println!("\n[4/7] Figure 3: the four methods across p and sigma");
+    let fig3_result = fig3::run(&config).expect("Figure 3 failed");
+    for panel in &fig3_result.panels {
+        println!("{}", render_panel(panel));
+    }
+
+    println!("\n[5/7] Table 2: RR-Clusters on Adult6");
+    let table2_result = table2::run(&config).expect("Table 2 failed");
+    println!("{}", render_table(&table2_result.table));
+
+    println!("\n[6/7] Section 3.3: analytic accuracy of RR-Independent vs RR-Joint");
+    let accuracy_result = accuracy::run(&config).expect("accuracy analysis failed");
+    println!("{}", render_table(&accuracy_result.table));
+
+    println!("\n[7/7] Proposition 1 / Corollary 1: covariance attenuation");
+    let mut covariance_results = Vec::new();
+    for p in [0.3, 0.5, 0.7, 0.9] {
+        let result = covariance::run(&config, p).expect("covariance experiment failed");
+        println!(
+            "p = {p:.1}: theory p^2 = {:.3}, ranking agreement = {:.3}",
+            result.theoretical_ratio, result.ranking_agreement
+        );
+        covariance_results.push(result);
+    }
+
+    let all = AllResults {
+        config,
+        fig1: fig1_result,
+        fig2: fig2_result,
+        table1: table1_result,
+        fig3: fig3_result,
+        table2: table2_result,
+        accuracy: accuracy_result,
+        covariance: covariance_results,
+    };
+    maybe_write_json(&options, &all);
+}

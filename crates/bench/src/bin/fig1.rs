@@ -1,0 +1,30 @@
+//! Regenerates **Figure 1** of the paper: the error-bound factor `√B`
+//! (upper `α/r` percentile of χ²₁) as a function of the number of
+//! categories `r`, for `α = 0.05`.
+//!
+//! ```text
+//! cargo run -p mdrr-bench --release --bin fig1
+//! ```
+
+use mdrr_bench::{maybe_write_json, print_header, CliOptions};
+use mdrr_eval::experiments::fig1;
+use mdrr_eval::{render_panel, FigurePanel};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let config = options.experiment_config();
+    print_header("Figure 1 — sqrt(B) vs number of categories (alpha = 0.05)", &config);
+
+    let result = fig1::run(&config).expect("Figure 1 computation failed");
+    let panel = FigurePanel {
+        title: "Figure 1".to_string(),
+        x_label: "categories r".to_string(),
+        y_label: "sqrt(B)".to_string(),
+        series: vec![result.series.clone()],
+    };
+    println!("{}", render_panel(&panel));
+    println!(
+        "paper reference: sqrt(B) grows from ~2.24 at r = 2 to ~4.7 at r = 100000 (Figure 1)."
+    );
+    maybe_write_json(&options, &result);
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 2** of the paper: absolute (left) and relative
+//! (right) count-query error of the raw randomized data ("Randomized")
+//! versus RR-Independent at keep probability p = 0.7, as a function of the
+//! coverage σ.
+//!
+//! ```text
+//! cargo run -p mdrr-bench --release --bin fig2 -- --runs 200
+//! ```
+
+use mdrr_bench::{maybe_write_json, print_header, CliOptions};
+use mdrr_eval::experiments::fig2;
+use mdrr_eval::render_panel;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let config = options.experiment_config();
+    print_header("Figure 2 — Randomized vs RR-Independent (p = 0.7)", &config);
+
+    let result = fig2::run(&config).expect("Figure 2 experiment failed");
+    println!("{}", render_panel(&result.absolute));
+    println!("{}", render_panel(&result.relative));
+    println!(
+        "paper reference: RR-Independent reduces both errors sharply; the absolute error of\n\
+         Randomized peaks at sigma = 0.5 and its relative error decreases with the coverage."
+    );
+    maybe_write_json(&options, &result);
+}

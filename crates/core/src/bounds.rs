@@ -1,0 +1,264 @@
+//! Analytic estimation-error bounds (Sections 2.3 and 3.3 of the paper).
+//!
+//! The error of the estimated true distribution `π̂` is driven by the error
+//! of the empirical reported distribution `λ̂`, which the paper bounds with
+//! simultaneous confidence intervals (Thompson 1987):
+//!
+//! * absolute error (Definition 1, Expression (5)):
+//!   `e_abs = max_u sqrt( B · λ_u (1 − λ_u) / n )`;
+//! * relative error (Definition 2, Expression (6)):
+//!   `e_rel = max_u sqrt( B · (1 − λ_u) / (λ_u n) )`;
+//!
+//! where `B` is the `α/r` upper percentile of χ²₁ ([`mdrr_math::b_factor`],
+//! plotted as `√B` in Figure 1).  Section 3.3 specialises the relative
+//! error to the best case of uniform frequencies to compare
+//! RR-Independent (per-attribute domains) with RR-Joint (the full Cartesian
+//! product), which is the analytic core of the curse-of-dimensionality
+//! argument.
+
+use crate::error::CoreError;
+use mdrr_math::b_factor;
+
+/// `√B` for the given confidence level and number of categories — the
+/// quantity plotted in Figure 1 of the paper (α = 0.05 there).
+///
+/// # Errors
+/// Returns an error for `alpha ∉ (0, 1]` or `r == 0`.
+pub fn sqrt_b(alpha: f64, r: usize) -> Result<f64, CoreError> {
+    Ok(b_factor(alpha, r)?.sqrt())
+}
+
+/// Absolute-error bound of Expression (5) for a reported distribution
+/// `lambda`, sample size `n` and confidence `alpha`.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidParameter`] for an empty distribution,
+/// `n == 0`, or an invalid `alpha`.
+pub fn absolute_error_bound(lambda: &[f64], n: usize, alpha: f64) -> Result<f64, CoreError> {
+    validate_inputs(lambda, n)?;
+    let b = b_factor(alpha, lambda.len())?;
+    let worst = lambda
+        .iter()
+        .map(|&l| {
+            let l = l.clamp(0.0, 1.0);
+            (b * l * (1.0 - l) / n as f64).sqrt()
+        })
+        .fold(0.0, f64::max);
+    Ok(worst)
+}
+
+/// Relative-error bound of Expression (6) for a reported distribution
+/// `lambda`, sample size `n` and confidence `alpha`.
+///
+/// Categories with zero frequency are skipped (their relative error is
+/// undefined); if every category has zero frequency the bound is infinite.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidParameter`] for an empty distribution,
+/// `n == 0`, or an invalid `alpha`.
+pub fn relative_error_bound(lambda: &[f64], n: usize, alpha: f64) -> Result<f64, CoreError> {
+    validate_inputs(lambda, n)?;
+    let b = b_factor(alpha, lambda.len())?;
+    let mut worst = 0.0f64;
+    let mut any = false;
+    for &l in lambda {
+        if l <= 0.0 {
+            continue;
+        }
+        any = true;
+        let l = l.min(1.0);
+        worst = worst.max((b * (1.0 - l) / (l * n as f64)).sqrt());
+    }
+    if !any {
+        return Ok(f64::INFINITY);
+    }
+    Ok(worst)
+}
+
+/// Best-case (uniform frequencies `λ_u = 1/r`) relative error for a domain
+/// of `r` categories: `sqrt( B (r − 1) / n )`.  This is the expression the
+/// paper evaluates in Section 3.3.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidParameter`] for `r == 0`, `n == 0`, or an
+/// invalid `alpha`.
+pub fn best_case_relative_error(r: usize, n: usize, alpha: f64) -> Result<f64, CoreError> {
+    if n == 0 {
+        return Err(CoreError::invalid("n", "sample size must be positive"));
+    }
+    if r == 0 {
+        return Err(CoreError::invalid("r", "number of categories must be positive"));
+    }
+    let b = b_factor(alpha, r)?;
+    Ok((b * (r as f64 - 1.0) / n as f64).sqrt())
+}
+
+/// Section 3.3, RR-Independent: the best-case relative error of the
+/// per-attribute frequency estimates is the worst bound over the
+/// attributes, `max_j sqrt( B_j (|A_j| − 1) / n )` where `B_j` uses the
+/// `α/|A_j|` percentile.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidParameter`] for an empty cardinality list,
+/// a zero cardinality, `n == 0`, or an invalid `alpha`.
+pub fn rr_independent_relative_error(
+    cardinalities: &[usize],
+    n: usize,
+    alpha: f64,
+) -> Result<f64, CoreError> {
+    if cardinalities.is_empty() {
+        return Err(CoreError::invalid("cardinalities", "at least one attribute is required"));
+    }
+    let mut worst = 0.0f64;
+    for &r in cardinalities {
+        worst = worst.max(best_case_relative_error(r, n, alpha)?);
+    }
+    Ok(worst)
+}
+
+/// Section 3.3, RR-Joint: the best-case relative error over the full
+/// Cartesian product, `sqrt( B (Π|A_j| − 1) / n )` with `B` at the
+/// `α/Π|A_j|` percentile.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidParameter`] for an empty cardinality list,
+/// a zero cardinality, a product that overflows, `n == 0`, or an invalid
+/// `alpha`.
+pub fn rr_joint_relative_error(cardinalities: &[usize], n: usize, alpha: f64) -> Result<f64, CoreError> {
+    if cardinalities.is_empty() {
+        return Err(CoreError::invalid("cardinalities", "at least one attribute is required"));
+    }
+    let product = cardinalities
+        .iter()
+        .try_fold(1usize, |acc, &c| {
+            if c == 0 {
+                None
+            } else {
+                acc.checked_mul(c)
+            }
+        })
+        .ok_or_else(|| CoreError::invalid("cardinalities", "joint domain size is zero or overflows"))?;
+    best_case_relative_error(product, n, alpha)
+}
+
+fn validate_inputs(lambda: &[f64], n: usize) -> Result<(), CoreError> {
+    if lambda.is_empty() {
+        return Err(CoreError::invalid("lambda", "distribution must be non-empty"));
+    }
+    if n == 0 {
+        return Err(CoreError::invalid("n", "sample size must be positive"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn sqrt_b_matches_figure_1_range() {
+        // Figure 1: √B ≈ 2.2–2.4 at r = 2 and ≈ 4.5–5.0 at r = 100 000.
+        assert!(sqrt_b(0.05, 2).unwrap() > 2.2);
+        assert!(sqrt_b(0.05, 100_000).unwrap() < 5.1);
+        assert!(sqrt_b(0.05, 100_000).unwrap() > sqrt_b(0.05, 2).unwrap());
+    }
+
+    #[test]
+    fn absolute_error_peaks_at_half() {
+        let n = 10_000;
+        let alpha = 0.05;
+        let balanced = absolute_error_bound(&[0.5, 0.5], n, alpha).unwrap();
+        let skewed = absolute_error_bound(&[0.9, 0.1], n, alpha).unwrap();
+        assert!(balanced > skewed);
+        // Known closed form: sqrt(B * 0.25 / n).
+        let b = mdrr_math::b_factor(alpha, 2).unwrap();
+        assert_close(balanced, (b * 0.25 / n as f64).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn absolute_error_shrinks_with_sample_size() {
+        let lambda = [0.3, 0.3, 0.4];
+        let small = absolute_error_bound(&lambda, 1_000, 0.05).unwrap();
+        let large = absolute_error_bound(&lambda, 100_000, 0.05).unwrap();
+        assert!(large < small);
+        assert_close(small / large, 10.0, 1e-9);
+    }
+
+    #[test]
+    fn relative_error_dominated_by_rare_categories() {
+        let n = 10_000;
+        let rare = relative_error_bound(&[0.98, 0.02], n, 0.05).unwrap();
+        let even = relative_error_bound(&[0.5, 0.5], n, 0.05).unwrap();
+        assert!(rare > even);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_categories() {
+        let with_zero = relative_error_bound(&[0.5, 0.5, 0.0], 1_000, 0.05).unwrap();
+        assert!(with_zero.is_finite());
+        assert_eq!(relative_error_bound(&[0.0, 0.0], 1_000, 0.05).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn best_case_matches_uniform_relative_error() {
+        let r = 10;
+        let n = 5_000;
+        let alpha = 0.05;
+        let uniform = vec![1.0 / r as f64; r];
+        let via_formula = best_case_relative_error(r, n, alpha).unwrap();
+        let via_bound = relative_error_bound(&uniform, n, alpha).unwrap();
+        assert_close(via_formula, via_bound, 1e-9);
+    }
+
+    #[test]
+    fn joint_error_explodes_relative_to_independent() {
+        // The Adult cardinalities from the paper.
+        let cards = [9usize, 16, 7, 15, 6, 5, 2, 2];
+        let n = 32_561;
+        let alpha = 0.05;
+        let independent = rr_independent_relative_error(&cards, n, alpha).unwrap();
+        let joint = rr_joint_relative_error(&cards, n, alpha).unwrap();
+        // Independent stays a few percent; joint is far above 100 %.
+        assert!(independent < 0.2, "independent bound {independent}");
+        assert!(joint > 2.0, "joint bound {joint}");
+        assert!(joint / independent > 10.0);
+    }
+
+    #[test]
+    fn joint_error_at_n_equal_domain_size_is_roughly_sqrt_b() {
+        // Section 3.2: with n = Π|A_j| and uniform frequencies the relative
+        // error is ≈ √B, which Figure 1 shows is above 200 %.
+        let cards = [4usize, 5, 6];
+        let product: usize = cards.iter().product();
+        let err = rr_joint_relative_error(&cards, product, 0.05).unwrap();
+        let sb = sqrt_b(0.05, product).unwrap();
+        assert_close(err, sb * ((product as f64 - 1.0) / product as f64).sqrt(), 1e-9);
+        assert!(err > 2.0);
+    }
+
+    #[test]
+    fn independent_error_grows_with_the_largest_attribute() {
+        let small = rr_independent_relative_error(&[2, 2, 2], 10_000, 0.05).unwrap();
+        let large = rr_independent_relative_error(&[2, 2, 64], 10_000, 0.05).unwrap();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(absolute_error_bound(&[], 10, 0.05).is_err());
+        assert!(absolute_error_bound(&[0.5, 0.5], 0, 0.05).is_err());
+        assert!(relative_error_bound(&[0.5, 0.5], 10, 1.5).is_err());
+        assert!(best_case_relative_error(0, 10, 0.05).is_err());
+        assert!(best_case_relative_error(5, 0, 0.05).is_err());
+        assert!(rr_independent_relative_error(&[], 10, 0.05).is_err());
+        assert!(rr_joint_relative_error(&[0, 3], 10, 0.05).is_err());
+        assert!(rr_joint_relative_error(&[], 10, 0.05).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Frequency estimation from randomized reports.
+//!
+//! Given the pooled randomized reports of the parties, the data collector
+//! can estimate the distribution of the *true* values (Section 2.1 of the
+//! paper):
+//!
+//! 1. compute the empirical distribution `λ̂` of the reports
+//!    ([`empirical_distribution`]);
+//! 2. apply the unbiased estimator `π̂ = (Pᵀ)⁻¹ λ̂` of Equation (2)
+//!    ([`estimate_raw`]);
+//! 3. the result may fall outside the probability simplex; the paper's
+//!    Section 6.4 projects it back by clamping negatives and rescaling
+//!    ([`estimate_proper`]), and the iterative Bayesian update of
+//!    Alvim et al. is provided as an alternative
+//!    ([`iterative_bayesian_update`]).
+
+use crate::error::CoreError;
+use crate::matrix::RRMatrix;
+use mdrr_math::simplex::project_clamp_rescale;
+
+/// Empirical distribution of a column of category codes over `r`
+/// categories.
+///
+/// # Errors
+/// * [`CoreError::InvalidParameter`] if `r == 0` or the column is empty;
+/// * [`CoreError::DimensionMismatch`] if a code is `>= r`.
+pub fn empirical_distribution(codes: &[u32], r: usize) -> Result<Vec<f64>, CoreError> {
+    if r == 0 {
+        return Err(CoreError::invalid("r", "number of categories must be positive"));
+    }
+    if codes.is_empty() {
+        return Err(CoreError::invalid("codes", "cannot compute the empirical distribution of an empty sample"));
+    }
+    let mut counts = vec![0u64; r];
+    for &c in codes {
+        if c as usize >= r {
+            return Err(CoreError::DimensionMismatch {
+                context: "empirical_distribution".to_string(),
+                expected: r,
+                got: c as usize,
+            });
+        }
+        counts[c as usize] += 1;
+    }
+    let n = codes.len() as f64;
+    Ok(counts.into_iter().map(|c| c as f64 / n).collect())
+}
+
+/// The raw unbiased estimator of Equation (2): `π̂ = (Pᵀ)⁻¹ λ̂`.
+///
+/// The output sums to (approximately) 1 but individual entries may be
+/// negative or exceed 1 when the empirical reported distribution is not
+/// consistent with the randomization matrix.
+///
+/// # Errors
+/// Propagates dimension and singularity errors from the matrix.
+pub fn estimate_raw(matrix: &RRMatrix, lambda_hat: &[f64]) -> Result<Vec<f64>, CoreError> {
+    matrix.estimate_true_distribution(lambda_hat)
+}
+
+/// The paper's estimator (Section 6.4): Equation (2) followed by the
+/// closest-proper-distribution projection (clamp negatives, rescale).
+///
+/// # Errors
+/// Propagates dimension and singularity errors from the matrix.
+pub fn estimate_proper(matrix: &RRMatrix, lambda_hat: &[f64]) -> Result<Vec<f64>, CoreError> {
+    let raw = estimate_raw(matrix, lambda_hat)?;
+    Ok(project_clamp_rescale(&raw)?)
+}
+
+/// Convenience: estimate the proper true distribution directly from a
+/// column of randomized codes.
+///
+/// # Errors
+/// Propagates errors from [`empirical_distribution`] and
+/// [`estimate_proper`].
+pub fn estimate_from_reports(matrix: &RRMatrix, reports: &[u32]) -> Result<Vec<f64>, CoreError> {
+    let lambda_hat = empirical_distribution(reports, matrix.size())?;
+    estimate_proper(matrix, &lambda_hat)
+}
+
+/// Iterative Bayesian update (the alternative estimator referenced in
+/// Section 2.1, Alvim et al. 2018): starting from the uniform prior, repeat
+///
+/// ```text
+/// π⁽ᵗ⁺¹⁾_u = Σ_v λ̂_v · p_uv π⁽ᵗ⁾_u / Σ_{u'} p_{u'v} π⁽ᵗ⁾_{u'}
+/// ```
+///
+/// until the L1 change drops below `tolerance` or `max_iterations` is
+/// reached.  The iterates are proper distributions by construction, so no
+/// projection is needed; the fixed point is the maximum-likelihood estimate
+/// of the true distribution.
+///
+/// # Errors
+/// * [`CoreError::DimensionMismatch`] if `lambda_hat.len()` differs from the
+///   matrix size;
+/// * [`CoreError::InvalidParameter`] for non-positive `tolerance` or zero
+///   `max_iterations`.
+pub fn iterative_bayesian_update(
+    matrix: &RRMatrix,
+    lambda_hat: &[f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> Result<Vec<f64>, CoreError> {
+    let r = matrix.size();
+    if lambda_hat.len() != r {
+        return Err(CoreError::DimensionMismatch {
+            context: "iterative_bayesian_update".to_string(),
+            expected: r,
+            got: lambda_hat.len(),
+        });
+    }
+    if max_iterations == 0 {
+        return Err(CoreError::invalid("max_iterations", "must be positive"));
+    }
+    if !(tolerance > 0.0) {
+        return Err(CoreError::invalid("tolerance", "must be positive"));
+    }
+
+    let mut pi = vec![1.0 / r as f64; r];
+    let mut next = vec![0.0; r];
+    for _ in 0..max_iterations {
+        // Posterior responsibility of true value u for reported value v is
+        // p_uv π_u / Σ_{u'} p_{u'v} π_{u'}.
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for v in 0..r {
+            let denom: f64 = (0..r).map(|u| matrix.prob(u, v) * pi[u]).sum();
+            if denom <= 0.0 {
+                continue;
+            }
+            for (u, out) in next.iter_mut().enumerate() {
+                *out += lambda_hat[v] * matrix.prob(u, v) * pi[u] / denom;
+            }
+        }
+        let change: f64 = next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        if change < tolerance {
+            break;
+        }
+    }
+    Ok(pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn empirical_distribution_counts_correctly() {
+        let dist = empirical_distribution(&[0, 1, 1, 2, 1], 4).unwrap();
+        assert_eq!(dist, vec![0.2, 0.6, 0.2, 0.0]);
+        assert!(empirical_distribution(&[], 3).is_err());
+        assert!(empirical_distribution(&[0, 5], 3).is_err());
+        assert!(empirical_distribution(&[0], 0).is_err());
+    }
+
+    #[test]
+    fn raw_estimate_can_leave_the_simplex_and_proper_fixes_it() {
+        // The paper's own example of inconsistency: a matrix that keeps the
+        // first category with high probability, but an empirical reported
+        // distribution in which the first category is rare.
+        let m = RRMatrix::direct(0.9, 2).unwrap();
+        let lambda_hat = vec![0.02, 0.98];
+        let raw = estimate_raw(&m, &lambda_hat).unwrap();
+        assert!(raw[0] < 0.0, "raw estimate should be negative, got {raw:?}");
+        let proper = estimate_proper(&m, &lambda_hat).unwrap();
+        assert!(mdrr_math::is_probability_vector(&proper, 1e-9));
+        assert_eq!(proper[0], 0.0);
+    }
+
+    #[test]
+    fn estimator_is_exact_on_consistent_input() {
+        let m = RRMatrix::from_epsilon(1.0, 5).unwrap();
+        let pi = vec![0.4, 0.25, 0.2, 0.1, 0.05];
+        let lambda = m.expected_reported_distribution(&pi).unwrap();
+        let hat = estimate_proper(&m, &lambda).unwrap();
+        for (a, b) in hat.iter().zip(pi.iter()) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimate_from_reports_converges_with_sample_size() {
+        // End-to-end: randomize a known distribution, estimate it back.
+        let m = RRMatrix::direct(0.7, 3).unwrap();
+        let pi_true = [0.6, 0.3, 0.1];
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 60_000;
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            // Deterministic true values with the right proportions.
+            let x = if (i as f64) < 0.6 * n as f64 {
+                0
+            } else if (i as f64) < 0.9 * n as f64 {
+                1
+            } else {
+                2
+            };
+            reports.push(m.randomize(x, &mut rng).unwrap());
+        }
+        let est = estimate_from_reports(&m, &reports).unwrap();
+        for (a, b) in est.iter().zip(pi_true.iter()) {
+            assert_close(*a, *b, 0.02);
+        }
+    }
+
+    #[test]
+    fn ibu_recovers_consistent_distributions() {
+        let m = RRMatrix::direct(0.6, 4).unwrap();
+        let pi = vec![0.4, 0.3, 0.2, 0.1];
+        let lambda = m.expected_reported_distribution(&pi).unwrap();
+        let est = iterative_bayesian_update(&m, &lambda, 5_000, 1e-12).unwrap();
+        assert!(mdrr_math::is_probability_vector(&est, 1e-9));
+        for (a, b) in est.iter().zip(pi.iter()) {
+            assert_close(*a, *b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn ibu_always_returns_a_distribution_even_on_inconsistent_input() {
+        let m = RRMatrix::direct(0.9, 2).unwrap();
+        let lambda_hat = vec![0.02, 0.98];
+        let est = iterative_bayesian_update(&m, &lambda_hat, 2_000, 1e-12).unwrap();
+        assert!(mdrr_math::is_probability_vector(&est, 1e-9));
+        // The MLE pushes the first category to (nearly) zero, in agreement
+        // with the clamp-and-rescale projection.
+        assert!(est[0] < 0.02);
+    }
+
+    #[test]
+    fn ibu_validates_parameters() {
+        let m = RRMatrix::direct(0.5, 2).unwrap();
+        assert!(iterative_bayesian_update(&m, &[0.5], 10, 1e-9).is_err());
+        assert!(iterative_bayesian_update(&m, &[0.5, 0.5], 0, 1e-9).is_err());
+        assert!(iterative_bayesian_update(&m, &[0.5, 0.5], 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn proper_estimate_and_ibu_agree_on_well_behaved_input() {
+        let m = RRMatrix::from_epsilon(2.0, 6).unwrap();
+        let pi = vec![0.3, 0.25, 0.2, 0.1, 0.1, 0.05];
+        let lambda = m.expected_reported_distribution(&pi).unwrap();
+        let a = estimate_proper(&m, &lambda).unwrap();
+        let b = iterative_bayesian_update(&m, &lambda, 10_000, 1e-13).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_close(*x, *y, 1e-3);
+        }
+    }
+}

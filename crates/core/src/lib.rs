@@ -1,0 +1,39 @@
+//! # mdrr-core
+//!
+//! The core randomized-response (RR) mechanism of the MDRR library:
+//!
+//! * [`matrix`] — validated randomization matrices (Expression (1) of the
+//!   paper), including the optimal ε-DP matrices of Section 6.3, with O(1)
+//!   randomization and O(r) estimation for the structured shapes;
+//! * [`randomize`] — attribute- and dataset-level randomization helpers
+//!   respecting the local-anonymization trust model;
+//! * [`estimate`] — the unbiased frequency estimator of Equation (2), the
+//!   Section 6.4 projection onto the probability simplex, and the iterative
+//!   Bayesian update alternative;
+//! * [`privacy`] — ε-differential-privacy accounting per Expression (4)
+//!   with sequential/parallel composition;
+//! * [`bounds`] — the analytic error bounds of Sections 2.3 and 3.3 that
+//!   quantify the curse of dimensionality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod error;
+pub mod estimate;
+pub mod matrix;
+pub mod privacy;
+pub mod randomize;
+
+pub use bounds::{
+    absolute_error_bound, best_case_relative_error, relative_error_bound,
+    rr_independent_relative_error, rr_joint_relative_error, sqrt_b,
+};
+pub use error::CoreError;
+pub use estimate::{
+    empirical_distribution, estimate_from_reports, estimate_proper, estimate_raw,
+    iterative_bayesian_update,
+};
+pub use matrix::RRMatrix;
+pub use privacy::{epsilon_for_keep_probability, split_budget, Composition, PrivacyAccountant};
+pub use randomize::{randomize_attribute, randomize_dataset_independent, randomize_joint};

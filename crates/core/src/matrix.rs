@@ -1,0 +1,580 @@
+//! Randomization matrices.
+//!
+//! A randomization matrix `P` (Expression (1) of the paper) is an `r × r`
+//! row-stochastic matrix where `p_uv = Pr(Y = v | X = u)`: the probability
+//! of reporting category `v` when the true category is `u`.  The paper's
+//! optimal matrices (Sections 2.3 and 6.3) all have the *uniform
+//! perturbation* shape — a constant diagonal `p_u` and a constant
+//! off-diagonal `p_d ≤ p_u` — which this module exploits:
+//!
+//! * randomizing a value costs O(1) instead of O(r);
+//! * the unbiased estimator `π̂ = (Pᵀ)⁻¹ λ̂` of Equation (2) costs O(r) via
+//!   the Sherman–Morrison closed form instead of O(r³);
+//! * the differential-privacy level of Expression (4) is `ln(p_u / p_d)` in
+//!   closed form.
+//!
+//! Arbitrary row-stochastic matrices are also supported (constructor
+//! [`RRMatrix::from_matrix`]) and fall back to general linear algebra.
+
+use crate::error::CoreError;
+use mdrr_math::linsolve::{invert, solve, solve_uniform_perturbation, uniform_perturbation_condition};
+use mdrr_math::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Internal representation of a randomization matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Form {
+    /// Constant diagonal / constant off-diagonal matrix (`p_u`, `p_d`).
+    Uniform {
+        /// Diagonal entry `p_u = Pr(Y = u | X = u)`.
+        diag: f64,
+        /// Off-diagonal entry `p_d = Pr(Y = v | X = u)` for `v ≠ u`.
+        off: f64,
+    },
+    /// Arbitrary row-stochastic matrix.
+    General(Matrix),
+}
+
+/// A validated `r × r` randomization matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RRMatrix {
+    r: usize,
+    form: Form,
+}
+
+/// Probability tolerance used when validating stochasticity.
+const TOL: f64 = 1e-9;
+
+impl RRMatrix {
+    /// The identity matrix: no randomization (and no privacy).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `r == 0`.
+    pub fn identity(r: usize) -> Result<Self, CoreError> {
+        if r == 0 {
+            return Err(CoreError::invalid("r", "matrix dimension must be positive"));
+        }
+        Ok(RRMatrix { r, form: Form::Uniform { diag: 1.0, off: 0.0 } })
+    }
+
+    /// The "keep with probability `p`, otherwise redraw uniformly from the
+    /// whole domain" mechanism of Proposition 1 / Corollary 1 (Section 4.1).
+    ///
+    /// Its matrix has diagonal `p + (1−p)/r` and off-diagonal `(1−p)/r`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `r == 0` or `p ∉ [0, 1]`.
+    pub fn uniform_keep(p: f64, r: usize) -> Result<Self, CoreError> {
+        if r == 0 {
+            return Err(CoreError::invalid("r", "matrix dimension must be positive"));
+        }
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(CoreError::invalid("p", format!("keep probability must lie in [0, 1], got {p}")));
+        }
+        let off = (1.0 - p) / r as f64;
+        Ok(RRMatrix { r, form: Form::Uniform { diag: p + off, off } })
+    }
+
+    /// The classic direct mechanism: report the true value with probability
+    /// `p` and each *other* value with probability `(1−p)/(r−1)`.
+    ///
+    /// For `r == 1` the only valid matrix is the identity.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `r == 0` or `p ∉ [0, 1]`.
+    pub fn direct(p: f64, r: usize) -> Result<Self, CoreError> {
+        if r == 0 {
+            return Err(CoreError::invalid("r", "matrix dimension must be positive"));
+        }
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(CoreError::invalid("p", format!("keep probability must lie in [0, 1], got {p}")));
+        }
+        if r == 1 {
+            return RRMatrix::identity(1);
+        }
+        let off = (1.0 - p) / (r - 1) as f64;
+        Ok(RRMatrix { r, form: Form::Uniform { diag: p, off } })
+    }
+
+    /// The ε-differentially-private optimal matrix (Section 6.3): diagonal
+    /// `p_u = e^ε / (e^ε + r − 1)` and off-diagonal `p_d = 1 / (e^ε + r − 1)`,
+    /// so that `p_u / p_d = e^ε` exactly (Expression (4) holds with
+    /// equality) and each row sums to 1.
+    ///
+    /// This is the matrix the experiments use for RR-Independent
+    /// (Section 6.3.1); [`RRMatrix::cluster_from_epsilons`] builds the
+    /// equivalent-risk matrix for a cluster (Section 6.3.2).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `r == 0` or `epsilon < 0`
+    /// or non-finite.
+    pub fn from_epsilon(epsilon: f64, r: usize) -> Result<Self, CoreError> {
+        if r == 0 {
+            return Err(CoreError::invalid("r", "matrix dimension must be positive"));
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(CoreError::invalid("epsilon", format!("privacy budget must be a non-negative finite number, got {epsilon}")));
+        }
+        if r == 1 {
+            return RRMatrix::identity(1);
+        }
+        let e = epsilon.exp();
+        let off = 1.0 / (e + r as f64 - 1.0);
+        let diag = e * off;
+        Ok(RRMatrix { r, form: Form::Uniform { diag, off } })
+    }
+
+    /// The cluster matrix of Section 6.3.2: given the per-attribute budgets
+    /// `ε_A` that RR-Independent would spend on the attributes of a cluster,
+    /// the equivalent-risk joint matrix over the cluster's `domain_size`
+    /// combinations is the optimal matrix for `Σ_A ε_A`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `domain_size == 0`, the
+    /// list of budgets is empty, or any budget is negative/non-finite.
+    pub fn cluster_from_epsilons(epsilons: &[f64], domain_size: usize) -> Result<Self, CoreError> {
+        if epsilons.is_empty() {
+            return Err(CoreError::invalid("epsilons", "cluster must contain at least one attribute budget"));
+        }
+        if epsilons.iter().any(|e| !e.is_finite() || *e < 0.0) {
+            return Err(CoreError::invalid("epsilons", "all privacy budgets must be non-negative finite numbers"));
+        }
+        RRMatrix::from_epsilon(epsilons.iter().sum(), domain_size)
+    }
+
+    /// Wraps an arbitrary row-stochastic matrix.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidMatrix`] if the matrix is not square or
+    /// not row-stochastic (within `1e-9`).
+    pub fn from_matrix(matrix: Matrix) -> Result<Self, CoreError> {
+        if !matrix.is_square() {
+            return Err(CoreError::invalid_matrix(format!(
+                "randomization matrix must be square, got {}x{}",
+                matrix.rows(),
+                matrix.cols()
+            )));
+        }
+        if matrix.rows() == 0 {
+            return Err(CoreError::invalid_matrix("randomization matrix must be non-empty"));
+        }
+        if !matrix.is_row_stochastic(TOL) {
+            return Err(CoreError::invalid_matrix(
+                "every row must be a probability distribution (entries in [0,1] summing to 1)",
+            ));
+        }
+        let r = matrix.rows();
+        Ok(RRMatrix { r, form: Form::General(matrix) })
+    }
+
+    /// Number of categories `r`.
+    pub fn size(&self) -> usize {
+        self.r
+    }
+
+    /// The probability `p_uv = Pr(Y = v | X = u)`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn prob(&self, u: usize, v: usize) -> f64 {
+        assert!(u < self.r && v < self.r, "category index out of range");
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                if u == v {
+                    *diag
+                } else {
+                    *off
+                }
+            }
+            Form::General(m) => m.get(u, v),
+        }
+    }
+
+    /// The diagonal entry, i.e. the probability of reporting the true value.
+    /// For general matrices this is the minimum diagonal entry (the
+    /// worst-case truthful-report probability).
+    pub fn keep_probability(&self) -> f64 {
+        match &self.form {
+            Form::Uniform { diag, .. } => *diag,
+            Form::General(m) => m.diagonal().into_iter().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Whether the matrix has the structured constant-diagonal /
+    /// constant-off-diagonal shape (and therefore O(r) estimation).
+    pub fn is_uniform_perturbation(&self) -> bool {
+        matches!(self.form, Form::Uniform { .. })
+    }
+
+    /// Materialises the matrix as a dense [`Matrix`] (row-major, rows are
+    /// conditional distributions).
+    pub fn to_matrix(&self) -> Matrix {
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                Matrix::from_fn(self.r, self.r, |i, j| if i == j { *diag } else { *off })
+            }
+            Form::General(m) => m.clone(),
+        }
+    }
+
+    /// The ε-differential-privacy level of the matrix per Expression (4):
+    /// `ε = ln( max_v max_u p_uv / min_u p_uv )`.
+    ///
+    /// Returns `f64::INFINITY` when some column contains a zero probability
+    /// together with a positive one (e.g. the identity matrix), which is the
+    /// correct degenerate value: such a mechanism offers no differential
+    /// privacy.
+    pub fn epsilon(&self) -> f64 {
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                if self.r == 1 {
+                    0.0
+                } else if *off <= 0.0 {
+                    if *diag <= 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (diag / off).max(off / diag).ln()
+                }
+            }
+            Form::General(m) => {
+                let mut worst: f64 = 1.0;
+                for v in 0..self.r {
+                    let col = m.column(v);
+                    let max = col.iter().cloned().fold(f64::MIN, f64::max);
+                    let min = col.iter().cloned().fold(f64::MAX, f64::min);
+                    if max <= 0.0 {
+                        continue;
+                    }
+                    if min <= 0.0 {
+                        return f64::INFINITY;
+                    }
+                    worst = worst.max(max / min);
+                }
+                worst.ln()
+            }
+        }
+    }
+
+    /// Error-propagation diagnostic: ratio of the extreme eigenvalues of
+    /// `Pᵀ` (the `P_max / P_min` lower bound of Section 2.3, following
+    /// Agrawal & Haritsa).  For general matrices this falls back to a
+    /// singular-value-free proxy based on the inverse's norm and is intended
+    /// for diagnostics only.
+    pub fn condition_number(&self) -> Result<f64, CoreError> {
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                Ok(uniform_perturbation_condition(diag - off, *off, self.r)?)
+            }
+            Form::General(m) => {
+                let inv = invert(&m.transpose())?;
+                Ok(m.frobenius_norm() * inv.frobenius_norm() / self.r as f64)
+            }
+        }
+    }
+
+    /// Randomizes one category code according to row `true_value` of the
+    /// matrix.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::DimensionMismatch`] if `true_value >= r`.
+    pub fn randomize(&self, true_value: u32, rng: &mut impl Rng) -> Result<u32, CoreError> {
+        let u = true_value as usize;
+        if u >= self.r {
+            return Err(CoreError::DimensionMismatch {
+                context: "randomize".to_string(),
+                expected: self.r,
+                got: u,
+            });
+        }
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                // Row u is: diag at u, off elsewhere.
+                let stay = *diag;
+                let draw: f64 = rng.gen();
+                if draw < stay || self.r == 1 {
+                    Ok(true_value)
+                } else {
+                    // Uniform over the other r − 1 categories: all off-diagonal
+                    // probabilities are equal.
+                    debug_assert!(*off > 0.0 || stay >= 1.0 - TOL);
+                    let mut other = rng.gen_range(0..self.r - 1) as u32;
+                    if other >= true_value {
+                        other += 1;
+                    }
+                    Ok(other)
+                }
+            }
+            Form::General(m) => {
+                let row = m.row(u);
+                let mut draw: f64 = rng.gen();
+                for (v, &p) in row.iter().enumerate() {
+                    draw -= p;
+                    if draw <= 0.0 {
+                        return Ok(v as u32);
+                    }
+                }
+                Ok((self.r - 1) as u32)
+            }
+        }
+    }
+
+    /// Randomizes a whole column of category codes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::DimensionMismatch`] if any code is out of range.
+    pub fn randomize_column(&self, column: &[u32], rng: &mut impl Rng) -> Result<Vec<u32>, CoreError> {
+        column.iter().map(|&v| self.randomize(v, rng)).collect()
+    }
+
+    /// Propagates a true distribution through the mechanism:
+    /// `λ = Pᵀ π` (the expected distribution of the randomized reports).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::DimensionMismatch`] if `pi.len() != r`.
+    pub fn expected_reported_distribution(&self, pi: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if pi.len() != self.r {
+            return Err(CoreError::DimensionMismatch {
+                context: "expected_reported_distribution".to_string(),
+                expected: self.r,
+                got: pi.len(),
+            });
+        }
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                // λ_v = off · Σ_u π_u + (diag − off) π_v
+                let total: f64 = pi.iter().sum();
+                Ok(pi.iter().map(|&p| off * total + (diag - off) * p).collect())
+            }
+            Form::General(m) => Ok(m.vecmat(pi)?),
+        }
+    }
+
+    /// Applies the unbiased estimator of Equation (2) to an empirical
+    /// reported distribution: `π̂ = (Pᵀ)⁻¹ λ̂`.  The result may contain
+    /// values outside `[0, 1]`; see `mdrr_core::estimate` for the proper
+    /// post-processing.
+    ///
+    /// # Errors
+    /// * [`CoreError::DimensionMismatch`] if `lambda_hat.len() != r`;
+    /// * [`CoreError::Math`] if the matrix is singular.
+    pub fn estimate_true_distribution(&self, lambda_hat: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if lambda_hat.len() != self.r {
+            return Err(CoreError::DimensionMismatch {
+                context: "estimate_true_distribution".to_string(),
+                expected: self.r,
+                got: lambda_hat.len(),
+            });
+        }
+        match &self.form {
+            Form::Uniform { diag, off } => {
+                // Pᵀ = P for the uniform-perturbation shape (it is symmetric),
+                // so the O(r) Sherman–Morrison solve applies directly.
+                Ok(solve_uniform_perturbation(diag - off, *off, lambda_hat)?)
+            }
+            Form::General(m) => Ok(solve(&m.transpose(), lambda_hat)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert!(RRMatrix::identity(0).is_err());
+        assert!(RRMatrix::uniform_keep(-0.1, 3).is_err());
+        assert!(RRMatrix::uniform_keep(1.1, 3).is_err());
+        assert!(RRMatrix::uniform_keep(0.5, 0).is_err());
+        assert!(RRMatrix::direct(f64::NAN, 3).is_err());
+        assert!(RRMatrix::from_epsilon(-1.0, 3).is_err());
+        assert!(RRMatrix::from_epsilon(f64::INFINITY, 3).is_err());
+        assert!(RRMatrix::cluster_from_epsilons(&[], 10).is_err());
+        assert!(RRMatrix::cluster_from_epsilons(&[1.0, -0.5], 10).is_err());
+    }
+
+    #[test]
+    fn rows_are_stochastic_for_all_constructors() {
+        let matrices = [
+            RRMatrix::identity(4).unwrap(),
+            RRMatrix::uniform_keep(0.7, 5).unwrap(),
+            RRMatrix::direct(0.3, 6).unwrap(),
+            RRMatrix::from_epsilon(1.5, 9).unwrap(),
+            RRMatrix::cluster_from_epsilons(&[0.5, 0.8, 1.1], 30).unwrap(),
+        ];
+        for m in &matrices {
+            assert!(m.to_matrix().is_row_stochastic(1e-9), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_keep_matches_proposition_1_model() {
+        let p = 0.7;
+        let r = 5;
+        let m = RRMatrix::uniform_keep(p, r).unwrap();
+        assert_close(m.prob(2, 2), p + (1.0 - p) / r as f64, 1e-12);
+        assert_close(m.prob(2, 3), (1.0 - p) / r as f64, 1e-12);
+        assert!(m.is_uniform_perturbation());
+    }
+
+    #[test]
+    fn direct_matrix_entries() {
+        let m = RRMatrix::direct(0.6, 5).unwrap();
+        assert_close(m.prob(0, 0), 0.6, 1e-12);
+        assert_close(m.prob(0, 4), 0.1, 1e-12);
+        assert_close(m.keep_probability(), 0.6, 1e-12);
+        // r = 1 degenerates to identity.
+        let one = RRMatrix::direct(0.2, 1).unwrap();
+        assert_eq!(one.prob(0, 0), 1.0);
+    }
+
+    #[test]
+    fn epsilon_matrix_attains_the_bound_with_equality() {
+        for &(eps, r) in &[(0.5, 2usize), (1.0, 9), (2.0, 16), (4.0, 100)] {
+            let m = RRMatrix::from_epsilon(eps, r).unwrap();
+            assert_close(m.epsilon(), eps, 1e-9);
+            assert!(m.to_matrix().is_row_stochastic(1e-9));
+            // Diagonal dominates off-diagonal by exactly e^ε.
+            assert_close(m.prob(0, 0) / m.prob(0, 1), eps.exp(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn cluster_matrix_spends_the_summed_budget() {
+        let eps = [0.4, 0.7, 0.9];
+        let m = RRMatrix::cluster_from_epsilons(&eps, 42).unwrap();
+        assert_close(m.epsilon(), eps.iter().sum(), 1e-9);
+    }
+
+    #[test]
+    fn epsilon_of_identity_is_infinite_and_of_uniform_is_zero() {
+        assert_eq!(RRMatrix::identity(3).unwrap().epsilon(), f64::INFINITY);
+        // p = 0 in uniform_keep means the output is uniform regardless of the
+        // input: perfect privacy, ε = 0.
+        assert_close(RRMatrix::uniform_keep(0.0, 4).unwrap().epsilon(), 0.0, 1e-12);
+        // A single category carries no information at all.
+        assert_eq!(RRMatrix::identity(1).unwrap().epsilon(), 0.0);
+    }
+
+    #[test]
+    fn general_matrix_validation_and_epsilon() {
+        let m = Matrix::from_rows(&[vec![0.8, 0.2], vec![0.4, 0.6]]).unwrap();
+        let rr = RRMatrix::from_matrix(m).unwrap();
+        assert!(!rr.is_uniform_perturbation());
+        // Column ratios: max(0.8/0.4, 0.6/0.2) = 3.
+        assert_close(rr.epsilon(), 3.0f64.ln(), 1e-12);
+        assert_close(rr.keep_probability(), 0.6, 1e-12);
+
+        let bad = Matrix::from_rows(&[vec![0.5, 0.4], vec![0.4, 0.6]]).unwrap();
+        assert!(RRMatrix::from_matrix(bad).is_err());
+        let non_square = Matrix::zeros(2, 3);
+        assert!(RRMatrix::from_matrix(non_square).is_err());
+    }
+
+    #[test]
+    fn randomize_identity_is_noop_and_validates_range() {
+        let m = RRMatrix::identity(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 0..4u32 {
+            assert_eq!(m.randomize(v, &mut rng).unwrap(), v);
+        }
+        assert!(m.randomize(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn randomize_empirical_distribution_matches_matrix_row() {
+        let m = RRMatrix::direct(0.6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[m.randomize(1, &mut rng).unwrap() as usize] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert_close(freq[1], 0.6, 0.01);
+        for v in [0usize, 2, 3] {
+            assert_close(freq[v], 0.4 / 3.0, 0.01);
+        }
+    }
+
+    #[test]
+    fn randomize_general_matrix_matches_row() {
+        let m = RRMatrix::from_matrix(
+            Matrix::from_rows(&[vec![0.1, 0.9], vec![0.5, 0.5]]).unwrap(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut ones = 0usize;
+        for _ in 0..n {
+            if m.randomize(0, &mut rng).unwrap() == 1 {
+                ones += 1;
+            }
+        }
+        assert_close(ones as f64 / n as f64, 0.9, 0.01);
+    }
+
+    #[test]
+    fn estimation_roundtrips_expected_distribution() {
+        // λ = Pᵀ π, then π̂ = (Pᵀ)⁻¹ λ must recover π exactly.
+        let pi = vec![0.5, 0.3, 0.15, 0.05];
+        for m in [
+            RRMatrix::direct(0.55, 4).unwrap(),
+            RRMatrix::uniform_keep(0.4, 4).unwrap(),
+            RRMatrix::from_epsilon(1.2, 4).unwrap(),
+        ] {
+            let lambda = m.expected_reported_distribution(&pi).unwrap();
+            assert_close(lambda.iter().sum::<f64>(), 1.0, 1e-12);
+            let back = m.estimate_true_distribution(&lambda).unwrap();
+            for (a, b) in back.iter().zip(pi.iter()) {
+                assert_close(*a, *b, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_matches_general_path() {
+        let m = RRMatrix::direct(0.5, 5).unwrap();
+        let general = RRMatrix::from_matrix(m.to_matrix()).unwrap();
+        let lambda = vec![0.3, 0.25, 0.2, 0.15, 0.1];
+        let fast = m.estimate_true_distribution(&lambda).unwrap();
+        let slow = general.estimate_true_distribution(&lambda).unwrap();
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimation_validates_dimension() {
+        let m = RRMatrix::direct(0.5, 3).unwrap();
+        assert!(m.estimate_true_distribution(&[0.5, 0.5]).is_err());
+        assert!(m.expected_reported_distribution(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn condition_number_grows_with_stronger_randomization() {
+        let weak = RRMatrix::direct(0.9, 5).unwrap().condition_number().unwrap();
+        let strong = RRMatrix::direct(0.3, 5).unwrap().condition_number().unwrap();
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn more_off_diagonal_mass_means_smaller_epsilon() {
+        let strong_privacy = RRMatrix::direct(0.3, 5).unwrap().epsilon();
+        let weak_privacy = RRMatrix::direct(0.9, 5).unwrap().epsilon();
+        assert!(strong_privacy < weak_privacy);
+    }
+}

@@ -1,0 +1,225 @@
+//! Differential-privacy accounting.
+//!
+//! The paper quantifies the protection of every mechanism in terms of
+//! ε-differential privacy (Section 2.2): a randomization matrix `P` is
+//! ε-DP when `e^ε ≥ max_v (max_u p_uv / min_u p_uv)` (Expression (4)).
+//! When several releases are combined, the *sequential composition*
+//! property applies — the budgets add up — unless the releases are made
+//! unlinkable, in which case *parallel composition* (the maximum) is the
+//! appropriate bound (the argument used in Section 4.3 for the
+//! RR-per-pair dependence estimation over a secure sum).
+//!
+//! [`PrivacyAccountant`] tracks the budget spent by a pipeline of releases
+//! so protocols and experiments can report a single equivalent ε.
+
+use crate::matrix::RRMatrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a set of releases composes from the adversary's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Composition {
+    /// The adversary can link all releases to the same individual: budgets
+    /// add up (the default, worst-case assumption).
+    Sequential,
+    /// The releases are unlinkable (e.g. sent through the secure-sum
+    /// protocol of Section 4.2/4.3): the budget is the maximum of the
+    /// individual budgets.
+    Parallel,
+}
+
+/// One recorded release: a label and the ε it spends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Release {
+    /// Human-readable description (e.g. `"RR on attribute Education"`).
+    pub label: String,
+    /// Privacy budget of the release.
+    pub epsilon: f64,
+}
+
+/// Accumulates the privacy budget spent by a sequence of releases.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    releases: Vec<Release>,
+}
+
+impl PrivacyAccountant {
+    /// An accountant with no recorded releases (total budget 0).
+    pub fn new() -> Self {
+        PrivacyAccountant::default()
+    }
+
+    /// Records a release with an explicit ε.
+    pub fn record(&mut self, label: impl Into<String>, epsilon: f64) {
+        self.releases.push(Release { label: label.into(), epsilon: epsilon.max(0.0) });
+    }
+
+    /// Records the release of data randomized with `matrix`, deriving ε from
+    /// Expression (4).
+    pub fn record_matrix(&mut self, label: impl Into<String>, matrix: &RRMatrix) {
+        self.record(label, matrix.epsilon());
+    }
+
+    /// The recorded releases, in order.
+    pub fn releases(&self) -> &[Release] {
+        &self.releases
+    }
+
+    /// Number of recorded releases.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Whether no release has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// Total budget under the given composition rule.
+    pub fn total(&self, composition: Composition) -> f64 {
+        match composition {
+            Composition::Sequential => self.releases.iter().map(|r| r.epsilon).sum(),
+            Composition::Parallel => {
+                self.releases.iter().map(|r| r.epsilon).fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Total budget under sequential composition (the conservative default).
+    pub fn total_sequential(&self) -> f64 {
+        self.total(Composition::Sequential)
+    }
+
+    /// Merges another accountant's releases into this one.
+    pub fn absorb(&mut self, other: &PrivacyAccountant) {
+        self.releases.extend(other.releases.iter().cloned());
+    }
+}
+
+impl fmt::Display for PrivacyAccountant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "privacy budget ledger ({} releases):", self.len())?;
+        for r in &self.releases {
+            writeln!(f, "  ε = {:>8.4}  {}", r.epsilon, r.label)?;
+        }
+        writeln!(f, "  total (sequential): {:.4}", self.total(Composition::Sequential))?;
+        write!(f, "  total (parallel):   {:.4}", self.total(Composition::Parallel))
+    }
+}
+
+/// Splits a total privacy budget evenly over `parts` releases (e.g. giving
+/// each attribute of RR-Independent the same share of a global budget).
+///
+/// Returns an empty vector when `parts == 0`.
+pub fn split_budget(total: f64, parts: usize) -> Vec<f64> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    vec![total.max(0.0) / parts as f64; parts]
+}
+
+/// The ε of Expression (4) for the optimal per-attribute matrix of
+/// Section 6.3.1 with keep probability `p` and cardinality `r`:
+/// `ε_A = | ln( p / ((1−p)/r) ) |`.
+///
+/// This is the budget the experiments assign to an attribute when the
+/// randomization level is expressed as a keep probability rather than an ε.
+pub fn epsilon_for_keep_probability(p: f64, r: usize) -> f64 {
+    if r == 0 || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    (p / ((1.0 - p) / r as f64)).ln().abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn accountant_sums_and_maxes() {
+        let mut acc = PrivacyAccountant::new();
+        assert!(acc.is_empty());
+        acc.record("attr A", 0.5);
+        acc.record("attr B", 1.5);
+        acc.record("attr C", 1.0);
+        assert_eq!(acc.len(), 3);
+        assert_close(acc.total(Composition::Sequential), 3.0, 1e-12);
+        assert_close(acc.total(Composition::Parallel), 1.5, 1e-12);
+        assert_close(acc.total_sequential(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn record_matrix_uses_expression_4() {
+        let mut acc = PrivacyAccountant::new();
+        let m = RRMatrix::from_epsilon(0.8, 7).unwrap();
+        acc.record_matrix("attr", &m);
+        assert_close(acc.total_sequential(), 0.8, 1e-9);
+    }
+
+    #[test]
+    fn negative_epsilons_are_clamped() {
+        let mut acc = PrivacyAccountant::new();
+        acc.record("weird", -1.0);
+        assert_eq!(acc.total_sequential(), 0.0);
+    }
+
+    #[test]
+    fn absorb_merges_ledgers() {
+        let mut a = PrivacyAccountant::new();
+        a.record("x", 1.0);
+        let mut b = PrivacyAccountant::new();
+        b.record("y", 2.0);
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert_close(a.total_sequential(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn display_lists_every_release() {
+        let mut acc = PrivacyAccountant::new();
+        acc.record("RR on Education", 0.7);
+        acc.record("RR on Income", 0.2);
+        let text = format!("{acc}");
+        assert!(text.contains("RR on Education"));
+        assert!(text.contains("total (sequential)"));
+    }
+
+    #[test]
+    fn split_budget_is_even_and_total_preserving() {
+        let parts = split_budget(2.4, 8);
+        assert_eq!(parts.len(), 8);
+        assert_close(parts.iter().sum::<f64>(), 2.4, 1e-12);
+        assert!(split_budget(1.0, 0).is_empty());
+        assert_eq!(split_budget(-3.0, 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn epsilon_for_keep_probability_matches_section_631() {
+        // ε_A = ln(p r / (1 − p))
+        assert_close(epsilon_for_keep_probability(0.7, 9), (0.7 * 9.0 / 0.3f64).ln(), 1e-12);
+        assert_eq!(epsilon_for_keep_probability(0.0, 9), 0.0);
+        assert_eq!(epsilon_for_keep_probability(1.0, 9), f64::INFINITY);
+        assert_eq!(epsilon_for_keep_probability(0.5, 0), 0.0);
+        // Very small p can make the ratio < 1; the absolute value keeps ε ≥ 0.
+        assert!(epsilon_for_keep_probability(0.05, 2) >= 0.0);
+    }
+
+    #[test]
+    fn parallel_composition_never_exceeds_sequential() {
+        let mut acc = PrivacyAccountant::new();
+        for (i, e) in [0.3, 0.9, 0.1, 2.0].iter().enumerate() {
+            acc.record(format!("release {i}"), *e);
+        }
+        assert!(acc.total(Composition::Parallel) <= acc.total(Composition::Sequential));
+    }
+}

@@ -1,0 +1,195 @@
+//! Dataset-level randomization helpers.
+//!
+//! [`RRMatrix`](crate::matrix::RRMatrix) randomizes individual category
+//! codes; the helpers in this module lift that to whole attributes and whole
+//! datasets, which is the granularity the protocols of `mdrr-protocols`
+//! operate at.  The semantics deliberately mirror the local-anonymization
+//! trust model: the randomization of record `i` uses only record `i`'s true
+//! values and the public matrices, never other records.
+
+use crate::error::CoreError;
+use crate::matrix::RRMatrix;
+use mdrr_data::Dataset;
+use rand::Rng;
+
+/// Randomizes one attribute of a dataset, returning the randomized column.
+///
+/// # Errors
+/// * [`CoreError::Data`] for a bad attribute index;
+/// * [`CoreError::DimensionMismatch`] if the matrix size does not match the
+///   attribute cardinality.
+pub fn randomize_attribute(
+    dataset: &Dataset,
+    attribute: usize,
+    matrix: &RRMatrix,
+    rng: &mut impl Rng,
+) -> Result<Vec<u32>, CoreError> {
+    let cardinality = dataset.schema().attribute(attribute).map_err(CoreError::from)?.cardinality();
+    if matrix.size() != cardinality {
+        return Err(CoreError::DimensionMismatch {
+            context: format!("randomize_attribute (attribute {attribute})"),
+            expected: cardinality,
+            got: matrix.size(),
+        });
+    }
+    let column = dataset.column(attribute).map_err(CoreError::from)?;
+    matrix.randomize_column(column, rng)
+}
+
+/// Randomizes every attribute of a dataset independently with its own
+/// matrix (the randomization step of Protocol 1, RR-Independent), returning
+/// a new dataset over the same schema.
+///
+/// # Errors
+/// * [`CoreError::InvalidParameter`] if the number of matrices differs from
+///   the number of attributes;
+/// * errors from [`randomize_attribute`] otherwise.
+pub fn randomize_dataset_independent(
+    dataset: &Dataset,
+    matrices: &[RRMatrix],
+    rng: &mut impl Rng,
+) -> Result<Dataset, CoreError> {
+    if matrices.len() != dataset.n_attributes() {
+        return Err(CoreError::invalid(
+            "matrices",
+            format!(
+                "expected one matrix per attribute ({}), got {}",
+                dataset.n_attributes(),
+                matrices.len()
+            ),
+        ));
+    }
+    let mut randomized = dataset.clone();
+    for (j, matrix) in matrices.iter().enumerate() {
+        let column = randomize_attribute(dataset, j, matrix, rng)?;
+        randomized.replace_column(j, column).map_err(CoreError::from)?;
+    }
+    Ok(randomized)
+}
+
+/// Randomizes the *joint* codes of a group of attributes with a single
+/// matrix over their Cartesian product (the randomization step of
+/// Protocol 2 / RR-Clusters), returning the randomized joint codes.
+///
+/// # Errors
+/// * [`CoreError::Data`] for bad attribute indices;
+/// * [`CoreError::DimensionMismatch`] if the matrix size does not match the
+///   joint-domain size.
+pub fn randomize_joint(
+    dataset: &Dataset,
+    attributes: &[usize],
+    matrix: &RRMatrix,
+    rng: &mut impl Rng,
+) -> Result<Vec<u32>, CoreError> {
+    let (domain, codes) = dataset.joint_codes(attributes).map_err(CoreError::from)?;
+    if matrix.size() != domain.size() {
+        return Err(CoreError::DimensionMismatch {
+            context: "randomize_joint".to_string(),
+            expected: domain.size(),
+            got: matrix.size(),
+        });
+    }
+    matrix.randomize_column(&codes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{empirical_distribution, estimate_proper};
+    use mdrr_data::{Attribute, AttributeKind, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into(), "c".into()])
+                .unwrap(),
+            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::empty(schema());
+        for i in 0..n {
+            ds.push_record(&[(i % 3) as u32, (i % 2) as u32]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn randomize_attribute_validates_matrix_size() {
+        let ds = dataset(10);
+        let wrong = RRMatrix::direct(0.5, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            randomize_attribute(&ds, 0, &wrong, &mut rng),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(randomize_attribute(&ds, 7, &wrong, &mut rng).is_err());
+    }
+
+    #[test]
+    fn identity_matrices_leave_the_dataset_unchanged() {
+        let ds = dataset(50);
+        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let mut rng = StdRng::seed_from_u64(0);
+        let randomized = randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
+        assert_eq!(randomized, ds);
+    }
+
+    #[test]
+    fn independent_randomization_validates_matrix_count() {
+        let ds = dataset(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(randomize_dataset_independent(&ds, &[RRMatrix::identity(3).unwrap()], &mut rng).is_err());
+    }
+
+    #[test]
+    fn randomized_dataset_estimates_recover_marginals() {
+        let ds = dataset(30_000);
+        let matrices = vec![RRMatrix::direct(0.6, 3).unwrap(), RRMatrix::direct(0.7, 2).unwrap()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let randomized = randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
+        assert_eq!(randomized.n_records(), ds.n_records());
+
+        for j in 0..2 {
+            let reports = randomized.column(j).unwrap();
+            let lambda = empirical_distribution(reports, matrices[j].size()).unwrap();
+            let estimate = estimate_proper(&matrices[j], &lambda).unwrap();
+            let truth = ds.marginal_distribution(j).unwrap();
+            for (a, b) in estimate.iter().zip(truth.iter()) {
+                assert!((a - b).abs() < 0.02, "attribute {j}: {estimate:?} vs {truth:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn joint_randomization_covers_the_product_domain() {
+        let ds = dataset(12_000);
+        let matrix = RRMatrix::direct(0.8, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let codes = randomize_joint(&ds, &[0, 1], &matrix, &mut rng).unwrap();
+        assert_eq!(codes.len(), ds.n_records());
+        assert!(codes.iter().all(|&c| (c as usize) < 6));
+
+        // Estimating the joint distribution back should be close to the truth.
+        let lambda = empirical_distribution(&codes, 6).unwrap();
+        let est = estimate_proper(&matrix, &lambda).unwrap();
+        let (_, truth) = ds.joint_distribution(&[0, 1]).unwrap();
+        for (a, b) in est.iter().zip(truth.iter()) {
+            assert!((a - b).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn joint_randomization_validates_matrix_size() {
+        let ds = dataset(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let wrong = RRMatrix::direct(0.5, 5).unwrap();
+        assert!(matches!(
+            randomize_joint(&ds, &[0, 1], &wrong, &mut rng),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the core randomized-response mechanism.
+
+use mdrr_core::{
+    absolute_error_bound, empirical_distribution, estimate_proper, iterative_bayesian_update,
+    relative_error_bound, RRMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A randomization matrix built by any of the structured constructors.
+fn matrix_strategy() -> impl Strategy<Value = RRMatrix> {
+    (2usize..12, 0.05f64..0.95, 0u8..3).prop_map(|(r, p, kind)| match kind {
+        0 => RRMatrix::direct(p, r).unwrap(),
+        1 => RRMatrix::uniform_keep(p, r).unwrap(),
+        _ => RRMatrix::from_epsilon(p * 4.0, r).unwrap(),
+    })
+}
+
+/// A probability distribution of the same dimension as the matrix.
+fn distribution_strategy(r: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, r).prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / total).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matrices_are_row_stochastic(m in matrix_strategy()) {
+        prop_assert!(m.to_matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn epsilon_is_consistent_with_expression_4(m in matrix_strategy()) {
+        // Recompute Expression (4) from the dense matrix and compare.
+        let dense = m.to_matrix();
+        let r = m.size();
+        let mut worst: f64 = 1.0;
+        for v in 0..r {
+            let col = dense.column(v);
+            let max = col.iter().cloned().fold(f64::MIN, f64::max);
+            let min = col.iter().cloned().fold(f64::MAX, f64::min);
+            prop_assert!(min > 0.0);
+            worst = worst.max(max / min);
+        }
+        prop_assert!((m.epsilon() - worst.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_inverts_expected_distribution((m, seed) in matrix_strategy().prop_flat_map(|m| {
+        let r = m.size();
+        (Just(m), Just(r))
+    }).prop_flat_map(|(m, r)| (Just(m), distribution_strategy(r)))) {
+        let (m, pi) = (m, seed);
+        let lambda = m.expected_reported_distribution(&pi).unwrap();
+        let back = m.estimate_true_distribution(&lambda).unwrap();
+        for (a, b) in back.iter().zip(pi.iter()) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn proper_estimate_is_always_a_distribution(m in matrix_strategy(),
+                                                seed in 0u64..10_000,
+                                                n in 50usize..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = m.size();
+        // Arbitrary true values, then randomized reports.
+        let reports: Vec<u32> = (0..n)
+            .map(|i| m.randomize((i % r) as u32, &mut rng).unwrap())
+            .collect();
+        let lambda = empirical_distribution(&reports, r).unwrap();
+        let est = estimate_proper(&m, &lambda).unwrap();
+        prop_assert!(mdrr_math::is_probability_vector(&est, 1e-9));
+    }
+
+    #[test]
+    fn ibu_always_returns_a_distribution(m in matrix_strategy(), seed in 0u64..10_000) {
+        let r = m.size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<u32> = (0..200).map(|i| m.randomize((i % r) as u32, &mut rng).unwrap()).collect();
+        let lambda = empirical_distribution(&reports, r).unwrap();
+        let est = iterative_bayesian_update(&m, &lambda, 500, 1e-10).unwrap();
+        prop_assert!(mdrr_math::is_probability_vector(&est, 1e-8));
+    }
+
+    #[test]
+    fn randomized_values_stay_in_range(m in matrix_strategy(), seed in 0u64..10_000) {
+        let r = m.size();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in 0..r as u32 {
+            let y = m.randomize(v, &mut rng).unwrap();
+            prop_assert!((y as usize) < r);
+        }
+    }
+
+    #[test]
+    fn error_bounds_are_monotone_in_n(m in matrix_strategy(), n in 100usize..10_000) {
+        let r = m.size();
+        let lambda = vec![1.0 / r as f64; r];
+        let small = relative_error_bound(&lambda, n, 0.05).unwrap();
+        let large = relative_error_bound(&lambda, n * 4, 0.05).unwrap();
+        prop_assert!(large < small);
+        let abs_small = absolute_error_bound(&lambda, n, 0.05).unwrap();
+        let abs_large = absolute_error_bound(&lambda, n * 4, 0.05).unwrap();
+        prop_assert!(abs_large < abs_small);
+        // Quadrupling n halves both bounds.
+        prop_assert!((small / large - 2.0).abs() < 1e-9);
+        prop_assert!((abs_small / abs_large - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_budget_roundtrip(eps in 0.1f64..6.0, r in 2usize..40) {
+        // Building the optimal matrix for ε and reading its ε back is the
+        // identity (Expression (4) holds with equality for these matrices).
+        let m = RRMatrix::from_epsilon(eps, r).unwrap();
+        prop_assert!((m.epsilon() - eps).abs() < 1e-8);
+    }
+}

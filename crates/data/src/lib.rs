@@ -1,0 +1,32 @@
+//! # mdrr-data
+//!
+//! Categorical microdata model for the multi-dimensional randomized-response
+//! (MDRR) library:
+//!
+//! * [`schema`] — attributes (name, ordinal/nominal kind, category labels)
+//!   and schemas;
+//! * [`dataset`] — column-major record storage with the marginal/joint
+//!   frequency counting primitives the estimators need;
+//! * [`domain`] — the mixed-radix codec that lets RR-Joint and RR-Clusters
+//!   treat a Cartesian product of attributes as one categorical attribute;
+//! * [`csv`] — minimal CSV import/export so the real UCI Adult file (or any
+//!   categorical CSV) can be used instead of the synthetic generator;
+//! * [`adult`] — the synthetic Adult generator used by the experiment
+//!   harness (same schema and dependence structure as the paper's data set;
+//!   see DESIGN.md §4 for the substitution argument).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod csv;
+pub mod dataset;
+pub mod domain;
+pub mod error;
+pub mod schema;
+
+pub use adult::{adult_schema, AdultAttribute, AdultSynthesizer, ADULT_RECORD_COUNT};
+pub use dataset::Dataset;
+pub use domain::JointDomain;
+pub use error::DataError;
+pub use schema::{Attribute, AttributeKind, Schema};

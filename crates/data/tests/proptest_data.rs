@@ -1,0 +1,121 @@
+//! Property-based tests for the dataset layer.
+
+use mdrr_data::{Attribute, AttributeKind, Dataset, JointDomain, Schema};
+use proptest::prelude::*;
+
+/// Strategy for a small schema (2–4 attributes, cardinalities 2–6).
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..7, 2..5).prop_map(|cards| {
+        let attrs = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let kind = if i % 2 == 0 { AttributeKind::Nominal } else { AttributeKind::Ordinal };
+                let cats = (0..c).map(|k| format!("c{k}")).collect();
+                Attribute::new(format!("A{i}"), kind, cats).unwrap()
+            })
+            .collect();
+        Schema::new(attrs).unwrap()
+    })
+}
+
+/// Strategy for a schema plus a set of valid records over it.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (schema_strategy(), 1usize..120, any::<u64>()).prop_map(|(schema, n, seed)| {
+        // Simple deterministic record filler driven by the seed.
+        let cards = schema.cardinalities();
+        let mut ds = Dataset::empty(schema);
+        let mut state = seed | 1;
+        for _ in 0..n {
+            let record: Vec<u32> = cards
+                .iter()
+                .map(|&c| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) % c as u64) as u32
+                })
+                .collect();
+            ds.push_record(&record).unwrap();
+        }
+        ds
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn joint_domain_codec_is_a_bijection(cards in prop::collection::vec(1usize..8, 1..5)) {
+        let domain = JointDomain::new(&cards).unwrap();
+        let mut seen = vec![false; domain.size()];
+        for tuple in domain.iter() {
+            let code = domain.encode(&tuple).unwrap();
+            prop_assert!(!seen[code], "code {code} produced twice");
+            seen[code] = true;
+            prop_assert_eq!(domain.decode(code).unwrap(), tuple);
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn marginal_counts_sum_to_record_count(ds in dataset_strategy()) {
+        for j in 0..ds.n_attributes() {
+            let counts = ds.marginal_counts(j).unwrap();
+            prop_assert_eq!(counts.iter().sum::<u64>() as usize, ds.n_records());
+            let dist = ds.marginal_distribution(j).unwrap();
+            prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn joint_counts_are_consistent_with_marginals(ds in dataset_strategy()) {
+        // Summing the joint counts of (0, 1) over attribute 1 recovers the
+        // marginal counts of attribute 0.
+        let (domain, joint) = ds.joint_counts(&[0, 1]).unwrap();
+        let card0 = ds.schema().attribute(0).unwrap().cardinality();
+        let card1 = ds.schema().attribute(1).unwrap().cardinality();
+        let mut recovered = vec![0u64; card0];
+        for a in 0..card0 {
+            for b in 0..card1 {
+                recovered[a] += joint[domain.encode(&[a as u32, b as u32]).unwrap()];
+            }
+        }
+        prop_assert_eq!(recovered, ds.marginal_counts(0).unwrap());
+    }
+
+    #[test]
+    fn count_matching_agrees_with_joint_counts(ds in dataset_strategy()) {
+        let (domain, joint) = ds.joint_counts(&[0, 1]).unwrap();
+        for tuple in domain.iter().take(12) {
+            let count = ds.count_matching(&[(0, tuple[0]), (1, tuple[1])]).unwrap();
+            prop_assert_eq!(count, joint[domain.encode(&tuple).unwrap()]);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_dataset(ds in dataset_strategy()) {
+        let mut buf = Vec::new();
+        mdrr_data::csv::write_csv(&ds, &mut buf).unwrap();
+        let back = mdrr_data::csv::read_csv(ds.schema().clone(), buf.as_slice()).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn repeat_scales_counts_linearly(ds in dataset_strategy(), k in 1usize..5) {
+        let repeated = ds.repeat(k).unwrap();
+        prop_assert_eq!(repeated.n_records(), ds.n_records() * k);
+        for j in 0..ds.n_attributes() {
+            let base = ds.marginal_counts(j).unwrap();
+            let scaled: Vec<u64> = base.iter().map(|c| c * k as u64).collect();
+            prop_assert_eq!(repeated.marginal_counts(j).unwrap(), scaled);
+        }
+    }
+
+    #[test]
+    fn projection_keeps_columns_intact(ds in dataset_strategy()) {
+        let last = ds.n_attributes() - 1;
+        let projected = ds.project(&[last, 0]).unwrap();
+        prop_assert_eq!(projected.n_attributes(), 2);
+        prop_assert_eq!(projected.column(0).unwrap(), ds.column(last).unwrap());
+        prop_assert_eq!(projected.column(1).unwrap(), ds.column(0).unwrap());
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 1: the error-bound factor `√B` as a function of the number of
+//! categories `r`.
+//!
+//! The paper plots `√B` — the square root of the `α/r` upper percentile of
+//! the χ²₁ distribution — for `α = 0.05` and `r` up to 100 000, showing
+//! that it grows from ≈ 2.2 at `r = 2` to ≈ 4.7 at `r = 100 000` (the
+//! "limited but real" direct impact of the number of categories on the
+//! absolute error of Expression (5)).
+
+use super::ExperimentConfig;
+use crate::report::Series;
+use mdrr_core::sqrt_b;
+use mdrr_protocols::ProtocolError;
+use serde::{Deserialize, Serialize};
+
+/// Result of the Figure 1 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Confidence level α used (the paper uses 0.05).
+    pub alpha: f64,
+    /// `√B` as a function of `r`.
+    pub series: Series,
+}
+
+/// Default grid of category counts: dense at the start, then log-spaced up
+/// to 100 000 like the paper's x-axis.
+pub fn default_grid() -> Vec<usize> {
+    let mut grid = vec![2usize, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000];
+    let mut r = 20_000usize;
+    while r <= 100_000 {
+        grid.push(r);
+        r += 20_000;
+    }
+    grid
+}
+
+/// Reproduces Figure 1.
+///
+/// # Errors
+/// Propagates invalid-α errors from the χ² quantile.
+pub fn run(config: &ExperimentConfig) -> Result<Fig1Result, ProtocolError> {
+    run_on_grid(config.alpha, &default_grid())
+}
+
+/// Reproduces Figure 1 on an explicit grid of category counts.
+///
+/// # Errors
+/// Propagates invalid-parameter errors.
+pub fn run_on_grid(alpha: f64, grid: &[usize]) -> Result<Fig1Result, ProtocolError> {
+    let mut x = Vec::with_capacity(grid.len());
+    let mut y = Vec::with_capacity(grid.len());
+    for &r in grid {
+        x.push(r as f64);
+        y.push(sqrt_b(alpha, r).map_err(ProtocolError::from)?);
+    }
+    Ok(Fig1Result { alpha, series: Series::new("sqrt(B)", x, y) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_range_and_monotonicity() {
+        let result = run(&ExperimentConfig::quick()).unwrap();
+        let y = &result.series.y;
+        assert_eq!(result.alpha, 0.05);
+        // Starts slightly above 2 and ends below ~5, monotonically increasing.
+        assert!(y.first().unwrap() > &2.0 && y.first().unwrap() < &2.5);
+        assert!(y.last().unwrap() > &4.4 && y.last().unwrap() < &5.1);
+        for w in y.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // The grid reaches the paper's 100 000 categories.
+        assert_eq!(*result.series.x.last().unwrap(), 100_000.0);
+    }
+
+    #[test]
+    fn custom_grid_and_invalid_alpha() {
+        let result = run_on_grid(0.01, &[10, 100]).unwrap();
+        assert_eq!(result.series.x, vec![10.0, 100.0]);
+        assert!(result.series.y[1] > result.series.y[0]);
+        assert!(run_on_grid(0.0, &[10]).is_err());
+        assert!(run_on_grid(0.05, &[0]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Table 1: median relative error of RR-Clusters on Adult for
+//! `Tv ∈ {50, 100, 300}`, `Td ∈ {0.1, 0.2, 0.3}` and keep probability
+//! `p ∈ {0.1, 0.3, 0.5, 0.7}`, at coverage σ = 0.1.
+//!
+//! The qualitative findings the reproduction should preserve (Section 6.5):
+//!
+//! * the relative error decreases as `p` grows (weaker randomization);
+//! * as a rule the error increases with `Tv` (bigger clusters hurt at this
+//!   data-set size);
+//! * the influence of `Td` is secondary.
+
+use super::runner::{build_clustering, evaluate_method, MethodSpec};
+use super::ExperimentConfig;
+use crate::report::TableResult;
+use mdrr_data::Dataset;
+use mdrr_protocols::ProtocolError;
+use serde::{Deserialize, Serialize};
+
+/// Coverage used by the table (σ = 0.1 in the paper).
+pub const TABLE1_SIGMA: f64 = 0.1;
+
+/// Default parameter grid of the table.
+pub fn default_grid() -> Grid {
+    Grid {
+        keep_probabilities: vec![0.1, 0.3, 0.5, 0.7],
+        min_dependences: vec![0.1, 0.2, 0.3],
+        max_combinations: vec![50, 100, 300],
+    }
+}
+
+/// The parameter grid of the experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Keep probabilities `p`.
+    pub keep_probabilities: Vec<f64>,
+    /// Dependence thresholds `Td`.
+    pub min_dependences: Vec<f64>,
+    /// Combination thresholds `Tv`.
+    pub max_combinations: Vec<usize>,
+}
+
+/// One cell of the table with its full parameterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Keep probability `p`.
+    pub p: f64,
+    /// Dependence threshold `Td`.
+    pub td: f64,
+    /// Combination threshold `Tv`.
+    pub tv: usize,
+    /// Number of clusters Algorithm 1 produced.
+    pub clusters: usize,
+    /// Median relative error at σ = 0.1.
+    pub median_relative_error: f64,
+}
+
+/// Result of the Table 1 (or Table 2) reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableExperimentResult {
+    /// All evaluated cells.
+    pub cells: Vec<Cell>,
+    /// The rendered table (rows = `p, Td`, columns = `Tv`), matching the
+    /// layout of the paper's Tables 1 and 2.
+    pub table: TableResult,
+    /// For every `p`, the `(Tv, Td)` pair with the lowest error — the
+    /// parameterisation Figure 3 reuses.
+    pub best_per_p: Vec<(f64, usize, f64)>,
+}
+
+/// Reproduces Table 1 on the synthetic Adult data set.
+///
+/// # Errors
+/// Propagates protocol errors.
+pub fn run(config: &ExperimentConfig) -> Result<TableExperimentResult, ProtocolError> {
+    let dataset = config.adult()?;
+    run_on_dataset(config, &dataset, "Table 1 — median relative error of RR-Clusters (Adult)")
+}
+
+/// Shared driver for Tables 1 and 2 (Table 2 passes the Adult6 data set).
+///
+/// # Errors
+/// Propagates protocol errors.
+pub fn run_on_dataset(
+    config: &ExperimentConfig,
+    dataset: &Dataset,
+    title: &str,
+) -> Result<TableExperimentResult, ProtocolError> {
+    run_grid(config, dataset, &default_grid(), title)
+}
+
+/// Fully parameterised driver.
+///
+/// # Errors
+/// Propagates protocol errors.
+pub fn run_grid(
+    config: &ExperimentConfig,
+    dataset: &Dataset,
+    grid: &Grid,
+    title: &str,
+) -> Result<TableExperimentResult, ProtocolError> {
+    let mut cells = Vec::new();
+    let mut row_labels = Vec::new();
+    let mut values = Vec::new();
+
+    for &p in &grid.keep_probabilities {
+        for &td in &grid.min_dependences {
+            let mut row = Vec::with_capacity(grid.max_combinations.len());
+            for &tv in &grid.max_combinations {
+                // The clustering itself depends on (p, Tv, Td): the
+                // dependence estimation of Section 4.1 uses the same p.
+                let clustering_seed = config.seed ^ (tv as u64) << 20 ^ (td * 1_000.0) as u64;
+                let clustering = build_clustering(dataset, p, tv, td, clustering_seed)?;
+                let spec = MethodSpec::Clusters { p, clustering: clustering.clone() };
+                let eval_seed = config
+                    .seed
+                    .wrapping_add((p * 1_000.0) as u64)
+                    .wrapping_mul(31)
+                    .wrapping_add(tv as u64)
+                    .wrapping_add((td * 100.0) as u64);
+                let summary = evaluate_method(dataset, &spec, TABLE1_SIGMA, config.runs, eval_seed)?;
+                row.push(summary.median_relative);
+                cells.push(Cell {
+                    p,
+                    td,
+                    tv,
+                    clusters: clustering.len(),
+                    median_relative_error: summary.median_relative,
+                });
+            }
+            row_labels.push(format!("p={p:.1} Td={td:.1}"));
+            values.push(row);
+        }
+    }
+
+    let table = TableResult {
+        title: title.to_string(),
+        row_header: "p / Td".to_string(),
+        row_labels,
+        col_labels: grid.max_combinations.iter().map(|tv| format!("Tv={tv}")).collect(),
+        values,
+    };
+
+    // Best (Tv, Td) per p.
+    let mut best_per_p = Vec::new();
+    for &p in &grid.keep_probabilities {
+        let best = cells
+            .iter()
+            .filter(|c| (c.p - p).abs() < 1e-12 && c.median_relative_error.is_finite())
+            .min_by(|a, b| {
+                a.median_relative_error
+                    .partial_cmp(&b.median_relative_error)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        if let Some(best) = best {
+            best_per_p.push((p, best.tv, best.td));
+        }
+    }
+
+    Ok(TableExperimentResult { cells, table, best_per_p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_preserves_the_papers_qualitative_findings() {
+        // Reduced grid: the two extreme p values, one Td, two Tv values.
+        let config = ExperimentConfig { records: 8_000, runs: 10, seed: 3, alpha: 0.05 };
+        let dataset = config.adult().unwrap();
+        let grid = Grid {
+            keep_probabilities: vec![0.1, 0.7],
+            min_dependences: vec![0.1],
+            max_combinations: vec![50, 300],
+        };
+        let result = run_grid(&config, &dataset, &grid, "Table 1 (quick)").unwrap();
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.table.values.len(), 2);
+        assert_eq!(result.table.values[0].len(), 2);
+        assert_eq!(result.best_per_p.len(), 2);
+
+        // Errors decrease as p grows (weaker randomization): compare the
+        // Tv = 50 column across the extreme p rows.
+        let err_p01 = result.table.values[0][0];
+        let err_p07 = result.table.values[1][0];
+        assert!(
+            err_p07 < err_p01,
+            "p = 0.7 error {err_p07} should be below p = 0.1 error {err_p01}"
+        );
+
+        // Every evaluated clustering is a partition of the 8 attributes.
+        for cell in &result.cells {
+            assert!(cell.clusters >= 1 && cell.clusters <= 8);
+            assert!(cell.median_relative_error.is_finite());
+            assert!(cell.median_relative_error >= 0.0);
+        }
+    }
+}

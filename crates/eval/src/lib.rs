@@ -1,0 +1,26 @@
+//! # mdrr-eval
+//!
+//! Evaluation harness for the MDRR library:
+//!
+//! * [`queries`] — the coverage-σ count-query workload of Section 6.5;
+//! * [`metrics`] — absolute/relative count-query errors (Expression (16))
+//!   and the median-over-runs summaries the paper reports;
+//! * [`report`] — serializable series/table containers plus plain-text
+//!   rendering used by the experiment binaries and EXPERIMENTS.md;
+//! * [`experiments`] — one driver per table and figure of the paper
+//!   (Figure 1, Figure 2, Table 1, Figure 3, Table 2), plus the Section 3.3
+//!   analytic accuracy comparison and the Proposition 1 covariance
+//!   attenuation check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod queries;
+pub mod report;
+
+pub use experiments::{build_clustering, evaluate_method, run_method_once, ExperimentConfig, MethodSpec};
+pub use metrics::{absolute_error, median, quantile, relative_error, ErrorSummary};
+pub use queries::CountQuery;
+pub use report::{render_panel, render_table, FigurePanel, Series, TableResult};

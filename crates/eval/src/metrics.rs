@@ -1,0 +1,153 @@
+//! Error metrics and summary statistics for the evaluation (Section 6.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute count-query error `e_S = |Y_S − X_S|`.
+pub fn absolute_error(estimated: f64, truth: f64) -> f64 {
+    (estimated - truth).abs()
+}
+
+/// Relative count-query error `r_S = |Y_S − X_S| / X_S` (Expression (16)).
+///
+/// Returns `None` when the true count is zero (the relative error is
+/// undefined there); callers skip such runs, as the paper implicitly does
+/// by using coverages large enough that `X_S > 0`.
+pub fn relative_error(estimated: f64, truth: f64) -> Option<f64> {
+    if truth == 0.0 {
+        return None;
+    }
+    Some((estimated - truth).abs() / truth)
+}
+
+/// Median of a sample (the paper reports medians over 1000 runs).
+/// Returns `None` for an empty sample.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Empirical quantile (`q ∈ [0, 1]`) using the nearest-rank convention.
+/// Returns `None` for an empty sample or an out-of-range `q`.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Arithmetic mean; `None` for an empty sample.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Summary of the error distribution of one method at one evaluation point
+/// (one `(p, σ)` combination, or one table cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of runs that contributed.
+    pub runs: usize,
+    /// Median absolute error `|Y_S − X_S|`.
+    pub median_absolute: f64,
+    /// Median relative error `|Y_S − X_S| / X_S`.
+    pub median_relative: f64,
+    /// Mean relative error (extra diagnostic, not in the paper's plots).
+    pub mean_relative: f64,
+    /// 90th percentile of the relative error (extra diagnostic).
+    pub p90_relative: f64,
+}
+
+impl ErrorSummary {
+    /// Builds a summary from per-run `(absolute, relative)` errors, skipping
+    /// runs whose relative error is undefined.
+    pub fn from_runs(absolute: &[f64], relative: &[f64]) -> ErrorSummary {
+        ErrorSummary {
+            runs: absolute.len(),
+            median_absolute: median(absolute).unwrap_or(f64::NAN),
+            median_relative: median(relative).unwrap_or(f64::NAN),
+            mean_relative: mean(relative).unwrap_or(f64::NAN),
+            p90_relative: quantile(relative, 0.9).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_and_relative_errors() {
+        assert_eq!(absolute_error(12.0, 10.0), 2.0);
+        assert_eq!(absolute_error(8.0, 10.0), 2.0);
+        assert_eq!(relative_error(12.0, 10.0), Some(0.2));
+        assert_eq!(relative_error(8.0, 10.0), Some(0.2));
+        assert_eq!(relative_error(5.0, 0.0), None);
+        assert_eq!(relative_error(0.0, 10.0), Some(1.0));
+    }
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(5.0));
+        assert_eq!(quantile(&v, 0.9), Some(9.0));
+        assert_eq!(quantile(&v, 1.0), Some(10.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&v, 1.5), None);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn summary_aggregates_runs() {
+        let abs = [1.0, 3.0, 2.0];
+        let rel = [0.1, 0.3, 0.2];
+        let s = ErrorSummary::from_runs(&abs, &rel);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.median_absolute, 2.0);
+        assert_eq!(s.median_relative, 0.2);
+        assert!((s.mean_relative - 0.2).abs() < 1e-12);
+        assert_eq!(s.p90_relative, 0.3);
+    }
+
+    #[test]
+    fn summary_with_no_runs_is_nan() {
+        let s = ErrorSummary::from_runs(&[], &[]);
+        assert_eq!(s.runs, 0);
+        assert!(s.median_absolute.is_nan());
+        assert!(s.median_relative.is_nan());
+    }
+}

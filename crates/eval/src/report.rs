@@ -1,0 +1,178 @@
+//! Machine-readable result containers and plain-text rendering.
+//!
+//! Every experiment driver returns one of these containers so the
+//! experiment binaries can both pretty-print the paper's tables/figures to
+//! the terminal and dump them as JSON for EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One curve of a figure: a label plus `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"RR-Ind"`).
+    pub label: String,
+    /// X coordinates (e.g. the coverage σ).
+    pub x: Vec<f64>,
+    /// Y coordinates (e.g. the median relative error).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series; the two coordinate vectors must have equal length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ (a programming error in the harness).
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series coordinates must have equal length");
+        Series { label: label.into(), x, y }
+    }
+}
+
+/// A group of series forming one panel of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigurePanel {
+    /// Panel title (e.g. `"p = 0.7"`).
+    pub title: String,
+    /// Axis label for x.
+    pub x_label: String,
+    /// Axis label for y.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// A rectangular table of numbers with row/column labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Table title (e.g. `"Table 1 — relative error of RR-Clusters (Adult)"`).
+    pub title: String,
+    /// Label of the row-header column (e.g. `"p / Td"`).
+    pub row_header: String,
+    /// Row labels.
+    pub row_labels: Vec<String>,
+    /// Column labels.
+    pub col_labels: Vec<String>,
+    /// Values, `values[row][col]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Renders a table as aligned plain text.
+pub fn render_table(table: &TableResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", table.title);
+    let width = 12usize;
+    let header_width = table
+        .row_labels
+        .iter()
+        .map(String::len)
+        .chain(std::iter::once(table.row_header.len()))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let _ = write!(out, "{:header_width$}", table.row_header);
+    for col in &table.col_labels {
+        let _ = write!(out, "{col:>width$}");
+    }
+    let _ = writeln!(out);
+    for (row_label, row) in table.row_labels.iter().zip(&table.values) {
+        let _ = write!(out, "{row_label:header_width$}");
+        for v in row {
+            if v.is_nan() {
+                let _ = write!(out, "{:>width$}", "-");
+            } else {
+                let _ = write!(out, "{v:>width$.4}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a figure panel as a plain-text table (one column per series).
+pub fn render_panel(panel: &FigurePanel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}  [{} vs {}]", panel.title, panel.y_label, panel.x_label);
+    let width = 16usize;
+    let _ = write!(out, "{:>10}", panel.x_label);
+    for s in &panel.series {
+        let _ = write!(out, "{:>width$}", s.label);
+    }
+    let _ = writeln!(out);
+    let points = panel.series.first().map(|s| s.x.len()).unwrap_or(0);
+    for i in 0..points {
+        let x = panel.series[0].x[i];
+        let _ = write!(out, "{x:>10.3}");
+        for s in &panel.series {
+            let y = s.y.get(i).copied().unwrap_or(f64::NAN);
+            if y.is_nan() {
+                let _ = write!(out, "{:>width$}", "-");
+            } else {
+                let _ = write!(out, "{y:>width$.4}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn series_length_mismatch_panics() {
+        let _ = Series::new("x", vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_rendering_contains_labels_and_values() {
+        let table = TableResult {
+            title: "Table 1".to_string(),
+            row_header: "p/Td".to_string(),
+            row_labels: vec!["0.1/0.1".to_string(), "0.7/0.3".to_string()],
+            col_labels: vec!["50".to_string(), "100".to_string()],
+            values: vec![vec![0.335, 0.404], vec![0.07, f64::NAN]],
+        };
+        let text = render_table(&table);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("0.1/0.1"));
+        assert!(text.contains("0.3350"));
+        assert!(text.contains('-'));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn panel_rendering_lists_every_point() {
+        let panel = FigurePanel {
+            title: "p = 0.7".to_string(),
+            x_label: "sigma".to_string(),
+            y_label: "relative error".to_string(),
+            series: vec![
+                Series::new("RR-Ind", vec![0.1, 0.2], vec![0.05, 0.03]),
+                Series::new("RR-Cluster", vec![0.1, 0.2], vec![0.02, 0.01]),
+            ],
+        };
+        let text = render_panel(&panel);
+        assert!(text.contains("p = 0.7"));
+        assert!(text.contains("RR-Ind"));
+        assert!(text.contains("0.100"));
+        assert!(text.contains("0.0200"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let table = TableResult {
+            title: "t".into(),
+            row_header: "r".into(),
+            row_labels: vec!["a".into()],
+            col_labels: vec!["c".into()],
+            values: vec![vec![1.0]],
+        };
+        let json = serde_json::to_string(&table).unwrap();
+        let back: TableResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, table);
+    }
+}

@@ -1,0 +1,155 @@
+//! Paper-scale sanity checks for the experiment harness.
+//!
+//! These run at (or near) the scale of the paper's evaluation — the full
+//! 32 561-record synthetic Adult — and assert the qualitative orderings the
+//! paper reports.  They take tens of seconds in release mode, so they are
+//! `#[ignore]`d by default; run them with
+//!
+//! ```text
+//! cargo test -p mdrr-eval --release -- --ignored
+//! ```
+
+use mdrr_eval::experiments::{fig2, fig3, runner::MethodSpec, ExperimentConfig};
+use mdrr_eval::{build_clustering, evaluate_method};
+
+fn paper_config(runs: usize) -> ExperimentConfig {
+    ExperimentConfig { records: 32_561, runs, seed: 42, alpha: 0.05 }
+}
+
+#[test]
+#[ignore = "paper-scale run; execute with --ignored in release mode"]
+fn rr_independent_beats_randomized_at_paper_scale() {
+    let config = paper_config(20);
+    let dataset = config.adult().unwrap();
+    let randomized =
+        evaluate_method(&dataset, &MethodSpec::Randomized { p: 0.7 }, 0.1, config.runs, 1).unwrap();
+    let corrected =
+        evaluate_method(&dataset, &MethodSpec::Independent { p: 0.7 }, 0.1, config.runs, 1).unwrap();
+    assert!(
+        corrected.median_relative < randomized.median_relative,
+        "RR-Ind {corrected:?} should beat Randomized {randomized:?}"
+    );
+}
+
+#[test]
+#[ignore = "paper-scale run; execute with --ignored in release mode"]
+fn figure2_shapes_hold_at_paper_scale() {
+    // Figure 2: the absolute error of the raw randomized counts peaks at
+    // sigma = 0.5 and the relative error decreases with the coverage, while
+    // RR-Independent stays below Randomized throughout.
+    let config = paper_config(24);
+    let result = fig2::run_with(&config, fig2::FIG2_P, &[0.1, 0.5, 0.9]).unwrap();
+    let randomized_abs = &result.absolute.series[0];
+    let randomized_rel = &result.relative.series[0];
+    let rr_ind_rel = &result.relative.series[1];
+    eprintln!("Randomized abs: {:?}", randomized_abs.y);
+    eprintln!("Randomized rel: {:?}", randomized_rel.y);
+    eprintln!("RR-Ind rel:     {:?}", rr_ind_rel.y);
+    assert!(randomized_abs.y[1] > randomized_abs.y[0]);
+    assert!(randomized_abs.y[1] > randomized_abs.y[2]);
+    assert!(randomized_rel.y[0] > randomized_rel.y[2]);
+    for (a, b) in rr_ind_rel.y.iter().zip(randomized_rel.y.iter()) {
+        assert!(a < b, "RR-Ind {a} should be below Randomized {b}");
+    }
+}
+
+#[test]
+#[ignore = "paper-scale run; execute with --ignored in release mode"]
+fn clusters_beat_independence_at_high_p_small_coverage() {
+    let config = paper_config(20);
+    let dataset = config.adult().unwrap();
+    let p = 0.7;
+    let clustering = build_clustering(&dataset, p, 50, 0.1, 7).unwrap();
+    eprintln!("clustering: {clustering:?}");
+    let independent =
+        evaluate_method(&dataset, &MethodSpec::Independent { p }, 0.1, config.runs, 3).unwrap();
+    let clusters = evaluate_method(
+        &dataset,
+        &MethodSpec::Clusters { p, clustering },
+        0.1,
+        config.runs,
+        3,
+    )
+    .unwrap();
+    eprintln!("independent: {independent:?}");
+    eprintln!("clusters:    {clusters:?}");
+    assert!(
+        clusters.median_relative < independent.median_relative,
+        "RR-Clusters {clusters:?} should beat RR-Independent {independent:?}"
+    );
+}
+
+#[test]
+#[ignore = "paper-scale run; execute with --ignored in release mode"]
+fn error_decreases_with_keep_probability() {
+    let config = paper_config(48);
+    let dataset = config.adult().unwrap();
+    let mut errors = Vec::new();
+    for p in [0.1, 0.3, 0.5, 0.7] {
+        let clustering = build_clustering(&dataset, p, 50, 0.3, 11).unwrap();
+        let summary =
+            evaluate_method(&dataset, &MethodSpec::Clusters { p, clustering }, 0.1, config.runs, 5)
+                .unwrap();
+        eprintln!("p = {p}: {summary:?}");
+        errors.push(summary.median_relative);
+    }
+    // The strongest randomization is clearly the worst, and the two weakest
+    // randomizations are clearly better than p = 0.3 (the fine-grained
+    // ordering between p = 0.5 and p = 0.7 is within run-to-run noise at
+    // this run count, exactly like neighbouring cells of the paper's
+    // Table 1).
+    assert!(errors[0] > errors[1], "p = 0.1 ({}) should be worse than p = 0.3 ({})", errors[0], errors[1]);
+    assert!(errors[0] > errors[2]);
+    assert!(errors[0] > errors[3]);
+    assert!(errors[1] > errors[2], "p = 0.3 ({}) should be worse than p = 0.5 ({})", errors[1], errors[2]);
+    assert!(errors[1] > errors[3], "p = 0.3 ({}) should be worse than p = 0.7 ({})", errors[1], errors[3]);
+}
+
+#[test]
+#[ignore = "paper-scale run; execute with --ignored in release mode"]
+fn adjustment_and_clustering_help_at_high_p_small_coverage() {
+    let config = paper_config(32);
+    let result = fig3::run_with(
+        &config,
+        &[fig3::PanelSpec { p: 0.7, tv: 50, td: 0.1 }],
+        &[0.1, 0.2],
+    )
+    .unwrap();
+    let panel = &result.panels[0];
+    let series = |needle: &str| {
+        panel
+            .series
+            .iter()
+            .find(|s| s.label.starts_with(needle))
+            .unwrap_or_else(|| panic!("missing series {needle}"))
+    };
+    let rr_ind = series("RR-Ind");
+    let rr_ind_adj = panel.series.iter().find(|s| s.label == "RR-Ind + RR-Adj").unwrap();
+    let rr_cluster = series("RR-Cluster 50");
+    let rr_cluster_adj = panel.series.iter().find(|s| s.label.ends_with("+ RR_Adj")).unwrap();
+    for s in &panel.series {
+        eprintln!("{}: {:?}", s.label, s.y);
+    }
+    // The paper's Figure 3 (bottom right, p = 0.7): at small coverages the
+    // cluster-based and adjusted pipelines beat plain RR-Independent.
+    // Averaging the two smallest coverages smooths the per-point noise.
+    let avg = |s: &mdrr_eval::Series| (s.y[0] + s.y[1]) / 2.0;
+    assert!(
+        avg(rr_cluster) < avg(rr_ind),
+        "RR-Clusters {:?} should beat RR-Independent {:?}",
+        rr_cluster.y,
+        rr_ind.y
+    );
+    assert!(
+        avg(rr_ind_adj) < avg(rr_ind),
+        "RR-Ind + Adj {:?} should beat RR-Independent {:?}",
+        rr_ind_adj.y,
+        rr_ind.y
+    );
+    assert!(
+        avg(rr_cluster_adj) <= avg(rr_cluster) * 1.05,
+        "RR-Cluster + Adj {:?} should not be worse than RR-Cluster {:?}",
+        rr_cluster_adj.y,
+        rr_cluster.y
+    );
+}

@@ -1,0 +1,270 @@
+//! χ² distribution: CDF, survival function, quantile, and the paper's
+//! `B` factor.
+//!
+//! Section 2.3 of the paper bounds the absolute and relative error of the
+//! empirical randomized-response distribution `λ̂` via the `α/r` upper
+//! percentile `B` of the χ² distribution with one degree of freedom
+//! (Definitions 1–2, Expressions (5) and (6)); Figure 1 plots `√B` as a
+//! function of the number of categories `r` for `α = 0.05`.  This module
+//! provides exactly those quantities, built on the regularized incomplete
+//! gamma function of [`crate::special`].
+
+use crate::error::MathError;
+use crate::special::{normal_quantile, regularized_gamma_p, regularized_gamma_q};
+
+/// Cumulative distribution function of the χ² distribution with `df`
+/// degrees of freedom, evaluated at `x`.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when `df <= 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, df: f64) -> Result<f64, MathError> {
+    if !df.is_finite() || df <= 0.0 {
+        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+    }
+    if !x.is_finite() || x < 0.0 {
+        return Err(MathError::invalid("x", format!("chi-squared argument must be non-negative, got {x}")));
+    }
+    regularized_gamma_p(df / 2.0, x / 2.0)
+}
+
+/// Survival function `1 − CDF` of the χ² distribution, computed without
+/// cancellation in the upper tail.
+///
+/// # Errors
+/// Same conditions as [`chi2_cdf`].
+pub fn chi2_sf(x: f64, df: f64) -> Result<f64, MathError> {
+    if !df.is_finite() || df <= 0.0 {
+        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+    }
+    if !x.is_finite() || x < 0.0 {
+        return Err(MathError::invalid("x", format!("chi-squared argument must be non-negative, got {x}")));
+    }
+    regularized_gamma_q(df / 2.0, x / 2.0)
+}
+
+/// Quantile function of the χ² distribution: the value `x` such that
+/// `CDF(x; df) = q`.
+///
+/// For one degree of freedom the closed form `x = Φ⁻¹((1+q)/2)²` is used;
+/// for general `df` a bracketing bisection refined with Newton steps on the
+/// smooth CDF is applied (the Wilson–Hilferty approximation provides the
+/// starting bracket).
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when `df <= 0` or `q ∉ [0, 1)`,
+/// and [`MathError::NoConvergence`] if root finding fails (not expected for
+/// valid inputs).
+pub fn chi2_quantile(q: f64, df: f64) -> Result<f64, MathError> {
+    if !df.is_finite() || df <= 0.0 {
+        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+    }
+    if !(0.0..1.0).contains(&q) {
+        return Err(MathError::invalid("q", format!("quantile level must lie in [0, 1), got {q}")));
+    }
+    if q == 0.0 {
+        return Ok(0.0);
+    }
+    if (df - 1.0).abs() < 1e-12 {
+        // χ²₁ = Z², so the q-quantile is Φ⁻¹((1+q)/2)².
+        let z = normal_quantile((1.0 + q) / 2.0)?;
+        return Ok(z * z);
+    }
+
+    // Wilson–Hilferty starting point: χ²_q ≈ df (1 − 2/(9 df) + z √(2/(9 df)))³.
+    let z = normal_quantile(q)?;
+    let wh = {
+        let c = 2.0 / (9.0 * df);
+        let t = 1.0 - c + z * c.sqrt();
+        df * t * t * t
+    };
+    let mut x = wh.max(1e-10);
+
+    // Bracket the root.
+    let mut lo = 0.0;
+    let mut hi = x.max(df) * 2.0 + 10.0;
+    while chi2_cdf(hi, df)? < q {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(MathError::NoConvergence { routine: "chi2_quantile (bracket)", iterations: 0 });
+        }
+    }
+
+    // Newton iterations with bisection fallback.
+    for _ in 0..200 {
+        let f = chi2_cdf(x, df)? - q;
+        if f.abs() < 1e-14 {
+            return Ok(x);
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let pdf = chi2_pdf(x, df);
+        let newton = if pdf > 1e-300 { x - f / pdf } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo) < 1e-12 * (1.0 + hi.abs()) {
+            return Ok(x);
+        }
+    }
+    Err(MathError::NoConvergence { routine: "chi2_quantile", iterations: 200 })
+}
+
+/// Probability density function of the χ² distribution.
+pub fn chi2_pdf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 || df <= 0.0 {
+        return 0.0;
+    }
+    let half = df / 2.0;
+    let ln_pdf = (half - 1.0) * x.ln() - x / 2.0
+        - half * std::f64::consts::LN_2
+        - crate::special::ln_gamma(half).unwrap_or(f64::INFINITY);
+    ln_pdf.exp()
+}
+
+/// The paper's `B` factor (Section 2.3): the `α/r` **upper** percentile of
+/// the χ² distribution with one degree of freedom, i.e. the value `B` such
+/// that `Pr[χ²₁ > B] = α/r`.
+///
+/// `√B` is the multiplier that appears in the absolute-error bound of
+/// Expression (5) and the relative-error bound of Expression (6), and is the
+/// quantity plotted in Figure 1 for `α = 0.05`.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when `alpha ∉ (0, 1]` or
+/// `r == 0`.
+pub fn b_factor(alpha: f64, r: usize) -> Result<f64, MathError> {
+    if r == 0 {
+        return Err(MathError::invalid("r", "number of categories must be positive"));
+    }
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(MathError::invalid("alpha", format!("confidence level must lie in (0, 1], got {alpha}")));
+    }
+    let tail = alpha / r as f64;
+    chi2_quantile(1.0 - tail, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²₁: CDF(3.841458820694124) = 0.95
+        assert_close(chi2_cdf(3.841_458_820_694_124, 1.0).unwrap(), 0.95, 1e-9);
+        // χ²₂: CDF(x) = 1 − e^{−x/2}
+        for &x in &[0.5, 1.0, 2.0, 5.991_464_547_107_979] {
+            assert_close(chi2_cdf(x, 2.0).unwrap(), 1.0 - (-x / 2.0).exp(), 1e-12);
+        }
+        // χ²₅: 95th percentile is 11.0705
+        assert_close(chi2_cdf(11.070_497_693_516_351, 5.0).unwrap(), 0.95, 1e-9);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        for &df in &[1.0, 2.0, 4.0, 10.0, 30.0] {
+            for &x in &[0.0, 0.3, 1.0, 4.0, 12.0, 40.0] {
+                let c = chi2_cdf(x, df).unwrap();
+                let s = chi2_sf(x, df).unwrap();
+                assert_close(c + s, 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_df1() {
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 0.999_99] {
+            let x = chi2_quantile(q, 1.0).unwrap();
+            assert_close(chi2_cdf(x, 1.0).unwrap(), q, 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_general_df() {
+        for &df in &[2.0, 3.0, 7.0, 15.0, 100.0] {
+            for &q in &[0.05, 0.5, 0.9, 0.975, 0.999] {
+                let x = chi2_quantile(q, df).unwrap();
+                assert_close(chi2_cdf(x, df).unwrap(), q, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Standard table values.
+        assert_close(chi2_quantile(0.95, 1.0).unwrap(), 3.841_458_820_694_124, 1e-7);
+        assert_close(chi2_quantile(0.95, 2.0).unwrap(), 5.991_464_547_107_979, 1e-7);
+        assert_close(chi2_quantile(0.99, 1.0).unwrap(), 6.634_896_601_021_213, 1e-7);
+        assert_close(chi2_quantile(0.975, 10.0).unwrap(), 20.483_177_350_807_43, 1e-6);
+        assert_close(chi2_quantile(0.0, 5.0).unwrap(), 0.0, 0.0);
+    }
+
+    #[test]
+    fn quantile_rejects_invalid() {
+        assert!(chi2_quantile(1.0, 1.0).is_err());
+        assert!(chi2_quantile(-0.1, 1.0).is_err());
+        assert!(chi2_quantile(0.5, 0.0).is_err());
+        assert!(chi2_cdf(-1.0, 1.0).is_err());
+        assert!(chi2_cdf(1.0, -1.0).is_err());
+        assert!(chi2_sf(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn b_factor_matches_figure_1_shape() {
+        // Figure 1 of the paper plots √B against r for α = 0.05:
+        // √B ≈ 2 at r = 2 and grows to ≈ 4.7–5.0 at r = 100 000.
+        let alpha = 0.05;
+        let sqrt_b_small = b_factor(alpha, 2).unwrap().sqrt();
+        let sqrt_b_large = b_factor(alpha, 100_000).unwrap().sqrt();
+        assert!(sqrt_b_small > 2.2 && sqrt_b_small < 2.4, "got {sqrt_b_small}");
+        assert!(sqrt_b_large > 4.5 && sqrt_b_large < 5.1, "got {sqrt_b_large}");
+        // Monotone increase in r.
+        let mut prev = 0.0;
+        for r in [2usize, 10, 100, 1_000, 10_000, 100_000] {
+            let b = b_factor(alpha, r).unwrap();
+            assert!(b > prev, "B must grow with r");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn b_factor_r1_is_plain_alpha_percentile() {
+        // With r = 1, B is the (1 − α) quantile of χ²₁.
+        let b = b_factor(0.05, 1).unwrap();
+        assert_close(b, 3.841_458_820_694_124, 1e-7);
+    }
+
+    #[test]
+    fn b_factor_rejects_invalid() {
+        assert!(b_factor(0.0, 10).is_err());
+        assert!(b_factor(1.5, 10).is_err());
+        assert!(b_factor(0.05, 0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_roughly_to_cdf() {
+        // Trapezoidal integration of the pdf should approximate the cdf.
+        let df = 3.0;
+        let upper = 4.0;
+        let steps = 40_000;
+        let h = upper / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x0 = i as f64 * h;
+            let x1 = x0 + h;
+            acc += 0.5 * (chi2_pdf(x0, df) + chi2_pdf(x1, df)) * h;
+        }
+        assert_close(acc, chi2_cdf(upper, df).unwrap(), 1e-6);
+    }
+}

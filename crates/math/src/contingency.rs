@@ -1,0 +1,358 @@
+//! Contingency tables, the χ² independence statistic and Cramér's V.
+//!
+//! Cramér's V (Expression (9) of the paper) is the dependence measure the
+//! clustering Algorithm 1 uses whenever at least one of the two attributes
+//! is nominal.  It is computed from the observed/expected counts of the
+//! joint contingency table of the pair:
+//!
+//! ```text
+//! V = sqrt( (χ² / n) / min(r_i − 1, r_j − 1) )
+//! ```
+//!
+//! where `χ²` is Pearson's independence statistic.  `V` lies in `[0, 1]`
+//! with 0 meaning complete independence and 1 complete dependence, so it is
+//! directly comparable with |Pearson correlation| when mixing attribute
+//! types inside the clustering algorithm.
+
+use crate::error::MathError;
+
+/// A two-way contingency table of observed counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    rows: usize,
+    cols: usize,
+    /// Row-major observed counts.
+    counts: Vec<f64>,
+    total: f64,
+}
+
+impl ContingencyTable {
+    /// Builds a table with the given category cardinalities, all counts zero.
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] if either cardinality is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, MathError> {
+        if rows == 0 || cols == 0 {
+            return Err(MathError::invalid("dimensions", "contingency table must have at least one row and one column"));
+        }
+        Ok(ContingencyTable { rows, cols, counts: vec![0.0; rows * cols], total: 0.0 })
+    }
+
+    /// Builds a table from paired category codes.  `xs[i]` and `ys[i]` are
+    /// the category indices of record `i` for the two attributes; indices
+    /// must be smaller than the declared cardinalities.
+    ///
+    /// # Errors
+    /// * [`MathError::DimensionMismatch`] if the two columns differ in length.
+    /// * [`MathError::InvalidParameter`] if a code is out of range or a
+    ///   cardinality is zero.
+    pub fn from_codes(xs: &[u32], ys: &[u32], x_card: usize, y_card: usize) -> Result<Self, MathError> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch {
+                context: "contingency from_codes".to_string(),
+                left: (xs.len(), 1),
+                right: (ys.len(), 1),
+            });
+        }
+        let mut table = ContingencyTable::new(x_card, y_card)?;
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            table.add(x as usize, y as usize, 1.0)?;
+        }
+        Ok(table)
+    }
+
+    /// Builds a table from weighted paired category codes; `weights[i]` is
+    /// the weight of record `i`.  This is the form used when computing
+    /// dependences on an RR-Adjustment-weighted data set.
+    ///
+    /// # Errors
+    /// Same conditions as [`ContingencyTable::from_codes`], plus a length
+    /// check on `weights` and rejection of negative weights.
+    pub fn from_weighted_codes(
+        xs: &[u32],
+        ys: &[u32],
+        weights: &[f64],
+        x_card: usize,
+        y_card: usize,
+    ) -> Result<Self, MathError> {
+        if xs.len() != ys.len() || xs.len() != weights.len() {
+            return Err(MathError::DimensionMismatch {
+                context: "contingency from_weighted_codes".to_string(),
+                left: (xs.len(), 1),
+                right: (ys.len().max(weights.len()), 1),
+            });
+        }
+        let mut table = ContingencyTable::new(x_card, y_card)?;
+        for ((&x, &y), &w) in xs.iter().zip(ys.iter()).zip(weights.iter()) {
+            if w < 0.0 {
+                return Err(MathError::invalid("weights", format!("weights must be non-negative, got {w}")));
+            }
+            table.add(x as usize, y as usize, w)?;
+        }
+        Ok(table)
+    }
+
+    /// Adds `weight` to cell `(row, col)`.
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] if the indices are out of
+    /// range.
+    pub fn add(&mut self, row: usize, col: usize, weight: f64) -> Result<(), MathError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MathError::invalid(
+                "cell",
+                format!("cell ({row}, {col}) outside a {}x{} table", self.rows, self.cols),
+            ));
+        }
+        self.counts[row * self.cols + col] += weight;
+        self.total += weight;
+        Ok(())
+    }
+
+    /// Number of row categories.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column categories.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Observed count in cell `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    pub fn count(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "contingency index out of bounds");
+        self.counts[row * self.cols + col]
+    }
+
+    /// Total observed count (sum over all cells).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Marginal totals of the row attribute.
+    pub fn row_totals(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            out[r] = self.counts[r * self.cols..(r + 1) * self.cols].iter().sum();
+        }
+        out
+    }
+
+    /// Marginal totals of the column attribute.
+    pub fn col_totals(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.counts[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Expected count of cell `(row, col)` under the independence
+    /// assumption: `e_ab = n_a · n_b / n` (the `e^{ij}_{ab}` of the paper).
+    pub fn expected(&self, row: usize, col: usize) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.row_totals()[row] * self.col_totals()[col] / self.total
+    }
+
+    /// Pearson's χ² independence statistic
+    /// `Σ_a Σ_b (o_ab − e_ab)² / e_ab`, with the convention that cells with
+    /// zero expected count contribute nothing (both marginals are empty
+    /// there, so the observed count is necessarily zero too).
+    pub fn chi_squared_statistic(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let row_totals = self.row_totals();
+        let col_totals = self.col_totals();
+        let mut stat = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let expected = row_totals[r] * col_totals[c] / self.total;
+                if expected <= 0.0 {
+                    continue;
+                }
+                let observed = self.counts[r * self.cols + c];
+                let diff = observed - expected;
+                stat += diff * diff / expected;
+            }
+        }
+        stat
+    }
+
+    /// Cramér's V statistic (Expression (9) of the paper), in `[0, 1]`.
+    ///
+    /// Returns 0 when either attribute effectively has a single category
+    /// (the `min(r−1, c−1)` normaliser would be zero): a constant attribute
+    /// is independent of everything.
+    pub fn cramers_v(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        // Use the number of categories that actually appear; empty rows or
+        // columns would otherwise deflate V on sparse tables.
+        let effective_rows = self.row_totals().iter().filter(|&&t| t > 0.0).count();
+        let effective_cols = self.col_totals().iter().filter(|&&t| t > 0.0).count();
+        let denom_dim = effective_rows.saturating_sub(1).min(effective_cols.saturating_sub(1));
+        if denom_dim == 0 {
+            return 0.0;
+        }
+        let chi2 = self.chi_squared_statistic();
+        let v2 = (chi2 / self.total) / denom_dim as f64;
+        v2.max(0.0).sqrt().min(1.0)
+    }
+
+    /// Degrees of freedom of the χ² independence test, `(rows−1)(cols−1)`.
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.rows.saturating_sub(1) * self.cols.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn empty_dimensions_rejected() {
+        assert!(ContingencyTable::new(0, 2).is_err());
+        assert!(ContingencyTable::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn from_codes_counts_correctly() {
+        let xs = [0u32, 0, 1, 1, 1];
+        let ys = [0u32, 1, 0, 1, 1];
+        let t = ContingencyTable::from_codes(&xs, &ys, 2, 2).unwrap();
+        assert_eq!(t.count(0, 0), 1.0);
+        assert_eq!(t.count(0, 1), 1.0);
+        assert_eq!(t.count(1, 0), 1.0);
+        assert_eq!(t.count(1, 1), 2.0);
+        assert_eq!(t.total(), 5.0);
+        assert_eq!(t.row_totals(), vec![2.0, 3.0]);
+        assert_eq!(t.col_totals(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_codes_validates() {
+        assert!(ContingencyTable::from_codes(&[0, 1], &[0], 2, 2).is_err());
+        assert!(ContingencyTable::from_codes(&[0, 5], &[0, 1], 2, 2).is_err());
+    }
+
+    #[test]
+    fn weighted_codes_validates_and_counts() {
+        let xs = [0u32, 1];
+        let ys = [0u32, 1];
+        let t = ContingencyTable::from_weighted_codes(&xs, &ys, &[0.25, 0.75], 2, 2).unwrap();
+        assert_close(t.count(0, 0), 0.25, 1e-15);
+        assert_close(t.count(1, 1), 0.75, 1e-15);
+        assert_close(t.total(), 1.0, 1e-15);
+
+        assert!(ContingencyTable::from_weighted_codes(&xs, &ys, &[0.5], 2, 2).is_err());
+        assert!(ContingencyTable::from_weighted_codes(&xs, &ys, &[0.5, -0.1], 2, 2).is_err());
+    }
+
+    #[test]
+    fn chi_squared_independent_table_is_zero() {
+        // Perfectly independent 2x2 table: counts proportional to marginals.
+        let mut t = ContingencyTable::new(2, 2).unwrap();
+        t.add(0, 0, 10.0).unwrap();
+        t.add(0, 1, 30.0).unwrap();
+        t.add(1, 0, 20.0).unwrap();
+        t.add(1, 1, 60.0).unwrap();
+        assert_close(t.chi_squared_statistic(), 0.0, 1e-10);
+        assert_close(t.cramers_v(), 0.0, 1e-6);
+    }
+
+    #[test]
+    fn chi_squared_known_value() {
+        // Classic textbook example (gender × handedness):
+        //        right  left
+        // male     43     9
+        // female   44     4
+        // χ² ≈ 1.7774, n = 100.
+        let mut t = ContingencyTable::new(2, 2).unwrap();
+        t.add(0, 0, 43.0).unwrap();
+        t.add(0, 1, 9.0).unwrap();
+        t.add(1, 0, 44.0).unwrap();
+        t.add(1, 1, 4.0).unwrap();
+        let expected = 5.0176 / 45.24 + 5.0176 / 6.76 + 5.0176 / 41.76 + 5.0176 / 6.24;
+        assert_close(t.chi_squared_statistic(), expected, 1e-9);
+        assert_close(t.cramers_v(), (expected / 100.0).sqrt(), 1e-9);
+    }
+
+    #[test]
+    fn cramers_v_perfect_dependence_is_one() {
+        // Diagonal table: each x value maps to exactly one y value.
+        let xs = [0u32, 0, 1, 1, 2, 2];
+        let ys = [0u32, 0, 1, 1, 2, 2];
+        let t = ContingencyTable::from_codes(&xs, &ys, 3, 3).unwrap();
+        assert_close(t.cramers_v(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_is_bounded_and_symmetric_in_attribute_order() {
+        let xs = [0u32, 1, 2, 0, 1, 2, 0, 1, 0, 2, 2, 1];
+        let ys = [1u32, 0, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0];
+        let t_xy = ContingencyTable::from_codes(&xs, &ys, 3, 2).unwrap();
+        let t_yx = ContingencyTable::from_codes(&ys, &xs, 2, 3).unwrap();
+        let v_xy = t_xy.cramers_v();
+        let v_yx = t_yx.cramers_v();
+        assert!((0.0..=1.0).contains(&v_xy));
+        assert_close(v_xy, v_yx, 1e-12);
+    }
+
+    #[test]
+    fn constant_attribute_gives_zero_v() {
+        let xs = [0u32, 0, 0, 0];
+        let ys = [0u32, 1, 0, 1];
+        let t = ContingencyTable::from_codes(&xs, &ys, 1, 2).unwrap();
+        assert_eq!(t.cramers_v(), 0.0);
+    }
+
+    #[test]
+    fn empty_table_statistics_are_zero() {
+        let t = ContingencyTable::new(3, 3).unwrap();
+        assert_eq!(t.chi_squared_statistic(), 0.0);
+        assert_eq!(t.cramers_v(), 0.0);
+        assert_eq!(t.expected(0, 0), 0.0);
+    }
+
+    #[test]
+    fn expected_counts_match_formula() {
+        let mut t = ContingencyTable::new(2, 2).unwrap();
+        t.add(0, 0, 10.0).unwrap();
+        t.add(0, 1, 20.0).unwrap();
+        t.add(1, 0, 30.0).unwrap();
+        t.add(1, 1, 40.0).unwrap();
+        // e(0,0) = 30 * 40 / 100 = 12
+        assert_close(t.expected(0, 0), 12.0, 1e-12);
+        assert_close(t.expected(1, 1), 70.0 * 60.0 / 100.0, 1e-12);
+    }
+
+    #[test]
+    fn degrees_of_freedom() {
+        let t = ContingencyTable::new(4, 3).unwrap();
+        assert_eq!(t.degrees_of_freedom(), 6);
+    }
+
+    #[test]
+    fn add_out_of_range_rejected() {
+        let mut t = ContingencyTable::new(2, 2).unwrap();
+        assert!(t.add(2, 0, 1.0).is_err());
+        assert!(t.add(0, 2, 1.0).is_err());
+    }
+}

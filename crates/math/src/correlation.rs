@@ -1,0 +1,200 @@
+//! Sample moments and correlation.
+//!
+//! These are the ordinal/numerical dependence measures used by the
+//! attribute-clustering Algorithm 1 of the paper: the absolute value of
+//! Pearson's correlation coefficient (Expression (8)) and the covariance
+//! analysed in Proposition 1 / Corollary 1 (Section 4.1), which shows that
+//! uniform-keep randomization attenuates the covariance by `p_a · p_b` but
+//! preserves the relative ordering of covariances between attribute pairs.
+
+use crate::error::MathError;
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when the sample is empty.
+pub fn mean(sample: &[f64]) -> Result<f64, MathError> {
+    if sample.is_empty() {
+        return Err(MathError::invalid("sample", "mean of an empty sample is undefined"));
+    }
+    Ok(sample.iter().sum::<f64>() / sample.len() as f64)
+}
+
+/// Population variance (normalised by `n`) of a sample.
+///
+/// The paper treats each attribute's empirical distribution as the law of a
+/// random variable, so population (not Bessel-corrected) moments are the
+/// natural choice; tests exercise both conventions where it matters.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when the sample is empty.
+pub fn variance(sample: &[f64]) -> Result<f64, MathError> {
+    let m = mean(sample)?;
+    Ok(sample.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / sample.len() as f64)
+}
+
+/// Population covariance (normalised by `n`) of two equally long samples.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] when the samples are empty and
+/// [`MathError::DimensionMismatch`] when their lengths differ.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, MathError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(MathError::invalid("sample", "covariance of an empty sample is undefined"));
+    }
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            context: "covariance".to_string(),
+            left: (xs.len(), 1),
+            right: (ys.len(), 1),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let acc: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Ok(acc / xs.len() as f64)
+}
+
+/// Pearson's correlation coefficient between two equally long samples.
+///
+/// Returns 0 when either sample is constant (zero variance); this matches
+/// how the clustering algorithm treats attributes that carry no signal —
+/// they cannot be meaningfully clustered with anything.
+///
+/// # Errors
+/// Same conditions as [`covariance`].
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Result<f64, MathError> {
+    let cov = covariance(xs, ys)?;
+    let vx = variance(xs)?;
+    let vy = variance(ys)?;
+    if vx <= 0.0 || vy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Pearson correlation between two *categorical columns encoded as ordinal
+/// codes* (`u32` category indices).  This is the form in which the dataset
+/// layer stores attributes, so the protocols can call this without
+/// materialising `f64` copies at every call site.
+///
+/// # Errors
+/// Same conditions as [`covariance`].
+pub fn pearson_correlation_codes(xs: &[u32], ys: &[u32]) -> Result<f64, MathError> {
+    let xf: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+    let yf: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+    pearson_correlation(&xf, &yf)
+}
+
+/// Covariance between two categorical columns encoded as ordinal codes.
+///
+/// # Errors
+/// Same conditions as [`covariance`].
+pub fn covariance_codes(xs: &[u32], ys: &[u32]) -> Result<f64, MathError> {
+    let xf: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+    let yf: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+    covariance(&xf, &yf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(mean(&xs).unwrap(), 5.0, 1e-12);
+        assert_close(variance(&xs).unwrap(), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_are_rejected() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[]).is_err());
+        assert!(covariance(&[], &[]).is_err());
+        assert!(pearson_correlation(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn covariance_of_identical_samples_is_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        assert_close(covariance(&xs, &xs).unwrap(), variance(&xs).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn covariance_mismatched_lengths() {
+        assert!(covariance(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn covariance_sign() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys_pos = [2.0, 4.0, 6.0, 8.0];
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!(covariance(&xs, &ys_pos).unwrap() > 0.0);
+        assert!(covariance(&xs, &ys_neg).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert_close(pearson_correlation(&xs, &ys).unwrap(), 1.0, 1e-12);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -2.0 * x + 1.0).collect();
+        assert_close(pearson_correlation(&xs, &ys_neg).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn independent_samples_have_near_zero_correlation() {
+        // A balanced, exactly orthogonal design.
+        let xs = [0.0, 0.0, 1.0, 1.0];
+        let ys = [0.0, 1.0, 0.0, 1.0];
+        assert_close(pearson_correlation(&xs, &ys).unwrap(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_correlation() {
+        let xs = [5.0, 5.0, 5.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_close(pearson_correlation(&xs, &ys).unwrap(), 0.0, 0.0);
+    }
+
+    #[test]
+    fn correlation_is_bounded() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 4.0, 9.0, 0.5];
+        let ys = [2.0, 4.0, 1.0, 9.0, 5.0, 7.0, 1.5];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn code_helpers_match_f64_path() {
+        let xs = [0u32, 1, 2, 3, 1, 0];
+        let ys = [1u32, 1, 3, 4, 2, 0];
+        let xf: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let yf: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        assert_close(
+            pearson_correlation_codes(&xs, &ys).unwrap(),
+            pearson_correlation(&xf, &yf).unwrap(),
+            1e-15,
+        );
+        assert_close(covariance_codes(&xs, &ys).unwrap(), covariance(&xf, &yf).unwrap(), 1e-15);
+    }
+
+    #[test]
+    fn correlation_invariant_to_affine_transform() {
+        let xs = [1.0, 4.0, 2.0, 7.0, 5.0];
+        let ys = [3.0, 8.0, 4.0, 9.0, 6.0];
+        let base = pearson_correlation(&xs, &ys).unwrap();
+        let xs2: Vec<f64> = xs.iter().map(|x| 10.0 * x - 3.0).collect();
+        let ys2: Vec<f64> = ys.iter().map(|y| 0.5 * y + 100.0).collect();
+        assert_close(pearson_correlation(&xs2, &ys2).unwrap(), base, 1e-12);
+    }
+}

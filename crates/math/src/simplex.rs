@@ -1,0 +1,217 @@
+//! Probability-vector utilities.
+//!
+//! The unbiased estimator `π̂ = (Pᵀ)⁻¹ λ̂` of the paper's Equation (2) can
+//! return values below 0 or above 1 when the empirical randomized
+//! distribution is not consistent with the randomization matrix
+//! (Section 2.1).  Section 6.4 of the paper resolves this by picking the
+//! proper probability distribution closest (in Euclidean distance) to the
+//! raw output: negative entries are clamped to zero and the remainder is
+//! rescaled to sum to one.  [`project_clamp_rescale`] implements exactly
+//! that post-processing; distance helpers are provided for tests and for
+//! evaluation metrics.
+
+use crate::error::MathError;
+
+/// Whether `v` is a proper probability vector: every entry in `[0, 1]`
+/// (within `tol`) and the entries sum to 1 (within `tol`).
+pub fn is_probability_vector(v: &[f64], tol: f64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let mut sum = 0.0;
+    for &x in v {
+        if !(x >= -tol && x <= 1.0 + tol) {
+            return false;
+        }
+        sum += x;
+    }
+    (sum - 1.0).abs() <= tol
+}
+
+/// The paper's Section 6.4 projection: replace negative entries with 0 and
+/// rescale the rest so the vector sums to 1.
+///
+/// If every entry is non-positive (which can only happen for extremely
+/// inconsistent inputs), the uniform distribution is returned — this is the
+/// maximum-entropy fallback and keeps downstream estimators well defined.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] if `v` is empty or contains a
+/// non-finite value.
+pub fn project_clamp_rescale(v: &[f64]) -> Result<Vec<f64>, MathError> {
+    if v.is_empty() {
+        return Err(MathError::invalid("v", "cannot project an empty vector"));
+    }
+    if v.iter().any(|x| !x.is_finite()) {
+        return Err(MathError::invalid("v", "vector contains non-finite entries"));
+    }
+    let clamped: Vec<f64> = v.iter().map(|&x| x.max(0.0)).collect();
+    let sum: f64 = clamped.iter().sum();
+    if sum <= 0.0 {
+        let uniform = 1.0 / v.len() as f64;
+        return Ok(vec![uniform; v.len()]);
+    }
+    Ok(clamped.into_iter().map(|x| x / sum).collect())
+}
+
+/// L1 distance `Σ |a_i − b_i|` between two equally long vectors.
+///
+/// # Errors
+/// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    check_lengths(a, b, "l1_distance")?;
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum())
+}
+
+/// Euclidean (L2) distance between two equally long vectors.
+///
+/// # Errors
+/// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    check_lengths(a, b, "l2_distance")?;
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt())
+}
+
+/// Total-variation distance `½ Σ |a_i − b_i|` between two distributions.
+///
+/// # Errors
+/// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+pub fn total_variation_distance(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    Ok(0.5 * l1_distance(a, b)?)
+}
+
+/// Normalises a non-negative weight vector so it sums to 1.
+///
+/// # Errors
+/// Returns [`MathError::InvalidParameter`] if the vector is empty, contains
+/// negative or non-finite entries, or sums to zero.
+pub fn normalize(v: &[f64]) -> Result<Vec<f64>, MathError> {
+    if v.is_empty() {
+        return Err(MathError::invalid("v", "cannot normalize an empty vector"));
+    }
+    if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(MathError::invalid("v", "vector must be non-negative and finite"));
+    }
+    let sum: f64 = v.iter().sum();
+    if sum <= 0.0 {
+        return Err(MathError::invalid("v", "vector sums to zero"));
+    }
+    Ok(v.iter().map(|&x| x / sum).collect())
+}
+
+fn check_lengths(a: &[f64], b: &[f64], context: &str) -> Result<(), MathError> {
+    if a.len() != b.len() {
+        return Err(MathError::DimensionMismatch {
+            context: context.to_string(),
+            left: (a.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn probability_vector_detection() {
+        assert!(is_probability_vector(&[0.2, 0.3, 0.5], 1e-12));
+        assert!(!is_probability_vector(&[0.2, 0.3, 0.4], 1e-12));
+        assert!(!is_probability_vector(&[-0.1, 0.6, 0.5], 1e-12));
+        assert!(!is_probability_vector(&[1.1, -0.1], 1e-12));
+        assert!(!is_probability_vector(&[], 1e-12));
+        // Tolerance is honoured.
+        assert!(is_probability_vector(&[0.2 + 5e-13, 0.3, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn projection_is_identity_on_proper_distributions() {
+        let v = [0.1, 0.2, 0.7];
+        let p = project_clamp_rescale(&v).unwrap();
+        for (a, b) in p.iter().zip(v.iter()) {
+            assert_close(*a, *b, 1e-15);
+        }
+    }
+
+    #[test]
+    fn projection_clamps_negatives_and_rescales() {
+        // The paper's example scenario: the raw estimator went below zero.
+        let v = [-0.2, 0.6, 0.8];
+        let p = project_clamp_rescale(&v).unwrap();
+        assert!(is_probability_vector(&p, 1e-12));
+        assert_eq!(p[0], 0.0);
+        assert_close(p[1], 0.6 / 1.4, 1e-12);
+        assert_close(p[2], 0.8 / 1.4, 1e-12);
+    }
+
+    #[test]
+    fn projection_all_nonpositive_falls_back_to_uniform() {
+        let p = project_clamp_rescale(&[-1.0, -2.0, 0.0, -0.5]).unwrap();
+        assert!(is_probability_vector(&p, 1e-12));
+        for &x in &p {
+            assert_close(x, 0.25, 1e-15);
+        }
+    }
+
+    #[test]
+    fn projection_rejects_invalid() {
+        assert!(project_clamp_rescale(&[]).is_err());
+        assert!(project_clamp_rescale(&[f64::NAN, 0.5]).is_err());
+        assert!(project_clamp_rescale(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn distances_known_values() {
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.25, 0.25, 0.5];
+        assert_close(l1_distance(&a, &b).unwrap(), 1.0, 1e-15);
+        assert_close(total_variation_distance(&a, &b).unwrap(), 0.5, 1e-15);
+        assert_close(l2_distance(&a, &b).unwrap(), (0.0625f64 + 0.0625 + 0.25).sqrt(), 1e-15);
+    }
+
+    #[test]
+    fn distances_zero_on_identical() {
+        let a = [0.3, 0.3, 0.4];
+        assert_eq!(l1_distance(&a, &a).unwrap(), 0.0);
+        assert_eq!(l2_distance(&a, &a).unwrap(), 0.0);
+        assert_eq!(total_variation_distance(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn distances_reject_mismatched_lengths() {
+        assert!(l1_distance(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(l2_distance(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(total_variation_distance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn normalize_scales_to_unit_sum() {
+        let p = normalize(&[2.0, 3.0, 5.0]).unwrap();
+        assert!(is_probability_vector(&p, 1e-12));
+        assert_close(p[0], 0.2, 1e-15);
+        assert_close(p[2], 0.5, 1e-15);
+    }
+
+    #[test]
+    fn normalize_rejects_invalid() {
+        assert!(normalize(&[]).is_err());
+        assert!(normalize(&[0.0, 0.0]).is_err());
+        assert!(normalize(&[-1.0, 2.0]).is_err());
+        assert!(normalize(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn tv_distance_is_at_most_one_for_distributions() {
+        let a = [1.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 1.0];
+        assert_close(total_variation_distance(&a, &b).unwrap(), 1.0, 1e-15);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the numerical substrate.
+//!
+//! These complement the unit tests inside each module with randomized
+//! invariants: inversion round-trips, probability-vector closure of the
+//! simplex projection, bounds on the dependence statistics, and consistency
+//! between the closed-form and general linear-algebra paths.
+
+use mdrr_math::linsolve::{invert, invert_uniform_perturbation, solve, solve_uniform_perturbation};
+use mdrr_math::{
+    b_factor, chi2_cdf, chi2_quantile, is_probability_vector, normal_cdf, normal_quantile,
+    pearson_correlation, project_clamp_rescale, ContingencyTable, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy producing a "keep with probability p, otherwise uniform"
+/// randomization matrix together with its `(a, b)` decomposition.
+fn rr_matrix_strategy() -> impl Strategy<Value = (Matrix, f64, f64, usize)> {
+    (2usize..20, 0.05f64..0.95).prop_map(|(r, p)| {
+        let b = (1.0 - p) / r as f64;
+        let a = p;
+        let m = Matrix::from_fn(r, r, |i, j| if i == j { a + b } else { b });
+        (m, a, b, r)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inversion_roundtrips_to_identity((m, _a, _b, r) in rr_matrix_strategy()) {
+        let inv = invert(&m).unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Matrix::identity(r), 1e-8));
+    }
+
+    #[test]
+    fn closed_form_inverse_matches_general((m, a, b, r) in rr_matrix_strategy()) {
+        let closed = invert_uniform_perturbation(a, b, r).unwrap();
+        let general = invert(&m).unwrap();
+        prop_assert!(closed.approx_eq(&general, 1e-8));
+    }
+
+    #[test]
+    fn fast_solve_matches_general_solve((m, a, b, _r) in rr_matrix_strategy(),
+                                         seed in 0u64..1_000) {
+        // Deterministic pseudo-random RHS derived from the seed.
+        let r = m.rows();
+        let v: Vec<f64> = (0..r)
+            .map(|i| ((seed as f64 + 1.0) * (i as f64 + 1.0)).sin().abs() + 0.01)
+            .collect();
+        let fast = solve_uniform_perturbation(a, b, &v).unwrap();
+        let general = solve(&m, &v).unwrap();
+        for (x, y) in fast.iter().zip(general.iter()) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn projection_always_returns_distribution(v in prop::collection::vec(-5.0f64..5.0, 1..40)) {
+        let p = project_clamp_rescale(&v).unwrap();
+        prop_assert!(is_probability_vector(&p, 1e-9));
+        prop_assert_eq!(p.len(), v.len());
+    }
+
+    #[test]
+    fn projection_is_idempotent(v in prop::collection::vec(-5.0f64..5.0, 1..40)) {
+        let p1 = project_clamp_rescale(&v).unwrap();
+        let p2 = project_clamp_rescale(&p1).unwrap();
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_is_bounded(xs in prop::collection::vec(-100.0f64..100.0, 3..60),
+                              ys in prop::collection::vec(-100.0f64..100.0, 3..60)) {
+        let n = xs.len().min(ys.len());
+        let r = pearson_correlation(&xs[..n], &ys[..n]).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn cramers_v_is_bounded(pairs in prop::collection::vec((0u32..5, 0u32..4), 10..200)) {
+        let xs: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let t = ContingencyTable::from_codes(&xs, &ys, 5, 4).unwrap();
+        let v = t.cramers_v();
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(t.chi_squared_statistic() >= 0.0);
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf(q in 0.001f64..0.999, df in 1.0f64..50.0) {
+        let x = chi2_quantile(q, df).unwrap();
+        let back = chi2_cdf(x, df).unwrap();
+        prop_assert!((back - q).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.0001f64..0.9999) {
+        let x = normal_quantile(p).unwrap();
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn b_factor_monotone_in_r(alpha in 0.01f64..0.2, r in 2usize..5_000) {
+        let b_small = b_factor(alpha, r).unwrap();
+        let b_big = b_factor(alpha, r * 2).unwrap();
+        prop_assert!(b_big > b_small);
+        prop_assert!(b_small > 0.0);
+    }
+
+    #[test]
+    fn matrix_transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1_000) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            ((seed + 1) as f64 * (i as f64 + 0.5) * (j as f64 + 1.3)).sin()
+        });
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn vecmat_matches_transpose_matvec(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1_000) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            ((seed + 1) as f64 * (i as f64 + 0.5) * (j as f64 + 1.3)).cos()
+        });
+        let v: Vec<f64> = (0..rows).map(|i| (i as f64 + 1.0) / rows as f64).collect();
+        let a = m.vecmat(&v).unwrap();
+        let b = m.transpose().matvec(&v).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

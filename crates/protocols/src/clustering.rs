@@ -1,0 +1,502 @@
+//! Attribute clustering (Algorithm 1 of the paper).
+//!
+//! RR-Clusters splits the attributes into clusters such that attributes in
+//! different clusters are (nearly) independent, and runs RR-Joint inside
+//! each cluster.  The clustering algorithm is a greedy agglomerative merge:
+//!
+//! 1. start from singleton clusters;
+//! 2. repeatedly look at the most dependent pair of clusters (dependence
+//!    between clusters = maximum dependence between cross-cluster attribute
+//!    pairs);
+//! 3. merge the pair if the merged cluster's number of value combinations
+//!    stays below the threshold `Tv` and the dependence is at least `Td`;
+//!    otherwise move on to the next most dependent pair;
+//! 4. stop when no pair with dependence ≥ `Td` can be merged.
+//!
+//! The pairwise attribute dependences come from one of the
+//! privacy-preserving procedures of [`crate::dependence`] (or from the
+//! trusted-party baseline, for comparison).
+
+use crate::error::ProtocolError;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric `m × m` matrix of pairwise attribute dependences in `[0, 1]`
+/// (1 on the diagonal by convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependenceMatrix {
+    m: usize,
+    /// Row-major storage of the full symmetric matrix.
+    values: Vec<f64>,
+}
+
+impl DependenceMatrix {
+    /// An `m × m` matrix with 1 on the diagonal and 0 elsewhere.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `m == 0`.
+    pub fn identity(m: usize) -> Result<Self, ProtocolError> {
+        if m == 0 {
+            return Err(ProtocolError::config("dependence matrix needs at least one attribute"));
+        }
+        let mut values = vec![0.0; m * m];
+        for i in 0..m {
+            values[i * m + i] = 1.0;
+        }
+        Ok(DependenceMatrix { m, values })
+    }
+
+    /// Builds the matrix from a function of `(i, j)` evaluated on the upper
+    /// triangle (`i < j`); the function's output is clamped to `[0, 1]` and
+    /// mirrored to keep the matrix symmetric.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `m == 0`.
+    pub fn from_fn(
+        m: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self, ProtocolError> {
+        let mut matrix = DependenceMatrix::identity(m)?;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let v = f(i, j).clamp(0.0, 1.0);
+                matrix.set(i, j, v);
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the matrix covers zero attributes (never true for a
+    /// constructed matrix; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// The dependence between attributes `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.m && j < self.m, "attribute index out of range");
+        self.values[i * self.m + j]
+    }
+
+    /// Sets the dependence between attributes `i` and `j` (both
+    /// orientations), clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.m && j < self.m, "attribute index out of range");
+        let v = value.clamp(0.0, 1.0);
+        self.values[i * self.m + j] = v;
+        self.values[j * self.m + i] = v;
+    }
+
+    /// The dependence between two *clusters*: the maximum dependence over
+    /// cross-cluster attribute pairs (the definition used by Algorithm 1).
+    pub fn cluster_dependence(&self, a: &[usize], b: &[usize]) -> f64 {
+        let mut best = 0.0f64;
+        for &i in a {
+            for &j in b {
+                best = best.max(self.get(i, j));
+            }
+        }
+        best
+    }
+
+    /// Spearman-style rank agreement between two dependence matrices: the
+    /// fraction of attribute-pair pairs whose order is preserved.  Used to
+    /// verify Corollary 1 empirically (randomization attenuates dependences
+    /// but should preserve their ranking).
+    pub fn ranking_agreement(&self, other: &DependenceMatrix) -> Result<f64, ProtocolError> {
+        if self.m != other.m {
+            return Err(ProtocolError::config(format!(
+                "cannot compare dependence matrices of sizes {} and {}",
+                self.m, other.m
+            )));
+        }
+        let mut pairs = Vec::new();
+        for i in 0..self.m {
+            for j in (i + 1)..self.m {
+                pairs.push((self.get(i, j), other.get(i, j)));
+            }
+        }
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for x in 0..pairs.len() {
+            for y in (x + 1)..pairs.len() {
+                let da = pairs[x].0 - pairs[y].0;
+                let db = pairs[x].1 - pairs[y].1;
+                if da == 0.0 && db == 0.0 {
+                    continue;
+                }
+                total += 1;
+                if da * db > 0.0 {
+                    concordant += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return Ok(1.0);
+        }
+        Ok(concordant as f64 / total as f64)
+    }
+}
+
+/// A partition of the attribute indices `0 .. m` into clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    clusters: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Builds a clustering and validates that it is a partition of
+    /// `0 .. attribute_count`.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if the clusters do
+    /// not form a partition (missing, repeated or out-of-range attributes,
+    /// or an empty cluster).
+    pub fn new(clusters: Vec<Vec<usize>>, attribute_count: usize) -> Result<Self, ProtocolError> {
+        let mut seen = vec![false; attribute_count];
+        if clusters.iter().any(Vec::is_empty) {
+            return Err(ProtocolError::config("clusters must be non-empty"));
+        }
+        for &attr in clusters.iter().flatten() {
+            if attr >= attribute_count {
+                return Err(ProtocolError::config(format!(
+                    "attribute index {attr} out of range ({attribute_count} attributes)"
+                )));
+            }
+            if seen[attr] {
+                return Err(ProtocolError::config(format!("attribute {attr} appears in two clusters")));
+            }
+            seen[attr] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ProtocolError::config(format!("attribute {missing} is not covered by any cluster")));
+        }
+        Ok(Clustering { clusters })
+    }
+
+    /// The all-singletons clustering (every attribute alone — the
+    /// RR-Independent limit of `Td = 1`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `m == 0`.
+    pub fn singletons(m: usize) -> Result<Self, ProtocolError> {
+        if m == 0 {
+            return Err(ProtocolError::config("at least one attribute is required"));
+        }
+        Ok(Clustering { clusters: (0..m).map(|i| vec![i]).collect() })
+    }
+
+    /// The clusters, each a sorted list of attribute indices.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Number of clusters (`l` in the paper).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters (never true for a validated value).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total number of attributes covered.
+    pub fn attribute_count(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// Index of the cluster containing `attribute`, if any.
+    pub fn cluster_of(&self, attribute: usize) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(&attribute))
+    }
+
+    /// The largest number of value combinations of any cluster under the
+    /// given attribute cardinalities (the quantity bounded by `Tv`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if an attribute index
+    /// is out of range for `cardinalities`.
+    pub fn max_combinations(&self, cardinalities: &[usize]) -> Result<usize, ProtocolError> {
+        let mut worst = 0usize;
+        for cluster in &self.clusters {
+            let mut product = 1usize;
+            for &attr in cluster {
+                let card = cardinalities.get(attr).ok_or_else(|| {
+                    ProtocolError::config(format!("attribute {attr} missing from cardinality list"))
+                })?;
+                product = product.saturating_mul(*card);
+            }
+            worst = worst.max(product);
+        }
+        Ok(worst)
+    }
+}
+
+/// Thresholds of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// `Tv`: maximum number of value combinations allowed in a cluster.
+    pub max_combinations: usize,
+    /// `Td`: minimum dependence required to merge two clusters.
+    pub min_dependence: f64,
+}
+
+impl ClusteringConfig {
+    /// Creates a configuration, validating the thresholds.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if
+    /// `max_combinations == 0` or `min_dependence ∉ [0, 1]`.
+    pub fn new(max_combinations: usize, min_dependence: f64) -> Result<Self, ProtocolError> {
+        if max_combinations == 0 {
+            return Err(ProtocolError::config("Tv (max combinations per cluster) must be positive"));
+        }
+        if !(0.0..=1.0).contains(&min_dependence) {
+            return Err(ProtocolError::config(format!(
+                "Td (minimum dependence) must lie in [0, 1], got {min_dependence}"
+            )));
+        }
+        Ok(ClusteringConfig { max_combinations, min_dependence })
+    }
+}
+
+/// Algorithm 1: greedy agglomerative clustering of attributes by
+/// dependence, subject to the `Tv` / `Td` thresholds.
+///
+/// # Errors
+/// Returns [`ProtocolError::InvalidConfiguration`] if the dependence matrix
+/// and the cardinality list disagree in size.
+pub fn cluster_attributes(
+    dependences: &DependenceMatrix,
+    cardinalities: &[usize],
+    config: ClusteringConfig,
+) -> Result<Clustering, ProtocolError> {
+    let m = dependences.len();
+    if cardinalities.len() != m {
+        return Err(ProtocolError::config(format!(
+            "dependence matrix covers {m} attributes but {} cardinalities were given",
+            cardinalities.len()
+        )));
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+
+    loop {
+        // Build the list of cluster-pair dependences, sorted descending
+        // (step 4–5 of Algorithm 1).
+        let mut pair_list: Vec<(f64, usize, usize)> = Vec::new();
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let dep = dependences.cluster_dependence(&clusters[a], &clusters[b]);
+                pair_list.push((dep, a, b));
+            }
+        }
+        pair_list.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Walk the list in descending order of dependence and merge the
+        // first feasible pair; if none is feasible, the algorithm ends.
+        let mut merged = false;
+        for &(dep, a, b) in &pair_list {
+            if dep < config.min_dependence {
+                break;
+            }
+            let combinations: usize = clusters[a]
+                .iter()
+                .chain(clusters[b].iter())
+                .map(|&attr| cardinalities[attr])
+                .fold(1usize, |acc, c| acc.saturating_mul(c));
+            if combinations <= config.max_combinations {
+                let mut merged_cluster = clusters[a].clone();
+                merged_cluster.extend_from_slice(&clusters[b]);
+                merged_cluster.sort_unstable();
+                // Remove the higher index first so the lower one stays valid.
+                clusters.remove(b);
+                clusters.remove(a);
+                clusters.push(merged_cluster);
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    clusters.sort();
+    Clustering::new(clusters, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep_from_pairs(m: usize, pairs: &[(usize, usize, f64)]) -> DependenceMatrix {
+        let mut d = DependenceMatrix::identity(m).unwrap();
+        for &(i, j, v) in pairs {
+            d.set(i, j, v);
+        }
+        d
+    }
+
+    #[test]
+    fn dependence_matrix_basics() {
+        let mut d = DependenceMatrix::identity(3).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        d.set(0, 1, 0.7);
+        assert_eq!(d.get(1, 0), 0.7);
+        d.set(1, 2, 1.4); // clamped
+        assert_eq!(d.get(1, 2), 1.0);
+        assert!(DependenceMatrix::identity(0).is_err());
+    }
+
+    #[test]
+    fn from_fn_mirrors_upper_triangle() {
+        let d = DependenceMatrix::from_fn(3, |i, j| (i + j) as f64 / 10.0).unwrap();
+        assert!((d.get(0, 1) - 0.1).abs() < 1e-12);
+        assert!((d.get(2, 1) - 0.3).abs() < 1e-12);
+        assert_eq!(d.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn cluster_dependence_is_max_cross_pair() {
+        let d = dep_from_pairs(4, &[(0, 2, 0.3), (1, 3, 0.8), (0, 3, 0.1)]);
+        assert_eq!(d.cluster_dependence(&[0, 1], &[2, 3]), 0.8);
+        assert_eq!(d.cluster_dependence(&[0], &[2]), 0.3);
+    }
+
+    #[test]
+    fn ranking_agreement_detects_preserved_and_flipped_order() {
+        let a = dep_from_pairs(3, &[(0, 1, 0.9), (0, 2, 0.5), (1, 2, 0.1)]);
+        // Same ranking, attenuated values (Corollary 1 situation).
+        let b = dep_from_pairs(3, &[(0, 1, 0.45), (0, 2, 0.25), (1, 2, 0.05)]);
+        assert_eq!(a.ranking_agreement(&b).unwrap(), 1.0);
+        // Fully reversed ranking.
+        let c = dep_from_pairs(3, &[(0, 1, 0.1), (0, 2, 0.5), (1, 2, 0.9)]);
+        assert_eq!(a.ranking_agreement(&c).unwrap(), 0.0);
+        // Size mismatch is an error.
+        assert!(a.ranking_agreement(&DependenceMatrix::identity(4).unwrap()).is_err());
+    }
+
+    #[test]
+    fn clustering_validates_partition() {
+        assert!(Clustering::new(vec![vec![0, 1], vec![2]], 3).is_ok());
+        assert!(Clustering::new(vec![vec![0, 1]], 3).is_err()); // missing 2
+        assert!(Clustering::new(vec![vec![0, 1], vec![1, 2]], 3).is_err()); // duplicate
+        assert!(Clustering::new(vec![vec![0, 3]], 2).is_err()); // out of range
+        assert!(Clustering::new(vec![vec![0], vec![]], 1).is_err()); // empty cluster
+        assert!(Clustering::singletons(0).is_err());
+    }
+
+    #[test]
+    fn clustering_accessors() {
+        let c = Clustering::new(vec![vec![0, 2], vec![1]], 3).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.attribute_count(), 3);
+        assert_eq!(c.cluster_of(2), Some(0));
+        assert_eq!(c.cluster_of(1), Some(1));
+        assert_eq!(c.cluster_of(9), None);
+        assert_eq!(c.max_combinations(&[3, 4, 5]).unwrap(), 15);
+        assert!(c.max_combinations(&[3, 4]).is_err());
+        let s = Clustering::singletons(4).unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClusteringConfig::new(0, 0.5).is_err());
+        assert!(ClusteringConfig::new(10, -0.1).is_err());
+        assert!(ClusteringConfig::new(10, 1.1).is_err());
+        assert!(ClusteringConfig::new(10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn algorithm_1_merges_dependent_attributes() {
+        // Two strongly dependent groups {0,1} and {2,3}, weak across.
+        let d = dep_from_pairs(4, &[(0, 1, 0.9), (2, 3, 0.8), (0, 2, 0.05), (1, 3, 0.05)]);
+        let cards = [3usize, 4, 2, 5];
+        let clustering =
+            cluster_attributes(&d, &cards, ClusteringConfig::new(50, 0.2).unwrap()).unwrap();
+        assert_eq!(clustering.len(), 2);
+        assert!(clustering.clusters().contains(&vec![0, 1]));
+        assert!(clustering.clusters().contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn algorithm_1_respects_tv() {
+        // Both pairs are dependent but the merged product 3*40=120 exceeds Tv=50,
+        // so only the small pair merges.
+        let d = dep_from_pairs(3, &[(0, 1, 0.9), (1, 2, 0.8)]);
+        let cards = [3usize, 4, 40];
+        let clustering =
+            cluster_attributes(&d, &cards, ClusteringConfig::new(50, 0.2).unwrap()).unwrap();
+        assert!(clustering.clusters().contains(&vec![0, 1]));
+        assert!(clustering.clusters().contains(&vec![2]));
+    }
+
+    #[test]
+    fn algorithm_1_respects_td() {
+        let d = dep_from_pairs(3, &[(0, 1, 0.15), (1, 2, 0.05)]);
+        let cards = [2usize, 2, 2];
+        // Td = 0.2: nothing merges.
+        let none = cluster_attributes(&d, &cards, ClusteringConfig::new(100, 0.2).unwrap()).unwrap();
+        assert_eq!(none.len(), 3);
+        // Td = 0.1: only the 0-1 pair merges.
+        let one = cluster_attributes(&d, &cards, ClusteringConfig::new(100, 0.1).unwrap()).unwrap();
+        assert_eq!(one.len(), 2);
+        assert!(one.clusters().contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn algorithm_1_merges_transitively_up_to_the_budget() {
+        // A chain 0-1-2 of strong dependences with small cardinalities:
+        // everything ends up in one cluster.
+        let d = dep_from_pairs(3, &[(0, 1, 0.9), (1, 2, 0.85)]);
+        let cards = [2usize, 2, 2];
+        let clustering =
+            cluster_attributes(&d, &cards, ClusteringConfig::new(8, 0.3).unwrap()).unwrap();
+        assert_eq!(clustering.len(), 1);
+        assert_eq!(clustering.clusters()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn algorithm_1_with_td_one_yields_singletons() {
+        let d = dep_from_pairs(4, &[(0, 1, 0.99), (2, 3, 0.99)]);
+        let cards = [2usize, 2, 2, 2];
+        let clustering =
+            cluster_attributes(&d, &cards, ClusteringConfig::new(100, 1.0).unwrap()).unwrap();
+        // Dependences are < 1.0, so nothing reaches the threshold.
+        assert_eq!(clustering.len(), 4);
+    }
+
+    #[test]
+    fn algorithm_1_validates_sizes() {
+        let d = DependenceMatrix::identity(3).unwrap();
+        assert!(cluster_attributes(&d, &[2, 2], ClusteringConfig::new(10, 0.1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn algorithm_1_result_is_a_partition_and_respects_tv_globally() {
+        let d = dep_from_pairs(
+            5,
+            &[(0, 1, 0.7), (1, 2, 0.6), (2, 3, 0.5), (3, 4, 0.4), (0, 4, 0.3)],
+        );
+        let cards = [3usize, 3, 3, 3, 3];
+        let config = ClusteringConfig::new(27, 0.2).unwrap();
+        let clustering = cluster_attributes(&d, &cards, config).unwrap();
+        assert_eq!(clustering.attribute_count(), 5);
+        assert!(clustering.max_combinations(&cards).unwrap() <= 27);
+    }
+}

@@ -1,0 +1,536 @@
+//! RR-Clusters (Section 4 of the paper).
+//!
+//! Attributes are partitioned into clusters of mutually dependent
+//! attributes (Algorithm 1, [`crate::clustering`]) and RR-Joint is run
+//! *within* each cluster: every party randomizes the Cartesian product of
+//! her values for the attributes of each cluster and publishes one joint
+//! code per cluster.  Dependences inside a cluster are preserved in the
+//! estimate; dependences across clusters are neglected (and can be partly
+//! repaired afterwards by RR-Adjustment, Section 5).
+//!
+//! For the comparison of the paper's Section 6 to be fair, the matrix of a
+//! cluster `C` is the optimal matrix for the budget `Σ_{A∈C} ε_A`
+//! (Section 6.3.2), where `ε_A` is the budget RR-Independent would have
+//! spent on attribute `A` alone.
+
+use crate::clustering::Clustering;
+use crate::error::ProtocolError;
+use crate::estimator::{Assignment, FrequencyEstimator};
+use mdrr_core::{empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix};
+use mdrr_data::{Dataset, JointDomain, Schema};
+use rand::Rng;
+
+/// The RR-Clusters protocol: a clustering plus one randomization matrix per
+/// cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RRClusters {
+    schema: Schema,
+    clustering: Clustering,
+    domains: Vec<JointDomain>,
+    matrices: Vec<RRMatrix>,
+}
+
+impl RRClusters {
+    /// Section 6.3.2 construction: the cluster matrices provide the same
+    /// differential-privacy level as RR-Independent with per-attribute
+    /// budgets `epsilons` (in schema order): cluster `C` gets the optimal
+    /// matrix for `Σ_{A∈C} ε_A` over its joint domain.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if the clustering
+    /// does not cover the schema or the budget list has the wrong length.
+    pub fn with_equivalent_risk(
+        schema: Schema,
+        clustering: Clustering,
+        epsilons: &[f64],
+    ) -> Result<Self, ProtocolError> {
+        if epsilons.len() != schema.len() {
+            return Err(ProtocolError::config(format!(
+                "expected {} per-attribute budgets, got {}",
+                schema.len(),
+                epsilons.len()
+            )));
+        }
+        Self::validate_clustering(&schema, &clustering)?;
+        let mut domains = Vec::with_capacity(clustering.len());
+        let mut matrices = Vec::with_capacity(clustering.len());
+        for cluster in clustering.clusters() {
+            let cards: Vec<usize> =
+                cluster.iter().map(|&a| schema.attribute(a).map(|attr| attr.cardinality())).collect::<Result<_, _>>()?;
+            let domain = JointDomain::new(&cards)?;
+            let cluster_epsilons: Vec<f64> = cluster.iter().map(|&a| epsilons[a]).collect();
+            let matrix = RRMatrix::cluster_from_epsilons(&cluster_epsilons, domain.size())?;
+            domains.push(domain);
+            matrices.push(matrix);
+        }
+        Ok(RRClusters { schema, clustering, domains, matrices })
+    }
+
+    /// Convenience constructor for the paper's experiments: the
+    /// per-attribute budgets are those of the uniform-keep mechanism at keep
+    /// probability `p` (the same `p` used for RR-Independent), then the
+    /// equivalent-risk cluster matrices are derived as in Section 6.3.2.
+    ///
+    /// # Errors
+    /// Same conditions as [`RRClusters::with_equivalent_risk`] plus an
+    /// invalid `p`.
+    pub fn with_equivalent_risk_from_keep_probability(
+        schema: Schema,
+        clustering: Clustering,
+        p: f64,
+    ) -> Result<Self, ProtocolError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+        }
+        let epsilons: Vec<f64> = schema
+            .attributes()
+            .iter()
+            .map(|a| RRMatrix::uniform_keep(p, a.cardinality()).map(|m| m.epsilon()))
+            .collect::<Result<_, _>>()?;
+        if epsilons.iter().any(|e| !e.is_finite()) {
+            return Err(ProtocolError::config(
+                "keep probability of 1 gives an infinite budget; use a value below 1",
+            ));
+        }
+        Self::with_equivalent_risk(schema, clustering, &epsilons)
+    }
+
+    /// Direct construction: each cluster uses the uniform-keep mechanism at
+    /// keep probability `p` over its own joint domain (no equivalent-risk
+    /// adjustment).  Useful for ablations.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] for an invalid `p` or
+    /// a clustering that does not cover the schema.
+    pub fn with_keep_probability(
+        schema: Schema,
+        clustering: Clustering,
+        p: f64,
+    ) -> Result<Self, ProtocolError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+        }
+        Self::validate_clustering(&schema, &clustering)?;
+        let mut domains = Vec::with_capacity(clustering.len());
+        let mut matrices = Vec::with_capacity(clustering.len());
+        for cluster in clustering.clusters() {
+            let cards: Vec<usize> =
+                cluster.iter().map(|&a| schema.attribute(a).map(|attr| attr.cardinality())).collect::<Result<_, _>>()?;
+            let domain = JointDomain::new(&cards)?;
+            let matrix = RRMatrix::uniform_keep(p, domain.size())?;
+            domains.push(domain);
+            matrices.push(matrix);
+        }
+        Ok(RRClusters { schema, clustering, domains, matrices })
+    }
+
+    fn validate_clustering(schema: &Schema, clustering: &Clustering) -> Result<(), ProtocolError> {
+        if clustering.attribute_count() != schema.len() {
+            return Err(ProtocolError::config(format!(
+                "clustering covers {} attributes but the schema has {}",
+                clustering.attribute_count(),
+                schema.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The clustering the protocol uses.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The per-cluster randomization matrices (cluster order).
+    pub fn matrices(&self) -> &[RRMatrix] {
+        &self.matrices
+    }
+
+    /// The per-cluster joint-domain codecs (cluster order).
+    pub fn domains(&self) -> &[JointDomain] {
+        &self.domains
+    }
+
+    /// Runs the protocol: randomizes each cluster's joint codes, estimates
+    /// each cluster's joint distribution and reconstructs the randomized
+    /// microdata set.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for schema mismatch or an
+    ///   empty dataset;
+    /// * propagated randomization/estimation errors otherwise.
+    pub fn run(&self, dataset: &Dataset, rng: &mut impl Rng) -> Result<ClustersRelease, ProtocolError> {
+        if dataset.schema() != &self.schema {
+            return Err(ProtocolError::config("dataset schema does not match the protocol configuration"));
+        }
+        if dataset.is_empty() {
+            return Err(ProtocolError::config("cannot run RR-Clusters on an empty dataset"));
+        }
+        let n = dataset.n_records();
+        let mut distributions = Vec::with_capacity(self.clustering.len());
+        let mut accountant = PrivacyAccountant::new();
+        // Column-major buffer for the reconstructed randomized dataset.
+        let mut randomized_columns: Vec<Vec<u32>> = vec![vec![0; n]; self.schema.len()];
+
+        for (k, cluster) in self.clustering.clusters().iter().enumerate() {
+            let matrix = &self.matrices[k];
+            let domain = &self.domains[k];
+            let randomized_codes = randomize_joint(dataset, cluster, matrix, rng)?;
+            let lambda_hat = empirical_distribution(&randomized_codes, domain.size())?;
+            distributions.push(estimate_proper(matrix, &lambda_hat)?);
+            accountant.record_matrix(
+                format!("RR-Clusters on cluster {k} (attributes {cluster:?})"),
+                matrix,
+            );
+            // Scatter the decoded randomized values back into the columns.
+            for (i, &code) in randomized_codes.iter().enumerate() {
+                let tuple = domain.decode(code as usize)?;
+                for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
+                    randomized_columns[attribute][i] = value;
+                }
+            }
+        }
+
+        let randomized = Dataset::from_columns(self.schema.clone(), randomized_columns)?;
+        Ok(ClustersRelease {
+            schema: self.schema.clone(),
+            clustering: self.clustering.clone(),
+            domains: self.domains.clone(),
+            distributions,
+            randomized,
+            accountant,
+        })
+    }
+}
+
+/// The output of one run of RR-Clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClustersRelease {
+    schema: Schema,
+    clustering: Clustering,
+    domains: Vec<JointDomain>,
+    distributions: Vec<Vec<f64>>,
+    randomized: Dataset,
+    accountant: PrivacyAccountant,
+}
+
+impl ClustersRelease {
+    /// The published randomized microdata set.
+    pub fn randomized(&self) -> &Dataset {
+        &self.randomized
+    }
+
+    /// The clustering the release was produced with.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The estimated joint distribution of cluster `k` (code order of the
+    /// cluster's joint domain).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnsupportedQuery`] for a bad index.
+    pub fn cluster_distribution(&self, k: usize) -> Result<&[f64], ProtocolError> {
+        self.distributions
+            .get(k)
+            .map(Vec::as_slice)
+            .ok_or_else(|| ProtocolError::unsupported(format!("cluster index {k} out of range")))
+    }
+
+    /// The per-cluster joint-domain codecs.
+    pub fn domains(&self) -> &[JointDomain] {
+        &self.domains
+    }
+
+    /// The privacy ledger (one entry per cluster).
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// The estimated marginal distribution of a single attribute, obtained
+    /// by marginalising its cluster's estimated joint distribution.  This is
+    /// what RR-Adjustment uses as its per-group targets.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnsupportedQuery`] for a bad attribute
+    /// index.
+    pub fn attribute_marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
+        let k = self
+            .clustering
+            .cluster_of(attribute)
+            .ok_or_else(|| ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster")))?;
+        let cluster = &self.clustering.clusters()[k];
+        let position = cluster.iter().position(|&a| a == attribute).expect("cluster_of guarantees membership");
+        let domain = &self.domains[k];
+        let cardinality = domain.cardinalities()[position];
+        let mut marginal = vec![0.0; cardinality];
+        for (cell, &prob) in self.distributions[k].iter().enumerate() {
+            let tuple = domain.decode(cell)?;
+            marginal[tuple[position] as usize] += prob;
+        }
+        Ok(marginal)
+    }
+}
+
+impl FrequencyEstimator for ClustersRelease {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        // Group the constraints by cluster.
+        let mut per_cluster: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.clustering.len()];
+        let mut seen = vec![false; self.schema.len()];
+        for &(attribute, code) in assignment {
+            if attribute >= self.schema.len() {
+                return Err(ProtocolError::unsupported(format!("attribute index {attribute} out of range")));
+            }
+            let card = self.schema.attribute(attribute)?.cardinality();
+            if code as usize >= card {
+                return Err(ProtocolError::unsupported(format!(
+                    "code {code} out of range for attribute {attribute} ({card} categories)"
+                )));
+            }
+            if seen[attribute] {
+                return Err(ProtocolError::unsupported(format!(
+                    "attribute {attribute} constrained twice in the same assignment"
+                )));
+            }
+            seen[attribute] = true;
+            let k = self
+                .clustering
+                .cluster_of(attribute)
+                .ok_or_else(|| ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster")))?;
+            per_cluster[k].push((attribute, code));
+        }
+
+        // Independence across clusters: multiply the per-cluster marginal
+        // probabilities of the constrained cells.
+        let mut freq = 1.0;
+        for (k, constraints) in per_cluster.iter().enumerate() {
+            if constraints.is_empty() {
+                continue;
+            }
+            let cluster = &self.clustering.clusters()[k];
+            let domain = &self.domains[k];
+            // Positions of the constrained attributes inside the cluster.
+            let positional: Vec<(usize, u32)> = constraints
+                .iter()
+                .map(|&(attribute, code)| {
+                    let position = cluster.iter().position(|&a| a == attribute).expect("validated above");
+                    (position, code)
+                })
+                .collect();
+            let mut cluster_freq = 0.0;
+            for (cell, &prob) in self.distributions[k].iter().enumerate() {
+                if prob == 0.0 {
+                    continue;
+                }
+                let tuple = domain.decode(cell)?;
+                if positional.iter().all(|&(position, code)| tuple[position] == code) {
+                    cluster_freq += prob;
+                }
+            }
+            freq *= cluster_freq;
+        }
+        Ok(freq)
+    }
+
+    fn record_count(&self) -> usize {
+        self.randomized.n_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EmpiricalEstimator;
+    use crate::independent::{RRIndependent, RandomizationLevel};
+    use mdrr_data::{Attribute, AttributeKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
+            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
+                .unwrap(),
+            Attribute::new("C", AttributeKind::Nominal, vec!["0".into(), "1".into()]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// A and B strongly dependent; C independent of both.
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::empty(schema());
+        for _ in 0..n {
+            let a = u32::from(rng.gen::<f64>() < 0.4);
+            let b = if rng.gen::<f64>() < 0.85 { a } else { 2 };
+            let c = u32::from(rng.gen::<f64>() < 0.5);
+            ds.push_record(&[a, b, c]).unwrap();
+        }
+        ds
+    }
+
+    fn ab_c_clustering() -> Clustering {
+        Clustering::new(vec![vec![0, 1], vec![2]], 3).unwrap()
+    }
+
+    #[test]
+    fn constructors_validate_configuration() {
+        let s = schema();
+        let clustering = ab_c_clustering();
+        assert!(RRClusters::with_equivalent_risk(s.clone(), clustering.clone(), &[1.0, 1.0]).is_err());
+        assert!(RRClusters::with_equivalent_risk_from_keep_probability(s.clone(), clustering.clone(), 1.5).is_err());
+        assert!(RRClusters::with_equivalent_risk_from_keep_probability(s.clone(), clustering.clone(), 1.0).is_err());
+        assert!(RRClusters::with_keep_probability(s.clone(), clustering.clone(), -0.2).is_err());
+        // A clustering over the wrong number of attributes is rejected.
+        let short = Clustering::new(vec![vec![0], vec![1]], 2).unwrap();
+        assert!(RRClusters::with_keep_probability(s, short, 0.5).is_err());
+    }
+
+    #[test]
+    fn equivalent_risk_matches_independent_budget() {
+        let s = schema();
+        let p = 0.7;
+        let independent = RRIndependent::new(s.clone(), &RandomizationLevel::KeepProbability(p)).unwrap();
+        let epsilons = independent.epsilons();
+        let clusters = RRClusters::with_equivalent_risk(s, ab_c_clustering(), &epsilons).unwrap();
+        // Cluster {A, B} spends ε_A + ε_B; cluster {C} spends ε_C.
+        let eps_ab = clusters.matrices()[0].epsilon();
+        let eps_c = clusters.matrices()[1].epsilon();
+        assert!((eps_ab - (epsilons[0] + epsilons[1])).abs() < 1e-9);
+        assert!((eps_c - epsilons[2]).abs() < 1e-9);
+        // Total budgets of the two protocols coincide.
+        let total_independent: f64 = epsilons.iter().sum();
+        assert!((eps_ab + eps_c - total_independent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_validates_dataset() {
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(protocol.run(&Dataset::empty(schema()), &mut rng).is_err());
+        let other_schema = Schema::new(vec![Attribute::indexed("Z", 2).unwrap()]).unwrap();
+        let other = Dataset::from_records(other_schema, &[vec![0]]).unwrap();
+        assert!(protocol.run(&other, &mut rng).is_err());
+    }
+
+    #[test]
+    fn within_cluster_dependence_is_preserved() {
+        let ds = dataset(40_000, 1);
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        let truth = EmpiricalEstimator::new(&ds);
+
+        // Joint cells of the dependent pair (A, B) are estimated well…
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                let estimated = release.frequency(&[(0, a), (1, b)]).unwrap();
+                let exact = truth.frequency(&[(0, a), (1, b)]).unwrap();
+                assert!(
+                    (estimated - exact).abs() < 0.02,
+                    "cell ({a},{b}): {estimated} vs {exact}"
+                );
+            }
+        }
+        // …and so are cross-cluster cells, because C really is independent.
+        let estimated = release.frequency(&[(0, 0), (2, 1)]).unwrap();
+        let exact = truth.frequency(&[(0, 0), (2, 1)]).unwrap();
+        assert!((estimated - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn cluster_estimates_beat_independence_on_dependent_pairs() {
+        let ds = dataset(40_000, 3);
+        let p = 0.7;
+        let mut rng = StdRng::seed_from_u64(4);
+        let clusters_release =
+            RRClusters::with_equivalent_risk_from_keep_probability(schema(), ab_c_clustering(), p)
+                .unwrap()
+                .run(&ds, &mut rng)
+                .unwrap();
+        let independent_release = RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(p))
+            .unwrap()
+            .run(&ds, &mut rng)
+            .unwrap();
+        let truth = EmpiricalEstimator::new(&ds);
+
+        // Total absolute error over the joint cells of the dependent pair.
+        let mut err_clusters = 0.0;
+        let mut err_independent = 0.0;
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                let exact = truth.frequency(&[(0, a), (1, b)]).unwrap();
+                err_clusters += (clusters_release.frequency(&[(0, a), (1, b)]).unwrap() - exact).abs();
+                err_independent +=
+                    (independent_release.frequency(&[(0, a), (1, b)]).unwrap() - exact).abs();
+            }
+        }
+        assert!(
+            err_clusters < err_independent,
+            "clusters {err_clusters} should beat independence {err_independent}"
+        );
+    }
+
+    #[test]
+    fn attribute_marginals_are_consistent() {
+        let ds = dataset(30_000, 5);
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        for attribute in 0..3 {
+            let marginal = release.attribute_marginal(attribute).unwrap();
+            assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let truth = ds.marginal_distribution(attribute).unwrap();
+            for (a, b) in marginal.iter().zip(truth.iter()) {
+                assert!((a - b).abs() < 0.02);
+            }
+            // The marginal via the estimator trait agrees with the explicit one.
+            for code in 0..marginal.len() {
+                let via_query = release.frequency(&[(attribute, code as u32)]).unwrap();
+                assert!((via_query - marginal[code]).abs() < 1e-9);
+            }
+        }
+        assert!(release.attribute_marginal(9).is_err());
+    }
+
+    #[test]
+    fn randomized_dataset_and_ledger_shape() {
+        let ds = dataset(1_000, 7);
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        assert_eq!(release.randomized().n_records(), 1_000);
+        assert_eq!(release.randomized().schema(), ds.schema());
+        assert_eq!(release.accountant().len(), 2);
+        assert_eq!(release.record_count(), 1_000);
+        assert!(release.cluster_distribution(0).is_ok());
+        assert!(release.cluster_distribution(5).is_err());
+    }
+
+    #[test]
+    fn singleton_clustering_degenerates_to_independent_estimates() {
+        let ds = dataset(20_000, 9);
+        let singletons = Clustering::singletons(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let release = RRClusters::with_keep_probability(schema(), singletons, 0.7)
+            .unwrap()
+            .run(&ds, &mut rng)
+            .unwrap();
+        // Joint frequencies are products of marginals, exactly like RR-Independent.
+        let f_joint = release.frequency(&[(0, 0), (1, 0)]).unwrap();
+        let f_a = release.frequency(&[(0, 0)]).unwrap();
+        let f_b = release.frequency(&[(1, 0)]).unwrap();
+        assert!((f_joint - f_a * f_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_estimator_contract() {
+        let ds = dataset(500, 11);
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        assert!((release.frequency(&[]).unwrap() - 1.0).abs() < 1e-9);
+        assert!(release.frequency(&[(0, 9)]).is_err());
+        assert!(release.frequency(&[(9, 0)]).is_err());
+        assert!(release.frequency(&[(0, 0), (0, 1)]).is_err());
+    }
+}

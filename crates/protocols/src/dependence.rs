@@ -1,0 +1,438 @@
+//! Privacy-preserving estimation of pairwise attribute dependences
+//! (Sections 4.1–4.3 of the paper).
+//!
+//! Algorithm 1 needs the dependence between every pair of attributes, but
+//! no single party holds the data set `X`, so the dependences must be
+//! computed from partial and/or randomized information.  Three procedures
+//! are provided, mirroring the paper:
+//!
+//! * [`dependence_via_randomized_attributes`] (Section 4.1) — every party
+//!   publishes each attribute independently randomized with the
+//!   "keep-with-probability-p, otherwise uniform" mechanism of
+//!   Proposition 1, and dependences are computed on the randomized data.
+//!   Proposition 1 / Corollary 1 guarantee the *ranking* of covariances is
+//!   preserved even though their magnitude is attenuated by `p²`.
+//! * [`dependence_via_exact_bivariate`] (Section 4.2) — the exact bivariate
+//!   contingency tables are computed through the secure-sum protocol, so no
+//!   party's individual pair of values is ever linkable to her.
+//! * [`dependence_via_rr_pairs`] (Section 4.3) — each *pair* of attributes
+//!   is jointly randomized before entering the secure sum, and the true
+//!   bivariate distribution is estimated with Equation (2); this variant is
+//!   differentially private even against the aggregator.
+//!
+//! A trusted-party baseline ([`dependence_matrix_plain`]) is included for
+//! comparison and testing.
+//!
+//! The dependence measure follows the paper's Expressions (8)/(9): the
+//! absolute Pearson correlation of the category codes when both attributes
+//! are ordinal, and Cramér's V otherwise.  Both lie in `[0, 1]`, so they
+//! are directly comparable inside the clustering algorithm.
+
+use crate::clustering::DependenceMatrix;
+use crate::error::ProtocolError;
+use crate::secure_sum::{secure_contingency_table, SecureSumMode};
+use mdrr_core::{empirical_distribution, estimate_proper, PrivacyAccountant, RRMatrix};
+use mdrr_data::{AttributeKind, Dataset};
+use mdrr_math::ContingencyTable;
+use rand::Rng;
+
+/// Result of a privacy-preserving dependence estimation: the estimated
+/// matrix plus the privacy budget its computation spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependenceEstimate {
+    /// Estimated pairwise dependences.
+    pub matrix: DependenceMatrix,
+    /// Privacy budget spent computing them (empty for the methods that rely
+    /// on unlinkability rather than randomization).
+    pub accountant: PrivacyAccountant,
+}
+
+/// The dependence measure of Expressions (8)/(9) computed from a bivariate
+/// contingency table (observed or estimated/weighted counts).
+pub fn dependence_from_table(
+    table: &ContingencyTable,
+    kind_x: AttributeKind,
+    kind_y: AttributeKind,
+) -> f64 {
+    if kind_x == AttributeKind::Ordinal && kind_y == AttributeKind::Ordinal {
+        pearson_from_table(table).abs().min(1.0)
+    } else {
+        table.cramers_v()
+    }
+}
+
+/// Pearson correlation of the category codes weighted by the cells of a
+/// contingency table.  Returns 0 when either marginal is degenerate.
+pub fn pearson_from_table(table: &ContingencyTable) -> f64 {
+    let total = table.total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let row_totals = table.row_totals();
+    let col_totals = table.col_totals();
+    let mean_x: f64 = row_totals.iter().enumerate().map(|(a, &w)| a as f64 * w).sum::<f64>() / total;
+    let mean_y: f64 = col_totals.iter().enumerate().map(|(b, &w)| b as f64 * w).sum::<f64>() / total;
+    let var_x: f64 = row_totals
+        .iter()
+        .enumerate()
+        .map(|(a, &w)| w * (a as f64 - mean_x).powi(2))
+        .sum::<f64>()
+        / total;
+    let var_y: f64 = col_totals
+        .iter()
+        .enumerate()
+        .map(|(b, &w)| w * (b as f64 - mean_y).powi(2))
+        .sum::<f64>()
+        / total;
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    let mut cov = 0.0;
+    for a in 0..table.rows() {
+        for b in 0..table.cols() {
+            cov += table.count(a, b) * (a as f64 - mean_x) * (b as f64 - mean_y);
+        }
+    }
+    cov /= total;
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// Trusted-party baseline: dependences computed directly on the true data
+/// set.  Not privacy preserving — provided for comparison and testing.
+///
+/// # Errors
+/// Propagates dataset access errors.
+pub fn dependence_matrix_plain(dataset: &Dataset) -> Result<DependenceMatrix, ProtocolError> {
+    dependence_matrix_of(dataset)
+}
+
+/// Section 4.1: dependences computed on a data set in which every attribute
+/// has been independently randomized with the uniform-keep mechanism at
+/// keep probability `p`.
+///
+/// Per Corollary 1 the covariance ranking is preserved; empirically the same
+/// holds (approximately) for the |correlation| / Cramér's V measures used by
+/// the clustering algorithm, which is all Algorithm 1 needs.
+///
+/// # Errors
+/// * [`ProtocolError::InvalidConfiguration`] for an empty dataset or
+///   `p ∉ [0, 1]`;
+/// * propagated randomization/estimation errors otherwise.
+pub fn dependence_via_randomized_attributes(
+    dataset: &Dataset,
+    p: f64,
+    rng: &mut impl Rng,
+) -> Result<DependenceEstimate, ProtocolError> {
+    if dataset.is_empty() {
+        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+    }
+    let schema = dataset.schema();
+    let mut accountant = PrivacyAccountant::new();
+    let mut matrices = Vec::with_capacity(schema.len());
+    for attribute in schema.attributes() {
+        let matrix = RRMatrix::uniform_keep(p, attribute.cardinality())?;
+        accountant.record_matrix(format!("dependence step: RR on {}", attribute.name()), &matrix);
+        matrices.push(matrix);
+    }
+    let randomized = mdrr_core::randomize_dataset_independent(dataset, &matrices, rng)?;
+    let matrix = dependence_matrix_of(&randomized)?;
+    Ok(DependenceEstimate { matrix, accountant })
+}
+
+/// Section 4.2: exact bivariate distributions obtained through the
+/// secure-sum protocol (no randomization, but each published pair is
+/// unlinkable to its owner and to the owner's other pairs).
+///
+/// The values are therefore *exact*; the `mode` only decides whether the
+/// full share-exchange transcript is simulated.
+///
+/// # Errors
+/// * [`ProtocolError::InvalidConfiguration`] for an empty dataset;
+/// * propagated errors otherwise.
+pub fn dependence_via_exact_bivariate(
+    dataset: &Dataset,
+    mode: SecureSumMode,
+    rng: &mut impl Rng,
+) -> Result<DependenceEstimate, ProtocolError> {
+    if dataset.is_empty() {
+        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+    }
+    let schema = dataset.schema();
+    let m = schema.len();
+    let matrix = DependenceMatrix::from_fn(m, |_, _| 0.0)?;
+    let mut matrix = matrix;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let xs = dataset.column(i)?;
+            let ys = dataset.column(j)?;
+            let table = secure_contingency_table(
+                xs,
+                ys,
+                schema.attribute(i)?.cardinality(),
+                schema.attribute(j)?.cardinality(),
+                mode,
+                rng,
+            )?;
+            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            matrix.set(i, j, dep);
+        }
+    }
+    // No randomization is applied, so no ε is spent; the protection comes
+    // from unlinkability (see the paper's discussion in Section 4.2).
+    Ok(DependenceEstimate { matrix, accountant: PrivacyAccountant::new() })
+}
+
+/// Section 4.3: each pair of attributes is randomized *jointly* with a
+/// uniform-keep matrix over the pair's Cartesian product, the distribution
+/// of the masked pairs is computed through the secure sum, and the true
+/// bivariate distribution is estimated with Equation (2).  Dependences are
+/// then computed from the estimated distributions.
+///
+/// Thanks to the unlinkability provided by the secure sum, the paper argues
+/// parallel composition applies across the `m − 1` releases of each
+/// attribute; the returned accountant records every release so callers can
+/// choose either composition rule.
+///
+/// # Errors
+/// * [`ProtocolError::InvalidConfiguration`] for an empty dataset or
+///   `p ∉ [0, 1]`;
+/// * propagated errors otherwise.
+pub fn dependence_via_rr_pairs(
+    dataset: &Dataset,
+    p: f64,
+    mode: SecureSumMode,
+    rng: &mut impl Rng,
+) -> Result<DependenceEstimate, ProtocolError> {
+    if dataset.is_empty() {
+        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+    }
+    let schema = dataset.schema();
+    let m = schema.len();
+    let n = dataset.n_records();
+    let mut matrix = DependenceMatrix::identity(m)?;
+    let mut accountant = PrivacyAccountant::new();
+
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let card_i = schema.attribute(i)?.cardinality();
+            let card_j = schema.attribute(j)?.cardinality();
+            let (domain, codes) = dataset.joint_codes(&[i, j])?;
+            let pair_matrix = RRMatrix::uniform_keep(p, domain.size())?;
+            accountant.record_matrix(
+                format!(
+                    "dependence step: RR on pair ({}, {})",
+                    schema.attribute(i)?.name(),
+                    schema.attribute(j)?.name()
+                ),
+                &pair_matrix,
+            );
+
+            // Each party masks her pair locally…
+            let masked = pair_matrix.randomize_column(&codes, rng)?;
+            // …the masked distribution is aggregated through the secure sum
+            // (one secure frequency per masked combination)…
+            let lambda_hat = match mode {
+                SecureSumMode::Aggregate => empirical_distribution(&masked, domain.size())?,
+                SecureSumMode::Simulate => {
+                    let session = crate::secure_sum::SecureSumSession::new(n)?;
+                    let mut counts = vec![0.0f64; domain.size()];
+                    for (cell, count) in counts.iter_mut().enumerate() {
+                        let indicators: Vec<bool> =
+                            masked.iter().map(|&c| c as usize == cell).collect();
+                        *count = session.sum_indicators(&indicators, rng)? as f64;
+                    }
+                    counts.iter().map(|&c| c / n as f64).collect()
+                }
+            };
+            // …and Equation (2) recovers the estimated true pair distribution.
+            let pi_hat = estimate_proper(&pair_matrix, &lambda_hat)?;
+
+            // Turn the estimated distribution into expected counts to reuse
+            // the contingency-table machinery.
+            let mut table = ContingencyTable::new(card_i, card_j)?;
+            for (cell, &prob) in pi_hat.iter().enumerate() {
+                let tuple = domain.decode(cell)?;
+                table.add(tuple[0] as usize, tuple[1] as usize, prob * n as f64)?;
+            }
+            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            matrix.set(i, j, dep);
+        }
+    }
+    Ok(DependenceEstimate { matrix, accountant })
+}
+
+/// Dependence matrix of a (plain or randomized) dataset, per
+/// Expressions (8)/(9).
+fn dependence_matrix_of(dataset: &Dataset) -> Result<DependenceMatrix, ProtocolError> {
+    let schema = dataset.schema();
+    let m = schema.len();
+    let mut matrix = DependenceMatrix::identity(m)?;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let xs = dataset.column(i)?;
+            let ys = dataset.column(j)?;
+            let table = ContingencyTable::from_codes(
+                xs,
+                ys,
+                schema.attribute(i)?.cardinality(),
+                schema.attribute(j)?.cardinality(),
+            )?;
+            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            matrix.set(i, j, dep);
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 4-attribute dataset where (0,1) are strongly dependent, (2,3) are
+    /// moderately dependent and cross pairs are independent.
+    fn structured_dataset(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("A", AttributeKind::Ordinal, vec!["0".into(), "1".into(), "2".into()])
+                .unwrap(),
+            Attribute::new("B", AttributeKind::Ordinal, vec!["0".into(), "1".into(), "2".into()])
+                .unwrap(),
+            Attribute::new("C", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
+            Attribute::new("D", AttributeKind::Nominal, vec!["u".into(), "v".into()]).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::empty(schema);
+        for _ in 0..n {
+            let a = rng.gen_range(0..3u32);
+            // B equals A 85 % of the time.
+            let b = if rng.gen::<f64>() < 0.85 { a } else { rng.gen_range(0..3u32) };
+            let c = rng.gen_range(0..2u32);
+            // D equals C 70 % of the time.
+            let d = if rng.gen::<f64>() < 0.7 { c } else { rng.gen_range(0..2u32) };
+            ds.push_record(&[a, b, c, d]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn plain_matrix_reflects_the_construction() {
+        let ds = structured_dataset(6_000, 1);
+        let dep = dependence_matrix_plain(&ds).unwrap();
+        assert!(dep.get(0, 1) > 0.6, "A-B should be strong, got {}", dep.get(0, 1));
+        assert!(dep.get(2, 3) > 0.25, "C-D should be moderate, got {}", dep.get(2, 3));
+        assert!(dep.get(0, 2) < 0.1, "A-C should be weak, got {}", dep.get(0, 2));
+        assert!(dep.get(1, 3) < 0.1, "B-D should be weak, got {}", dep.get(1, 3));
+        // Ranking: A-B > C-D > cross pairs.
+        assert!(dep.get(0, 1) > dep.get(2, 3));
+    }
+
+    #[test]
+    fn pearson_from_table_matches_direct_computation() {
+        let xs = [0u32, 1, 2, 0, 1, 2, 2, 2];
+        let ys = [0u32, 1, 2, 1, 1, 2, 2, 1];
+        let table = ContingencyTable::from_codes(&xs, &ys, 3, 3).unwrap();
+        let via_table = pearson_from_table(&table);
+        let direct = mdrr_math::correlation::pearson_correlation_codes(&xs, &ys).unwrap();
+        assert!((via_table - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_measure_selection_follows_attribute_kinds() {
+        let xs = [0u32, 1, 2, 0, 1, 2];
+        let ys = [0u32, 1, 2, 0, 1, 2];
+        let table = ContingencyTable::from_codes(&xs, &ys, 3, 3).unwrap();
+        let ordinal = dependence_from_table(&table, AttributeKind::Ordinal, AttributeKind::Ordinal);
+        let nominal = dependence_from_table(&table, AttributeKind::Nominal, AttributeKind::Ordinal);
+        // Perfect monotone relation: both are 1 here, but they are computed
+        // through different statistics.
+        assert!((ordinal - 1.0).abs() < 1e-9);
+        assert!((nominal - 1.0).abs() < 1e-9);
+        // An anti-monotone relation keeps |r| = 1 but is still V = 1.
+        let ys_rev = [2u32, 1, 0, 2, 1, 0];
+        let table_rev = ContingencyTable::from_codes(&xs, &ys_rev, 3, 3).unwrap();
+        assert!((dependence_from_table(&table_rev, AttributeKind::Ordinal, AttributeKind::Ordinal) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_attribute_dependences_preserve_ranking() {
+        let ds = structured_dataset(8_000, 2);
+        let plain = dependence_matrix_plain(&ds).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let estimated = dependence_via_randomized_attributes(&ds, 0.8, &mut rng).unwrap();
+        // Attenuated…
+        assert!(estimated.matrix.get(0, 1) < plain.get(0, 1));
+        // …but the strong pair still dominates, and the ranking of the
+        // clearly separated pairs is preserved.
+        assert!(estimated.matrix.get(0, 1) > estimated.matrix.get(2, 3));
+        assert!(estimated.matrix.get(2, 3) > estimated.matrix.get(0, 2));
+        // Privacy budget was spent on every attribute.
+        assert_eq!(estimated.accountant.len(), ds.n_attributes());
+        assert!(estimated.accountant.total_sequential() > 0.0);
+    }
+
+    #[test]
+    fn randomized_attribute_dependences_validate_parameters() {
+        let ds = structured_dataset(100, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(dependence_via_randomized_attributes(&ds, 1.5, &mut rng).is_err());
+        let empty = Dataset::empty(ds.schema().clone());
+        assert!(dependence_via_randomized_attributes(&empty, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn exact_bivariate_matches_plain_matrix() {
+        let ds = structured_dataset(400, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plain = dependence_matrix_plain(&ds).unwrap();
+        let via_secure =
+            dependence_via_exact_bivariate(&ds, SecureSumMode::Simulate, &mut rng).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((plain.get(i, j) - via_secure.matrix.get(i, j)).abs() < 1e-9);
+            }
+        }
+        // No ε is spent by this method.
+        assert!(via_secure.accountant.is_empty());
+    }
+
+    #[test]
+    fn rr_pairs_dependences_recover_the_structure() {
+        let ds = structured_dataset(8_000, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = dependence_via_rr_pairs(&ds, 0.85, SecureSumMode::Aggregate, &mut rng).unwrap();
+        // The estimated (de-attenuated) dependences keep the strong pair on top.
+        assert!(est.matrix.get(0, 1) > est.matrix.get(0, 2));
+        assert!(est.matrix.get(0, 1) > 0.3, "got {}", est.matrix.get(0, 1));
+        assert!(est.matrix.get(0, 2) < 0.25, "got {}", est.matrix.get(0, 2));
+        // One release per attribute pair.
+        assert_eq!(est.accountant.len(), 6);
+    }
+
+    #[test]
+    fn rr_pairs_validates_parameters() {
+        let ds = structured_dataset(50, 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(dependence_via_rr_pairs(&ds, -0.1, SecureSumMode::Aggregate, &mut rng).is_err());
+        let empty = Dataset::empty(ds.schema().clone());
+        assert!(dependence_via_rr_pairs(&empty, 0.5, SecureSumMode::Aggregate, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rr_pairs_with_simulated_secure_sum_matches_aggregate_shape() {
+        // Small n so the O(n²) simulation stays fast; we only check the
+        // strong pair still dominates.
+        let ds = structured_dataset(150, 7);
+        let mut rng = StdRng::seed_from_u64(13);
+        let est = dependence_via_rr_pairs(&ds, 0.9, SecureSumMode::Simulate, &mut rng).unwrap();
+        assert!(est.matrix.get(0, 1) > est.matrix.get(0, 2));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the multi-dimensional RR protocols.
+
+use mdrr_core::CoreError;
+use mdrr_data::DataError;
+use mdrr_math::MathError;
+use std::fmt;
+
+/// Errors produced by the protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// An error bubbled up from the core RR mechanism.
+    Core(CoreError),
+    /// An error bubbled up from the dataset layer.
+    Data(DataError),
+    /// An error bubbled up from the numerical substrate.
+    Math(MathError),
+    /// A protocol configuration was invalid (empty cluster, bad thresholds,
+    /// mismatched attribute lists, …).
+    InvalidConfiguration {
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// A query referenced attributes the release cannot answer (e.g. an
+    /// attribute missing from every cluster estimate).
+    UnsupportedQuery {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Core(e) => write!(f, "core error: {e}"),
+            ProtocolError::Data(e) => write!(f, "data error: {e}"),
+            ProtocolError::Math(e) => write!(f, "math error: {e}"),
+            ProtocolError::InvalidConfiguration { message } => {
+                write!(f, "invalid protocol configuration: {message}")
+            }
+            ProtocolError::UnsupportedQuery { message } => write!(f, "unsupported query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Core(e) => Some(e),
+            ProtocolError::Data(e) => Some(e),
+            ProtocolError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ProtocolError {
+    fn from(e: CoreError) -> Self {
+        ProtocolError::Core(e)
+    }
+}
+
+impl From<DataError> for ProtocolError {
+    fn from(e: DataError) -> Self {
+        ProtocolError::Data(e)
+    }
+}
+
+impl From<MathError> for ProtocolError {
+    fn from(e: MathError) -> Self {
+        ProtocolError::Math(e)
+    }
+}
+
+impl ProtocolError {
+    /// Convenience constructor for [`ProtocolError::InvalidConfiguration`].
+    pub fn config(message: impl Into<String>) -> Self {
+        ProtocolError::InvalidConfiguration { message: message.into() }
+    }
+
+    /// Convenience constructor for [`ProtocolError::UnsupportedQuery`].
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        ProtocolError::UnsupportedQuery { message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let c: ProtocolError = CoreError::invalid("p", "bad").into();
+        assert!(c.to_string().contains("core error"));
+        let d: ProtocolError = DataError::UnknownAttribute { name: "A".into() }.into();
+        assert!(d.to_string().contains("data error"));
+        let m: ProtocolError = MathError::SingularMatrix { pivot: 1 }.into();
+        assert!(m.to_string().contains("math error"));
+        assert!(ProtocolError::config("Tv must be positive").to_string().contains("Tv"));
+        assert!(ProtocolError::unsupported("attribute 9").to_string().contains("attribute 9"));
+    }
+
+    #[test]
+    fn source_is_present_for_wrapped_errors() {
+        use std::error::Error;
+        let c: ProtocolError = CoreError::invalid("p", "bad").into();
+        assert!(c.source().is_some());
+        assert!(ProtocolError::config("x").source().is_none());
+    }
+}

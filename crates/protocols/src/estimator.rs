@@ -1,0 +1,133 @@
+//! The common query interface of every protocol's release.
+//!
+//! All the paper's protocols ultimately let the data collector estimate the
+//! frequency of an arbitrary subset `S ⊆ A_1 × … × A_m` of the data domain
+//! (Protocols 1 and 2, Section 4, Section 5).  In this library a subset is
+//! expressed as a union of *partial assignments* — each assignment fixes the
+//! values of some attributes and leaves the rest free — and every release
+//! implements [`FrequencyEstimator`], which turns one assignment into an
+//! estimated probability.  The evaluation harness (`mdrr-eval`) then builds
+//! the paper's count queries on top of this trait.
+
+use crate::error::ProtocolError;
+
+/// A partial assignment of category codes to attribute indices,
+/// e.g. `[(0, 3), (5, 1)]` means "attribute 0 takes code 3 and attribute 5
+/// takes code 1"; all other attributes are unconstrained.
+pub type Assignment = [(usize, u32)];
+
+/// A release (estimated distribution, adjusted weights, raw randomized
+/// data, …) that can estimate the probability that a random record of the
+/// *true* data set matches a partial assignment.
+pub trait FrequencyEstimator {
+    /// Estimated probability that a record matches `assignment`.
+    ///
+    /// Implementations must accept an empty assignment (probability 1) and
+    /// should return an error — not a silent wrong answer — when the
+    /// assignment references attributes the release cannot answer.
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError>;
+
+    /// Number of records of the underlying data set (used to convert
+    /// frequencies into counts).
+    fn record_count(&self) -> usize;
+
+    /// Estimated count of records matching `assignment`
+    /// (`n × frequency`, the `Y_S` of Section 6.5).
+    fn count(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        Ok(self.frequency(assignment)? * self.record_count() as f64)
+    }
+}
+
+/// Blanket implementation so `&T` and boxed estimators can be passed where
+/// an estimator is expected.
+impl<T: FrequencyEstimator + ?Sized> FrequencyEstimator for &T {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        (**self).frequency(assignment)
+    }
+
+    fn record_count(&self) -> usize {
+        (**self).record_count()
+    }
+}
+
+/// The trivial estimator backed by the *true* data set (or any plain data
+/// set): exact empirical frequencies.  Used as the ground truth in the
+/// evaluation and as the "Randomized" baseline when applied to the
+/// randomized data set directly (the paper's Figure 2).
+#[derive(Debug, Clone)]
+pub struct EmpiricalEstimator<'a> {
+    dataset: &'a mdrr_data::Dataset,
+}
+
+impl<'a> EmpiricalEstimator<'a> {
+    /// Wraps a dataset.
+    pub fn new(dataset: &'a mdrr_data::Dataset) -> Self {
+        EmpiricalEstimator { dataset }
+    }
+}
+
+impl FrequencyEstimator for EmpiricalEstimator<'_> {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        let n = self.dataset.n_records();
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let count = self.dataset.count_matching(assignment)?;
+        Ok(count as f64 / n as f64)
+    }
+
+    fn record_count(&self) -> usize {
+        self.dataset.n_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
+            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
+                .unwrap(),
+        ])
+        .unwrap();
+        Dataset::from_records(
+            schema,
+            &[vec![0, 0], vec![0, 1], vec![1, 2], vec![1, 2], vec![0, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empirical_estimator_matches_exact_counts() {
+        let ds = dataset();
+        let est = EmpiricalEstimator::new(&ds);
+        assert_eq!(est.record_count(), 5);
+        assert!((est.frequency(&[(0, 0)]).unwrap() - 0.6).abs() < 1e-12);
+        assert!((est.frequency(&[(0, 1), (1, 2)]).unwrap() - 0.4).abs() < 1e-12);
+        assert!((est.count(&[(1, 2)]).unwrap() - 3.0).abs() < 1e-12);
+        assert!((est.frequency(&[]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(est.frequency(&[(9, 0)]).is_err());
+    }
+
+    #[test]
+    fn reference_passthrough_works() {
+        let ds = dataset();
+        let est = EmpiricalEstimator::new(&ds);
+        fn takes_estimator(e: impl FrequencyEstimator) -> f64 {
+            e.frequency(&[(0, 0)]).unwrap()
+        }
+        assert!((takes_estimator(&est) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_frequencies() {
+        let schema = Schema::new(vec![Attribute::indexed("A", 2).unwrap()]).unwrap();
+        let ds = Dataset::empty(schema);
+        let est = EmpiricalEstimator::new(&ds);
+        assert_eq!(est.frequency(&[(0, 1)]).unwrap(), 0.0);
+        assert_eq!(est.record_count(), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Protocol 2: RR-Joint.
+//!
+//! Every party randomizes the value of the *Cartesian product* of all her
+//! attributes with a single randomization matrix over the joint domain and
+//! publishes the result.  The data collector estimates the joint
+//! distribution of the true data with Equation (2) and answers any subset
+//! query by summing the matching cells (Section 3.2).
+//!
+//! RR-Joint needs no independence assumption, but the joint domain grows
+//! exponentially with the number of attributes, so both the computational
+//! cost and the estimation error explode unless `n ≫ Π|A_j|` (Bound (7)).
+//! The constructor therefore takes an explicit cap on the joint-domain size
+//! and refuses to build a protocol beyond it — exactly the reason the
+//! paper's experiments cannot run RR-Joint on the full Adult schema.
+
+use crate::error::ProtocolError;
+use crate::estimator::{Assignment, FrequencyEstimator};
+use mdrr_core::{empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix};
+use mdrr_data::{Dataset, JointDomain, Schema};
+use rand::Rng;
+
+/// Default cap on the joint-domain size accepted by [`RRJoint::new`].
+pub const DEFAULT_MAX_JOINT_DOMAIN: usize = 1_000_000;
+
+/// The RR-Joint protocol over the full attribute set of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RRJoint {
+    schema: Schema,
+    domain: JointDomain,
+    matrix: RRMatrix,
+}
+
+impl RRJoint {
+    /// Configures RR-Joint with the ε-optimal matrix over the joint domain,
+    /// refusing joint domains larger than `max_domain`
+    /// ([`DEFAULT_MAX_JOINT_DOMAIN`] when `None`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if the joint domain
+    /// exceeds the cap (or overflows), or the budget is invalid.
+    pub fn with_epsilon(schema: Schema, epsilon: f64, max_domain: Option<usize>) -> Result<Self, ProtocolError> {
+        let domain = JointDomain::new(&schema.cardinalities())?;
+        Self::check_domain(&domain, max_domain)?;
+        let matrix = RRMatrix::from_epsilon(epsilon, domain.size())?;
+        Ok(RRJoint { schema, domain, matrix })
+    }
+
+    /// Configures RR-Joint with the uniform-keep mechanism at keep
+    /// probability `p` over the joint domain.
+    ///
+    /// # Errors
+    /// Same conditions as [`RRJoint::with_epsilon`].
+    pub fn with_keep_probability(schema: Schema, p: f64, max_domain: Option<usize>) -> Result<Self, ProtocolError> {
+        let domain = JointDomain::new(&schema.cardinalities())?;
+        Self::check_domain(&domain, max_domain)?;
+        let matrix = RRMatrix::uniform_keep(p, domain.size())?;
+        Ok(RRJoint { schema, domain, matrix })
+    }
+
+    fn check_domain(domain: &JointDomain, max_domain: Option<usize>) -> Result<(), ProtocolError> {
+        let cap = max_domain.unwrap_or(DEFAULT_MAX_JOINT_DOMAIN);
+        if domain.size() > cap {
+            return Err(ProtocolError::config(format!(
+                "joint domain has {} combinations, above the configured cap of {cap}; \
+                 use RR-Independent or RR-Clusters instead",
+                domain.size()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The joint-domain codec.
+    pub fn domain(&self) -> &JointDomain {
+        &self.domain
+    }
+
+    /// The randomization matrix over the joint domain.
+    pub fn matrix(&self) -> &RRMatrix {
+        &self.matrix
+    }
+
+    /// Runs the protocol and estimates the joint distribution of the true
+    /// data.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for a schema mismatch or an
+    ///   empty dataset;
+    /// * propagated randomization/estimation errors otherwise.
+    pub fn run(&self, dataset: &Dataset, rng: &mut impl Rng) -> Result<JointRelease, ProtocolError> {
+        if dataset.schema() != &self.schema {
+            return Err(ProtocolError::config("dataset schema does not match the protocol configuration"));
+        }
+        if dataset.is_empty() {
+            return Err(ProtocolError::config("cannot run RR-Joint on an empty dataset"));
+        }
+        let attributes: Vec<usize> = (0..self.schema.len()).collect();
+        let randomized_codes = randomize_joint(dataset, &attributes, &self.matrix, rng)?;
+        let lambda_hat = empirical_distribution(&randomized_codes, self.domain.size())?;
+        let joint = estimate_proper(&self.matrix, &lambda_hat)?;
+
+        // Reconstruct the randomized microdata set from the joint codes so
+        // downstream consumers (Randomized baseline, RR-Adjustment) can use
+        // it like any other release.
+        let mut randomized = Dataset::empty(self.schema.clone());
+        for &code in &randomized_codes {
+            let record = self.domain.decode(code as usize)?;
+            randomized.push_record(&record)?;
+        }
+
+        let mut accountant = PrivacyAccountant::new();
+        accountant.record_matrix("RR-Joint on the full attribute set", &self.matrix);
+
+        Ok(JointRelease {
+            schema: self.schema.clone(),
+            domain: self.domain.clone(),
+            randomized,
+            joint,
+            accountant,
+        })
+    }
+}
+
+/// The output of one run of RR-Joint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointRelease {
+    schema: Schema,
+    domain: JointDomain,
+    randomized: Dataset,
+    joint: Vec<f64>,
+    accountant: PrivacyAccountant,
+}
+
+impl JointRelease {
+    /// The published randomized microdata set.
+    pub fn randomized(&self) -> &Dataset {
+        &self.randomized
+    }
+
+    /// The estimated joint distribution over the full domain (code order of
+    /// [`JointRelease::domain`]).
+    pub fn joint_distribution(&self) -> &[f64] {
+        &self.joint
+    }
+
+    /// The joint-domain codec of the estimate.
+    pub fn domain(&self) -> &JointDomain {
+        &self.domain
+    }
+
+    /// The privacy ledger (a single entry: the joint release).
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+}
+
+impl FrequencyEstimator for JointRelease {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        // Validate the assignment once.
+        let m = self.schema.len();
+        let mut constraint: Vec<Option<u32>> = vec![None; m];
+        for &(attribute, code) in assignment {
+            if attribute >= m {
+                return Err(ProtocolError::unsupported(format!("attribute index {attribute} out of range")));
+            }
+            let card = self.schema.attribute(attribute)?.cardinality();
+            if code as usize >= card {
+                return Err(ProtocolError::unsupported(format!(
+                    "code {code} out of range for attribute {attribute} ({card} categories)"
+                )));
+            }
+            if constraint[attribute].is_some() {
+                return Err(ProtocolError::unsupported(format!(
+                    "attribute {attribute} constrained twice in the same assignment"
+                )));
+            }
+            constraint[attribute] = Some(code);
+        }
+        // Sum the estimated joint distribution over all matching cells.
+        let mut freq = 0.0;
+        for (cell, &prob) in self.joint.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            let tuple = self.domain.decode(cell)?;
+            let matches = constraint
+                .iter()
+                .zip(tuple.iter())
+                .all(|(c, &v)| c.is_none_or(|expected| expected == v));
+            if matches {
+                freq += prob;
+            }
+        }
+        Ok(freq)
+    }
+
+    fn record_count(&self) -> usize {
+        self.randomized.n_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EmpiricalEstimator;
+    use mdrr_data::{Attribute, AttributeKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
+            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// Strongly dependent attributes: B tends to equal A (mod 2), which an
+    /// independence-based estimate would get wrong.
+    fn dependent_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::empty(schema());
+        for _ in 0..n {
+            let a = u32::from(rng.gen::<f64>() < 0.4);
+            let b = if rng.gen::<f64>() < 0.8 { a } else { 2 };
+            ds.push_record(&[a, b]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn configuration_respects_the_domain_cap() {
+        assert!(RRJoint::with_epsilon(schema(), 2.0, Some(5)).is_err());
+        assert!(RRJoint::with_epsilon(schema(), 2.0, Some(6)).is_ok());
+        assert!(RRJoint::with_keep_probability(schema(), 0.5, None).is_ok());
+        assert!(RRJoint::with_keep_probability(schema(), 1.5, None).is_err());
+        assert!(RRJoint::with_epsilon(schema(), -1.0, None).is_err());
+    }
+
+    #[test]
+    fn adult_sized_schema_is_rejected_by_default_cap() {
+        let adult = mdrr_data::adult_schema();
+        // 1 814 400 combinations exceed the default 1 000 000 cap.
+        assert!(RRJoint::with_epsilon(adult, 2.0, None).is_err());
+    }
+
+    #[test]
+    fn run_validates_dataset() {
+        let protocol = RRJoint::with_keep_probability(schema(), 0.7, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(protocol.run(&Dataset::empty(schema()), &mut rng).is_err());
+        let other_schema = Schema::new(vec![Attribute::indexed("Z", 2).unwrap()]).unwrap();
+        let other = Dataset::from_records(other_schema, &[vec![0]]).unwrap();
+        assert!(protocol.run(&other, &mut rng).is_err());
+    }
+
+    #[test]
+    fn joint_estimate_captures_dependence() {
+        let ds = dependent_dataset(40_000, 1);
+        let protocol = RRJoint::with_keep_probability(schema(), 0.7, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        let truth = EmpiricalEstimator::new(&ds);
+
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                let estimated = release.frequency(&[(0, a), (1, b)]).unwrap();
+                let exact = truth.frequency(&[(0, a), (1, b)]).unwrap();
+                assert!(
+                    (estimated - exact).abs() < 0.02,
+                    "cell ({a},{b}): {estimated} vs {exact}"
+                );
+            }
+        }
+        // Marginal queries work too and agree with the joint.
+        let marginal_a0 = release.frequency(&[(0, 0)]).unwrap();
+        let exact_a0 = truth.frequency(&[(0, 0)]).unwrap();
+        assert!((marginal_a0 - exact_a0).abs() < 0.02);
+        // The distribution is proper.
+        assert!(mdrr_math::is_probability_vector(release.joint_distribution(), 1e-9));
+        assert_eq!(release.record_count(), 40_000);
+        assert_eq!(release.accountant().len(), 1);
+    }
+
+    #[test]
+    fn randomized_dataset_has_the_same_shape_as_the_input() {
+        let ds = dependent_dataset(500, 3);
+        let protocol = RRJoint::with_epsilon(schema(), 3.0, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        assert_eq!(release.randomized().n_records(), 500);
+        assert_eq!(release.randomized().schema(), ds.schema());
+    }
+
+    #[test]
+    fn frequency_estimator_contract() {
+        let ds = dependent_dataset(1_000, 5);
+        let protocol = RRJoint::with_keep_probability(schema(), 0.9, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let release = protocol.run(&ds, &mut rng).unwrap();
+        assert!((release.frequency(&[]).unwrap() - 1.0).abs() < 1e-9);
+        assert!(release.frequency(&[(0, 7)]).is_err());
+        assert!(release.frequency(&[(9, 0)]).is_err());
+        assert!(release.frequency(&[(1, 0), (1, 1)]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # mdrr-protocols
+//!
+//! The multi-dimensional randomized-response protocols of the paper:
+//!
+//! * [`independent`] — Protocol 1 (RR-Independent): per-attribute RR, joint
+//!   frequencies estimated under the independence assumption;
+//! * [`joint`] — Protocol 2 (RR-Joint): a single RR over the Cartesian
+//!   product of all attributes;
+//! * [`clustering`] — Algorithm 1: grouping attributes by dependence under
+//!   the `Tv`/`Td` thresholds;
+//! * [`dependence`] — the three privacy-preserving procedures of
+//!   Sections 4.1–4.3 for estimating pairwise attribute dependences;
+//! * [`secure_sum`] — the additive-sharing secure-sum substrate those
+//!   procedures rely on;
+//! * [`clusters`] — RR-Clusters: RR-Joint within each cluster with
+//!   equivalent-risk matrices (Section 6.3.2);
+//! * [`adjustment`] — Algorithm 2 (RR-Adjustment): iterative re-weighting
+//!   of the randomized data set to repair the independence assumptions;
+//! * [`synthetic`] — re-creation of synthetic microdata from an estimated
+//!   joint distribution;
+//! * [`party`] — the party-side view of the protocols (local
+//!   anonymization trust model made explicit);
+//! * [`estimator`] — the common [`FrequencyEstimator`] interface every
+//!   release implements, on which the evaluation harness builds the
+//!   paper's count queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjustment;
+pub mod clustering;
+pub mod clusters;
+pub mod dependence;
+pub mod error;
+pub mod estimator;
+pub mod independent;
+pub mod joint;
+pub mod party;
+pub mod secure_sum;
+pub mod synthetic;
+
+pub use adjustment::{rr_adjustment, AdjustedRelease, AdjustmentConfig, AdjustmentTarget};
+pub use clustering::{cluster_attributes, Clustering, ClusteringConfig, DependenceMatrix};
+pub use clusters::{ClustersRelease, RRClusters};
+pub use dependence::{
+    dependence_matrix_plain, dependence_via_exact_bivariate, dependence_via_randomized_attributes,
+    dependence_via_rr_pairs, DependenceEstimate,
+};
+pub use error::ProtocolError;
+pub use estimator::{EmpiricalEstimator, FrequencyEstimator};
+pub use independent::{IndependentRelease, RRIndependent, RandomizationLevel};
+pub use joint::{JointRelease, RRJoint, DEFAULT_MAX_JOINT_DOMAIN};
+pub use party::{collect_independent_responses, Party};
+pub use secure_sum::{secure_contingency_table, SecureSumMode, SecureSumSession};
+pub use synthetic::{synthesize_deterministic, synthesize_sampling};

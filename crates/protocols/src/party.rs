@@ -1,0 +1,245 @@
+//! The party-side view of the protocols.
+//!
+//! The paper's trust model is *local anonymization*: each of the `n`
+//! parties holds exactly one record and never reveals it; only randomized
+//! responses leave her device.  The protocol runners in this crate operate
+//! column-wise for efficiency, but the [`Party`] type makes the trust
+//! boundary explicit and is useful for examples, simulations of the
+//! message flow, and tests that verify the column-wise runners compute the
+//! same thing a per-party execution would.
+
+use crate::clustering::Clustering;
+use crate::error::ProtocolError;
+use mdrr_core::RRMatrix;
+use mdrr_data::{Dataset, JointDomain, Schema};
+use rand::Rng;
+
+/// One party holding one true record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Party {
+    record: Vec<u32>,
+}
+
+impl Party {
+    /// Creates a party from her true record, validated against the schema.
+    ///
+    /// # Errors
+    /// Propagates record-validation errors.
+    pub fn new(schema: &Schema, record: Vec<u32>) -> Result<Self, ProtocolError> {
+        schema.validate_record(&record)?;
+        Ok(Party { record })
+    }
+
+    /// One party per record of a dataset (the simulation entry point).
+    ///
+    /// # Errors
+    /// Propagates record access errors.
+    pub fn from_dataset(dataset: &Dataset) -> Result<Vec<Party>, ProtocolError> {
+        (0..dataset.n_records())
+            .map(|i| Ok(Party { record: dataset.record(i)? }))
+            .collect()
+    }
+
+    /// The party's true record.  In a real deployment this never leaves the
+    /// party; it is exposed here because the whole protocol runs in one
+    /// process.
+    pub fn record(&self) -> &[u32] {
+        &self.record
+    }
+
+    /// Protocol 1 response: each attribute randomized independently.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] if the number of matrices
+    ///   differs from the record arity;
+    /// * propagated randomization errors otherwise.
+    pub fn respond_independent(
+        &self,
+        matrices: &[RRMatrix],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, ProtocolError> {
+        if matrices.len() != self.record.len() {
+            return Err(ProtocolError::config(format!(
+                "expected {} matrices, got {}",
+                self.record.len(),
+                matrices.len()
+            )));
+        }
+        self.record
+            .iter()
+            .zip(matrices.iter())
+            .map(|(&value, matrix)| matrix.randomize(value, rng).map_err(ProtocolError::from))
+            .collect()
+    }
+
+    /// Protocol 2 response: the whole record encoded into the joint domain
+    /// and randomized with a single matrix.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] if the matrix size does not
+    ///   match the domain;
+    /// * propagated encoding/randomization errors otherwise.
+    pub fn respond_joint(
+        &self,
+        domain: &JointDomain,
+        matrix: &RRMatrix,
+        rng: &mut impl Rng,
+    ) -> Result<u32, ProtocolError> {
+        if matrix.size() != domain.size() {
+            return Err(ProtocolError::config(format!(
+                "matrix size {} does not match joint-domain size {}",
+                matrix.size(),
+                domain.size()
+            )));
+        }
+        let code = domain.encode(&self.record)?;
+        Ok(matrix.randomize(code as u32, rng)?)
+    }
+
+    /// RR-Clusters response: one randomized joint code per cluster, in
+    /// cluster order.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for mismatched clustering /
+    ///   domain / matrix lists;
+    /// * propagated encoding/randomization errors otherwise.
+    pub fn respond_clustered(
+        &self,
+        clustering: &Clustering,
+        domains: &[JointDomain],
+        matrices: &[RRMatrix],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, ProtocolError> {
+        if clustering.len() != domains.len() || clustering.len() != matrices.len() {
+            return Err(ProtocolError::config(
+                "clustering, domains and matrices must have the same number of clusters",
+            ));
+        }
+        if clustering.attribute_count() != self.record.len() {
+            return Err(ProtocolError::config(format!(
+                "clustering covers {} attributes but the record has {}",
+                clustering.attribute_count(),
+                self.record.len()
+            )));
+        }
+        let mut responses = Vec::with_capacity(clustering.len());
+        for ((cluster, domain), matrix) in clustering.clusters().iter().zip(domains).zip(matrices) {
+            if matrix.size() != domain.size() {
+                return Err(ProtocolError::config(format!(
+                    "matrix size {} does not match cluster domain size {}",
+                    matrix.size(),
+                    domain.size()
+                )));
+            }
+            let values: Vec<u32> = cluster.iter().map(|&a| self.record[a]).collect();
+            let code = domain.encode(&values)?;
+            responses.push(matrix.randomize(code as u32, rng)?);
+        }
+        Ok(responses)
+    }
+}
+
+/// Assembles the independent responses of a set of parties into a
+/// randomized dataset over the same schema (the data-collector side of
+/// Protocol 1).
+///
+/// # Errors
+/// Propagates response and dataset-construction errors.
+pub fn collect_independent_responses(
+    schema: &Schema,
+    parties: &[Party],
+    matrices: &[RRMatrix],
+    rng: &mut impl Rng,
+) -> Result<Dataset, ProtocolError> {
+    let mut dataset = Dataset::empty(schema.clone());
+    for party in parties {
+        let response = party.respond_independent(matrices, rng)?;
+        dataset.push_record(&response)?;
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, AttributeKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into(), "c".into()])
+                .unwrap(),
+            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn party_construction_validates_records() {
+        assert!(Party::new(&schema(), vec![0, 1]).is_ok());
+        assert!(Party::new(&schema(), vec![0]).is_err());
+        assert!(Party::new(&schema(), vec![3, 0]).is_err());
+    }
+
+    #[test]
+    fn from_dataset_creates_one_party_per_record() {
+        let ds = Dataset::from_records(schema(), &[vec![0, 0], vec![2, 1]]).unwrap();
+        let parties = Party::from_dataset(&ds).unwrap();
+        assert_eq!(parties.len(), 2);
+        assert_eq!(parties[1].record(), &[2, 1]);
+    }
+
+    #[test]
+    fn independent_response_shape_and_validation() {
+        let party = Party::new(&schema(), vec![1, 0]).unwrap();
+        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(party.respond_independent(&matrices, &mut rng).unwrap(), vec![1, 0]);
+        assert!(party.respond_independent(&matrices[..1], &mut rng).is_err());
+    }
+
+    #[test]
+    fn joint_response_encodes_then_randomizes() {
+        let party = Party::new(&schema(), vec![2, 1]).unwrap();
+        let domain = JointDomain::new(&[3, 2]).unwrap();
+        let identity = RRMatrix::identity(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        // With the identity matrix the response is exactly the encoded record.
+        assert_eq!(party.respond_joint(&domain, &identity, &mut rng).unwrap(), 5);
+        let wrong = RRMatrix::identity(4).unwrap();
+        assert!(party.respond_joint(&domain, &wrong, &mut rng).is_err());
+    }
+
+    #[test]
+    fn clustered_response_validates_shapes() {
+        let party = Party::new(&schema(), vec![1, 1]).unwrap();
+        let clustering = Clustering::new(vec![vec![0], vec![1]], 2).unwrap();
+        let domains = vec![JointDomain::new(&[3]).unwrap(), JointDomain::new(&[2]).unwrap()];
+        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            party.respond_clustered(&clustering, &domains, &matrices, &mut rng).unwrap(),
+            vec![1, 1]
+        );
+        assert!(party.respond_clustered(&clustering, &domains[..1], &matrices, &mut rng).is_err());
+        let wrong = vec![RRMatrix::identity(5).unwrap(), RRMatrix::identity(2).unwrap()];
+        assert!(party.respond_clustered(&clustering, &domains, &wrong, &mut rng).is_err());
+    }
+
+    #[test]
+    fn collected_responses_match_column_wise_runner_distributionally() {
+        // Per-party execution and the column-wise runner draw from exactly
+        // the same distribution; with the identity matrix both are exact.
+        let ds = Dataset::from_records(schema(), &[vec![0, 0], vec![1, 1], vec![2, 0]]).unwrap();
+        let parties = Party::from_dataset(&ds).unwrap();
+        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let mut rng = StdRng::seed_from_u64(0);
+        let collected = collect_independent_responses(ds.schema(), &parties, &matrices, &mut rng).unwrap();
+        assert_eq!(collected, ds);
+
+        let via_core =
+            mdrr_core::randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
+        assert_eq!(via_core, ds);
+    }
+}

@@ -1,0 +1,89 @@
+//! Full multi-dimensional release of the (synthetic) Adult data set.
+//!
+//! This is the paper's headline workflow: `n` parties each hold one census
+//! record and want the collector to be able to run exploratory count
+//! queries without ever seeing a true record.
+//!
+//! 1. estimate the pairwise attribute dependences privately (Section 4.1);
+//! 2. cluster the attributes with Algorithm 1 (`Tv = 50`, `Td = 0.1`);
+//! 3. run RR-Clusters with equivalent-risk matrices (Section 6.3.2);
+//! 4. repair the cross-cluster independence assumption with RR-Adjustment
+//!    (Algorithm 2);
+//! 5. compare count-query answers of RR-Independent, RR-Clusters and
+//!    RR-Clusters + Adjustment against the ground truth.
+//!
+//! ```text
+//! cargo run --release --example adult_release
+//! ```
+
+use mdrr::prelude::*;
+use mdrr::protocols::dependence_via_randomized_attributes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p = 0.7; // keep probability of the per-attribute randomization
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // The true microdata: one record per party.  (Drop in the real Adult
+    // with `mdrr::data::csv::read_csv_path(adult_schema(), path)` if you
+    // have it.)
+    let dataset = AdultSynthesizer::new(32_561)?.generate(&mut rng);
+    let schema = dataset.schema().clone();
+    println!("synthetic Adult: {} records, {} attributes, joint domain {}",
+        dataset.n_records(), dataset.n_attributes(), schema.joint_domain_size().unwrap());
+
+    // Step 1-2: privacy-preserving dependence estimation + Algorithm 1.
+    let dependences = dependence_via_randomized_attributes(&dataset, p, &mut rng)?;
+    let clustering = cluster_attributes(
+        &dependences.matrix,
+        &schema.cardinalities(),
+        ClusteringConfig::new(50, 0.1)?,
+    )?;
+    println!("\nAlgorithm 1 clustering (Tv = 50, Td = 0.1):");
+    for cluster in clustering.clusters() {
+        let names: Vec<&str> = cluster.iter().map(|&a| schema.attribute(a).unwrap().name()).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+
+    // Step 3: RR-Clusters at the equivalent risk of RR-Independent with p.
+    let clusters_protocol =
+        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, p)?;
+    let clusters_release = clusters_protocol.run(&dataset, &mut rng)?;
+    println!("\nprivacy ledger of the RR-Clusters release:");
+    println!("{}", clusters_release.accountant());
+
+    // Baseline: RR-Independent at the same per-attribute risk.
+    let independent_protocol =
+        RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(p))?;
+    let independent_release = independent_protocol.run(&dataset, &mut rng)?;
+
+    // Step 4: RR-Adjustment on top of the cluster release.
+    let targets = AdjustmentTarget::from_clusters(&clusters_release)?;
+    let adjusted = rr_adjustment(clusters_release.randomized(), &targets, AdjustmentConfig::default())?;
+    println!("adjustment converged: {} (after {} passes)", adjusted.converged(), adjusted.iterations());
+
+    // Step 5: answer count queries and compare against the ground truth.
+    let truth = EmpiricalEstimator::new(&dataset);
+    println!("\ncount-query comparison (sigma = 0.1, two random attributes per query):");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>20}",
+        "query", "true count", "RR-Ind", "RR-Clusters", "RR-Clusters + Adj"
+    );
+    let mut query_rng = StdRng::seed_from_u64(99);
+    for q in 0..8 {
+        let query = CountQuery::random(&schema, 0.1, &mut query_rng)?;
+        let exact = query.true_count(&dataset)?;
+        let ind = query.estimated_count(&independent_release)?;
+        let clu = query.estimated_count(&clusters_release)?;
+        let adj = query.estimated_count(&adjusted)?;
+        println!("{:>8} {:>12.0} {:>14.0} {:>14.0} {:>20.0}", format!("#{q}"), exact, ind, clu, adj);
+        let _ = truth; // the ground-truth estimator is used implicitly via true_count
+    }
+
+    println!(
+        "\nNo party ever revealed a true record: the collector only saw randomized responses,\n\
+         yet the released estimates answer exploratory count queries with small error."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: a single-attribute randomized-response survey, end to end.
+//!
+//! Scenario: `n` respondents are asked a sensitive question with three
+//! possible answers ("never", "occasionally", "frequently").  Each
+//! respondent randomizes her answer locally with an ε-differentially-private
+//! matrix before submitting it; the collector then recovers an unbiased
+//! estimate of the distribution of the *true* answers from the pooled
+//! randomized submissions (Equation (2) of the paper plus the Section 6.4
+//! projection).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mdrr::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 50_000usize;
+    let epsilon = 1.5f64;
+    let categories = ["never", "occasionally", "frequently"];
+    let true_distribution = [0.72, 0.22, 0.06];
+
+    println!("single-attribute RR survey: {n} respondents, epsilon = {epsilon}\n");
+
+    // The randomization matrix is public: p_uv = Pr(report v | true value u).
+    let matrix = RRMatrix::from_epsilon(epsilon, categories.len())?;
+    println!("randomization matrix (rows = true value, columns = report):");
+    for u in 0..categories.len() {
+        let row: Vec<String> = (0..categories.len()).map(|v| format!("{:.3}", matrix.prob(u, v))).collect();
+        println!("  {:>13}: [{}]", categories[u], row.join(", "));
+    }
+    println!("differential privacy of one response: epsilon = {:.3}\n", matrix.epsilon());
+
+    // Each respondent holds one true answer and submits a randomized one.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut reports = Vec::with_capacity(n);
+    let mut true_counts = [0usize; 3];
+    for _ in 0..n {
+        let draw: f64 = rng.gen();
+        let true_answer = if draw < true_distribution[0] {
+            0
+        } else if draw < true_distribution[0] + true_distribution[1] {
+            1
+        } else {
+            2
+        };
+        true_counts[true_answer as usize] += 1;
+        reports.push(matrix.randomize(true_answer, &mut rng)?);
+    }
+
+    // The collector only ever sees `reports`.
+    let observed = empirical_distribution(&reports, categories.len())?;
+    let estimated = estimate_from_reports(&matrix, &reports)?;
+
+    println!("{:>13} {:>12} {:>12} {:>12}", "answer", "true", "randomized", "estimated");
+    for (i, name) in categories.iter().enumerate() {
+        println!(
+            "{:>13} {:>12.4} {:>12.4} {:>12.4}",
+            name,
+            true_counts[i] as f64 / n as f64,
+            observed[i],
+            estimated[i]
+        );
+    }
+    println!(
+        "\nThe raw randomized frequencies are biased towards uniform; the Equation (2) estimate\n\
+         recovers the true distribution without anyone revealing an individual answer."
+    );
+    Ok(())
+}
