@@ -8,12 +8,19 @@ use mdrr_eval::experiments::{accuracy, fig1, runner::MethodSpec, ExperimentConfi
 use mdrr_eval::{build_clustering, evaluate_method};
 
 fn bench_config() -> ExperimentConfig {
-    ExperimentConfig { records: 8_000, runs: 4, seed: 42, alpha: 0.05 }
+    ExperimentConfig {
+        records: 8_000,
+        runs: 4,
+        seed: 42,
+        alpha: 0.05,
+    }
 }
 
 fn bench_analytic_drivers(c: &mut Criterion) {
     let config = bench_config();
-    c.bench_function("fig1_full_grid", |b| b.iter(|| fig1::run(black_box(&config)).unwrap()));
+    c.bench_function("fig1_full_grid", |b| {
+        b.iter(|| fig1::run(black_box(&config)).unwrap())
+    });
     c.bench_function("accuracy_analysis_adult_prefixes", |b| {
         b.iter(|| accuracy::run(black_box(&config)).unwrap())
     });
@@ -54,7 +61,10 @@ fn bench_empirical_points(c: &mut Criterion) {
         b.iter(|| {
             evaluate_method(
                 black_box(&dataset),
-                &MethodSpec::Clusters { p: 0.7, clustering: clustering.clone() },
+                &MethodSpec::Clusters {
+                    p: 0.7,
+                    clustering: clustering.clone(),
+                },
                 0.1,
                 config.runs,
                 config.seed,

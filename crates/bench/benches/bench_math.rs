@@ -26,7 +26,9 @@ fn bench_inversion(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("closed_form_solve", r), &r, |b, &r| {
             let off = 0.3 / r as f64;
             let v: Vec<f64> = (0..r).map(|i| (i as f64 + 1.0) / r as f64).collect();
-            b.iter(|| solve_uniform_perturbation(black_box(0.7), black_box(off), black_box(&v)).unwrap())
+            b.iter(|| {
+                solve_uniform_perturbation(black_box(0.7), black_box(off), black_box(&v)).unwrap()
+            })
         });
     }
     group.finish();
@@ -56,7 +58,9 @@ fn bench_contingency(c: &mut Criterion) {
         b.iter(|| ContingencyTable::from_codes(black_box(&xs), black_box(&ys), 16, 15).unwrap())
     });
     let table = ContingencyTable::from_codes(&xs, &ys, 16, 15).unwrap();
-    group.bench_function("cramers_v_16x15", |b| b.iter(|| black_box(&table).cramers_v()));
+    group.bench_function("cramers_v_16x15", |b| {
+        b.iter(|| black_box(&table).cramers_v())
+    });
     group.finish();
 }
 

@@ -34,9 +34,11 @@ fn bench_protocol_runs(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[4_000usize, 32_561] {
         let dataset = adult(n);
-        let independent =
-            RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.7))
-                .unwrap();
+        let independent = RRIndependent::new(
+            dataset.schema().clone(),
+            &RandomizationLevel::KeepProbability(0.7),
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("rr_independent", n), &dataset, |b, ds| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| independent.run(black_box(ds), &mut rng).unwrap())
@@ -49,10 +51,14 @@ fn bench_protocol_runs(c: &mut Criterion) {
             0.7,
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("rr_clusters_tv50", n), &dataset, |b, ds| {
-            let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| clusters.run(black_box(ds), &mut rng).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rr_clusters_tv50", n),
+            &dataset,
+            |b, ds| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| clusters.run(black_box(ds), &mut rng).unwrap())
+            },
+        );
     }
     group.finish();
 }
@@ -61,8 +67,11 @@ fn bench_adjustment(c: &mut Criterion) {
     let mut group = c.benchmark_group("rr_adjustment");
     group.sample_size(10);
     let dataset = adult(32_561);
-    let protocol =
-        RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.7)).unwrap();
+    let protocol = RRIndependent::new(
+        dataset.schema().clone(),
+        &RandomizationLevel::KeepProbability(0.7),
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let release = protocol.run(&dataset, &mut rng).unwrap();
     let targets = AdjustmentTarget::from_independent(&release);
@@ -72,7 +81,10 @@ fn bench_adjustment(c: &mut Criterion) {
             &iterations,
             |b, &iterations| {
                 let config = AdjustmentConfig::new(iterations, 1e-12).unwrap();
-                b.iter(|| rr_adjustment(black_box(release.randomized()), black_box(&targets), config).unwrap())
+                b.iter(|| {
+                    rr_adjustment(black_box(release.randomized()), black_box(&targets), config)
+                        .unwrap()
+                })
             },
         );
     }
@@ -107,10 +119,14 @@ fn bench_secure_sum(c: &mut Criterion) {
     for &n in &[64usize, 256, 1_024] {
         let session = SecureSumSession::new(n).unwrap();
         let indicators: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-        group.bench_with_input(BenchmarkId::new("full_share_exchange", n), &indicators, |b, ind| {
-            let mut rng = StdRng::seed_from_u64(9);
-            b.iter(|| session.sum_indicators(black_box(ind), &mut rng).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_share_exchange", n),
+            &indicators,
+            |b, ind| {
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| session.sum_indicators(black_box(ind), &mut rng).unwrap())
+            },
+        );
     }
     group.finish();
 }

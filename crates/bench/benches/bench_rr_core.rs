@@ -28,7 +28,9 @@ fn bench_randomize(c: &mut Criterion) {
     let education = RRMatrix::uniform_keep(0.7, 16).unwrap();
     group.bench_function("adult_education_column", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| randomize_attribute(black_box(&adult), 1, black_box(&education), &mut rng).unwrap())
+        b.iter(|| {
+            randomize_attribute(black_box(&adult), 1, black_box(&education), &mut rng).unwrap()
+        })
     });
     group.finish();
 }
@@ -43,12 +45,21 @@ fn bench_estimation(c: &mut Criterion) {
             raw.into_iter().map(|x| x / total).collect()
         };
         let lambda = matrix.expected_reported_distribution(&pi).unwrap();
-        group.bench_with_input(BenchmarkId::new("equation2_plus_projection", r), &r, |b, _| {
-            b.iter(|| estimate_proper(black_box(&matrix), black_box(&lambda)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("iterative_bayesian_update", r), &r, |b, _| {
-            b.iter(|| iterative_bayesian_update(black_box(&matrix), black_box(&lambda), 50, 1e-9).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("equation2_plus_projection", r),
+            &r,
+            |b, _| b.iter(|| estimate_proper(black_box(&matrix), black_box(&lambda)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("iterative_bayesian_update", r),
+            &r,
+            |b, _| {
+                b.iter(|| {
+                    iterative_bayesian_update(black_box(&matrix), black_box(&lambda), 50, 1e-9)
+                        .unwrap()
+                })
+            },
+        );
     }
 
     // Empirical distribution of an Adult-sized report column.

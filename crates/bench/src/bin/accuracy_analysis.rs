@@ -15,7 +15,10 @@ use mdrr_eval::{render_panel, render_table};
 fn main() {
     let options = CliOptions::from_env();
     let config = options.experiment_config();
-    print_header("Section 3.3 — analytic accuracy of RR-Independent vs RR-Joint", &config);
+    print_header(
+        "Section 3.3 — analytic accuracy of RR-Independent vs RR-Joint",
+        &config,
+    );
 
     let result = accuracy::run(&config).expect("accuracy analysis failed");
     println!("{}", render_table(&result.table));

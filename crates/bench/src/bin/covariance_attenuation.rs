@@ -13,7 +13,10 @@ use mdrr_eval::experiments::covariance;
 fn main() {
     let options = CliOptions::from_env();
     let config = options.experiment_config();
-    print_header("Proposition 1 / Corollary 1 — covariance attenuation under RR", &config);
+    print_header(
+        "Proposition 1 / Corollary 1 — covariance attenuation under RR",
+        &config,
+    );
 
     let mut results = Vec::new();
     for p in [0.3, 0.5, 0.7, 0.9] {
@@ -23,7 +26,11 @@ fn main() {
             result.theoretical_ratio, result.ranking_agreement
         );
         println!("  strongest pairs (|true covariance| > 0.3):");
-        for pair in result.pairs.iter().filter(|pair| pair.true_covariance.abs() > 0.3) {
+        for pair in result
+            .pairs
+            .iter()
+            .filter(|pair| pair.true_covariance.abs() > 0.3)
+        {
             println!(
                 "    attributes {:?}: true cov {:>8.3}, randomized cov {:>8.3}, empirical ratio {:>6.3}",
                 pair.pair, pair.true_covariance, pair.randomized_covariance, pair.empirical_ratio

@@ -13,7 +13,10 @@ use mdrr_eval::{render_panel, FigurePanel};
 fn main() {
     let options = CliOptions::from_env();
     let config = options.experiment_config();
-    print_header("Figure 1 — sqrt(B) vs number of categories (alpha = 0.05)", &config);
+    print_header(
+        "Figure 1 — sqrt(B) vs number of categories (alpha = 0.05)",
+        &config,
+    );
 
     let result = fig1::run(&config).expect("Figure 1 computation failed");
     let panel = FigurePanel {

@@ -13,7 +13,10 @@ use mdrr_eval::render_table;
 fn main() {
     let options = CliOptions::from_env();
     let config = options.experiment_config();
-    print_header("Table 1 — RR-Clusters relative error on Adult (sigma = 0.1)", &config);
+    print_header(
+        "Table 1 — RR-Clusters relative error on Adult (sigma = 0.1)",
+        &config,
+    );
 
     let result = table1::run(&config).expect("Table 1 experiment failed");
     println!("{}", render_table(&result.table));

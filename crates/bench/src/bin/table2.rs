@@ -13,7 +13,10 @@ use mdrr_eval::render_table;
 fn main() {
     let options = CliOptions::from_env();
     let config = options.experiment_config();
-    print_header("Table 2 — RR-Clusters relative error on Adult6 (sigma = 0.1)", &config);
+    print_header(
+        "Table 2 — RR-Clusters relative error on Adult6 (sigma = 0.1)",
+        &config,
+    );
 
     let result = table2::run(&config).expect("Table 2 experiment failed");
     println!("{}", render_table(&result.table));

@@ -61,7 +61,8 @@ impl CliOptions {
                 "--quick" => options.quick = true,
                 "--out" => {
                     options.output = Some(PathBuf::from(
-                        iter.next().ok_or_else(|| format!("missing value for {flag}"))?,
+                        iter.next()
+                            .ok_or_else(|| format!("missing value for {flag}"))?,
                     ));
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -72,7 +73,11 @@ impl CliOptions {
 
     /// Resolves the experiment configuration these options describe.
     pub fn experiment_config(&self) -> ExperimentConfig {
-        let mut config = if self.quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+        let mut config = if self.quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::standard()
+        };
         if let Some(runs) = self.runs {
             config.runs = runs;
         }
@@ -88,7 +93,8 @@ impl CliOptions {
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
     let raw = value.ok_or_else(|| format!("missing value for {flag}"))?;
-    raw.parse().map_err(|_| format!("invalid value `{raw}` for {flag}"))
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for {flag}"))
 }
 
 /// Writes a serializable result as pretty JSON.
@@ -133,7 +139,15 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let options = CliOptions::parse(args(&[
-            "--runs", "50", "--records", "1000", "--seed", "7", "--quick", "--out", "/tmp/x.json",
+            "--runs",
+            "50",
+            "--records",
+            "1000",
+            "--seed",
+            "7",
+            "--quick",
+            "--out",
+            "/tmp/x.json",
         ]))
         .unwrap();
         assert_eq!(options.runs, Some(50));

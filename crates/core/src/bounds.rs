@@ -87,7 +87,10 @@ pub fn best_case_relative_error(r: usize, n: usize, alpha: f64) -> Result<f64, C
         return Err(CoreError::invalid("n", "sample size must be positive"));
     }
     if r == 0 {
-        return Err(CoreError::invalid("r", "number of categories must be positive"));
+        return Err(CoreError::invalid(
+            "r",
+            "number of categories must be positive",
+        ));
     }
     let b = b_factor(alpha, r)?;
     Ok((b * (r as f64 - 1.0) / n as f64).sqrt())
@@ -107,7 +110,10 @@ pub fn rr_independent_relative_error(
     alpha: f64,
 ) -> Result<f64, CoreError> {
     if cardinalities.is_empty() {
-        return Err(CoreError::invalid("cardinalities", "at least one attribute is required"));
+        return Err(CoreError::invalid(
+            "cardinalities",
+            "at least one attribute is required",
+        ));
     }
     let mut worst = 0.0f64;
     for &r in cardinalities {
@@ -124,26 +130,41 @@ pub fn rr_independent_relative_error(
 /// Returns [`CoreError::InvalidParameter`] for an empty cardinality list,
 /// a zero cardinality, a product that overflows, `n == 0`, or an invalid
 /// `alpha`.
-pub fn rr_joint_relative_error(cardinalities: &[usize], n: usize, alpha: f64) -> Result<f64, CoreError> {
+pub fn rr_joint_relative_error(
+    cardinalities: &[usize],
+    n: usize,
+    alpha: f64,
+) -> Result<f64, CoreError> {
     if cardinalities.is_empty() {
-        return Err(CoreError::invalid("cardinalities", "at least one attribute is required"));
+        return Err(CoreError::invalid(
+            "cardinalities",
+            "at least one attribute is required",
+        ));
     }
     let product = cardinalities
         .iter()
-        .try_fold(1usize, |acc, &c| {
-            if c == 0 {
-                None
-            } else {
-                acc.checked_mul(c)
-            }
-        })
-        .ok_or_else(|| CoreError::invalid("cardinalities", "joint domain size is zero or overflows"))?;
+        .try_fold(
+            1usize,
+            |acc, &c| {
+                if c == 0 {
+                    None
+                } else {
+                    acc.checked_mul(c)
+                }
+            },
+        )
+        .ok_or_else(|| {
+            CoreError::invalid("cardinalities", "joint domain size is zero or overflows")
+        })?;
     best_case_relative_error(product, n, alpha)
 }
 
 fn validate_inputs(lambda: &[f64], n: usize) -> Result<(), CoreError> {
     if lambda.is_empty() {
-        return Err(CoreError::invalid("lambda", "distribution must be non-empty"));
+        return Err(CoreError::invalid(
+            "lambda",
+            "distribution must be non-empty",
+        ));
     }
     if n == 0 {
         return Err(CoreError::invalid("n", "sample size must be positive"));
@@ -203,7 +224,10 @@ mod tests {
     fn relative_error_skips_zero_categories() {
         let with_zero = relative_error_bound(&[0.5, 0.5, 0.0], 1_000, 0.05).unwrap();
         assert!(with_zero.is_finite());
-        assert_eq!(relative_error_bound(&[0.0, 0.0], 1_000, 0.05).unwrap(), f64::INFINITY);
+        assert_eq!(
+            relative_error_bound(&[0.0, 0.0], 1_000, 0.05).unwrap(),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -239,7 +263,11 @@ mod tests {
         let product: usize = cards.iter().product();
         let err = rr_joint_relative_error(&cards, product, 0.05).unwrap();
         let sb = sqrt_b(0.05, product).unwrap();
-        assert_close(err, sb * ((product as f64 - 1.0) / product as f64).sqrt(), 1e-9);
+        assert_close(
+            err,
+            sb * ((product as f64 - 1.0) / product as f64).sqrt(),
+            1e-9,
+        );
         assert!(err > 2.0);
     }
 

@@ -40,9 +40,18 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Math(e) => write!(f, "numerical error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
-            CoreError::InvalidMatrix { message } => write!(f, "invalid randomization matrix: {message}"),
-            CoreError::DimensionMismatch { context, expected, got } => {
-                write!(f, "dimension mismatch in {context}: expected {expected}, got {got}")
+            CoreError::InvalidMatrix { message } => {
+                write!(f, "invalid randomization matrix: {message}")
+            }
+            CoreError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {context}: expected {expected}, got {got}"
+                )
             }
             CoreError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
@@ -76,12 +85,17 @@ impl From<DataError> for CoreError {
 impl CoreError {
     /// Convenience constructor for [`CoreError::InvalidParameter`].
     pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
-        CoreError::InvalidParameter { name, message: message.into() }
+        CoreError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`CoreError::InvalidMatrix`].
     pub fn invalid_matrix(message: impl Into<String>) -> Self {
-        CoreError::InvalidMatrix { message: message.into() }
+        CoreError::InvalidMatrix {
+            message: message.into(),
+        }
     }
 }
 
@@ -95,9 +109,17 @@ mod tests {
         assert!(math.to_string().contains("numerical error"));
         let data: CoreError = DataError::UnknownAttribute { name: "X".into() }.into();
         assert!(data.to_string().contains("data error"));
-        assert!(CoreError::invalid_matrix("rows do not sum to 1").to_string().contains("rows"));
-        assert!(CoreError::invalid("p", "out of range").to_string().contains("`p`"));
-        let dim = CoreError::DimensionMismatch { context: "estimate".into(), expected: 3, got: 5 };
+        assert!(CoreError::invalid_matrix("rows do not sum to 1")
+            .to_string()
+            .contains("rows"));
+        assert!(CoreError::invalid("p", "out of range")
+            .to_string()
+            .contains("`p`"));
+        let dim = CoreError::DimensionMismatch {
+            context: "estimate".into(),
+            expected: 3,
+            got: 5,
+        };
         assert!(dim.to_string().contains("expected 3"));
     }
 

@@ -26,10 +26,16 @@ use mdrr_math::simplex::project_clamp_rescale;
 /// * [`CoreError::DimensionMismatch`] if a code is `>= r`.
 pub fn empirical_distribution(codes: &[u32], r: usize) -> Result<Vec<f64>, CoreError> {
     if r == 0 {
-        return Err(CoreError::invalid("r", "number of categories must be positive"));
+        return Err(CoreError::invalid(
+            "r",
+            "number of categories must be positive",
+        ));
     }
     if codes.is_empty() {
-        return Err(CoreError::invalid("codes", "cannot compute the empirical distribution of an empty sample"));
+        return Err(CoreError::invalid(
+            "codes",
+            "cannot compute the empirical distribution of an empty sample",
+        ));
     }
     let mut counts = vec![0u64; r];
     for &c in codes {
@@ -113,7 +119,7 @@ pub fn iterative_bayesian_update(
     if max_iterations == 0 {
         return Err(CoreError::invalid("max_iterations", "must be positive"));
     }
-    if !(tolerance > 0.0) {
+    if tolerance <= 0.0 || tolerance.is_nan() {
         return Err(CoreError::invalid("tolerance", "must be positive"));
     }
 
@@ -125,13 +131,13 @@ pub fn iterative_bayesian_update(
         for x in next.iter_mut() {
             *x = 0.0;
         }
-        for v in 0..r {
+        for (v, &lambda_v) in lambda_hat.iter().enumerate() {
             let denom: f64 = (0..r).map(|u| matrix.prob(u, v) * pi[u]).sum();
             if denom <= 0.0 {
                 continue;
             }
             for (u, out) in next.iter_mut().enumerate() {
-                *out += lambda_hat[v] * matrix.prob(u, v) * pi[u] / denom;
+                *out += lambda_v * matrix.prob(u, v) * pi[u] / denom;
             }
         }
         let change: f64 = next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();

@@ -14,6 +14,31 @@
 //!   with sequential/parallel composition;
 //! * [`bounds`] — the analytic error bounds of Sections 2.3 and 3.3 that
 //!   quantify the curse of dimensionality.
+//!
+//! ## Example
+//!
+//! Randomize reports with an ε-DP matrix and recover the true distribution:
+//!
+//! ```
+//! use mdrr_core::{estimate_from_reports, RRMatrix};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let matrix = RRMatrix::from_epsilon(2.0, 3)?;
+//! assert!((matrix.epsilon() - 2.0).abs() < 1e-9);
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let reports: Vec<u32> = (0..30_000)
+//!     .map(|i| matrix.randomize((i % 3) as u32, &mut rng))
+//!     .collect::<Result<_, _>>()?;
+//!
+//! // The true values cycle 0,1,2, so each frequency is 1/3.
+//! let estimate = estimate_from_reports(&matrix, &reports)?;
+//! for frequency in &estimate {
+//!     assert!((frequency - 1.0 / 3.0).abs() < 0.02);
+//! }
+//! # Ok::<(), mdrr_core::CoreError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

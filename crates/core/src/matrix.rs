@@ -17,7 +17,9 @@
 //! [`RRMatrix::from_matrix`]) and fall back to general linear algebra.
 
 use crate::error::CoreError;
-use mdrr_math::linsolve::{invert, solve, solve_uniform_perturbation, uniform_perturbation_condition};
+use mdrr_math::linsolve::{
+    invert, solve, solve_uniform_perturbation, uniform_perturbation_condition,
+};
 use mdrr_math::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -55,7 +57,13 @@ impl RRMatrix {
         if r == 0 {
             return Err(CoreError::invalid("r", "matrix dimension must be positive"));
         }
-        Ok(RRMatrix { r, form: Form::Uniform { diag: 1.0, off: 0.0 } })
+        Ok(RRMatrix {
+            r,
+            form: Form::Uniform {
+                diag: 1.0,
+                off: 0.0,
+            },
+        })
     }
 
     /// The "keep with probability `p`, otherwise redraw uniformly from the
@@ -70,10 +78,16 @@ impl RRMatrix {
             return Err(CoreError::invalid("r", "matrix dimension must be positive"));
         }
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(CoreError::invalid("p", format!("keep probability must lie in [0, 1], got {p}")));
+            return Err(CoreError::invalid(
+                "p",
+                format!("keep probability must lie in [0, 1], got {p}"),
+            ));
         }
         let off = (1.0 - p) / r as f64;
-        Ok(RRMatrix { r, form: Form::Uniform { diag: p + off, off } })
+        Ok(RRMatrix {
+            r,
+            form: Form::Uniform { diag: p + off, off },
+        })
     }
 
     /// The classic direct mechanism: report the true value with probability
@@ -88,13 +102,19 @@ impl RRMatrix {
             return Err(CoreError::invalid("r", "matrix dimension must be positive"));
         }
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(CoreError::invalid("p", format!("keep probability must lie in [0, 1], got {p}")));
+            return Err(CoreError::invalid(
+                "p",
+                format!("keep probability must lie in [0, 1], got {p}"),
+            ));
         }
         if r == 1 {
             return RRMatrix::identity(1);
         }
         let off = (1.0 - p) / (r - 1) as f64;
-        Ok(RRMatrix { r, form: Form::Uniform { diag: p, off } })
+        Ok(RRMatrix {
+            r,
+            form: Form::Uniform { diag: p, off },
+        })
     }
 
     /// The ε-differentially-private optimal matrix (Section 6.3): diagonal
@@ -114,7 +134,10 @@ impl RRMatrix {
             return Err(CoreError::invalid("r", "matrix dimension must be positive"));
         }
         if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(CoreError::invalid("epsilon", format!("privacy budget must be a non-negative finite number, got {epsilon}")));
+            return Err(CoreError::invalid(
+                "epsilon",
+                format!("privacy budget must be a non-negative finite number, got {epsilon}"),
+            ));
         }
         if r == 1 {
             return RRMatrix::identity(1);
@@ -122,7 +145,10 @@ impl RRMatrix {
         let e = epsilon.exp();
         let off = 1.0 / (e + r as f64 - 1.0);
         let diag = e * off;
-        Ok(RRMatrix { r, form: Form::Uniform { diag, off } })
+        Ok(RRMatrix {
+            r,
+            form: Form::Uniform { diag, off },
+        })
     }
 
     /// The cluster matrix of Section 6.3.2: given the per-attribute budgets
@@ -135,10 +161,16 @@ impl RRMatrix {
     /// list of budgets is empty, or any budget is negative/non-finite.
     pub fn cluster_from_epsilons(epsilons: &[f64], domain_size: usize) -> Result<Self, CoreError> {
         if epsilons.is_empty() {
-            return Err(CoreError::invalid("epsilons", "cluster must contain at least one attribute budget"));
+            return Err(CoreError::invalid(
+                "epsilons",
+                "cluster must contain at least one attribute budget",
+            ));
         }
         if epsilons.iter().any(|e| !e.is_finite() || *e < 0.0) {
-            return Err(CoreError::invalid("epsilons", "all privacy budgets must be non-negative finite numbers"));
+            return Err(CoreError::invalid(
+                "epsilons",
+                "all privacy budgets must be non-negative finite numbers",
+            ));
         }
         RRMatrix::from_epsilon(epsilons.iter().sum(), domain_size)
     }
@@ -157,7 +189,9 @@ impl RRMatrix {
             )));
         }
         if matrix.rows() == 0 {
-            return Err(CoreError::invalid_matrix("randomization matrix must be non-empty"));
+            return Err(CoreError::invalid_matrix(
+                "randomization matrix must be non-empty",
+            ));
         }
         if !matrix.is_row_stochastic(TOL) {
             return Err(CoreError::invalid_matrix(
@@ -165,7 +199,10 @@ impl RRMatrix {
             ));
         }
         let r = matrix.rows();
-        Ok(RRMatrix { r, form: Form::General(matrix) })
+        Ok(RRMatrix {
+            r,
+            form: Form::General(matrix),
+        })
     }
 
     /// Number of categories `r`.
@@ -326,7 +363,11 @@ impl RRMatrix {
     ///
     /// # Errors
     /// Returns [`CoreError::DimensionMismatch`] if any code is out of range.
-    pub fn randomize_column(&self, column: &[u32], rng: &mut impl Rng) -> Result<Vec<u32>, CoreError> {
+    pub fn randomize_column(
+        &self,
+        column: &[u32],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, CoreError> {
         column.iter().map(|&v| self.randomize(v, rng)).collect()
     }
 
@@ -464,7 +505,11 @@ mod tests {
         assert_eq!(RRMatrix::identity(3).unwrap().epsilon(), f64::INFINITY);
         // p = 0 in uniform_keep means the output is uniform regardless of the
         // input: perfect privacy, ε = 0.
-        assert_close(RRMatrix::uniform_keep(0.0, 4).unwrap().epsilon(), 0.0, 1e-12);
+        assert_close(
+            RRMatrix::uniform_keep(0.0, 4).unwrap().epsilon(),
+            0.0,
+            1e-12,
+        );
         // A single category carries no information at all.
         assert_eq!(RRMatrix::identity(1).unwrap().epsilon(), 0.0);
     }
@@ -512,10 +557,9 @@ mod tests {
 
     #[test]
     fn randomize_general_matrix_matches_row() {
-        let m = RRMatrix::from_matrix(
-            Matrix::from_rows(&[vec![0.1, 0.9], vec![0.5, 0.5]]).unwrap(),
-        )
-        .unwrap();
+        let m =
+            RRMatrix::from_matrix(Matrix::from_rows(&[vec![0.1, 0.9], vec![0.5, 0.5]]).unwrap())
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100_000;
         let mut ones = 0usize;
@@ -566,8 +610,14 @@ mod tests {
 
     #[test]
     fn condition_number_grows_with_stronger_randomization() {
-        let weak = RRMatrix::direct(0.9, 5).unwrap().condition_number().unwrap();
-        let strong = RRMatrix::direct(0.3, 5).unwrap().condition_number().unwrap();
+        let weak = RRMatrix::direct(0.9, 5)
+            .unwrap()
+            .condition_number()
+            .unwrap();
+        let strong = RRMatrix::direct(0.3, 5)
+            .unwrap()
+            .condition_number()
+            .unwrap();
         assert!(strong > weak);
     }
 

@@ -51,7 +51,10 @@ impl PrivacyAccountant {
 
     /// Records a release with an explicit ε.
     pub fn record(&mut self, label: impl Into<String>, epsilon: f64) {
-        self.releases.push(Release { label: label.into(), epsilon: epsilon.max(0.0) });
+        self.releases.push(Release {
+            label: label.into(),
+            epsilon: epsilon.max(0.0),
+        });
     }
 
     /// Records the release of data randomized with `matrix`, deriving ε from
@@ -79,9 +82,7 @@ impl PrivacyAccountant {
     pub fn total(&self, composition: Composition) -> f64 {
         match composition {
             Composition::Sequential => self.releases.iter().map(|r| r.epsilon).sum(),
-            Composition::Parallel => {
-                self.releases.iter().map(|r| r.epsilon).fold(0.0, f64::max)
-            }
+            Composition::Parallel => self.releases.iter().map(|r| r.epsilon).fold(0.0, f64::max),
         }
     }
 
@@ -102,8 +103,16 @@ impl fmt::Display for PrivacyAccountant {
         for r in &self.releases {
             writeln!(f, "  ε = {:>8.4}  {}", r.epsilon, r.label)?;
         }
-        writeln!(f, "  total (sequential): {:.4}", self.total(Composition::Sequential))?;
-        write!(f, "  total (parallel):   {:.4}", self.total(Composition::Parallel))
+        writeln!(
+            f,
+            "  total (sequential): {:.4}",
+            self.total(Composition::Sequential)
+        )?;
+        write!(
+            f,
+            "  total (parallel):   {:.4}",
+            self.total(Composition::Parallel)
+        )
     }
 }
 
@@ -206,7 +215,11 @@ mod tests {
     #[test]
     fn epsilon_for_keep_probability_matches_section_631() {
         // ε_A = ln(p r / (1 − p))
-        assert_close(epsilon_for_keep_probability(0.7, 9), (0.7 * 9.0 / 0.3f64).ln(), 1e-12);
+        assert_close(
+            epsilon_for_keep_probability(0.7, 9),
+            (0.7 * 9.0 / 0.3f64).ln(),
+            1e-12,
+        );
         assert_eq!(epsilon_for_keep_probability(0.0, 9), 0.0);
         assert_eq!(epsilon_for_keep_probability(1.0, 9), f64::INFINITY);
         assert_eq!(epsilon_for_keep_probability(0.5, 0), 0.0);

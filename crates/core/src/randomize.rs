@@ -24,7 +24,11 @@ pub fn randomize_attribute(
     matrix: &RRMatrix,
     rng: &mut impl Rng,
 ) -> Result<Vec<u32>, CoreError> {
-    let cardinality = dataset.schema().attribute(attribute).map_err(CoreError::from)?.cardinality();
+    let cardinality = dataset
+        .schema()
+        .attribute(attribute)
+        .map_err(CoreError::from)?
+        .cardinality();
     if matrix.size() != cardinality {
         return Err(CoreError::DimensionMismatch {
             context: format!("randomize_attribute (attribute {attribute})"),
@@ -62,7 +66,9 @@ pub fn randomize_dataset_independent(
     let mut randomized = dataset.clone();
     for (j, matrix) in matrices.iter().enumerate() {
         let column = randomize_attribute(dataset, j, matrix, rng)?;
-        randomized.replace_column(j, column).map_err(CoreError::from)?;
+        randomized
+            .replace_column(j, column)
+            .map_err(CoreError::from)?;
     }
     Ok(randomized)
 }
@@ -102,8 +108,12 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into(), "c".into()])
-                .unwrap(),
+            Attribute::new(
+                "A",
+                AttributeKind::Nominal,
+                vec!["a".into(), "b".into(), "c".into()],
+            )
+            .unwrap(),
             Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
         ])
         .unwrap()
@@ -132,7 +142,10 @@ mod tests {
     #[test]
     fn identity_matrices_leave_the_dataset_unchanged() {
         let ds = dataset(50);
-        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let matrices = vec![
+            RRMatrix::identity(3).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         let mut rng = StdRng::seed_from_u64(0);
         let randomized = randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
         assert_eq!(randomized, ds);
@@ -142,24 +155,33 @@ mod tests {
     fn independent_randomization_validates_matrix_count() {
         let ds = dataset(5);
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(randomize_dataset_independent(&ds, &[RRMatrix::identity(3).unwrap()], &mut rng).is_err());
+        assert!(
+            randomize_dataset_independent(&ds, &[RRMatrix::identity(3).unwrap()], &mut rng)
+                .is_err()
+        );
     }
 
     #[test]
     fn randomized_dataset_estimates_recover_marginals() {
         let ds = dataset(30_000);
-        let matrices = vec![RRMatrix::direct(0.6, 3).unwrap(), RRMatrix::direct(0.7, 2).unwrap()];
+        let matrices = vec![
+            RRMatrix::direct(0.6, 3).unwrap(),
+            RRMatrix::direct(0.7, 2).unwrap(),
+        ];
         let mut rng = StdRng::seed_from_u64(3);
         let randomized = randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
         assert_eq!(randomized.n_records(), ds.n_records());
 
-        for j in 0..2 {
+        for (j, matrix) in matrices.iter().enumerate() {
             let reports = randomized.column(j).unwrap();
-            let lambda = empirical_distribution(reports, matrices[j].size()).unwrap();
-            let estimate = estimate_proper(&matrices[j], &lambda).unwrap();
+            let lambda = empirical_distribution(reports, matrix.size()).unwrap();
+            let estimate = estimate_proper(matrix, &lambda).unwrap();
             let truth = ds.marginal_distribution(j).unwrap();
             for (a, b) in estimate.iter().zip(truth.iter()) {
-                assert!((a - b).abs() < 0.02, "attribute {j}: {estimate:?} vs {truth:?}");
+                assert!(
+                    (a - b).abs() < 0.02,
+                    "attribute {j}: {estimate:?} vs {truth:?}"
+                );
             }
         }
     }

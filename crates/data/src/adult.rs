@@ -145,25 +145,55 @@ pub fn adult_schema() -> Schema {
     let relationship = Attribute::new(
         "Relationship",
         AttributeKind::Nominal,
-        to_strings(&["Husband", "Wife", "Own-child", "Not-in-family", "Other-relative", "Unmarried"]),
+        to_strings(&[
+            "Husband",
+            "Wife",
+            "Own-child",
+            "Not-in-family",
+            "Other-relative",
+            "Unmarried",
+        ]),
     )
     .expect("static attribute definition is valid");
 
     let race = Attribute::new(
         "Race",
         AttributeKind::Nominal,
-        to_strings(&["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]),
+        to_strings(&[
+            "White",
+            "Black",
+            "Asian-Pac-Islander",
+            "Amer-Indian-Eskimo",
+            "Other",
+        ]),
     )
     .expect("static attribute definition is valid");
 
-    let sex = Attribute::new("Sex", AttributeKind::Nominal, to_strings(&["Male", "Female"]))
-        .expect("static attribute definition is valid");
+    let sex = Attribute::new(
+        "Sex",
+        AttributeKind::Nominal,
+        to_strings(&["Male", "Female"]),
+    )
+    .expect("static attribute definition is valid");
 
-    let income = Attribute::new("Income", AttributeKind::Ordinal, to_strings(&["<=50K", ">50K"]))
-        .expect("static attribute definition is valid");
+    let income = Attribute::new(
+        "Income",
+        AttributeKind::Ordinal,
+        to_strings(&["<=50K", ">50K"]),
+    )
+    .expect("static attribute definition is valid");
 
-    Schema::new(vec![work_class, education, marital, occupation, relationship, race, sex, income])
-        .expect("static schema definition is valid")
+    Schema::new(vec![
+        work_class,
+        education,
+        marital,
+        occupation,
+        relationship,
+        race,
+        sex,
+        income,
+    ])
+    .expect("static schema definition is valid")
 }
 
 /// Seeded generator of synthetic Adult-like records.
@@ -186,7 +216,9 @@ impl AdultSynthesizer {
 
     /// Generator sized like the original Adult data set (32 561 records).
     pub fn paper_sized() -> Self {
-        AdultSynthesizer { n: ADULT_RECORD_COUNT }
+        AdultSynthesizer {
+            n: ADULT_RECORD_COUNT,
+        }
     }
 
     /// Number of records the generator will produce.
@@ -232,7 +264,13 @@ fn sample_record(rng: &mut impl Rng) -> [u32; 8] {
     // structure of the real Adult, where marital status correlates with
     // almost every other attribute.
     let marital = {
-        let education_tier = if education < 8 { 0 } else if education < 12 { 1 } else { 2 };
+        let education_tier = if education < 8 {
+            0
+        } else if education < 12 {
+            1
+        } else {
+            2
+        };
         match (sex, education_tier) {
             (0, 0) => sample_weighted(rng, &[0.52, 0.33, 0.09, 0.03, 0.01, 0.015, 0.005]),
             (0, 1) => sample_weighted(rng, &[0.27, 0.58, 0.09, 0.03, 0.01, 0.015, 0.005]),
@@ -279,16 +317,31 @@ fn sample_record(rng: &mut impl Rng) -> [u32; 8] {
     // almost always comes with an unknown work-class (as in the real file,
     // where both are "?" together).
     let work_class = if occupation == 14 {
-        sample_weighted(rng, &[0.10, 0.01, 0.01, 0.01, 0.01, 0.01, 0.002, 0.008, 0.95])
+        sample_weighted(
+            rng,
+            &[0.10, 0.01, 0.01, 0.01, 0.01, 0.01, 0.002, 0.008, 0.95],
+        )
     } else if occupation >= 12 {
-        sample_weighted(rng, &[0.47, 0.10, 0.10, 0.07, 0.11, 0.10, 0.002, 0.002, 0.046])
+        sample_weighted(
+            rng,
+            &[0.47, 0.10, 0.10, 0.07, 0.11, 0.10, 0.002, 0.002, 0.046],
+        )
     } else if occupation == 9 || occupation == 11 {
-        sample_weighted(rng, &[0.25, 0.03, 0.02, 0.22, 0.28, 0.15, 0.002, 0.002, 0.046])
+        sample_weighted(
+            rng,
+            &[0.25, 0.03, 0.02, 0.22, 0.28, 0.15, 0.002, 0.002, 0.046],
+        )
     } else if occupation == 3 {
         // Farming and fishing is dominated by self-employment.
-        sample_weighted(rng, &[0.40, 0.38, 0.08, 0.01, 0.03, 0.02, 0.01, 0.002, 0.068])
+        sample_weighted(
+            rng,
+            &[0.40, 0.38, 0.08, 0.01, 0.03, 0.02, 0.01, 0.002, 0.068],
+        )
     } else {
-        sample_weighted(rng, &[0.82, 0.06, 0.02, 0.02, 0.04, 0.02, 0.004, 0.002, 0.014])
+        sample_weighted(
+            rng,
+            &[0.82, 0.06, 0.02, 0.02, 0.04, 0.02, 0.004, 0.002, 0.014],
+        )
     };
 
     // Race: weakly dependent on everything else (close to the Adult
@@ -323,7 +376,16 @@ fn sample_record(rng: &mut impl Rng) -> [u32; 8] {
         }
     };
 
-    [work_class, education, marital, occupation, relationship, race, sex, income]
+    [
+        work_class,
+        education,
+        marital,
+        occupation,
+        relationship,
+        race,
+        sex,
+        income,
+    ]
 }
 
 /// Samples an index proportionally to the given non-negative weights.
@@ -357,8 +419,16 @@ mod tests {
         assert_eq!(s.len(), 8);
         assert_eq!(s.cardinalities(), vec![9, 16, 7, 15, 6, 5, 2, 2]);
         assert_eq!(s.joint_domain_size(), Some(1_814_400));
-        assert_eq!(s.attribute(AdultAttribute::Education.index()).unwrap().name(), "Education");
-        assert_eq!(s.attribute(AdultAttribute::Income.index()).unwrap().name(), "Income");
+        assert_eq!(
+            s.attribute(AdultAttribute::Education.index())
+                .unwrap()
+                .name(),
+            "Education"
+        );
+        assert_eq!(
+            s.attribute(AdultAttribute::Income.index()).unwrap().name(),
+            "Income"
+        );
     }
 
     #[test]
@@ -368,14 +438,23 @@ mod tests {
         assert_eq!(ds.n_records(), 500);
         assert_eq!(ds.n_attributes(), 8);
         assert!(AdultSynthesizer::new(0).is_err());
-        assert_eq!(AdultSynthesizer::paper_sized().record_count(), ADULT_RECORD_COUNT);
+        assert_eq!(
+            AdultSynthesizer::paper_sized().record_count(),
+            ADULT_RECORD_COUNT
+        );
     }
 
     #[test]
     fn generation_is_deterministic_for_a_fixed_seed() {
-        let a = AdultSynthesizer::new(200).unwrap().generate(&mut StdRng::seed_from_u64(42));
-        let b = AdultSynthesizer::new(200).unwrap().generate(&mut StdRng::seed_from_u64(42));
-        let c = AdultSynthesizer::new(200).unwrap().generate(&mut StdRng::seed_from_u64(43));
+        let a = AdultSynthesizer::new(200)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(42));
+        let b = AdultSynthesizer::new(200)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(42));
+        let c = AdultSynthesizer::new(200)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(43));
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -409,7 +488,9 @@ mod tests {
             let ys = ds.column(b.index()).unwrap();
             let ca = ds.schema().attribute(a.index()).unwrap().cardinality();
             let cb = ds.schema().attribute(b.index()).unwrap().cardinality();
-            ContingencyTable::from_codes(xs, ys, ca, cb).unwrap().cramers_v()
+            ContingencyTable::from_codes(xs, ys, ca, cb)
+                .unwrap()
+                .cramers_v()
         };
 
         let marital_relationship = v(AdultAttribute::MaritalStatus, AdultAttribute::Relationship);

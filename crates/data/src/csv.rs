@@ -55,7 +55,12 @@ pub fn read_csv<R: Read>(schema: Schema, reader: R) -> Result<Dataset, DataError
     let mut lines = buf.lines();
     let header_line = match lines.next() {
         Some(line) => line.map_err(DataError::from)?,
-        None => return Err(DataError::Parse { line: 1, message: "missing header row".to_string() }),
+        None => {
+            return Err(DataError::Parse {
+                line: 1,
+                message: "missing header row".to_string(),
+            })
+        }
     };
     let header: Vec<String> = split_row(&header_line);
     let expected: Vec<&str> = schema.attributes().iter().map(Attribute::name).collect();
@@ -77,7 +82,11 @@ pub fn read_csv<R: Read>(schema: Schema, reader: R) -> Result<Dataset, DataError
         if fields.len() != dataset.schema().len() {
             return Err(DataError::Parse {
                 line: line_no,
-                message: format!("expected {} fields, got {}", dataset.schema().len(), fields.len()),
+                message: format!(
+                    "expected {} fields, got {}",
+                    dataset.schema().len(),
+                    fields.len()
+                ),
             });
         }
         let mut record = Vec::with_capacity(fields.len());
@@ -85,7 +94,10 @@ pub fn read_csv<R: Read>(schema: Schema, reader: R) -> Result<Dataset, DataError
             let attribute = dataset.schema().attribute(j)?;
             let code = attribute.code(field).map_err(|_| DataError::Parse {
                 line: line_no,
-                message: format!("unknown label `{field}` for attribute `{}`", attribute.name()),
+                message: format!(
+                    "unknown label `{field}` for attribute `{}`",
+                    attribute.name()
+                ),
             })?;
             record.push(code);
         }
@@ -105,11 +117,19 @@ pub fn read_csv_infer_schema<R: Read>(reader: R) -> Result<Dataset, DataError> {
     let mut lines = buf.lines();
     let header_line = match lines.next() {
         Some(line) => line.map_err(DataError::from)?,
-        None => return Err(DataError::Parse { line: 1, message: "missing header row".to_string() }),
+        None => {
+            return Err(DataError::Parse {
+                line: 1,
+                message: "missing header row".to_string(),
+            })
+        }
     };
     let names = split_row(&header_line);
     if names.is_empty() {
-        return Err(DataError::Parse { line: 1, message: "empty header row".to_string() });
+        return Err(DataError::Parse {
+            line: 1,
+            message: "empty header row".to_string(),
+        });
     }
 
     // First pass: collect rows and per-column category labels.
@@ -146,7 +166,11 @@ pub fn read_csv_infer_schema<R: Read>(reader: R) -> Result<Dataset, DataError> {
         .iter()
         .zip(categories)
         .map(|(name, cats)| {
-            let cats = if cats.is_empty() { vec!["<empty>".to_string()] } else { cats };
+            let cats = if cats.is_empty() {
+                vec!["<empty>".to_string()]
+            } else {
+                cats
+            };
             Attribute::new(name.clone(), AttributeKind::Nominal, cats)
         })
         .collect();
@@ -173,8 +197,12 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Attribute::new("Sex", AttributeKind::Nominal, vec!["Male".into(), "Female".into()])
-                .unwrap(),
+            Attribute::new(
+                "Sex",
+                AttributeKind::Nominal,
+                vec!["Male".into(), "Female".into()],
+            )
+            .unwrap(),
             Attribute::new(
                 "Income",
                 AttributeKind::Ordinal,
@@ -201,7 +229,10 @@ mod tests {
     #[test]
     fn read_rejects_bad_header() {
         let data = "Sex,Age\nMale,23\n";
-        assert!(matches!(read_csv(schema(), data.as_bytes()), Err(DataError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_csv(schema(), data.as_bytes()),
+            Err(DataError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]
@@ -238,15 +269,24 @@ mod tests {
         let data = "City,Pet\nParis,Cat\nRome,Dog\nParis,Dog\n";
         let ds = read_csv_infer_schema(data.as_bytes()).unwrap();
         assert_eq!(ds.n_records(), 3);
-        assert_eq!(ds.schema().attribute(0).unwrap().categories(), &["Paris", "Rome"]);
-        assert_eq!(ds.schema().attribute(1).unwrap().categories(), &["Cat", "Dog"]);
+        assert_eq!(
+            ds.schema().attribute(0).unwrap().categories(),
+            &["Paris", "Rome"]
+        );
+        assert_eq!(
+            ds.schema().attribute(1).unwrap().categories(),
+            &["Cat", "Dog"]
+        );
         assert_eq!(ds.record(2).unwrap(), vec![0, 1]);
     }
 
     #[test]
     fn infer_schema_rejects_ragged_rows() {
         let data = "A,B\nx,y\nz\n";
-        assert!(matches!(read_csv_infer_schema(data.as_bytes()), Err(DataError::Parse { line: 3, .. })));
+        assert!(matches!(
+            read_csv_infer_schema(data.as_bytes()),
+            Err(DataError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]

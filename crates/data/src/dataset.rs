@@ -55,7 +55,11 @@ impl Dataset {
     pub fn from_columns(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Self, DataError> {
         if columns.len() != schema.len() {
             return Err(DataError::SchemaMismatch {
-                message: format!("{} columns provided but the schema has {} attributes", columns.len(), schema.len()),
+                message: format!(
+                    "{} columns provided but the schema has {} attributes",
+                    columns.len(),
+                    schema.len()
+                ),
             });
         }
         let n = columns.first().map(Vec::len).unwrap_or(0);
@@ -69,7 +73,10 @@ impl Dataset {
             if let Some(&bad) = col.iter().find(|&&v| !attribute.contains_code(v)) {
                 return Err(DataError::InvalidCategory {
                     attribute: attribute.name().to_string(),
-                    message: format!("code {bad} out of range (cardinality {})", attribute.cardinality()),
+                    message: format!(
+                        "code {bad} out of range (cardinality {})",
+                        attribute.cardinality()
+                    ),
                 });
             }
         }
@@ -113,10 +120,13 @@ impl Dataset {
     /// # Errors
     /// Returns [`DataError::AttributeIndexOutOfRange`] for a bad index.
     pub fn column(&self, index: usize) -> Result<&[u32], DataError> {
-        self.columns.get(index).map(Vec::as_slice).ok_or(DataError::AttributeIndexOutOfRange {
-            index,
-            len: self.columns.len(),
-        })
+        self.columns
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(DataError::AttributeIndexOutOfRange {
+                index,
+                len: self.columns.len(),
+            })
     }
 
     /// The record at position `i` as a row of codes.
@@ -125,7 +135,13 @@ impl Dataset {
     /// Returns [`DataError::InvalidParameter`] if `i >= n_records()`.
     pub fn record(&self, i: usize) -> Result<Vec<u32>, DataError> {
         if i >= self.n_records() {
-            return Err(DataError::invalid("record", format!("record index {i} out of range ({} records)", self.n_records())));
+            return Err(DataError::invalid(
+                "record",
+                format!(
+                    "record index {i} out of range ({} records)",
+                    self.n_records()
+                ),
+            ));
         }
         Ok(self.columns.iter().map(|c| c[i]).collect())
     }
@@ -222,7 +238,10 @@ impl Dataset {
     ///
     /// # Errors
     /// Returns [`DataError::AttributeIndexOutOfRange`] for a bad index.
-    pub fn joint_distribution(&self, indices: &[usize]) -> Result<(JointDomain, Vec<f64>), DataError> {
+    pub fn joint_distribution(
+        &self,
+        indices: &[usize],
+    ) -> Result<(JointDomain, Vec<f64>), DataError> {
         let (domain, counts) = self.joint_counts(indices)?;
         let n = self.n_records();
         let dist = if n == 0 {
@@ -247,7 +266,10 @@ impl Dataset {
             if !attribute.contains_code(code) {
                 return Err(DataError::InvalidCategory {
                     attribute: attribute.name().to_string(),
-                    message: format!("code {code} out of range (cardinality {})", attribute.cardinality()),
+                    message: format!(
+                        "code {code} out of range (cardinality {})",
+                        attribute.cardinality()
+                    ),
                 });
             }
             cols.push((self.column(idx)?, code));
@@ -277,7 +299,10 @@ impl Dataset {
         for (col, other_col) in columns.iter_mut().zip(other.columns.iter()) {
             col.extend_from_slice(other_col);
         }
-        Ok(Dataset { schema: self.schema.clone(), columns })
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns,
+        })
     }
 
     /// The dataset repeated `times` times (Adult6 is `adult.repeat(6)`).
@@ -286,7 +311,10 @@ impl Dataset {
     /// Returns [`DataError::InvalidParameter`] if `times == 0`.
     pub fn repeat(&self, times: usize) -> Result<Dataset, DataError> {
         if times == 0 {
-            return Err(DataError::invalid("times", "repetition count must be positive"));
+            return Err(DataError::invalid(
+                "times",
+                "repetition count must be positive",
+            ));
         }
         let columns = self
             .columns
@@ -299,7 +327,10 @@ impl Dataset {
                 out
             })
             .collect();
-        Ok(Dataset { schema: self.schema.clone(), columns })
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns,
+        })
     }
 
     /// Projects the dataset onto the attributes at `indices` (in that
@@ -319,8 +350,15 @@ impl Dataset {
     /// Keeps only the first `n` records (or all of them if `n` exceeds the
     /// record count).  Useful for scaled-down experiment runs.
     pub fn truncate(&self, n: usize) -> Dataset {
-        let columns = self.columns.iter().map(|col| col.iter().take(n).copied().collect()).collect();
-        Dataset { schema: self.schema.clone(), columns }
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| col.iter().take(n).copied().collect())
+            .collect();
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+        }
     }
 
     /// Replaces the column of attribute `index` with `values` (same length
@@ -345,7 +383,10 @@ impl Dataset {
         if let Some(&bad) = values.iter().find(|&&v| !attribute.contains_code(v)) {
             return Err(DataError::InvalidCategory {
                 attribute: attribute.name().to_string(),
-                message: format!("code {bad} out of range (cardinality {})", attribute.cardinality()),
+                message: format!(
+                    "code {bad} out of range (cardinality {})",
+                    attribute.cardinality()
+                ),
             });
         }
         self.columns[index] = values;
@@ -492,7 +533,10 @@ mod tests {
     fn repeat_preserves_distribution() {
         let ds = sample();
         let six = ds.repeat(6).unwrap();
-        assert_eq!(ds.marginal_distribution(0).unwrap(), six.marginal_distribution(0).unwrap());
+        assert_eq!(
+            ds.marginal_distribution(0).unwrap(),
+            six.marginal_distribution(0).unwrap()
+        );
         assert_eq!(
             ds.joint_distribution(&[0, 1]).unwrap().1,
             six.joint_distribution(&[0, 1]).unwrap().1

@@ -31,16 +31,22 @@ impl JointDomain {
     /// cardinality is zero, or the product overflows `usize`.
     pub fn new(cardinalities: &[usize]) -> Result<Self, DataError> {
         if cardinalities.is_empty() {
-            return Err(DataError::invalid("cardinalities", "joint domain needs at least one attribute"));
+            return Err(DataError::invalid(
+                "cardinalities",
+                "joint domain needs at least one attribute",
+            ));
         }
         if cardinalities.contains(&0) {
-            return Err(DataError::invalid("cardinalities", "every attribute must have at least one category"));
+            return Err(DataError::invalid(
+                "cardinalities",
+                "every attribute must have at least one category",
+            ));
         }
         let mut size = 1usize;
         for &c in cardinalities {
-            size = size
-                .checked_mul(c)
-                .ok_or_else(|| DataError::invalid("cardinalities", "joint domain size overflows usize"))?;
+            size = size.checked_mul(c).ok_or_else(|| {
+                DataError::invalid("cardinalities", "joint domain size overflows usize")
+            })?;
         }
         // First attribute varies slowest: stride of attribute i is the
         // product of the cardinalities of all later attributes.
@@ -48,7 +54,11 @@ impl JointDomain {
         for i in (0..cardinalities.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * cardinalities[i + 1];
         }
-        Ok(JointDomain { cardinalities: cardinalities.to_vec(), strides, size })
+        Ok(JointDomain {
+            cardinalities: cardinalities.to_vec(),
+            strides,
+            size,
+        })
     }
 
     /// Number of attributes in the domain.
@@ -75,7 +85,11 @@ impl JointDomain {
         if values.len() != self.cardinalities.len() {
             return Err(DataError::invalid(
                 "values",
-                format!("expected {} values, got {}", self.cardinalities.len(), values.len()),
+                format!(
+                    "expected {} values, got {}",
+                    self.cardinalities.len(),
+                    values.len()
+                ),
             ));
         }
         let mut code = 0usize;

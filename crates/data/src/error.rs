@@ -63,19 +63,27 @@ impl fmt::Display for DataError {
         match self {
             DataError::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
             DataError::AttributeIndexOutOfRange { index, len } => {
-                write!(f, "attribute index {index} out of range (schema has {len} attributes)")
+                write!(
+                    f,
+                    "attribute index {index} out of range (schema has {len} attributes)"
+                )
             }
             DataError::InvalidCategory { attribute, message } => {
                 write!(f, "invalid category for attribute `{attribute}`: {message}")
             }
             DataError::RecordArityMismatch { got, expected } => {
-                write!(f, "record has {got} values but the schema has {expected} attributes")
+                write!(
+                    f,
+                    "record has {got} values but the schema has {expected} attributes"
+                )
             }
             DataError::SchemaMismatch { message } => write!(f, "schema mismatch: {message}"),
             DataError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io { message } => write!(f, "I/O error: {message}"),
         }
     }
@@ -86,13 +94,18 @@ impl std::error::Error for DataError {}
 impl DataError {
     /// Convenience constructor for [`DataError::InvalidParameter`].
     pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
-        DataError::InvalidParameter { name, message: message.into() }
+        DataError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 }
 
 impl From<std::io::Error> for DataError {
     fn from(err: std::io::Error) -> Self {
-        DataError::Io { message: err.to_string() }
+        DataError::Io {
+            message: err.to_string(),
+        }
     }
 }
 
@@ -102,13 +115,27 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_details() {
-        assert!(DataError::UnknownAttribute { name: "Age".into() }.to_string().contains("Age"));
+        assert!(DataError::UnknownAttribute { name: "Age".into() }
+            .to_string()
+            .contains("Age"));
         assert!(DataError::AttributeIndexOutOfRange { index: 9, len: 8 }
             .to_string()
             .contains('9'));
-        assert!(DataError::RecordArityMismatch { got: 3, expected: 8 }.to_string().contains('3'));
-        assert!(DataError::invalid("p", "must be in [0,1]").to_string().contains("`p`"));
-        assert!(DataError::Parse { line: 12, message: "bad".into() }.to_string().contains("12"));
+        assert!(DataError::RecordArityMismatch {
+            got: 3,
+            expected: 8
+        }
+        .to_string()
+        .contains('3'));
+        assert!(DataError::invalid("p", "must be in [0,1]")
+            .to_string()
+            .contains("`p`"));
+        assert!(DataError::Parse {
+            line: 12,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("12"));
     }
 
     #[test]

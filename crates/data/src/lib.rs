@@ -13,7 +13,33 @@
 //!   categorical CSV) can be used instead of the synthetic generator;
 //! * [`adult`] — the synthetic Adult generator used by the experiment
 //!   harness (same schema and dependence structure as the paper's data set;
-//!   see DESIGN.md §4 for the substitution argument).
+//!   see `DESIGN.md` §4 at the repository root for the substitution
+//!   argument).
+//!
+//! ## Example
+//!
+//! Build a two-attribute dataset and count joint frequencies through the
+//! mixed-radix joint domain:
+//!
+//! ```
+//! use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
+//!
+//! let schema = Schema::new(vec![
+//!     Attribute::new("smoker", AttributeKind::Nominal,
+//!                    vec!["no".into(), "yes".into()])?,
+//!     Attribute::new("band", AttributeKind::Ordinal,
+//!                    vec!["low".into(), "mid".into(), "high".into()])?,
+//! ])?;
+//! let mut dataset = Dataset::empty(schema);
+//! dataset.push_record(&[0, 2])?;
+//! dataset.push_record(&[1, 0])?;
+//! dataset.push_record(&[0, 2])?;
+//!
+//! assert_eq!(dataset.marginal_counts(0)?, vec![2, 1]);
+//! let (domain, joint) = dataset.joint_counts(&[0, 1])?;
+//! assert_eq!(joint[domain.encode(&[0, 2])?], 2);
+//! # Ok::<(), mdrr_data::DataError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -59,7 +59,11 @@ impl Attribute {
                 });
             }
         }
-        Ok(Attribute { name, kind, categories })
+        Ok(Attribute {
+            name,
+            kind,
+            categories,
+        })
     }
 
     /// Creates a nominal attribute whose categories are `"0", "1", …,
@@ -70,7 +74,10 @@ impl Attribute {
     /// Returns [`DataError::InvalidParameter`] if `cardinality == 0`.
     pub fn indexed(name: impl Into<String>, cardinality: usize) -> Result<Self, DataError> {
         if cardinality == 0 {
-            return Err(DataError::invalid("cardinality", "attribute cardinality must be positive"));
+            return Err(DataError::invalid(
+                "cardinality",
+                "attribute cardinality must be positive",
+            ));
         }
         let categories = (0..cardinality).map(|i| i.to_string()).collect();
         Attribute::new(name, AttributeKind::Nominal, categories)
@@ -101,12 +108,16 @@ impl Attribute {
     /// # Errors
     /// Returns [`DataError::InvalidCategory`] if the code is out of range.
     pub fn label(&self, code: u32) -> Result<&str, DataError> {
-        self.categories.get(code as usize).map(String::as_str).ok_or_else(|| {
-            DataError::InvalidCategory {
+        self.categories
+            .get(code as usize)
+            .map(String::as_str)
+            .ok_or_else(|| DataError::InvalidCategory {
                 attribute: self.name.clone(),
-                message: format!("code {code} out of range (cardinality {})", self.cardinality()),
-            }
-        })
+                message: format!(
+                    "code {code} out of range (cardinality {})",
+                    self.cardinality()
+                ),
+            })
     }
 
     /// Code of a category label.
@@ -132,7 +143,13 @@ impl Attribute {
 
 impl fmt::Display for Attribute {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({:?}, {} categories)", self.name, self.kind, self.cardinality())
+        write!(
+            f,
+            "{} ({:?}, {} categories)",
+            self.name,
+            self.kind,
+            self.cardinality()
+        )
     }
 }
 
@@ -190,10 +207,12 @@ impl Schema {
     /// # Errors
     /// Returns [`DataError::AttributeIndexOutOfRange`] if out of range.
     pub fn attribute(&self, index: usize) -> Result<&Attribute, DataError> {
-        self.attributes.get(index).ok_or(DataError::AttributeIndexOutOfRange {
-            index,
-            len: self.attributes.len(),
-        })
+        self.attributes
+            .get(index)
+            .ok_or(DataError::AttributeIndexOutOfRange {
+                index,
+                len: self.attributes.len(),
+            })
     }
 
     /// Position of the attribute named `name`.
@@ -204,7 +223,9 @@ impl Schema {
         self.attributes
             .iter()
             .position(|a| a.name() == name)
-            .ok_or_else(|| DataError::UnknownAttribute { name: name.to_string() })
+            .ok_or_else(|| DataError::UnknownAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// Cardinalities of all attributes, in order (`|A_1|, …, |A_m|`).
@@ -297,7 +318,8 @@ mod tests {
 
     #[test]
     fn attribute_basics() {
-        let a = Attribute::new("Sex", AttributeKind::Nominal, vec!["M".into(), "F".into()]).unwrap();
+        let a =
+            Attribute::new("Sex", AttributeKind::Nominal, vec!["M".into(), "F".into()]).unwrap();
         assert_eq!(a.name(), "Sex");
         assert_eq!(a.cardinality(), 2);
         assert_eq!(a.kind(), AttributeKind::Nominal);
@@ -347,8 +369,14 @@ mod tests {
     fn record_validation() {
         let s = sample_schema();
         assert!(s.validate_record(&[1, 2]).is_ok());
-        assert!(matches!(s.validate_record(&[1]), Err(DataError::RecordArityMismatch { .. })));
-        assert!(matches!(s.validate_record(&[2, 0]), Err(DataError::InvalidCategory { .. })));
+        assert!(matches!(
+            s.validate_record(&[1]),
+            Err(DataError::RecordArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_record(&[2, 0]),
+            Err(DataError::InvalidCategory { .. })
+        ));
     }
 
     #[test]
@@ -373,8 +401,9 @@ mod tests {
     fn joint_domain_size_overflow_is_none() {
         // 64 attributes with cardinality 2^16 overflow usize on any platform
         // we care about (2^1024 combinations).
-        let attrs: Vec<Attribute> =
-            (0..64).map(|i| Attribute::indexed(format!("A{i}"), 1 << 16).unwrap()).collect();
+        let attrs: Vec<Attribute> = (0..64)
+            .map(|i| Attribute::indexed(format!("A{i}"), 1 << 16).unwrap())
+            .collect();
         let s = Schema::new(attrs).unwrap();
         assert_eq!(s.joint_domain_size(), None);
     }

@@ -10,7 +10,11 @@ fn schema_strategy() -> impl Strategy<Value = Schema> {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                let kind = if i % 2 == 0 { AttributeKind::Nominal } else { AttributeKind::Ordinal };
+                let kind = if i % 2 == 0 {
+                    AttributeKind::Nominal
+                } else {
+                    AttributeKind::Ordinal
+                };
                 let cats = (0..c).map(|k| format!("c{k}")).collect();
                 Attribute::new(format!("A{i}"), kind, cats).unwrap()
             })
@@ -30,7 +34,9 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
             let record: Vec<u32> = cards
                 .iter()
                 .map(|&c| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) % c as u64) as u32
                 })
                 .collect();

@@ -48,7 +48,9 @@ pub fn run_with(
     cardinalities: &[usize],
 ) -> Result<AccuracyAnalysisResult, ProtocolError> {
     if cardinalities.is_empty() {
-        return Err(ProtocolError::config("at least one attribute cardinality is required"));
+        return Err(ProtocolError::config(
+            "at least one attribute cardinality is required",
+        ));
     }
     let mut row_labels = Vec::new();
     let mut values = Vec::new();
@@ -86,7 +88,12 @@ pub fn run_with(
             Series::new("RR-Joint", x, joint_curve),
         ],
     };
-    Ok(AccuracyAnalysisResult { records, alpha, table, panel })
+    Ok(AccuracyAnalysisResult {
+        records,
+        alpha,
+        table,
+        panel,
+    })
 }
 
 #[cfg(test)]

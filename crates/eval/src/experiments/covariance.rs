@@ -7,7 +7,9 @@ use super::ExperimentConfig;
 use mdrr_core::{randomize_dataset_independent, RRMatrix};
 use mdrr_data::Dataset;
 use mdrr_math::correlation::covariance_codes;
-use mdrr_protocols::{dependence_matrix_plain, dependence_via_randomized_attributes, ProtocolError};
+use mdrr_protocols::{
+    dependence_matrix_plain, dependence_via_randomized_attributes, ProtocolError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -47,7 +49,10 @@ pub struct CovarianceAttenuationResult {
 ///
 /// # Errors
 /// Propagates protocol errors.
-pub fn run(config: &ExperimentConfig, p: f64) -> Result<CovarianceAttenuationResult, ProtocolError> {
+pub fn run(
+    config: &ExperimentConfig,
+    p: f64,
+) -> Result<CovarianceAttenuationResult, ProtocolError> {
     let dataset = config.adult()?;
     run_on_dataset(&dataset, p, config.seed)
 }
@@ -62,7 +67,9 @@ pub fn run_on_dataset(
     seed: u64,
 ) -> Result<CovarianceAttenuationResult, ProtocolError> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+        return Err(ProtocolError::config(format!(
+            "keep probability must lie in [0, 1], got {p}"
+        )));
     }
     let schema = dataset.schema();
     let m = schema.len();
@@ -81,7 +88,11 @@ pub fn run_on_dataset(
         for j in (i + 1)..m {
             let true_cov = covariance_codes(dataset.column(i)?, dataset.column(j)?)?;
             let rand_cov = covariance_codes(randomized.column(i)?, randomized.column(j)?)?;
-            let ratio = if true_cov.abs() > 1e-9 { rand_cov / true_cov } else { f64::NAN };
+            let ratio = if true_cov.abs() > 1e-9 {
+                rand_cov / true_cov
+            } else {
+                f64::NAN
+            };
             pairs.push(PairAttenuation {
                 pair: (i, j),
                 true_covariance: true_cov,
@@ -98,7 +109,12 @@ pub fn run_on_dataset(
     let randomized_dep = dependence_via_randomized_attributes(dataset, p, &mut dep_rng)?;
     let ranking_agreement = plain.ranking_agreement(&randomized_dep.matrix)?;
 
-    Ok(CovarianceAttenuationResult { p, theoretical_ratio: p * p, pairs, ranking_agreement })
+    Ok(CovarianceAttenuationResult {
+        p,
+        theoretical_ratio: p * p,
+        pairs,
+        ranking_agreement,
+    })
 }
 
 #[cfg(test)]
@@ -118,9 +134,15 @@ mod tests {
         // pair has sampling variance), but averaged over the strongly
         // covarying pairs the empirical attenuation must match the p² of
         // Proposition 1 closely.
-        let strong: Vec<&PairAttenuation> =
-            result.pairs.iter().filter(|pair| pair.true_covariance.abs() > 0.3).collect();
-        assert!(strong.len() >= 2, "the synthetic Adult should have strongly covarying pairs");
+        let strong: Vec<&PairAttenuation> = result
+            .pairs
+            .iter()
+            .filter(|pair| pair.true_covariance.abs() > 0.3)
+            .collect();
+        assert!(
+            strong.len() >= 2,
+            "the synthetic Adult should have strongly covarying pairs"
+        );
         let mean_ratio: f64 =
             strong.iter().map(|pair| pair.empirical_ratio).sum::<f64>() / strong.len() as f64;
         assert!(

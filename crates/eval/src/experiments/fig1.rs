@@ -25,7 +25,9 @@ pub struct Fig1Result {
 /// Default grid of category counts: dense at the start, then log-spaced up
 /// to 100 000 like the paper's x-axis.
 pub fn default_grid() -> Vec<usize> {
-    let mut grid = vec![2usize, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000];
+    let mut grid = vec![
+        2usize, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+    ];
     let mut r = 20_000usize;
     while r <= 100_000 {
         grid.push(r);
@@ -53,7 +55,10 @@ pub fn run_on_grid(alpha: f64, grid: &[usize]) -> Result<Fig1Result, ProtocolErr
         x.push(r as f64);
         y.push(sqrt_b(alpha, r).map_err(ProtocolError::from)?);
     }
-    Ok(Fig1Result { alpha, series: Series::new("sqrt(B)", x, y) })
+    Ok(Fig1Result {
+        alpha,
+        series: Series::new("sqrt(B)", x, y),
+    })
 }
 
 #[cfg(test)]

@@ -50,7 +50,11 @@ pub fn run(config: &ExperimentConfig) -> Result<Fig2Result, ProtocolError> {
 ///
 /// # Errors
 /// Propagates protocol errors.
-pub fn run_with(config: &ExperimentConfig, p: f64, sigmas: &[f64]) -> Result<Fig2Result, ProtocolError> {
+pub fn run_with(
+    config: &ExperimentConfig,
+    p: f64,
+    sigmas: &[f64],
+) -> Result<Fig2Result, ProtocolError> {
     let dataset = config.adult()?;
     let methods = [MethodSpec::Randomized { p }, MethodSpec::Independent { p }];
 
@@ -60,7 +64,9 @@ pub fn run_with(config: &ExperimentConfig, p: f64, sigmas: &[f64]) -> Result<Fig
         let mut abs = Vec::with_capacity(sigmas.len());
         let mut rel = Vec::with_capacity(sigmas.len());
         for (s, &sigma) in sigmas.iter().enumerate() {
-            let seed = config.seed.wrapping_add((index * sigmas.len() + s) as u64 * 7_919);
+            let seed = config
+                .seed
+                .wrapping_add((index * sigmas.len() + s) as u64 * 7_919);
             let summary = evaluate_method(&dataset, spec, sigma, config.runs, seed)?;
             abs.push(summary.median_absolute);
             rel.push(summary.median_relative);
@@ -92,13 +98,23 @@ mod tests {
 
     #[test]
     fn quick_run_preserves_the_papers_qualitative_shape() {
-        let config = ExperimentConfig { records: 8_000, runs: 10, seed: 1, alpha: 0.05 };
+        let config = ExperimentConfig {
+            records: 8_000,
+            runs: 10,
+            seed: 1,
+            alpha: 0.05,
+        };
         let result = run_with(&config, FIG2_P, &[0.1, 0.5, 0.9]).unwrap();
 
         // Two curves per panel, labelled as in the paper.
         assert_eq!(result.absolute.series.len(), 2);
         assert_eq!(result.relative.series.len(), 2);
-        let labels: Vec<&str> = result.relative.series.iter().map(|s| s.label.as_str()).collect();
+        let labels: Vec<&str> = result
+            .relative
+            .series
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
         assert!(labels.contains(&"Randomized"));
         assert!(labels.contains(&"RR-Ind"));
 

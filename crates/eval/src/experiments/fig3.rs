@@ -42,10 +42,26 @@ pub struct PanelSpec {
 /// (0.3, 50, 0.3), (0.5, 50, 0.1), (0.7, 50, 0.1).
 pub fn default_panels() -> Vec<PanelSpec> {
     vec![
-        PanelSpec { p: 0.1, tv: 50, td: 0.3 },
-        PanelSpec { p: 0.3, tv: 50, td: 0.3 },
-        PanelSpec { p: 0.5, tv: 50, td: 0.1 },
-        PanelSpec { p: 0.7, tv: 50, td: 0.1 },
+        PanelSpec {
+            p: 0.1,
+            tv: 50,
+            td: 0.3,
+        },
+        PanelSpec {
+            p: 0.3,
+            tv: 50,
+            td: 0.3,
+        },
+        PanelSpec {
+            p: 0.5,
+            tv: 50,
+            td: 0.1,
+        },
+        PanelSpec {
+            p: 0.7,
+            tv: 50,
+            td: 0.1,
+        },
     ]
 }
 
@@ -82,10 +98,22 @@ pub fn run_with(
     for (panel_index, panel) in panels_spec.iter().enumerate() {
         let clustering_seed = config.seed ^ ((panel_index as u64 + 1) << 32);
         let clustering = build_clustering(&dataset, panel.p, panel.tv, panel.td, clustering_seed)?;
-        let methods = [MethodSpec::Independent { p: panel.p },
-            MethodSpec::IndependentAdjusted { p: panel.p, adjustment },
-            MethodSpec::Clusters { p: panel.p, clustering: clustering.clone() },
-            MethodSpec::ClustersAdjusted { p: panel.p, clustering, adjustment }];
+        let methods = [
+            MethodSpec::Independent { p: panel.p },
+            MethodSpec::IndependentAdjusted {
+                p: panel.p,
+                adjustment,
+            },
+            MethodSpec::Clusters {
+                p: panel.p,
+                clustering: clustering.clone(),
+            },
+            MethodSpec::ClustersAdjusted {
+                p: panel.p,
+                clustering,
+                adjustment,
+            },
+        ];
 
         let mut series = Vec::with_capacity(methods.len());
         for (method_index, spec) in methods.iter().enumerate() {
@@ -116,7 +144,10 @@ pub fn run_with(
         });
     }
 
-    Ok(Fig3Result { panels_spec: panels_spec.to_vec(), panels })
+    Ok(Fig3Result {
+        panels_spec: panels_spec.to_vec(),
+        panels,
+    })
 }
 
 #[cfg(test)]
@@ -131,8 +162,17 @@ mod tests {
         // `paper_scale` integration tests and reported in EXPERIMENTS.md,
         // because they need the full data-set size and many runs to rise
         // above the run-to-run noise.
-        let config = ExperimentConfig { records: 4_000, runs: 6, seed: 5, alpha: 0.05 };
-        let panels = vec![PanelSpec { p: 0.7, tv: 50, td: 0.1 }];
+        let config = ExperimentConfig {
+            records: 4_000,
+            runs: 6,
+            seed: 5,
+            alpha: 0.05,
+        };
+        let panels = vec![PanelSpec {
+            p: 0.7,
+            tv: 50,
+            td: 0.1,
+        }];
         let result = run_with(&config, &panels, &[0.1, 0.5]).unwrap();
         assert_eq!(result.panels.len(), 1);
         let panel = &result.panels[0];
@@ -151,7 +191,12 @@ mod tests {
             }
             // At large coverage every method has a small relative error
             // (the flat right-hand side of every panel in the paper).
-            assert!(series.y[1] < 0.2, "series {} has error {} at sigma 0.5", series.label, series.y[1]);
+            assert!(
+                series.y[1] < 0.2,
+                "series {} has error {} at sigma 0.5",
+                series.label,
+                series.y[1]
+            );
         }
     }
 }

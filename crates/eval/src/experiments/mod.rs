@@ -44,12 +44,22 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Paper-scale configuration (32 561 records, 100 runs per point).
     pub fn standard() -> Self {
-        ExperimentConfig { records: ADULT_RECORD_COUNT, runs: 100, seed: 42, alpha: 0.05 }
+        ExperimentConfig {
+            records: ADULT_RECORD_COUNT,
+            runs: 100,
+            seed: 42,
+            alpha: 0.05,
+        }
     }
 
     /// Reduced-scale configuration for CI and smoke tests.
     pub fn quick() -> Self {
-        ExperimentConfig { records: 4_000, runs: 8, seed: 42, alpha: 0.05 }
+        ExperimentConfig {
+            records: 4_000,
+            runs: 8,
+            seed: 42,
+            alpha: 0.05,
+        }
     }
 
     /// Generates the synthetic Adult data set this configuration describes.
@@ -86,7 +96,12 @@ mod tests {
 
     #[test]
     fn adult_generation_is_deterministic_per_seed() {
-        let config = ExperimentConfig { records: 500, runs: 1, seed: 7, alpha: 0.05 };
+        let config = ExperimentConfig {
+            records: 500,
+            runs: 1,
+            seed: 7,
+            alpha: 0.05,
+        };
         let a = config.adult().unwrap();
         let b = config.adult().unwrap();
         assert_eq!(a, b);

@@ -114,22 +114,28 @@ pub fn run_method_once(
 
     let estimated = match spec {
         MethodSpec::Randomized { p } => {
-            let protocol =
-                RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(*p))?;
+            let protocol = RRIndependent::new(
+                dataset.schema().clone(),
+                &RandomizationLevel::KeepProbability(*p),
+            )?;
             let release = protocol.run(dataset, rng)?;
             // No Equation (2) correction: count directly on the randomized data.
             let raw = EmpiricalEstimator::new(release.randomized());
             query.estimated_count(&raw)?
         }
         MethodSpec::Independent { p } => {
-            let protocol =
-                RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(*p))?;
+            let protocol = RRIndependent::new(
+                dataset.schema().clone(),
+                &RandomizationLevel::KeepProbability(*p),
+            )?;
             let release = protocol.run(dataset, rng)?;
             query.estimated_count(&release)?
         }
         MethodSpec::IndependentAdjusted { p, adjustment } => {
-            let protocol =
-                RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(*p))?;
+            let protocol = RRIndependent::new(
+                dataset.schema().clone(),
+                &RandomizationLevel::KeepProbability(*p),
+            )?;
             let release = protocol.run(dataset, rng)?;
             let targets = AdjustmentTarget::from_independent(&release);
             let adjusted = rr_adjustment(release.randomized(), &targets, *adjustment)?;
@@ -144,7 +150,11 @@ pub fn run_method_once(
             let release = protocol.run(dataset, rng)?;
             query.estimated_count(&release)?
         }
-        MethodSpec::ClustersAdjusted { p, clustering, adjustment } => {
+        MethodSpec::ClustersAdjusted {
+            p,
+            clustering,
+            adjustment,
+        } => {
             let protocol = RRClusters::with_equivalent_risk_from_keep_probability(
                 dataset.schema().clone(),
                 clustering.clone(),
@@ -157,7 +167,10 @@ pub fn run_method_once(
         }
     };
 
-    Ok((absolute_error(estimated, truth), relative_error(estimated, truth)))
+    Ok((
+        absolute_error(estimated, truth),
+        relative_error(estimated, truth),
+    ))
 }
 
 /// Runs a method `runs` times in parallel (each run with its own
@@ -175,32 +188,39 @@ pub fn evaluate_method(
     if runs == 0 {
         return Err(ProtocolError::config("at least one run is required"));
     }
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(runs);
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+        .min(runs);
     let chunk = runs.div_ceil(threads);
 
-    let results: Vec<Result<Vec<(f64, Option<f64>)>, ProtocolError>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(runs);
-                if start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(end - start);
-                    for run in start..end {
-                        // Independent, reproducible stream per run.
-                        let mut rng =
-                            StdRng::seed_from_u64(base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                        local.push(run_method_once(dataset, spec, sigma, &mut rng)?);
-                    }
-                    Ok(local)
-                }));
+    // Per-worker batches of (absolute error, optional relative error) pairs.
+    type WorkerBatch = Result<Vec<(f64, Option<f64>)>, ProtocolError>;
+    let results: Vec<WorkerBatch> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(runs);
+            if start >= end {
+                break;
             }
-            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-        })
-        .expect("scoped thread pool panicked");
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(end - start);
+                for run in start..end {
+                    // Independent, reproducible stream per run.
+                    let mut rng = StdRng::seed_from_u64(
+                        base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    local.push(run_method_once(dataset, spec, sigma, &mut rng)?);
+                }
+                Ok(local)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
 
     let mut absolute = Vec::with_capacity(runs);
     let mut relative = Vec::with_capacity(runs);
@@ -231,8 +251,14 @@ mod tests {
         let specs = vec![
             MethodSpec::Randomized { p: 0.7 },
             MethodSpec::Independent { p: 0.7 },
-            MethodSpec::IndependentAdjusted { p: 0.7, adjustment: AdjustmentConfig::default() },
-            MethodSpec::Clusters { p: 0.7, clustering: clustering.clone() },
+            MethodSpec::IndependentAdjusted {
+                p: 0.7,
+                adjustment: AdjustmentConfig::default(),
+            },
+            MethodSpec::Clusters {
+                p: 0.7,
+                clustering: clustering.clone(),
+            },
             MethodSpec::ClustersAdjusted {
                 p: 0.7,
                 clustering,
@@ -261,7 +287,12 @@ mod tests {
             same(2, 4) || same(4, 6) || same(2, 6),
             "expected some of the strongly dependent attributes to be clustered: {clustering:?}"
         );
-        assert!(clustering.max_combinations(&ds.schema().cardinalities()).unwrap() <= 100);
+        assert!(
+            clustering
+                .max_combinations(&ds.schema().cardinalities())
+                .unwrap()
+                <= 100
+        );
     }
 
     #[test]
@@ -271,7 +302,10 @@ mod tests {
         for spec in [
             MethodSpec::Randomized { p: 0.7 },
             MethodSpec::Independent { p: 0.7 },
-            MethodSpec::IndependentAdjusted { p: 0.7, adjustment: AdjustmentConfig::new(10, 1e-6).unwrap() },
+            MethodSpec::IndependentAdjusted {
+                p: 0.7,
+                adjustment: AdjustmentConfig::new(10, 1e-6).unwrap(),
+            },
         ] {
             let (abs, rel) = run_method_once(&ds, &spec, 0.3, &mut rng).unwrap();
             assert!(abs.is_finite() && abs >= 0.0);
@@ -307,7 +341,9 @@ mod tests {
         // the count-query error relative to querying the raw randomized
         // data.  At p = 0.7 and small coverage the gap is large.
         let mut rng = StdRng::seed_from_u64(3);
-        let ds = mdrr_data::AdultSynthesizer::new(8_000).unwrap().generate(&mut rng);
+        let ds = mdrr_data::AdultSynthesizer::new(8_000)
+            .unwrap()
+            .generate(&mut rng);
         let randomized =
             evaluate_method(&ds, &MethodSpec::Randomized { p: 0.7 }, 0.15, 12, 7).unwrap();
         let corrected =

@@ -73,7 +73,11 @@ pub struct TableExperimentResult {
 /// Propagates protocol errors.
 pub fn run(config: &ExperimentConfig) -> Result<TableExperimentResult, ProtocolError> {
     let dataset = config.adult()?;
-    run_on_dataset(config, &dataset, "Table 1 — median relative error of RR-Clusters (Adult)")
+    run_on_dataset(
+        config,
+        &dataset,
+        "Table 1 — median relative error of RR-Clusters (Adult)",
+    )
 }
 
 /// Shared driver for Tables 1 and 2 (Table 2 passes the Adult6 data set).
@@ -110,14 +114,18 @@ pub fn run_grid(
                 // dependence estimation of Section 4.1 uses the same p.
                 let clustering_seed = config.seed ^ (tv as u64) << 20 ^ (td * 1_000.0) as u64;
                 let clustering = build_clustering(dataset, p, tv, td, clustering_seed)?;
-                let spec = MethodSpec::Clusters { p, clustering: clustering.clone() };
+                let spec = MethodSpec::Clusters {
+                    p,
+                    clustering: clustering.clone(),
+                };
                 let eval_seed = config
                     .seed
                     .wrapping_add((p * 1_000.0) as u64)
                     .wrapping_mul(31)
                     .wrapping_add(tv as u64)
                     .wrapping_add((td * 100.0) as u64);
-                let summary = evaluate_method(dataset, &spec, TABLE1_SIGMA, config.runs, eval_seed)?;
+                let summary =
+                    evaluate_method(dataset, &spec, TABLE1_SIGMA, config.runs, eval_seed)?;
                 row.push(summary.median_relative);
                 cells.push(Cell {
                     p,
@@ -136,7 +144,11 @@ pub fn run_grid(
         title: title.to_string(),
         row_header: "p / Td".to_string(),
         row_labels,
-        col_labels: grid.max_combinations.iter().map(|tv| format!("Tv={tv}")).collect(),
+        col_labels: grid
+            .max_combinations
+            .iter()
+            .map(|tv| format!("Tv={tv}"))
+            .collect(),
         values,
     };
 
@@ -156,7 +168,11 @@ pub fn run_grid(
         }
     }
 
-    Ok(TableExperimentResult { cells, table, best_per_p })
+    Ok(TableExperimentResult {
+        cells,
+        table,
+        best_per_p,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +182,12 @@ mod tests {
     #[test]
     fn quick_grid_preserves_the_papers_qualitative_findings() {
         // Reduced grid: the two extreme p values, one Td, two Tv values.
-        let config = ExperimentConfig { records: 8_000, runs: 10, seed: 3, alpha: 0.05 };
+        let config = ExperimentConfig {
+            records: 8_000,
+            runs: 10,
+            seed: 3,
+            alpha: 0.05,
+        };
         let dataset = config.adult().unwrap();
         let grid = Grid {
             keep_probabilities: vec![0.1, 0.7],

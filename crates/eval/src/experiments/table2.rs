@@ -60,7 +60,12 @@ mod tests {
         // noisy, so this test isolates the size effect: it fixes one
         // clustering and evaluates the same RR-Clusters protocol on Adult
         // and on Adult4.
-        let config = ExperimentConfig { records: 6_000, runs: 12, seed: 9, alpha: 0.05 };
+        let config = ExperimentConfig {
+            records: 6_000,
+            runs: 12,
+            seed: 9,
+            alpha: 0.05,
+        };
         let adult = config.adult().unwrap();
         let adult4 = adult.repeat(4).unwrap();
         // One clustering, built once (on the larger data set, where the
@@ -79,7 +84,12 @@ mod tests {
 
     #[test]
     fn table2_title_mentions_the_repetition_count() {
-        let config = ExperimentConfig { records: 1_500, runs: 4, seed: 9, alpha: 0.05 };
+        let config = ExperimentConfig {
+            records: 1_500,
+            runs: 4,
+            seed: 9,
+            alpha: 0.05,
+        };
         let grid = Grid {
             keep_probabilities: vec![0.7],
             min_dependences: vec![0.3],

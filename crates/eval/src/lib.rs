@@ -11,6 +11,30 @@
 //!   (Figure 1, Figure 2, Table 1, Figure 3, Table 2), plus the Section 3.3
 //!   analytic accuracy comparison and the Proposition 1 covariance
 //!   attenuation check.
+//!
+//! ## Example
+//!
+//! Evaluate one method at reduced scale, exactly as the experiment binaries
+//! do:
+//!
+//! ```
+//! use mdrr_eval::{evaluate_method, ExperimentConfig, MethodSpec};
+//!
+//! let mut config = ExperimentConfig::quick();
+//! config.records = 1_000;
+//! config.runs = 4;
+//! let dataset = config.adult()?;
+//!
+//! let summary = evaluate_method(
+//!     &dataset,
+//!     &MethodSpec::Independent { p: 0.7 },
+//!     0.1,
+//!     config.runs,
+//!     config.seed,
+//! )?;
+//! assert!(summary.median_absolute >= 0.0);
+//! # Ok::<(), mdrr_protocols::ProtocolError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +44,9 @@ pub mod metrics;
 pub mod queries;
 pub mod report;
 
-pub use experiments::{build_clustering, evaluate_method, run_method_once, ExperimentConfig, MethodSpec};
+pub use experiments::{
+    build_clustering, evaluate_method, run_method_once, ExperimentConfig, MethodSpec,
+};
 pub use metrics::{absolute_error, median, quantile, relative_error, ErrorSummary};
 pub use queries::CountQuery;
 pub use report::{render_panel, render_table, FigurePanel, Series, TableResult};

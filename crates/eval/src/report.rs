@@ -24,8 +24,16 @@ impl Series {
     /// # Panics
     /// Panics if the lengths differ (a programming error in the harness).
     pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
-        assert_eq!(x.len(), y.len(), "series coordinates must have equal length");
-        Series { label: label.into(), x, y }
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "series coordinates must have equal length"
+        );
+        Series {
+            label: label.into(),
+            x,
+            y,
+        }
     }
 }
 
@@ -92,7 +100,11 @@ pub fn render_table(table: &TableResult) -> String {
 /// Renders a figure panel as a plain-text table (one column per series).
 pub fn render_panel(panel: &FigurePanel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{}  [{} vs {}]", panel.title, panel.y_label, panel.x_label);
+    let _ = writeln!(
+        out,
+        "{}  [{} vs {}]",
+        panel.title, panel.y_label, panel.x_label
+    );
     let width = 16usize;
     let _ = write!(out, "{:>10}", panel.x_label);
     for s in &panel.series {

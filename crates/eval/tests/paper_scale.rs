@@ -13,7 +13,12 @@ use mdrr_eval::experiments::{fig2, fig3, runner::MethodSpec, ExperimentConfig};
 use mdrr_eval::{build_clustering, evaluate_method};
 
 fn paper_config(runs: usize) -> ExperimentConfig {
-    ExperimentConfig { records: 32_561, runs, seed: 42, alpha: 0.05 }
+    ExperimentConfig {
+        records: 32_561,
+        runs,
+        seed: 42,
+        alpha: 0.05,
+    }
 }
 
 #[test]
@@ -21,10 +26,22 @@ fn paper_config(runs: usize) -> ExperimentConfig {
 fn rr_independent_beats_randomized_at_paper_scale() {
     let config = paper_config(20);
     let dataset = config.adult().unwrap();
-    let randomized =
-        evaluate_method(&dataset, &MethodSpec::Randomized { p: 0.7 }, 0.1, config.runs, 1).unwrap();
-    let corrected =
-        evaluate_method(&dataset, &MethodSpec::Independent { p: 0.7 }, 0.1, config.runs, 1).unwrap();
+    let randomized = evaluate_method(
+        &dataset,
+        &MethodSpec::Randomized { p: 0.7 },
+        0.1,
+        config.runs,
+        1,
+    )
+    .unwrap();
+    let corrected = evaluate_method(
+        &dataset,
+        &MethodSpec::Independent { p: 0.7 },
+        0.1,
+        config.runs,
+        1,
+    )
+    .unwrap();
     assert!(
         corrected.median_relative < randomized.median_relative,
         "RR-Ind {corrected:?} should beat Randomized {randomized:?}"
@@ -61,8 +78,14 @@ fn clusters_beat_independence_at_high_p_small_coverage() {
     let p = 0.7;
     let clustering = build_clustering(&dataset, p, 50, 0.1, 7).unwrap();
     eprintln!("clustering: {clustering:?}");
-    let independent =
-        evaluate_method(&dataset, &MethodSpec::Independent { p }, 0.1, config.runs, 3).unwrap();
+    let independent = evaluate_method(
+        &dataset,
+        &MethodSpec::Independent { p },
+        0.1,
+        config.runs,
+        3,
+    )
+    .unwrap();
     let clusters = evaluate_method(
         &dataset,
         &MethodSpec::Clusters { p, clustering },
@@ -87,9 +110,14 @@ fn error_decreases_with_keep_probability() {
     let mut errors = Vec::new();
     for p in [0.1, 0.3, 0.5, 0.7] {
         let clustering = build_clustering(&dataset, p, 50, 0.3, 11).unwrap();
-        let summary =
-            evaluate_method(&dataset, &MethodSpec::Clusters { p, clustering }, 0.1, config.runs, 5)
-                .unwrap();
+        let summary = evaluate_method(
+            &dataset,
+            &MethodSpec::Clusters { p, clustering },
+            0.1,
+            config.runs,
+            5,
+        )
+        .unwrap();
         eprintln!("p = {p}: {summary:?}");
         errors.push(summary.median_relative);
     }
@@ -98,11 +126,26 @@ fn error_decreases_with_keep_probability() {
     // ordering between p = 0.5 and p = 0.7 is within run-to-run noise at
     // this run count, exactly like neighbouring cells of the paper's
     // Table 1).
-    assert!(errors[0] > errors[1], "p = 0.1 ({}) should be worse than p = 0.3 ({})", errors[0], errors[1]);
+    assert!(
+        errors[0] > errors[1],
+        "p = 0.1 ({}) should be worse than p = 0.3 ({})",
+        errors[0],
+        errors[1]
+    );
     assert!(errors[0] > errors[2]);
     assert!(errors[0] > errors[3]);
-    assert!(errors[1] > errors[2], "p = 0.3 ({}) should be worse than p = 0.5 ({})", errors[1], errors[2]);
-    assert!(errors[1] > errors[3], "p = 0.3 ({}) should be worse than p = 0.7 ({})", errors[1], errors[3]);
+    assert!(
+        errors[1] > errors[2],
+        "p = 0.3 ({}) should be worse than p = 0.5 ({})",
+        errors[1],
+        errors[2]
+    );
+    assert!(
+        errors[1] > errors[3],
+        "p = 0.3 ({}) should be worse than p = 0.7 ({})",
+        errors[1],
+        errors[3]
+    );
 }
 
 #[test]
@@ -111,7 +154,11 @@ fn adjustment_and_clustering_help_at_high_p_small_coverage() {
     let config = paper_config(32);
     let result = fig3::run_with(
         &config,
-        &[fig3::PanelSpec { p: 0.7, tv: 50, td: 0.1 }],
+        &[fig3::PanelSpec {
+            p: 0.7,
+            tv: 50,
+            td: 0.1,
+        }],
         &[0.1, 0.2],
     )
     .unwrap();
@@ -124,9 +171,17 @@ fn adjustment_and_clustering_help_at_high_p_small_coverage() {
             .unwrap_or_else(|| panic!("missing series {needle}"))
     };
     let rr_ind = series("RR-Ind");
-    let rr_ind_adj = panel.series.iter().find(|s| s.label == "RR-Ind + RR-Adj").unwrap();
+    let rr_ind_adj = panel
+        .series
+        .iter()
+        .find(|s| s.label == "RR-Ind + RR-Adj")
+        .unwrap();
     let rr_cluster = series("RR-Cluster 50");
-    let rr_cluster_adj = panel.series.iter().find(|s| s.label.ends_with("+ RR_Adj")).unwrap();
+    let rr_cluster_adj = panel
+        .series
+        .iter()
+        .find(|s| s.label.ends_with("+ RR_Adj"))
+        .unwrap();
     for s in &panel.series {
         eprintln!("{}: {:?}", s.label, s.y);
     }

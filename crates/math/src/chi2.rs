@@ -19,10 +19,16 @@ use crate::special::{normal_quantile, regularized_gamma_p, regularized_gamma_q};
 /// Returns [`MathError::InvalidParameter`] when `df <= 0` or `x < 0`.
 pub fn chi2_cdf(x: f64, df: f64) -> Result<f64, MathError> {
     if !df.is_finite() || df <= 0.0 {
-        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+        return Err(MathError::invalid(
+            "df",
+            format!("degrees of freedom must be positive, got {df}"),
+        ));
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(MathError::invalid("x", format!("chi-squared argument must be non-negative, got {x}")));
+        return Err(MathError::invalid(
+            "x",
+            format!("chi-squared argument must be non-negative, got {x}"),
+        ));
     }
     regularized_gamma_p(df / 2.0, x / 2.0)
 }
@@ -34,10 +40,16 @@ pub fn chi2_cdf(x: f64, df: f64) -> Result<f64, MathError> {
 /// Same conditions as [`chi2_cdf`].
 pub fn chi2_sf(x: f64, df: f64) -> Result<f64, MathError> {
     if !df.is_finite() || df <= 0.0 {
-        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+        return Err(MathError::invalid(
+            "df",
+            format!("degrees of freedom must be positive, got {df}"),
+        ));
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(MathError::invalid("x", format!("chi-squared argument must be non-negative, got {x}")));
+        return Err(MathError::invalid(
+            "x",
+            format!("chi-squared argument must be non-negative, got {x}"),
+        ));
     }
     regularized_gamma_q(df / 2.0, x / 2.0)
 }
@@ -56,10 +68,16 @@ pub fn chi2_sf(x: f64, df: f64) -> Result<f64, MathError> {
 /// valid inputs).
 pub fn chi2_quantile(q: f64, df: f64) -> Result<f64, MathError> {
     if !df.is_finite() || df <= 0.0 {
-        return Err(MathError::invalid("df", format!("degrees of freedom must be positive, got {df}")));
+        return Err(MathError::invalid(
+            "df",
+            format!("degrees of freedom must be positive, got {df}"),
+        ));
     }
     if !(0.0..1.0).contains(&q) {
-        return Err(MathError::invalid("q", format!("quantile level must lie in [0, 1), got {q}")));
+        return Err(MathError::invalid(
+            "q",
+            format!("quantile level must lie in [0, 1), got {q}"),
+        ));
     }
     if q == 0.0 {
         return Ok(0.0);
@@ -85,7 +103,10 @@ pub fn chi2_quantile(q: f64, df: f64) -> Result<f64, MathError> {
     while chi2_cdf(hi, df)? < q {
         hi *= 2.0;
         if hi > 1e12 {
-            return Err(MathError::NoConvergence { routine: "chi2_quantile (bracket)", iterations: 0 });
+            return Err(MathError::NoConvergence {
+                routine: "chi2_quantile (bracket)",
+                iterations: 0,
+            });
         }
     }
 
@@ -111,7 +132,10 @@ pub fn chi2_quantile(q: f64, df: f64) -> Result<f64, MathError> {
             return Ok(x);
         }
     }
-    Err(MathError::NoConvergence { routine: "chi2_quantile", iterations: 200 })
+    Err(MathError::NoConvergence {
+        routine: "chi2_quantile",
+        iterations: 200,
+    })
 }
 
 /// Probability density function of the χ² distribution.
@@ -120,7 +144,8 @@ pub fn chi2_pdf(x: f64, df: f64) -> f64 {
         return 0.0;
     }
     let half = df / 2.0;
-    let ln_pdf = (half - 1.0) * x.ln() - x / 2.0
+    let ln_pdf = (half - 1.0) * x.ln()
+        - x / 2.0
         - half * std::f64::consts::LN_2
         - crate::special::ln_gamma(half).unwrap_or(f64::INFINITY);
     ln_pdf.exp()
@@ -139,10 +164,16 @@ pub fn chi2_pdf(x: f64, df: f64) -> f64 {
 /// `r == 0`.
 pub fn b_factor(alpha: f64, r: usize) -> Result<f64, MathError> {
     if r == 0 {
-        return Err(MathError::invalid("r", "number of categories must be positive"));
+        return Err(MathError::invalid(
+            "r",
+            "number of categories must be positive",
+        ));
     }
     if !(alpha > 0.0 && alpha <= 1.0) {
-        return Err(MathError::invalid("alpha", format!("confidence level must lie in (0, 1], got {alpha}")));
+        return Err(MathError::invalid(
+            "alpha",
+            format!("confidence level must lie in (0, 1], got {alpha}"),
+        ));
     }
     let tail = alpha / r as f64;
     chi2_quantile(1.0 - tail, 1.0)
@@ -203,10 +234,26 @@ mod tests {
     #[test]
     fn quantile_known_values() {
         // Standard table values.
-        assert_close(chi2_quantile(0.95, 1.0).unwrap(), 3.841_458_820_694_124, 1e-7);
-        assert_close(chi2_quantile(0.95, 2.0).unwrap(), 5.991_464_547_107_979, 1e-7);
-        assert_close(chi2_quantile(0.99, 1.0).unwrap(), 6.634_896_601_021_213, 1e-7);
-        assert_close(chi2_quantile(0.975, 10.0).unwrap(), 20.483_177_350_807_43, 1e-6);
+        assert_close(
+            chi2_quantile(0.95, 1.0).unwrap(),
+            3.841_458_820_694_124,
+            1e-7,
+        );
+        assert_close(
+            chi2_quantile(0.95, 2.0).unwrap(),
+            5.991_464_547_107_979,
+            1e-7,
+        );
+        assert_close(
+            chi2_quantile(0.99, 1.0).unwrap(),
+            6.634_896_601_021_213,
+            1e-7,
+        );
+        assert_close(
+            chi2_quantile(0.975, 10.0).unwrap(),
+            20.483_177_350_807_43,
+            1e-6,
+        );
         assert_close(chi2_quantile(0.0, 5.0).unwrap(), 0.0, 0.0);
     }
 
@@ -227,8 +274,14 @@ mod tests {
         let alpha = 0.05;
         let sqrt_b_small = b_factor(alpha, 2).unwrap().sqrt();
         let sqrt_b_large = b_factor(alpha, 100_000).unwrap().sqrt();
-        assert!(sqrt_b_small > 2.2 && sqrt_b_small < 2.4, "got {sqrt_b_small}");
-        assert!(sqrt_b_large > 4.5 && sqrt_b_large < 5.1, "got {sqrt_b_large}");
+        assert!(
+            sqrt_b_small > 2.2 && sqrt_b_small < 2.4,
+            "got {sqrt_b_small}"
+        );
+        assert!(
+            sqrt_b_large > 4.5 && sqrt_b_large < 5.1,
+            "got {sqrt_b_large}"
+        );
         // Monotone increase in r.
         let mut prev = 0.0;
         for r in [2usize, 10, 100, 1_000, 10_000, 100_000] {

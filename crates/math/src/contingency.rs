@@ -33,9 +33,17 @@ impl ContingencyTable {
     /// Returns [`MathError::InvalidParameter`] if either cardinality is zero.
     pub fn new(rows: usize, cols: usize) -> Result<Self, MathError> {
         if rows == 0 || cols == 0 {
-            return Err(MathError::invalid("dimensions", "contingency table must have at least one row and one column"));
+            return Err(MathError::invalid(
+                "dimensions",
+                "contingency table must have at least one row and one column",
+            ));
         }
-        Ok(ContingencyTable { rows, cols, counts: vec![0.0; rows * cols], total: 0.0 })
+        Ok(ContingencyTable {
+            rows,
+            cols,
+            counts: vec![0.0; rows * cols],
+            total: 0.0,
+        })
     }
 
     /// Builds a table from paired category codes.  `xs[i]` and `ys[i]` are
@@ -46,7 +54,12 @@ impl ContingencyTable {
     /// * [`MathError::DimensionMismatch`] if the two columns differ in length.
     /// * [`MathError::InvalidParameter`] if a code is out of range or a
     ///   cardinality is zero.
-    pub fn from_codes(xs: &[u32], ys: &[u32], x_card: usize, y_card: usize) -> Result<Self, MathError> {
+    pub fn from_codes(
+        xs: &[u32],
+        ys: &[u32],
+        x_card: usize,
+        y_card: usize,
+    ) -> Result<Self, MathError> {
         if xs.len() != ys.len() {
             return Err(MathError::DimensionMismatch {
                 context: "contingency from_codes".to_string(),
@@ -85,7 +98,10 @@ impl ContingencyTable {
         let mut table = ContingencyTable::new(x_card, y_card)?;
         for ((&x, &y), &w) in xs.iter().zip(ys.iter()).zip(weights.iter()) {
             if w < 0.0 {
-                return Err(MathError::invalid("weights", format!("weights must be non-negative, got {w}")));
+                return Err(MathError::invalid(
+                    "weights",
+                    format!("weights must be non-negative, got {w}"),
+                ));
             }
             table.add(x as usize, y as usize, w)?;
         }
@@ -101,7 +117,10 @@ impl ContingencyTable {
         if row >= self.rows || col >= self.cols {
             return Err(MathError::invalid(
                 "cell",
-                format!("cell ({row}, {col}) outside a {}x{} table", self.rows, self.cols),
+                format!(
+                    "cell ({row}, {col}) outside a {}x{} table",
+                    self.rows, self.cols
+                ),
             ));
         }
         self.counts[row * self.cols + col] += weight;
@@ -124,7 +143,10 @@ impl ContingencyTable {
     /// # Panics
     /// Panics if the indices are out of bounds.
     pub fn count(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "contingency index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "contingency index out of bounds"
+        );
         self.counts[row * self.cols + col]
     }
 
@@ -135,19 +157,18 @@ impl ContingencyTable {
 
     /// Marginal totals of the row attribute.
     pub fn row_totals(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            out[r] = self.counts[r * self.cols..(r + 1) * self.cols].iter().sum();
-        }
-        out
+        self.counts
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().sum())
+            .collect()
     }
 
     /// Marginal totals of the column attribute.
     pub fn col_totals(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.counts[r * self.cols + c];
+        for row in self.counts.chunks_exact(self.cols) {
+            for (total, count) in out.iter_mut().zip(row) {
+                *total += count;
             }
         }
         out
@@ -173,13 +194,12 @@ impl ContingencyTable {
         let row_totals = self.row_totals();
         let col_totals = self.col_totals();
         let mut stat = 0.0;
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                let expected = row_totals[r] * col_totals[c] / self.total;
+        for (row_total, row) in row_totals.iter().zip(self.counts.chunks_exact(self.cols)) {
+            for (col_total, observed) in col_totals.iter().zip(row) {
+                let expected = row_total * col_total / self.total;
                 if expected <= 0.0 {
                     continue;
                 }
-                let observed = self.counts[r * self.cols + c];
                 let diff = observed - expected;
                 stat += diff * diff / expected;
             }
@@ -200,7 +220,9 @@ impl ContingencyTable {
         // columns would otherwise deflate V on sparse tables.
         let effective_rows = self.row_totals().iter().filter(|&&t| t > 0.0).count();
         let effective_cols = self.col_totals().iter().filter(|&&t| t > 0.0).count();
-        let denom_dim = effective_rows.saturating_sub(1).min(effective_cols.saturating_sub(1));
+        let denom_dim = effective_rows
+            .saturating_sub(1)
+            .min(effective_cols.saturating_sub(1));
         if denom_dim == 0 {
             return 0.0;
         }

@@ -15,7 +15,10 @@ use crate::error::MathError;
 /// Returns [`MathError::InvalidParameter`] when the sample is empty.
 pub fn mean(sample: &[f64]) -> Result<f64, MathError> {
     if sample.is_empty() {
-        return Err(MathError::invalid("sample", "mean of an empty sample is undefined"));
+        return Err(MathError::invalid(
+            "sample",
+            "mean of an empty sample is undefined",
+        ));
     }
     Ok(sample.iter().sum::<f64>() / sample.len() as f64)
 }
@@ -40,7 +43,10 @@ pub fn variance(sample: &[f64]) -> Result<f64, MathError> {
 /// [`MathError::DimensionMismatch`] when their lengths differ.
 pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, MathError> {
     if xs.is_empty() || ys.is_empty() {
-        return Err(MathError::invalid("sample", "covariance of an empty sample is undefined"));
+        return Err(MathError::invalid(
+            "sample",
+            "covariance of an empty sample is undefined",
+        ));
     }
     if xs.len() != ys.len() {
         return Err(MathError::DimensionMismatch {
@@ -51,7 +57,11 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64, MathError> {
     }
     let mx = mean(xs)?;
     let my = mean(ys)?;
-    let acc: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let acc: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
     Ok(acc / xs.len() as f64)
 }
 
@@ -185,7 +195,11 @@ mod tests {
             pearson_correlation(&xf, &yf).unwrap(),
             1e-15,
         );
-        assert_close(covariance_codes(&xs, &ys).unwrap(), covariance(&xf, &yf).unwrap(), 1e-15);
+        assert_close(
+            covariance_codes(&xs, &ys).unwrap(),
+            covariance(&xf, &yf).unwrap(),
+            1e-15,
+        );
     }
 
     #[test]

@@ -40,19 +40,32 @@ pub enum MathError {
 impl fmt::Display for MathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MathError::DimensionMismatch { context, left, right } => write!(
+            MathError::DimensionMismatch {
+                context,
+                left,
+                right,
+            } => write!(
                 f,
                 "dimension mismatch in {context}: {}x{} vs {}x{}",
                 left.0, left.1, right.0, right.1
             ),
             MathError::SingularMatrix { pivot } => {
-                write!(f, "matrix is singular (elimination failed at pivot column {pivot})")
+                write!(
+                    f,
+                    "matrix is singular (elimination failed at pivot column {pivot})"
+                )
             }
             MathError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
-            MathError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} failed to converge after {iterations} iterations")
+            MathError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -63,7 +76,10 @@ impl std::error::Error for MathError {}
 impl MathError {
     /// Convenience constructor for [`MathError::InvalidParameter`].
     pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
-        MathError::InvalidParameter { name, message: message.into() }
+        MathError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 }
 
@@ -99,7 +115,10 @@ mod tests {
 
     #[test]
     fn display_no_convergence() {
-        let err = MathError::NoConvergence { routine: "chi2_quantile", iterations: 200 };
+        let err = MathError::NoConvergence {
+            routine: "chi2_quantile",
+            iterations: 200,
+        };
         assert!(err.to_string().contains("chi2_quantile"));
         assert!(err.to_string().contains("200"));
     }

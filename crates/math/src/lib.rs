@@ -20,6 +20,28 @@
 //!
 //! The crate is deliberately free of `unsafe` and free of heavyweight
 //! dependencies so it can be audited in isolation.
+//!
+//! ## Example
+//!
+//! Invert a uniform-perturbation randomization matrix and project an
+//! improper estimate back onto the simplex:
+//!
+//! ```
+//! use mdrr_math::{project_clamp_rescale, is_probability_vector, Matrix};
+//! use mdrr_math::linsolve::invert;
+//!
+//! // P = 0.7·I + 0.1·J is the "keep with probability 0.7" matrix on 3
+//! // categories; its inverse recovers true frequencies from reported ones.
+//! let p = Matrix::from_fn(3, 3, |i, j| if i == j { 0.8 } else { 0.1 });
+//! let p_inv = invert(&p)?;
+//! let product = p.matmul(&p_inv)?;
+//! assert!(product.approx_eq(&Matrix::identity(3), 1e-10));
+//!
+//! // Estimates leaving the simplex are clamped and rescaled (Section 6.4).
+//! let proper = project_clamp_rescale(&[0.8, 0.3, -0.1])?;
+//! assert!(is_probability_vector(&proper, 1e-12));
+//! # Ok::<(), mdrr_math::MathError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -140,8 +140,8 @@ pub fn solve(matrix: &Matrix, b: &[f64]) -> Result<Vec<f64>, MathError> {
     // Back substitution.
     for col in (0..n).rev() {
         let mut acc = x[col];
-        for j in (col + 1)..n {
-            acc -= a.get(col, j) * x[j];
+        for (j, x_j) in x.iter().enumerate().take(n).skip(col + 1) {
+            acc -= a.get(col, j) * x_j;
         }
         x[col] = acc / a.get(col, col);
     }
@@ -162,7 +162,13 @@ pub fn solve(matrix: &Matrix, b: &[f64]) -> Result<Vec<f64>, MathError> {
 /// [`MathError::InvalidParameter`] when `r == 0`.
 pub fn invert_uniform_perturbation(a: f64, b: f64, r: usize) -> Result<Matrix, MathError> {
     let (inv_diag, inv_off) = uniform_perturbation_inverse_entries(a, b, r)?;
-    Ok(Matrix::from_fn(r, r, |i, j| if i == j { inv_diag } else { inv_off }))
+    Ok(Matrix::from_fn(r, r, |i, j| {
+        if i == j {
+            inv_diag
+        } else {
+            inv_off
+        }
+    }))
 }
 
 /// Returns the `(diagonal, off_diagonal)` entries of the inverse of
@@ -290,7 +296,10 @@ mod tests {
     #[test]
     fn invert_rejects_non_square() {
         let m = Matrix::zeros(2, 3);
-        assert!(matches!(invert(&m), Err(MathError::DimensionMismatch { .. })));
+        assert!(matches!(
+            invert(&m),
+            Err(MathError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -303,8 +312,12 @@ mod tests {
 
     #[test]
     fn solve_matches_inverse() {
-        let m = Matrix::from_rows(&[vec![3.0, 1.0, 2.0], vec![1.0, 4.0, 0.5], vec![2.0, 0.5, 5.0]])
-            .unwrap();
+        let m = Matrix::from_rows(&[
+            vec![3.0, 1.0, 2.0],
+            vec![1.0, 4.0, 0.5],
+            vec![2.0, 0.5, 5.0],
+        ])
+        .unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let x = solve(&m, &b).unwrap();
         let via_inverse = invert(&m).unwrap().matvec(&b).unwrap();
@@ -351,7 +364,10 @@ mod tests {
         let b = (1.0 - p) / r as f64;
         let v: Vec<f64> = (0..r).map(|i| (i as f64 + 1.0) / 10.0).collect();
         let fast = solve_uniform_perturbation(a, b, &v).unwrap();
-        let slow = invert_uniform_perturbation(a, b, r).unwrap().matvec(&v).unwrap();
+        let slow = invert_uniform_perturbation(a, b, r)
+            .unwrap()
+            .matvec(&v)
+            .unwrap();
         for (x, y) in fast.iter().zip(slow.iter()) {
             assert!((x - y).abs() < 1e-10);
         }

@@ -27,7 +27,11 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
-        Matrix { rows, cols, data: vec![0.0; len] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -42,7 +46,11 @@ impl Matrix {
     /// Creates a matrix where every entry equals `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
-        Matrix { rows, cols, data: vec![value; len] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a matrix from a function of `(row, col)`.
@@ -64,7 +72,10 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MathError> {
         let nrows = rows.len();
         if nrows == 0 {
-            return Err(MathError::invalid("rows", "matrix must have at least one row"));
+            return Err(MathError::invalid(
+                "rows",
+                "matrix must have at least one row",
+            ));
         }
         let ncols = rows[0].len();
         for (i, r) in rows.iter().enumerate() {
@@ -80,7 +91,11 @@ impl Matrix {
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: nrows, cols: ncols, data })
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// Creates a square diagonal matrix from the given diagonal entries.
@@ -117,7 +132,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -127,7 +145,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -219,14 +240,14 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
+        let mut out = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += a * b;
             }
-            out[i] = acc;
+            out.push(acc);
         }
         Ok(out)
     }
@@ -284,7 +305,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(a, b)| a + b)
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Maximum absolute difference between two matrices of equal shape.
@@ -427,7 +452,10 @@ mod tests {
     fn matmul_dimension_mismatch() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(MathError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MathError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub fn project_clamp_rescale(v: &[f64]) -> Result<Vec<f64>, MathError> {
         return Err(MathError::invalid("v", "cannot project an empty vector"));
     }
     if v.iter().any(|x| !x.is_finite()) {
-        return Err(MathError::invalid("v", "vector contains non-finite entries"));
+        return Err(MathError::invalid(
+            "v",
+            "vector contains non-finite entries",
+        ));
     }
     let clamped: Vec<f64> = v.iter().map(|&x| x.max(0.0)).collect();
     let sum: f64 = clamped.iter().sum();
@@ -69,7 +72,11 @@ pub fn l1_distance(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
 /// Returns [`MathError::DimensionMismatch`] if the lengths differ.
 pub fn l2_distance(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
     check_lengths(a, b, "l2_distance")?;
-    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt())
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
 }
 
 /// Total-variation distance `½ Σ |a_i − b_i|` between two distributions.
@@ -90,7 +97,10 @@ pub fn normalize(v: &[f64]) -> Result<Vec<f64>, MathError> {
         return Err(MathError::invalid("v", "cannot normalize an empty vector"));
     }
     if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
-        return Err(MathError::invalid("v", "vector must be non-negative and finite"));
+        return Err(MathError::invalid(
+            "v",
+            "vector must be non-negative and finite",
+        ));
     }
     let sum: f64 = v.iter().sum();
     if sum <= 0.0 {
@@ -174,7 +184,11 @@ mod tests {
         let b = [0.25, 0.25, 0.5];
         assert_close(l1_distance(&a, &b).unwrap(), 1.0, 1e-15);
         assert_close(total_variation_distance(&a, &b).unwrap(), 0.5, 1e-15);
-        assert_close(l2_distance(&a, &b).unwrap(), (0.0625f64 + 0.0625 + 0.25).sqrt(), 1e-15);
+        assert_close(
+            l2_distance(&a, &b).unwrap(),
+            (0.0625f64 + 0.0625 + 0.25).sqrt(),
+            1e-15,
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ const LANCZOS_COEFFS: [f64; 9] = [
 /// arguments.
 pub fn ln_gamma(x: f64) -> Result<f64, MathError> {
     if !x.is_finite() || x <= 0.0 {
-        return Err(MathError::invalid("x", format!("ln_gamma requires x > 0, got {x}")));
+        return Err(MathError::invalid(
+            "x",
+            format!("ln_gamma requires x > 0, got {x}"),
+        ));
     }
     Ok(ln_gamma_unchecked(x))
 }
@@ -75,10 +78,16 @@ fn ln_gamma_unchecked(x: f64) -> f64 {
 /// converge (does not happen for sane arguments).
 pub fn regularized_gamma_p(a: f64, x: f64) -> Result<f64, MathError> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(MathError::invalid("a", format!("shape must be positive, got {a}")));
+        return Err(MathError::invalid(
+            "a",
+            format!("shape must be positive, got {a}"),
+        ));
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(MathError::invalid("x", format!("argument must be non-negative, got {x}")));
+        return Err(MathError::invalid(
+            "x",
+            format!("argument must be non-negative, got {x}"),
+        ));
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -98,10 +107,16 @@ pub fn regularized_gamma_p(a: f64, x: f64) -> Result<f64, MathError> {
 /// Same conditions as [`regularized_gamma_p`].
 pub fn regularized_gamma_q(a: f64, x: f64) -> Result<f64, MathError> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(MathError::invalid("a", format!("shape must be positive, got {a}")));
+        return Err(MathError::invalid(
+            "a",
+            format!("shape must be positive, got {a}"),
+        ));
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(MathError::invalid("x", format!("argument must be non-negative, got {x}")));
+        return Err(MathError::invalid(
+            "x",
+            format!("argument must be non-negative, got {x}"),
+        ));
     }
     if x == 0.0 {
         return Ok(1.0);
@@ -130,7 +145,10 @@ fn gamma_p_series(a: f64, x: f64) -> Result<f64, MathError> {
             return Ok(sum * (-x + a * x.ln() - ln_ga).exp());
         }
     }
-    Err(MathError::NoConvergence { routine: "regularized_gamma_p (series)", iterations: MAX_ITERATIONS })
+    Err(MathError::NoConvergence {
+        routine: "regularized_gamma_p (series)",
+        iterations: MAX_ITERATIONS,
+    })
 }
 
 fn gamma_q_continued_fraction(a: f64, x: f64) -> Result<f64, MathError> {
@@ -206,7 +224,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// Returns [`MathError::InvalidParameter`] when `p` lies outside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> Result<f64, MathError> {
     if !(p > 0.0 && p < 1.0) {
-        return Err(MathError::invalid("p", format!("probability must lie in (0, 1), got {p}")));
+        return Err(MathError::invalid(
+            "p",
+            format!("probability must lie in (0, 1), got {p}"),
+        ));
     }
 
     // Coefficients of Acklam's approximation.
@@ -285,7 +306,11 @@ mod tests {
         assert_close(ln_gamma(1.0).unwrap(), 0.0, 1e-12);
         assert_close(ln_gamma(2.0).unwrap(), 0.0, 1e-12);
         assert_close(ln_gamma(5.0).unwrap(), 24.0f64.ln(), 1e-12);
-        assert_close(ln_gamma(0.5).unwrap(), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        assert_close(
+            ln_gamma(0.5).unwrap(),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12,
+        );
         // Γ(10) = 362880
         assert_close(ln_gamma(10.0).unwrap(), 362_880.0f64.ln(), 1e-10);
     }
@@ -313,7 +338,11 @@ mod tests {
         assert_close(regularized_gamma_q(1.0, 0.0).unwrap(), 1.0, 0.0);
         // For a = 1, P(1, x) = 1 − e^{−x}.
         for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
-            assert_close(regularized_gamma_p(1.0, x).unwrap(), 1.0 - (-x).exp(), 1e-12);
+            assert_close(
+                regularized_gamma_p(1.0, x).unwrap(),
+                1.0 - (-x).exp(),
+                1e-12,
+            );
         }
     }
 
@@ -391,7 +420,11 @@ mod tests {
 
     #[test]
     fn normal_pdf_is_symmetric_and_normalized_at_zero() {
-        assert_close(normal_pdf(0.0), 1.0 / (2.0 * std::f64::consts::PI).sqrt(), 1e-15);
+        assert_close(
+            normal_pdf(0.0),
+            1.0 / (2.0 * std::f64::consts::PI).sqrt(),
+            1e-15,
+        );
         assert_close(normal_pdf(1.3), normal_pdf(-1.3), 1e-15);
     }
 }

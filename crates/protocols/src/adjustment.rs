@@ -43,17 +43,24 @@ impl AdjustmentTarget {
     /// Returns [`ProtocolError::InvalidConfiguration`] otherwise.
     pub fn new(attributes: Vec<usize>, distribution: Vec<f64>) -> Result<Self, ProtocolError> {
         if attributes.is_empty() {
-            return Err(ProtocolError::config("adjustment target needs at least one attribute"));
+            return Err(ProtocolError::config(
+                "adjustment target needs at least one attribute",
+            ));
         }
         if distribution.is_empty() {
-            return Err(ProtocolError::config("adjustment target needs a non-empty distribution"));
+            return Err(ProtocolError::config(
+                "adjustment target needs a non-empty distribution",
+            ));
         }
         if !mdrr_math::is_probability_vector(&distribution, 1e-6) {
             return Err(ProtocolError::config(
                 "adjustment target distribution must be a probability vector",
             ));
         }
-        Ok(AdjustmentTarget { attributes, distribution })
+        Ok(AdjustmentTarget {
+            attributes,
+            distribution,
+        })
     }
 
     /// One target per attribute, taken from an RR-Independent release
@@ -63,7 +70,10 @@ impl AdjustmentTarget {
             .marginals()
             .iter()
             .enumerate()
-            .map(|(j, marginal)| AdjustmentTarget { attributes: vec![j], distribution: marginal.clone() })
+            .map(|(j, marginal)| AdjustmentTarget {
+                attributes: vec![j],
+                distribution: marginal.clone(),
+            })
             .collect()
     }
 
@@ -73,7 +83,9 @@ impl AdjustmentTarget {
     /// # Errors
     /// Propagates errors from reading the release's cluster distributions
     /// (cannot happen for a well-formed release).
-    pub fn from_clusters(release: &ClustersRelease) -> Result<Vec<AdjustmentTarget>, ProtocolError> {
+    pub fn from_clusters(
+        release: &ClustersRelease,
+    ) -> Result<Vec<AdjustmentTarget>, ProtocolError> {
         let mut targets = Vec::with_capacity(release.clustering().len());
         for (k, cluster) in release.clustering().clusters().iter().enumerate() {
             targets.push(AdjustmentTarget {
@@ -97,7 +109,10 @@ pub struct AdjustmentConfig {
 
 impl Default for AdjustmentConfig {
     fn default() -> Self {
-        AdjustmentConfig { max_iterations: 50, tolerance: 1e-9 }
+        AdjustmentConfig {
+            max_iterations: 50,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -111,10 +126,13 @@ impl AdjustmentConfig {
         if max_iterations == 0 {
             return Err(ProtocolError::config("max_iterations must be positive"));
         }
-        if !(tolerance > 0.0) {
+        if tolerance <= 0.0 || tolerance.is_nan() {
             return Err(ProtocolError::config("tolerance must be positive"));
         }
-        Ok(AdjustmentConfig { max_iterations, tolerance })
+        Ok(AdjustmentConfig {
+            max_iterations,
+            tolerance,
+        })
     }
 }
 
@@ -172,7 +190,9 @@ impl FrequencyEstimator for AdjustedRelease {
         let mut columns = Vec::with_capacity(assignment.len());
         for &(attribute, code) in assignment {
             if attribute >= schema.len() {
-                return Err(ProtocolError::unsupported(format!("attribute index {attribute} out of range")));
+                return Err(ProtocolError::unsupported(format!(
+                    "attribute index {attribute} out of range"
+                )));
             }
             if code as usize >= schema.attribute(attribute)?.cardinality() {
                 return Err(ProtocolError::unsupported(format!(
@@ -219,7 +239,9 @@ pub fn rr_adjustment(
         return Err(ProtocolError::config("cannot adjust an empty dataset"));
     }
     if targets.is_empty() {
-        return Err(ProtocolError::config("at least one adjustment target is required"));
+        return Err(ProtocolError::config(
+            "at least one adjustment target is required",
+        ));
     }
 
     // Pre-compute each target's joint codes over the randomized data set.
@@ -279,7 +301,12 @@ pub fn rr_adjustment(
         }
     }
 
-    Ok(AdjustedRelease { randomized: randomized.clone(), weights, iterations, converged })
+    Ok(AdjustedRelease {
+        randomized: randomized.clone(),
+        weights,
+        iterations,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -331,7 +358,10 @@ mod tests {
         assert!(rr_adjustment(&Dataset::empty(two_binary_schema()), &[], config).is_err());
         assert!(rr_adjustment(&ds, &[], config).is_err());
         // Distribution length must match the group's domain.
-        let bad = AdjustmentTarget { attributes: vec![0], distribution: vec![0.3, 0.3, 0.4] };
+        let bad = AdjustmentTarget {
+            attributes: vec![0],
+            distribution: vec![0.3, 0.3, 0.4],
+        };
         assert!(rr_adjustment(&ds, &[bad], config).is_err());
     }
 
@@ -422,7 +452,10 @@ mod tests {
         let dist = release.weighted_distribution(&[0, 1]).unwrap();
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(dist[1], 0.0, "unreachable cell keeps zero weight");
-        assert!(dist[0] > dist[2], "reachable cells follow the target ordering");
+        assert!(
+            dist[0] > dist[2],
+            "reachable cells follow the target ordering"
+        );
     }
 
     #[test]
@@ -443,7 +476,8 @@ mod tests {
             AdjustmentTarget::new(vec![0], vec![0.5, 0.5]).unwrap(),
             AdjustmentTarget::new(vec![1], vec![0.5, 0.5]).unwrap(),
         ];
-        let release = rr_adjustment(&ds, &targets, AdjustmentConfig::new(1, 1e-15).unwrap()).unwrap();
+        let release =
+            rr_adjustment(&ds, &targets, AdjustmentConfig::new(1, 1e-15).unwrap()).unwrap();
         assert_eq!(release.iterations(), 1);
         assert!(!release.converged());
     }

@@ -36,7 +36,9 @@ impl DependenceMatrix {
     /// Returns [`ProtocolError::InvalidConfiguration`] if `m == 0`.
     pub fn identity(m: usize) -> Result<Self, ProtocolError> {
         if m == 0 {
-            return Err(ProtocolError::config("dependence matrix needs at least one attribute"));
+            return Err(ProtocolError::config(
+                "dependence matrix needs at least one attribute",
+            ));
         }
         let mut values = vec![0.0; m * m];
         for i in 0..m {
@@ -174,12 +176,16 @@ impl Clustering {
                 )));
             }
             if seen[attr] {
-                return Err(ProtocolError::config(format!("attribute {attr} appears in two clusters")));
+                return Err(ProtocolError::config(format!(
+                    "attribute {attr} appears in two clusters"
+                )));
             }
             seen[attr] = true;
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(ProtocolError::config(format!("attribute {missing} is not covered by any cluster")));
+            return Err(ProtocolError::config(format!(
+                "attribute {missing} is not covered by any cluster"
+            )));
         }
         Ok(Clustering { clusters })
     }
@@ -193,7 +199,9 @@ impl Clustering {
         if m == 0 {
             return Err(ProtocolError::config("at least one attribute is required"));
         }
-        Ok(Clustering { clusters: (0..m).map(|i| vec![i]).collect() })
+        Ok(Clustering {
+            clusters: (0..m).map(|i| vec![i]).collect(),
+        })
     }
 
     /// The clusters, each a sorted list of attribute indices.
@@ -260,14 +268,19 @@ impl ClusteringConfig {
     /// `max_combinations == 0` or `min_dependence ∉ [0, 1]`.
     pub fn new(max_combinations: usize, min_dependence: f64) -> Result<Self, ProtocolError> {
         if max_combinations == 0 {
-            return Err(ProtocolError::config("Tv (max combinations per cluster) must be positive"));
+            return Err(ProtocolError::config(
+                "Tv (max combinations per cluster) must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&min_dependence) {
             return Err(ProtocolError::config(format!(
                 "Td (minimum dependence) must lie in [0, 1], got {min_dependence}"
             )));
         }
-        Ok(ClusteringConfig { max_combinations, min_dependence })
+        Ok(ClusteringConfig {
+            max_combinations,
+            min_dependence,
+        })
     }
 }
 
@@ -387,7 +400,9 @@ mod tests {
         let c = dep_from_pairs(3, &[(0, 1, 0.1), (0, 2, 0.5), (1, 2, 0.9)]);
         assert_eq!(a.ranking_agreement(&c).unwrap(), 0.0);
         // Size mismatch is an error.
-        assert!(a.ranking_agreement(&DependenceMatrix::identity(4).unwrap()).is_err());
+        assert!(a
+            .ranking_agreement(&DependenceMatrix::identity(4).unwrap())
+            .is_err());
     }
 
     #[test]
@@ -451,7 +466,8 @@ mod tests {
         let d = dep_from_pairs(3, &[(0, 1, 0.15), (1, 2, 0.05)]);
         let cards = [2usize, 2, 2];
         // Td = 0.2: nothing merges.
-        let none = cluster_attributes(&d, &cards, ClusteringConfig::new(100, 0.2).unwrap()).unwrap();
+        let none =
+            cluster_attributes(&d, &cards, ClusteringConfig::new(100, 0.2).unwrap()).unwrap();
         assert_eq!(none.len(), 3);
         // Td = 0.1: only the 0-1 pair merges.
         let one = cluster_attributes(&d, &cards, ClusteringConfig::new(100, 0.1).unwrap()).unwrap();
@@ -491,7 +507,13 @@ mod tests {
     fn algorithm_1_result_is_a_partition_and_respects_tv_globally() {
         let d = dep_from_pairs(
             5,
-            &[(0, 1, 0.7), (1, 2, 0.6), (2, 3, 0.5), (3, 4, 0.4), (0, 4, 0.3)],
+            &[
+                (0, 1, 0.7),
+                (1, 2, 0.6),
+                (2, 3, 0.5),
+                (3, 4, 0.4),
+                (0, 4, 0.3),
+            ],
         );
         let cards = [3usize, 3, 3, 3, 3];
         let config = ClusteringConfig::new(27, 0.2).unwrap();

@@ -16,7 +16,9 @@
 use crate::clustering::Clustering;
 use crate::error::ProtocolError;
 use crate::estimator::{Assignment, FrequencyEstimator};
-use mdrr_core::{empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix};
+use mdrr_core::{
+    empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix,
+};
 use mdrr_data::{Dataset, JointDomain, Schema};
 use rand::Rng;
 
@@ -55,15 +57,22 @@ impl RRClusters {
         let mut domains = Vec::with_capacity(clustering.len());
         let mut matrices = Vec::with_capacity(clustering.len());
         for cluster in clustering.clusters() {
-            let cards: Vec<usize> =
-                cluster.iter().map(|&a| schema.attribute(a).map(|attr| attr.cardinality())).collect::<Result<_, _>>()?;
+            let cards: Vec<usize> = cluster
+                .iter()
+                .map(|&a| schema.attribute(a).map(|attr| attr.cardinality()))
+                .collect::<Result<_, _>>()?;
             let domain = JointDomain::new(&cards)?;
             let cluster_epsilons: Vec<f64> = cluster.iter().map(|&a| epsilons[a]).collect();
             let matrix = RRMatrix::cluster_from_epsilons(&cluster_epsilons, domain.size())?;
             domains.push(domain);
             matrices.push(matrix);
         }
-        Ok(RRClusters { schema, clustering, domains, matrices })
+        Ok(RRClusters {
+            schema,
+            clustering,
+            domains,
+            matrices,
+        })
     }
 
     /// Convenience constructor for the paper's experiments: the
@@ -80,7 +89,9 @@ impl RRClusters {
         p: f64,
     ) -> Result<Self, ProtocolError> {
         if !(0.0..=1.0).contains(&p) {
-            return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+            return Err(ProtocolError::config(format!(
+                "keep probability must lie in [0, 1], got {p}"
+            )));
         }
         let epsilons: Vec<f64> = schema
             .attributes()
@@ -108,20 +119,29 @@ impl RRClusters {
         p: f64,
     ) -> Result<Self, ProtocolError> {
         if !(0.0..=1.0).contains(&p) {
-            return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+            return Err(ProtocolError::config(format!(
+                "keep probability must lie in [0, 1], got {p}"
+            )));
         }
         Self::validate_clustering(&schema, &clustering)?;
         let mut domains = Vec::with_capacity(clustering.len());
         let mut matrices = Vec::with_capacity(clustering.len());
         for cluster in clustering.clusters() {
-            let cards: Vec<usize> =
-                cluster.iter().map(|&a| schema.attribute(a).map(|attr| attr.cardinality())).collect::<Result<_, _>>()?;
+            let cards: Vec<usize> = cluster
+                .iter()
+                .map(|&a| schema.attribute(a).map(|attr| attr.cardinality()))
+                .collect::<Result<_, _>>()?;
             let domain = JointDomain::new(&cards)?;
             let matrix = RRMatrix::uniform_keep(p, domain.size())?;
             domains.push(domain);
             matrices.push(matrix);
         }
-        Ok(RRClusters { schema, clustering, domains, matrices })
+        Ok(RRClusters {
+            schema,
+            clustering,
+            domains,
+            matrices,
+        })
     }
 
     fn validate_clustering(schema: &Schema, clustering: &Clustering) -> Result<(), ProtocolError> {
@@ -158,12 +178,20 @@ impl RRClusters {
     /// * [`ProtocolError::InvalidConfiguration`] for schema mismatch or an
     ///   empty dataset;
     /// * propagated randomization/estimation errors otherwise.
-    pub fn run(&self, dataset: &Dataset, rng: &mut impl Rng) -> Result<ClustersRelease, ProtocolError> {
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        rng: &mut impl Rng,
+    ) -> Result<ClustersRelease, ProtocolError> {
         if dataset.schema() != &self.schema {
-            return Err(ProtocolError::config("dataset schema does not match the protocol configuration"));
+            return Err(ProtocolError::config(
+                "dataset schema does not match the protocol configuration",
+            ));
         }
         if dataset.is_empty() {
-            return Err(ProtocolError::config("cannot run RR-Clusters on an empty dataset"));
+            return Err(ProtocolError::config(
+                "cannot run RR-Clusters on an empty dataset",
+            ));
         }
         let n = dataset.n_records();
         let mut distributions = Vec::with_capacity(self.clustering.len());
@@ -254,12 +282,14 @@ impl ClustersRelease {
     /// Returns [`ProtocolError::UnsupportedQuery`] for a bad attribute
     /// index.
     pub fn attribute_marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
-        let k = self
-            .clustering
-            .cluster_of(attribute)
-            .ok_or_else(|| ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster")))?;
+        let k = self.clustering.cluster_of(attribute).ok_or_else(|| {
+            ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster"))
+        })?;
         let cluster = &self.clustering.clusters()[k];
-        let position = cluster.iter().position(|&a| a == attribute).expect("cluster_of guarantees membership");
+        let position = cluster
+            .iter()
+            .position(|&a| a == attribute)
+            .expect("cluster_of guarantees membership");
         let domain = &self.domains[k];
         let cardinality = domain.cardinalities()[position];
         let mut marginal = vec![0.0; cardinality];
@@ -278,7 +308,9 @@ impl FrequencyEstimator for ClustersRelease {
         let mut seen = vec![false; self.schema.len()];
         for &(attribute, code) in assignment {
             if attribute >= self.schema.len() {
-                return Err(ProtocolError::unsupported(format!("attribute index {attribute} out of range")));
+                return Err(ProtocolError::unsupported(format!(
+                    "attribute index {attribute} out of range"
+                )));
             }
             let card = self.schema.attribute(attribute)?.cardinality();
             if code as usize >= card {
@@ -292,10 +324,11 @@ impl FrequencyEstimator for ClustersRelease {
                 )));
             }
             seen[attribute] = true;
-            let k = self
-                .clustering
-                .cluster_of(attribute)
-                .ok_or_else(|| ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster")))?;
+            let k = self.clustering.cluster_of(attribute).ok_or_else(|| {
+                ProtocolError::unsupported(format!(
+                    "attribute {attribute} not covered by any cluster"
+                ))
+            })?;
             per_cluster[k].push((attribute, code));
         }
 
@@ -312,7 +345,10 @@ impl FrequencyEstimator for ClustersRelease {
             let positional: Vec<(usize, u32)> = constraints
                 .iter()
                 .map(|&(attribute, code)| {
-                    let position = cluster.iter().position(|&a| a == attribute).expect("validated above");
+                    let position = cluster
+                        .iter()
+                        .position(|&a| a == attribute)
+                        .expect("validated above");
                     (position, code)
                 })
                 .collect();
@@ -322,7 +358,10 @@ impl FrequencyEstimator for ClustersRelease {
                     continue;
                 }
                 let tuple = domain.decode(cell)?;
-                if positional.iter().all(|&(position, code)| tuple[position] == code) {
+                if positional
+                    .iter()
+                    .all(|&(position, code)| tuple[position] == code)
+                {
                     cluster_freq += prob;
                 }
             }
@@ -348,8 +387,12 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(vec![
             Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
-            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
-                .unwrap(),
+            Attribute::new(
+                "B",
+                AttributeKind::Nominal,
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .unwrap(),
             Attribute::new("C", AttributeKind::Nominal, vec!["0".into(), "1".into()]).unwrap(),
         ])
         .unwrap()
@@ -376,9 +419,21 @@ mod tests {
     fn constructors_validate_configuration() {
         let s = schema();
         let clustering = ab_c_clustering();
-        assert!(RRClusters::with_equivalent_risk(s.clone(), clustering.clone(), &[1.0, 1.0]).is_err());
-        assert!(RRClusters::with_equivalent_risk_from_keep_probability(s.clone(), clustering.clone(), 1.5).is_err());
-        assert!(RRClusters::with_equivalent_risk_from_keep_probability(s.clone(), clustering.clone(), 1.0).is_err());
+        assert!(
+            RRClusters::with_equivalent_risk(s.clone(), clustering.clone(), &[1.0, 1.0]).is_err()
+        );
+        assert!(RRClusters::with_equivalent_risk_from_keep_probability(
+            s.clone(),
+            clustering.clone(),
+            1.5
+        )
+        .is_err());
+        assert!(RRClusters::with_equivalent_risk_from_keep_probability(
+            s.clone(),
+            clustering.clone(),
+            1.0
+        )
+        .is_err());
         assert!(RRClusters::with_keep_probability(s.clone(), clustering.clone(), -0.2).is_err());
         // A clustering over the wrong number of attributes is rejected.
         let short = Clustering::new(vec![vec![0], vec![1]], 2).unwrap();
@@ -389,7 +444,8 @@ mod tests {
     fn equivalent_risk_matches_independent_budget() {
         let s = schema();
         let p = 0.7;
-        let independent = RRIndependent::new(s.clone(), &RandomizationLevel::KeepProbability(p)).unwrap();
+        let independent =
+            RRIndependent::new(s.clone(), &RandomizationLevel::KeepProbability(p)).unwrap();
         let epsilons = independent.epsilons();
         let clusters = RRClusters::with_equivalent_risk(s, ab_c_clustering(), &epsilons).unwrap();
         // Cluster {A, B} spends ε_A + ε_B; cluster {C} spends ε_C.
@@ -447,10 +503,11 @@ mod tests {
                 .unwrap()
                 .run(&ds, &mut rng)
                 .unwrap();
-        let independent_release = RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(p))
-            .unwrap()
-            .run(&ds, &mut rng)
-            .unwrap();
+        let independent_release =
+            RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(p))
+                .unwrap()
+                .run(&ds, &mut rng)
+                .unwrap();
         let truth = EmpiricalEstimator::new(&ds);
 
         // Total absolute error over the joint cells of the dependent pair.
@@ -459,7 +516,8 @@ mod tests {
         for a in 0..2u32 {
             for b in 0..3u32 {
                 let exact = truth.frequency(&[(0, a), (1, b)]).unwrap();
-                err_clusters += (clusters_release.frequency(&[(0, a), (1, b)]).unwrap() - exact).abs();
+                err_clusters +=
+                    (clusters_release.frequency(&[(0, a), (1, b)]).unwrap() - exact).abs();
                 err_independent +=
                     (independent_release.frequency(&[(0, a), (1, b)]).unwrap() - exact).abs();
             }
@@ -484,9 +542,9 @@ mod tests {
                 assert!((a - b).abs() < 0.02);
             }
             // The marginal via the estimator trait agrees with the explicit one.
-            for code in 0..marginal.len() {
+            for (code, expected) in marginal.iter().enumerate() {
                 let via_query = release.frequency(&[(attribute, code as u32)]).unwrap();
-                assert!((via_query - marginal[code]).abs() < 1e-9);
+                assert!((via_query - expected).abs() < 1e-9);
             }
         }
         assert!(release.attribute_marginal(9).is_err());

@@ -70,8 +70,18 @@ pub fn pearson_from_table(table: &ContingencyTable) -> f64 {
     }
     let row_totals = table.row_totals();
     let col_totals = table.col_totals();
-    let mean_x: f64 = row_totals.iter().enumerate().map(|(a, &w)| a as f64 * w).sum::<f64>() / total;
-    let mean_y: f64 = col_totals.iter().enumerate().map(|(b, &w)| b as f64 * w).sum::<f64>() / total;
+    let mean_x: f64 = row_totals
+        .iter()
+        .enumerate()
+        .map(|(a, &w)| a as f64 * w)
+        .sum::<f64>()
+        / total;
+    let mean_y: f64 = col_totals
+        .iter()
+        .enumerate()
+        .map(|(b, &w)| b as f64 * w)
+        .sum::<f64>()
+        / total;
     let var_x: f64 = row_totals
         .iter()
         .enumerate()
@@ -124,17 +134,24 @@ pub fn dependence_via_randomized_attributes(
     rng: &mut impl Rng,
 ) -> Result<DependenceEstimate, ProtocolError> {
     if dataset.is_empty() {
-        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+        return Err(ProtocolError::config(
+            "dependence estimation needs at least one record",
+        ));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+        return Err(ProtocolError::config(format!(
+            "keep probability must lie in [0, 1], got {p}"
+        )));
     }
     let schema = dataset.schema();
     let mut accountant = PrivacyAccountant::new();
     let mut matrices = Vec::with_capacity(schema.len());
     for attribute in schema.attributes() {
         let matrix = RRMatrix::uniform_keep(p, attribute.cardinality())?;
-        accountant.record_matrix(format!("dependence step: RR on {}", attribute.name()), &matrix);
+        accountant.record_matrix(
+            format!("dependence step: RR on {}", attribute.name()),
+            &matrix,
+        );
         matrices.push(matrix);
     }
     let randomized = mdrr_core::randomize_dataset_independent(dataset, &matrices, rng)?;
@@ -158,7 +175,9 @@ pub fn dependence_via_exact_bivariate(
     rng: &mut impl Rng,
 ) -> Result<DependenceEstimate, ProtocolError> {
     if dataset.is_empty() {
-        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+        return Err(ProtocolError::config(
+            "dependence estimation needs at least one record",
+        ));
     }
     let schema = dataset.schema();
     let m = schema.len();
@@ -176,13 +195,20 @@ pub fn dependence_via_exact_bivariate(
                 mode,
                 rng,
             )?;
-            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            let dep = dependence_from_table(
+                &table,
+                schema.attribute(i)?.kind(),
+                schema.attribute(j)?.kind(),
+            );
             matrix.set(i, j, dep);
         }
     }
     // No randomization is applied, so no ε is spent; the protection comes
     // from unlinkability (see the paper's discussion in Section 4.2).
-    Ok(DependenceEstimate { matrix, accountant: PrivacyAccountant::new() })
+    Ok(DependenceEstimate {
+        matrix,
+        accountant: PrivacyAccountant::new(),
+    })
 }
 
 /// Section 4.3: each pair of attributes is randomized *jointly* with a
@@ -207,10 +233,14 @@ pub fn dependence_via_rr_pairs(
     rng: &mut impl Rng,
 ) -> Result<DependenceEstimate, ProtocolError> {
     if dataset.is_empty() {
-        return Err(ProtocolError::config("dependence estimation needs at least one record"));
+        return Err(ProtocolError::config(
+            "dependence estimation needs at least one record",
+        ));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(ProtocolError::config(format!("keep probability must lie in [0, 1], got {p}")));
+        return Err(ProtocolError::config(format!(
+            "keep probability must lie in [0, 1], got {p}"
+        )));
     }
     let schema = dataset.schema();
     let m = schema.len();
@@ -260,7 +290,11 @@ pub fn dependence_via_rr_pairs(
                 let tuple = domain.decode(cell)?;
                 table.add(tuple[0] as usize, tuple[1] as usize, prob * n as f64)?;
             }
-            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            let dep = dependence_from_table(
+                &table,
+                schema.attribute(i)?.kind(),
+                schema.attribute(j)?.kind(),
+            );
             matrix.set(i, j, dep);
         }
     }
@@ -283,7 +317,11 @@ fn dependence_matrix_of(dataset: &Dataset) -> Result<DependenceMatrix, ProtocolE
                 schema.attribute(i)?.cardinality(),
                 schema.attribute(j)?.cardinality(),
             )?;
-            let dep = dependence_from_table(&table, schema.attribute(i)?.kind(), schema.attribute(j)?.kind());
+            let dep = dependence_from_table(
+                &table,
+                schema.attribute(i)?.kind(),
+                schema.attribute(j)?.kind(),
+            );
             matrix.set(i, j, dep);
         }
     }
@@ -301,10 +339,18 @@ mod tests {
     /// moderately dependent and cross pairs are independent.
     fn structured_dataset(n: usize, seed: u64) -> Dataset {
         let schema = Schema::new(vec![
-            Attribute::new("A", AttributeKind::Ordinal, vec!["0".into(), "1".into(), "2".into()])
-                .unwrap(),
-            Attribute::new("B", AttributeKind::Ordinal, vec!["0".into(), "1".into(), "2".into()])
-                .unwrap(),
+            Attribute::new(
+                "A",
+                AttributeKind::Ordinal,
+                vec!["0".into(), "1".into(), "2".into()],
+            )
+            .unwrap(),
+            Attribute::new(
+                "B",
+                AttributeKind::Ordinal,
+                vec!["0".into(), "1".into(), "2".into()],
+            )
+            .unwrap(),
             Attribute::new("C", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
             Attribute::new("D", AttributeKind::Nominal, vec!["u".into(), "v".into()]).unwrap(),
         ])
@@ -314,10 +360,18 @@ mod tests {
         for _ in 0..n {
             let a = rng.gen_range(0..3u32);
             // B equals A 85 % of the time.
-            let b = if rng.gen::<f64>() < 0.85 { a } else { rng.gen_range(0..3u32) };
+            let b = if rng.gen::<f64>() < 0.85 {
+                a
+            } else {
+                rng.gen_range(0..3u32)
+            };
             let c = rng.gen_range(0..2u32);
             // D equals C 70 % of the time.
-            let d = if rng.gen::<f64>() < 0.7 { c } else { rng.gen_range(0..2u32) };
+            let d = if rng.gen::<f64>() < 0.7 {
+                c
+            } else {
+                rng.gen_range(0..2u32)
+            };
             ds.push_record(&[a, b, c, d]).unwrap();
         }
         ds
@@ -327,10 +381,26 @@ mod tests {
     fn plain_matrix_reflects_the_construction() {
         let ds = structured_dataset(6_000, 1);
         let dep = dependence_matrix_plain(&ds).unwrap();
-        assert!(dep.get(0, 1) > 0.6, "A-B should be strong, got {}", dep.get(0, 1));
-        assert!(dep.get(2, 3) > 0.25, "C-D should be moderate, got {}", dep.get(2, 3));
-        assert!(dep.get(0, 2) < 0.1, "A-C should be weak, got {}", dep.get(0, 2));
-        assert!(dep.get(1, 3) < 0.1, "B-D should be weak, got {}", dep.get(1, 3));
+        assert!(
+            dep.get(0, 1) > 0.6,
+            "A-B should be strong, got {}",
+            dep.get(0, 1)
+        );
+        assert!(
+            dep.get(2, 3) > 0.25,
+            "C-D should be moderate, got {}",
+            dep.get(2, 3)
+        );
+        assert!(
+            dep.get(0, 2) < 0.1,
+            "A-C should be weak, got {}",
+            dep.get(0, 2)
+        );
+        assert!(
+            dep.get(1, 3) < 0.1,
+            "B-D should be weak, got {}",
+            dep.get(1, 3)
+        );
         // Ranking: A-B > C-D > cross pairs.
         assert!(dep.get(0, 1) > dep.get(2, 3));
     }
@@ -359,7 +429,12 @@ mod tests {
         // An anti-monotone relation keeps |r| = 1 but is still V = 1.
         let ys_rev = [2u32, 1, 0, 2, 1, 0];
         let table_rev = ContingencyTable::from_codes(&xs, &ys_rev, 3, 3).unwrap();
-        assert!((dependence_from_table(&table_rev, AttributeKind::Ordinal, AttributeKind::Ordinal) - 1.0).abs() < 1e-9);
+        assert!(
+            (dependence_from_table(&table_rev, AttributeKind::Ordinal, AttributeKind::Ordinal)
+                - 1.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

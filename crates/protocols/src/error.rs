@@ -37,7 +37,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::InvalidConfiguration { message } => {
                 write!(f, "invalid protocol configuration: {message}")
             }
-            ProtocolError::UnsupportedQuery { message } => write!(f, "unsupported query: {message}"),
+            ProtocolError::UnsupportedQuery { message } => {
+                write!(f, "unsupported query: {message}")
+            }
         }
     }
 }
@@ -74,12 +76,16 @@ impl From<MathError> for ProtocolError {
 impl ProtocolError {
     /// Convenience constructor for [`ProtocolError::InvalidConfiguration`].
     pub fn config(message: impl Into<String>) -> Self {
-        ProtocolError::InvalidConfiguration { message: message.into() }
+        ProtocolError::InvalidConfiguration {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`ProtocolError::UnsupportedQuery`].
     pub fn unsupported(message: impl Into<String>) -> Self {
-        ProtocolError::UnsupportedQuery { message: message.into() }
+        ProtocolError::UnsupportedQuery {
+            message: message.into(),
+        }
     }
 }
 
@@ -95,8 +101,12 @@ mod tests {
         assert!(d.to_string().contains("data error"));
         let m: ProtocolError = MathError::SingularMatrix { pivot: 1 }.into();
         assert!(m.to_string().contains("math error"));
-        assert!(ProtocolError::config("Tv must be positive").to_string().contains("Tv"));
-        assert!(ProtocolError::unsupported("attribute 9").to_string().contains("attribute 9"));
+        assert!(ProtocolError::config("Tv must be positive")
+            .to_string()
+            .contains("Tv"));
+        assert!(ProtocolError::unsupported("attribute 9")
+            .to_string()
+            .contains("attribute 9"));
     }
 
     #[test]

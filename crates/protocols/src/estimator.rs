@@ -89,8 +89,12 @@ mod tests {
     fn dataset() -> Dataset {
         let schema = Schema::new(vec![
             Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
-            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
-                .unwrap(),
+            Attribute::new(
+                "B",
+                AttributeKind::Nominal,
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .unwrap(),
         ])
         .unwrap();
         Dataset::from_records(

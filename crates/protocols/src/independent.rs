@@ -131,12 +131,20 @@ impl RRIndependent {
     /// * [`ProtocolError::InvalidConfiguration`] if the dataset's schema
     ///   differs from the configured one or the dataset is empty;
     /// * propagated randomization/estimation errors otherwise.
-    pub fn run(&self, dataset: &Dataset, rng: &mut impl Rng) -> Result<IndependentRelease, ProtocolError> {
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        rng: &mut impl Rng,
+    ) -> Result<IndependentRelease, ProtocolError> {
         if dataset.schema() != &self.schema {
-            return Err(ProtocolError::config("dataset schema does not match the protocol configuration"));
+            return Err(ProtocolError::config(
+                "dataset schema does not match the protocol configuration",
+            ));
         }
         if dataset.is_empty() {
-            return Err(ProtocolError::config("cannot run RR-Independent on an empty dataset"));
+            return Err(ProtocolError::config(
+                "cannot run RR-Independent on an empty dataset",
+            ));
         }
         let randomized = randomize_dataset_independent(dataset, &self.matrices, rng)?;
 
@@ -190,7 +198,9 @@ impl IndependentRelease {
         self.marginals
             .get(attribute)
             .map(Vec::as_slice)
-            .ok_or_else(|| ProtocolError::unsupported(format!("attribute index {attribute} out of range")))
+            .ok_or_else(|| {
+                ProtocolError::unsupported(format!("attribute index {attribute} out of range"))
+            })
     }
 
     /// All estimated marginal distributions, in schema order.
@@ -242,8 +252,12 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into(), "c".into()])
-                .unwrap(),
+            Attribute::new(
+                "A",
+                AttributeKind::Nominal,
+                vec!["a".into(), "b".into(), "c".into()],
+            )
+            .unwrap(),
             Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
         ])
         .unwrap()
@@ -271,11 +285,18 @@ mod tests {
     #[test]
     fn configuration_validation() {
         assert!(RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(1.5)).is_err());
-        assert!(RRIndependent::new(schema(), &RandomizationLevel::EpsilonPerAttribute(-1.0)).is_err());
+        assert!(
+            RRIndependent::new(schema(), &RandomizationLevel::EpsilonPerAttribute(-1.0)).is_err()
+        );
         assert!(RRIndependent::new(schema(), &RandomizationLevel::Epsilons(vec![1.0])).is_err());
-        assert!(RRIndependent::new(schema(), &RandomizationLevel::Epsilons(vec![1.0, 2.0])).is_ok());
+        assert!(
+            RRIndependent::new(schema(), &RandomizationLevel::Epsilons(vec![1.0, 2.0])).is_ok()
+        );
 
-        let wrong_size = vec![RRMatrix::identity(4).unwrap(), RRMatrix::identity(2).unwrap()];
+        let wrong_size = vec![
+            RRMatrix::identity(4).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         assert!(RRIndependent::from_matrices(schema(), wrong_size).is_err());
         let wrong_count = vec![RRMatrix::identity(3).unwrap()];
         assert!(RRIndependent::from_matrices(schema(), wrong_count).is_err());
@@ -315,7 +336,10 @@ mod tests {
             let truth = ds.marginal_distribution(j).unwrap();
             let estimate = release.marginal(j).unwrap();
             for (a, b) in estimate.iter().zip(truth.iter()) {
-                assert!((a - b).abs() < 0.02, "attribute {j}: {estimate:?} vs {truth:?}");
+                assert!(
+                    (a - b).abs() < 0.02,
+                    "attribute {j}: {estimate:?} vs {truth:?}"
+                );
             }
         }
         assert!(release.marginal(5).is_err());
@@ -336,7 +360,10 @@ mod tests {
             for b in 0..2u32 {
                 let estimated = release.frequency(&[(0, a), (1, b)]).unwrap();
                 let exact = truth.frequency(&[(0, a), (1, b)]).unwrap();
-                assert!((estimated - exact).abs() < 0.02, "cell ({a},{b}): {estimated} vs {exact}");
+                assert!(
+                    (estimated - exact).abs() < 0.02,
+                    "cell ({a},{b}): {estimated} vs {exact}"
+                );
             }
         }
     }
@@ -360,7 +387,10 @@ mod tests {
     #[test]
     fn identity_matrices_reproduce_exact_marginals() {
         let ds = independent_dataset(1_000, 7);
-        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let matrices = vec![
+            RRMatrix::identity(3).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         let protocol = RRIndependent::from_matrices(schema(), matrices).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let release = protocol.run(&ds, &mut rng).unwrap();

@@ -15,7 +15,9 @@
 
 use crate::error::ProtocolError;
 use crate::estimator::{Assignment, FrequencyEstimator};
-use mdrr_core::{empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix};
+use mdrr_core::{
+    empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix,
+};
 use mdrr_data::{Dataset, JointDomain, Schema};
 use rand::Rng;
 
@@ -38,11 +40,19 @@ impl RRJoint {
     /// # Errors
     /// Returns [`ProtocolError::InvalidConfiguration`] if the joint domain
     /// exceeds the cap (or overflows), or the budget is invalid.
-    pub fn with_epsilon(schema: Schema, epsilon: f64, max_domain: Option<usize>) -> Result<Self, ProtocolError> {
+    pub fn with_epsilon(
+        schema: Schema,
+        epsilon: f64,
+        max_domain: Option<usize>,
+    ) -> Result<Self, ProtocolError> {
         let domain = JointDomain::new(&schema.cardinalities())?;
         Self::check_domain(&domain, max_domain)?;
         let matrix = RRMatrix::from_epsilon(epsilon, domain.size())?;
-        Ok(RRJoint { schema, domain, matrix })
+        Ok(RRJoint {
+            schema,
+            domain,
+            matrix,
+        })
     }
 
     /// Configures RR-Joint with the uniform-keep mechanism at keep
@@ -50,11 +60,19 @@ impl RRJoint {
     ///
     /// # Errors
     /// Same conditions as [`RRJoint::with_epsilon`].
-    pub fn with_keep_probability(schema: Schema, p: f64, max_domain: Option<usize>) -> Result<Self, ProtocolError> {
+    pub fn with_keep_probability(
+        schema: Schema,
+        p: f64,
+        max_domain: Option<usize>,
+    ) -> Result<Self, ProtocolError> {
         let domain = JointDomain::new(&schema.cardinalities())?;
         Self::check_domain(&domain, max_domain)?;
         let matrix = RRMatrix::uniform_keep(p, domain.size())?;
-        Ok(RRJoint { schema, domain, matrix })
+        Ok(RRJoint {
+            schema,
+            domain,
+            matrix,
+        })
     }
 
     fn check_domain(domain: &JointDomain, max_domain: Option<usize>) -> Result<(), ProtocolError> {
@@ -86,12 +104,20 @@ impl RRJoint {
     /// * [`ProtocolError::InvalidConfiguration`] for a schema mismatch or an
     ///   empty dataset;
     /// * propagated randomization/estimation errors otherwise.
-    pub fn run(&self, dataset: &Dataset, rng: &mut impl Rng) -> Result<JointRelease, ProtocolError> {
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        rng: &mut impl Rng,
+    ) -> Result<JointRelease, ProtocolError> {
         if dataset.schema() != &self.schema {
-            return Err(ProtocolError::config("dataset schema does not match the protocol configuration"));
+            return Err(ProtocolError::config(
+                "dataset schema does not match the protocol configuration",
+            ));
         }
         if dataset.is_empty() {
-            return Err(ProtocolError::config("cannot run RR-Joint on an empty dataset"));
+            return Err(ProtocolError::config(
+                "cannot run RR-Joint on an empty dataset",
+            ));
         }
         let attributes: Vec<usize> = (0..self.schema.len()).collect();
         let randomized_codes = randomize_joint(dataset, &attributes, &self.matrix, rng)?;
@@ -160,7 +186,9 @@ impl FrequencyEstimator for JointRelease {
         let mut constraint: Vec<Option<u32>> = vec![None; m];
         for &(attribute, code) in assignment {
             if attribute >= m {
-                return Err(ProtocolError::unsupported(format!("attribute index {attribute} out of range")));
+                return Err(ProtocolError::unsupported(format!(
+                    "attribute index {attribute} out of range"
+                )));
             }
             let card = self.schema.attribute(attribute)?.cardinality();
             if code as usize >= card {
@@ -209,8 +237,12 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(vec![
             Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
-            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
-                .unwrap(),
+            Attribute::new(
+                "B",
+                AttributeKind::Nominal,
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .unwrap(),
         ])
         .unwrap()
     }
@@ -277,7 +309,10 @@ mod tests {
         let exact_a0 = truth.frequency(&[(0, 0)]).unwrap();
         assert!((marginal_a0 - exact_a0).abs() < 0.02);
         // The distribution is proper.
-        assert!(mdrr_math::is_probability_vector(release.joint_distribution(), 1e-9));
+        assert!(mdrr_math::is_probability_vector(
+            release.joint_distribution(),
+            1e-9
+        ));
         assert_eq!(release.record_count(), 40_000);
         assert_eq!(release.accountant().len(), 1);
     }

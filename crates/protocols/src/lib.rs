@@ -23,6 +23,35 @@
 //! * [`estimator`] — the common [`FrequencyEstimator`] interface every
 //!   release implements, on which the evaluation harness builds the
 //!   paper's count queries.
+//!
+//! ## Example
+//!
+//! Run RR-Independent over a small synthetic dataset and query an estimated
+//! joint frequency:
+//!
+//! ```
+//! use mdrr_data::AdultSynthesizer;
+//! use mdrr_protocols::{FrequencyEstimator, RRIndependent, RandomizationLevel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let dataset = AdultSynthesizer::new(2_000)?.generate(&mut rng);
+//!
+//! let protocol = RRIndependent::new(
+//!     dataset.schema().clone(),
+//!     &RandomizationLevel::KeepProbability(0.7),
+//! )?;
+//! let release = protocol.run(&dataset, &mut rng)?;
+//!
+//! // Estimated marginals are proper distributions…
+//! let marginal = release.marginal(0)?;
+//! assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! // …and joint frequencies factor across attributes (Protocol 1).
+//! let joint = release.frequency(&[(0, 0), (1, 0)])?;
+//! assert!((0.0..=1.0).contains(&joint));
+//! # Ok::<(), mdrr_protocols::ProtocolError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -36,7 +36,11 @@ impl Party {
     /// Propagates record access errors.
     pub fn from_dataset(dataset: &Dataset) -> Result<Vec<Party>, ProtocolError> {
         (0..dataset.n_records())
-            .map(|i| Ok(Party { record: dataset.record(i)? }))
+            .map(|i| {
+                Ok(Party {
+                    record: dataset.record(i)?,
+                })
+            })
             .collect()
     }
 
@@ -168,8 +172,12 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into(), "c".into()])
-                .unwrap(),
+            Attribute::new(
+                "A",
+                AttributeKind::Nominal,
+                vec!["a".into(), "b".into(), "c".into()],
+            )
+            .unwrap(),
             Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into()]).unwrap(),
         ])
         .unwrap()
@@ -193,9 +201,15 @@ mod tests {
     #[test]
     fn independent_response_shape_and_validation() {
         let party = Party::new(&schema(), vec![1, 0]).unwrap();
-        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let matrices = vec![
+            RRMatrix::identity(3).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(party.respond_independent(&matrices, &mut rng).unwrap(), vec![1, 0]);
+        assert_eq!(
+            party.respond_independent(&matrices, &mut rng).unwrap(),
+            vec![1, 0]
+        );
         assert!(party.respond_independent(&matrices[..1], &mut rng).is_err());
     }
 
@@ -206,7 +220,10 @@ mod tests {
         let identity = RRMatrix::identity(6).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         // With the identity matrix the response is exactly the encoded record.
-        assert_eq!(party.respond_joint(&domain, &identity, &mut rng).unwrap(), 5);
+        assert_eq!(
+            party.respond_joint(&domain, &identity, &mut rng).unwrap(),
+            5
+        );
         let wrong = RRMatrix::identity(4).unwrap();
         assert!(party.respond_joint(&domain, &wrong, &mut rng).is_err());
     }
@@ -215,16 +232,31 @@ mod tests {
     fn clustered_response_validates_shapes() {
         let party = Party::new(&schema(), vec![1, 1]).unwrap();
         let clustering = Clustering::new(vec![vec![0], vec![1]], 2).unwrap();
-        let domains = vec![JointDomain::new(&[3]).unwrap(), JointDomain::new(&[2]).unwrap()];
-        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let domains = vec![
+            JointDomain::new(&[3]).unwrap(),
+            JointDomain::new(&[2]).unwrap(),
+        ];
+        let matrices = vec![
+            RRMatrix::identity(3).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(
-            party.respond_clustered(&clustering, &domains, &matrices, &mut rng).unwrap(),
+            party
+                .respond_clustered(&clustering, &domains, &matrices, &mut rng)
+                .unwrap(),
             vec![1, 1]
         );
-        assert!(party.respond_clustered(&clustering, &domains[..1], &matrices, &mut rng).is_err());
-        let wrong = vec![RRMatrix::identity(5).unwrap(), RRMatrix::identity(2).unwrap()];
-        assert!(party.respond_clustered(&clustering, &domains, &wrong, &mut rng).is_err());
+        assert!(party
+            .respond_clustered(&clustering, &domains[..1], &matrices, &mut rng)
+            .is_err());
+        let wrong = vec![
+            RRMatrix::identity(5).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
+        assert!(party
+            .respond_clustered(&clustering, &domains, &wrong, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -233,13 +265,16 @@ mod tests {
         // the same distribution; with the identity matrix both are exact.
         let ds = Dataset::from_records(schema(), &[vec![0, 0], vec![1, 1], vec![2, 0]]).unwrap();
         let parties = Party::from_dataset(&ds).unwrap();
-        let matrices = vec![RRMatrix::identity(3).unwrap(), RRMatrix::identity(2).unwrap()];
+        let matrices = vec![
+            RRMatrix::identity(3).unwrap(),
+            RRMatrix::identity(2).unwrap(),
+        ];
         let mut rng = StdRng::seed_from_u64(0);
-        let collected = collect_independent_responses(ds.schema(), &parties, &matrices, &mut rng).unwrap();
+        let collected =
+            collect_independent_responses(ds.schema(), &parties, &matrices, &mut rng).unwrap();
         assert_eq!(collected, ds);
 
-        let via_core =
-            mdrr_core::randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
+        let via_core = mdrr_core::randomize_dataset_independent(&ds, &matrices, &mut rng).unwrap();
         assert_eq!(via_core, ds);
     }
 }

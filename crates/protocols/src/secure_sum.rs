@@ -60,7 +60,10 @@ impl SecureSumSession {
         if parties == 0 {
             return Err(ProtocolError::config("secure sum needs at least one party"));
         }
-        Ok(SecureSumSession { parties, modulus: parties as u64 + 1 })
+        Ok(SecureSumSession {
+            parties,
+            modulus: parties as u64 + 1,
+        })
     }
 
     /// Number of parties in the session.
@@ -79,7 +82,11 @@ impl SecureSumSession {
     /// # Errors
     /// Returns [`ProtocolError::InvalidConfiguration`] if the number of
     /// contributions differs from the session size.
-    pub fn sum_indicators(&self, indicators: &[bool], rng: &mut impl Rng) -> Result<u64, ProtocolError> {
+    pub fn sum_indicators(
+        &self,
+        indicators: &[bool],
+        rng: &mut impl Rng,
+    ) -> Result<u64, ProtocolError> {
         let contributions: Vec<u64> = indicators.iter().map(|&b| u64::from(b)).collect();
         self.sum(&contributions, rng)
     }
@@ -156,7 +163,9 @@ pub fn secure_contingency_table(
         )));
     }
     if xs.is_empty() {
-        return Err(ProtocolError::config("secure contingency table needs at least one record"));
+        return Err(ProtocolError::config(
+            "secure contingency table needs at least one record",
+        ));
     }
     match mode {
         SecureSumMode::Aggregate => Ok(ContingencyTable::from_codes(xs, ys, x_card, y_card)?),
@@ -165,8 +174,11 @@ pub fn secure_contingency_table(
             let mut table = ContingencyTable::new(x_card, y_card)?;
             for a in 0..x_card as u32 {
                 for b in 0..y_card as u32 {
-                    let indicators: Vec<bool> =
-                        xs.iter().zip(ys.iter()).map(|(&x, &y)| x == a && y == b).collect();
+                    let indicators: Vec<bool> = xs
+                        .iter()
+                        .zip(ys.iter())
+                        .map(|(&x, &y)| x == a && y == b)
+                        .collect();
                     let count = session.sum_indicators(&indicators, rng)?;
                     table.add(a as usize, b as usize, count as f64)?;
                 }
@@ -200,7 +212,10 @@ mod tests {
             let indicators: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
             let expected = indicators.iter().filter(|&&b| b).count() as u64;
             for _ in 0..5 {
-                assert_eq!(session.sum_indicators(&indicators, &mut rng).unwrap(), expected);
+                assert_eq!(
+                    session.sum_indicators(&indicators, &mut rng).unwrap(),
+                    expected
+                );
             }
         }
     }
@@ -210,8 +225,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20;
         let session = SecureSumSession::new(n).unwrap();
-        assert_eq!(session.sum_indicators(&vec![false; n], &mut rng).unwrap(), 0);
-        assert_eq!(session.sum_indicators(&vec![true; n], &mut rng).unwrap(), n as u64);
+        assert_eq!(
+            session.sum_indicators(&vec![false; n], &mut rng).unwrap(),
+            0
+        );
+        assert_eq!(
+            session.sum_indicators(&vec![true; n], &mut rng).unwrap(),
+            n as u64
+        );
     }
 
     #[test]
@@ -244,8 +265,13 @@ mod tests {
     #[test]
     fn contingency_table_validates_inputs() {
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(secure_contingency_table(&[0, 1], &[0], 2, 2, SecureSumMode::Aggregate, &mut rng).is_err());
-        assert!(secure_contingency_table(&[], &[], 2, 2, SecureSumMode::Simulate, &mut rng).is_err());
+        assert!(
+            secure_contingency_table(&[0, 1], &[0], 2, 2, SecureSumMode::Aggregate, &mut rng)
+                .is_err()
+        );
+        assert!(
+            secure_contingency_table(&[], &[], 2, 2, SecureSumMode::Simulate, &mut rng).is_err()
+        );
     }
 
     #[test]
@@ -256,8 +282,12 @@ mod tests {
         // output — i.e. the randomness cancels exactly.
         let indicators: Vec<bool> = (0..30).map(|i| i % 4 == 0).collect();
         let session = SecureSumSession::new(30).unwrap();
-        let r1 = session.sum_indicators(&indicators, &mut StdRng::seed_from_u64(100)).unwrap();
-        let r2 = session.sum_indicators(&indicators, &mut StdRng::seed_from_u64(200)).unwrap();
+        let r1 = session
+            .sum_indicators(&indicators, &mut StdRng::seed_from_u64(100))
+            .unwrap();
+        let r2 = session
+            .sum_indicators(&indicators, &mut StdRng::seed_from_u64(200))
+            .unwrap();
         assert_eq!(r1, r2);
         assert_eq!(r1, 8);
     }

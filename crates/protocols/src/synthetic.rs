@@ -109,7 +109,9 @@ fn prepare(
     n: usize,
 ) -> Result<(Schema, JointDomain), ProtocolError> {
     if n == 0 {
-        return Err(ProtocolError::config("synthetic dataset size must be positive"));
+        return Err(ProtocolError::config(
+            "synthetic dataset size must be positive",
+        ));
     }
     if attributes.is_empty() {
         return Err(ProtocolError::config("at least one attribute is required"));
@@ -124,7 +126,9 @@ fn prepare(
         )));
     }
     if !mdrr_math::is_probability_vector(distribution, 1e-6) {
-        return Err(ProtocolError::config("distribution must be a probability vector"));
+        return Err(ProtocolError::config(
+            "distribution must be a probability vector",
+        ));
     }
     Ok((projected, domain))
 }
@@ -139,8 +143,12 @@ mod tests {
     fn schema() -> Schema {
         Schema::new(vec![
             Attribute::new("A", AttributeKind::Nominal, vec!["a".into(), "b".into()]).unwrap(),
-            Attribute::new("B", AttributeKind::Nominal, vec!["x".into(), "y".into(), "z".into()])
-                .unwrap(),
+            Attribute::new(
+                "B",
+                AttributeKind::Nominal,
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .unwrap(),
         ])
         .unwrap()
     }
@@ -152,7 +160,7 @@ mod tests {
         assert!(synthesize_deterministic(&s, &[0, 1], &uniform, 0).is_err());
         assert!(synthesize_deterministic(&s, &[], &uniform, 10).is_err());
         assert!(synthesize_deterministic(&s, &[0, 1], &[0.5, 0.5], 10).is_err());
-        assert!(synthesize_deterministic(&s, &[0, 1], &vec![0.3; 6], 10).is_err());
+        assert!(synthesize_deterministic(&s, &[0, 1], &[0.3; 6], 10).is_err());
         assert!(synthesize_deterministic(&s, &[0, 9], &uniform, 10).is_err());
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for the protocol layer.
 
+use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
 use mdrr_protocols::{
     cluster_attributes, rr_adjustment, AdjustmentConfig, AdjustmentTarget, Clustering,
     ClusteringConfig, DependenceMatrix, FrequencyEstimator, RRClusters, RRIndependent,
     RandomizationLevel, SecureSumSession,
 };
-use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +16,14 @@ fn schema_strategy() -> impl Strategy<Value = Schema> {
         let attrs = cards
             .iter()
             .enumerate()
-            .map(|(i, &c)| Attribute::new(format!("A{i}"), AttributeKind::Nominal, (0..c).map(|k| k.to_string()).collect()).unwrap())
+            .map(|(i, &c)| {
+                Attribute::new(
+                    format!("A{i}"),
+                    AttributeKind::Nominal,
+                    (0..c).map(|k| k.to_string()).collect(),
+                )
+                .unwrap()
+            })
             .collect();
         Schema::new(attrs).unwrap()
     })
@@ -31,7 +38,9 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
             let record: Vec<u32> = cards
                 .iter()
                 .map(|&c| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) % c as u64) as u32
                 })
                 .collect();

@@ -30,8 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // have it.)
     let dataset = AdultSynthesizer::new(32_561)?.generate(&mut rng);
     let schema = dataset.schema().clone();
-    println!("synthetic Adult: {} records, {} attributes, joint domain {}",
-        dataset.n_records(), dataset.n_attributes(), schema.joint_domain_size().unwrap());
+    println!(
+        "synthetic Adult: {} records, {} attributes, joint domain {}",
+        dataset.n_records(),
+        dataset.n_attributes(),
+        schema.joint_domain_size().unwrap()
+    );
 
     // Step 1-2: privacy-preserving dependence estimation + Algorithm 1.
     let dependences = dependence_via_randomized_attributes(&dataset, p, &mut rng)?;
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\nAlgorithm 1 clustering (Tv = 50, Td = 0.1):");
     for cluster in clustering.clusters() {
-        let names: Vec<&str> = cluster.iter().map(|&a| schema.attribute(a).unwrap().name()).collect();
+        let names: Vec<&str> = cluster
+            .iter()
+            .map(|&a| schema.attribute(a).unwrap().name())
+            .collect();
         println!("  {{{}}}", names.join(", "));
     }
 
@@ -60,8 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 4: RR-Adjustment on top of the cluster release.
     let targets = AdjustmentTarget::from_clusters(&clusters_release)?;
-    let adjusted = rr_adjustment(clusters_release.randomized(), &targets, AdjustmentConfig::default())?;
-    println!("adjustment converged: {} (after {} passes)", adjusted.converged(), adjusted.iterations());
+    let adjusted = rr_adjustment(
+        clusters_release.randomized(),
+        &targets,
+        AdjustmentConfig::default(),
+    )?;
+    println!(
+        "adjustment converged: {} (after {} passes)",
+        adjusted.converged(),
+        adjusted.iterations()
+    );
 
     // Step 5: answer count queries and compare against the ground truth.
     let truth = EmpiricalEstimator::new(&dataset);
@@ -77,7 +92,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ind = query.estimated_count(&independent_release)?;
         let clu = query.estimated_count(&clusters_release)?;
         let adj = query.estimated_count(&adjusted)?;
-        println!("{:>8} {:>12.0} {:>14.0} {:>14.0} {:>20.0}", format!("#{q}"), exact, ind, clu, adj);
+        println!(
+            "{:>8} {:>12.0} {:>14.0} {:>14.0} {:>20.0}",
+            format!("#{q}"),
+            exact,
+            ind,
+            clu,
+            adj
+        );
         let _ = truth; // the ground-truth estimator is used implicitly via true_count
     }
 

@@ -41,22 +41,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run the two protocols and compare their ledgers.
     let independent_release = independent.run(&dataset, &mut rng)?;
-    println!("\nRR-Independent ledger:\n{}", independent_release.accountant());
+    println!(
+        "\nRR-Independent ledger:\n{}",
+        independent_release.accountant()
+    );
 
-    let clustering = Clustering::new(vec![vec![0, 3], vec![1, 7], vec![2, 4, 6], vec![5]], schema.len())?;
+    let clustering = Clustering::new(
+        vec![vec![0, 3], vec![1, 7], vec![2, 4, 6], vec![5]],
+        schema.len(),
+    )?;
     let clusters =
         RRClusters::with_equivalent_risk(schema.clone(), clustering, &independent.epsilons())?;
     let clusters_release = clusters.run(&dataset, &mut rng)?;
-    println!("\nRR-Clusters ledger (equivalent risk, Section 6.3.2):\n{}", clusters_release.accountant());
+    println!(
+        "\nRR-Clusters ledger (equivalent risk, Section 6.3.2):\n{}",
+        clusters_release.accountant()
+    );
 
     let diff = (independent_release.accountant().total_sequential()
         - clusters_release.accountant().total_sequential())
     .abs();
-    println!("\ntotal budgets differ by {diff:.2e} — the comparison is risk-equivalent by construction.");
+    println!(
+        "\ntotal budgets differ by {diff:.2e} — the comparison is risk-equivalent by construction."
+    );
 
     // What the dependence-estimation step of Section 4.1 would add.
-    let dependence =
-        mdrr::protocols::dependence_via_randomized_attributes(&dataset, p, &mut rng)?;
+    let dependence = mdrr::protocols::dependence_via_randomized_attributes(&dataset, p, &mut rng)?;
     let mut full_pipeline = PrivacyAccountant::new();
     full_pipeline.absorb(&dependence.accountant);
     full_pipeline.absorb(clusters_release.accountant());

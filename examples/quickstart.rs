@@ -28,10 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matrix = RRMatrix::from_epsilon(epsilon, categories.len())?;
     println!("randomization matrix (rows = true value, columns = report):");
     for u in 0..categories.len() {
-        let row: Vec<String> = (0..categories.len()).map(|v| format!("{:.3}", matrix.prob(u, v))).collect();
+        let row: Vec<String> = (0..categories.len())
+            .map(|v| format!("{:.3}", matrix.prob(u, v)))
+            .collect();
         println!("  {:>13}: [{}]", categories[u], row.join(", "));
     }
-    println!("differential privacy of one response: epsilon = {:.3}\n", matrix.epsilon());
+    println!(
+        "differential privacy of one response: epsilon = {:.3}\n",
+        matrix.epsilon()
+    );
 
     // Each respondent holds one true answer and submits a randomized one.
     let mut rng = StdRng::seed_from_u64(2024);
@@ -54,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let observed = empirical_distribution(&reports, categories.len())?;
     let estimated = estimate_from_reports(&matrix, &reports)?;
 
-    println!("{:>13} {:>12} {:>12} {:>12}", "answer", "true", "randomized", "estimated");
+    println!(
+        "{:>13} {:>12} {:>12} {:>12}",
+        "answer", "true", "randomized", "estimated"
+    );
     for (i, name) in categories.iter().enumerate() {
         println!(
             "{:>13} {:>12.4} {:>12.4} {:>12.4}",

@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The cluster we release jointly: Marital-status (7) × Relationship (6) × Sex (2).
     let cluster = vec![2usize, 4, 6];
-    let names: Vec<&str> = cluster.iter().map(|&a| schema.attribute(a).unwrap().name()).collect();
-    println!("releasing cluster {{{}}} with RR-Joint at p = 0.7", names.join(", "));
+    let names: Vec<&str> = cluster
+        .iter()
+        .map(|&a| schema.attribute(a).unwrap().name())
+        .collect();
+    println!(
+        "releasing cluster {{{}}} with RR-Joint at p = 0.7",
+        names.join(", ")
+    );
 
     // Run RR-Clusters with this single explicit cluster plus singletons for the rest.
     let mut clusters: Vec<Vec<usize>> = vec![cluster.clone()];
@@ -36,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let clustering = Clustering::new(clusters, schema.len())?;
-    let protocol = RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, 0.7)?;
+    let protocol =
+        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, 0.7)?;
     let release = protocol.run(&dataset, &mut rng)?;
 
     // Estimated joint distribution of the cluster → synthetic microdata.
@@ -59,15 +66,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cramers_v()
     };
     println!("\nCramér's V inside the cluster (true vs synthetic):");
-    for (i, j, label) in [(0usize, 1usize, "Marital × Relationship"), (1, 2, "Relationship × Sex"), (0, 2, "Marital × Sex")] {
-        println!("  {:<24} true = {:.3}   synthetic = {:.3}", label, v(&true_projection, i, j), v(&synthetic, i, j));
+    for (i, j, label) in [
+        (0usize, 1usize, "Marital × Relationship"),
+        (1, 2, "Relationship × Sex"),
+        (0, 2, "Marital × Sex"),
+    ] {
+        println!(
+            "  {:<24} true = {:.3}   synthetic = {:.3}",
+            label,
+            v(&true_projection, i, j),
+            v(&synthetic, i, j)
+        );
     }
 
     // Marginals are preserved as well.
     println!("\nMarital-status marginal (true vs synthetic):");
     let true_marginal = true_projection.marginal_distribution(0)?;
     let synthetic_marginal = synthetic.marginal_distribution(0)?;
-    for (code, (t, s)) in true_marginal.iter().zip(synthetic_marginal.iter()).enumerate() {
+    for (code, (t, s)) in true_marginal
+        .iter()
+        .zip(synthetic_marginal.iter())
+        .enumerate()
+    {
         let label = schema.attribute(2)?.label(code as u32)?;
         println!("  {label:<24} {t:>8.4} {s:>8.4}");
     }

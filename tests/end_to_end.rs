@@ -14,16 +14,23 @@ fn adult(n: usize, seed: u64) -> Dataset {
 #[test]
 fn rr_independent_pipeline_recovers_every_marginal() {
     let dataset = adult(20_000, 1);
-    let protocol =
-        RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.7)).unwrap();
+    let protocol = RRIndependent::new(
+        dataset.schema().clone(),
+        &RandomizationLevel::KeepProbability(0.7),
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(2);
     let release = protocol.run(&dataset, &mut rng).unwrap();
 
     for attribute in 0..dataset.n_attributes() {
         let truth = dataset.marginal_distribution(attribute).unwrap();
         let estimate = release.marginal(attribute).unwrap();
-        let tv: f64 =
-            truth.iter().zip(estimate.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        let tv: f64 = truth
+            .iter()
+            .zip(estimate.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
         assert!(tv < 0.03, "attribute {attribute}: total variation {tv}");
     }
     // One ε entry per attribute, all finite and positive.
@@ -48,11 +55,17 @@ fn full_clustered_pipeline_dependences_clustering_release_adjustment() {
     )
     .unwrap();
     assert_eq!(clustering.attribute_count(), 8);
-    assert!(clustering.max_combinations(&schema.cardinalities()).unwrap() <= 50);
+    assert!(
+        clustering
+            .max_combinations(&schema.cardinalities())
+            .unwrap()
+            <= 50
+    );
 
     // …RR-Clusters runs at the equivalent risk of RR-Independent…
     let protocol =
-        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, p).unwrap();
+        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, p)
+            .unwrap();
     let release = protocol.run(&dataset, &mut rng).unwrap();
     assert_eq!(release.randomized().n_records(), dataset.n_records());
 
@@ -67,8 +80,12 @@ fn full_clustered_pipeline_dependences_clustering_release_adjustment() {
     for attribute in 0..8 {
         let truth = dataset.marginal_distribution(attribute).unwrap();
         let estimate = release.attribute_marginal(attribute).unwrap();
-        let tv: f64 =
-            truth.iter().zip(estimate.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        let tv: f64 = truth
+            .iter()
+            .zip(estimate.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
         assert!(tv < 0.04, "attribute {attribute}: total variation {tv}");
     }
 
@@ -91,7 +108,8 @@ fn full_clustered_pipeline_dependences_clustering_release_adjustment() {
 fn equivalent_risk_construction_matches_independent_budget_on_adult() {
     let schema = adult_schema();
     let p = 0.5;
-    let independent = RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(p)).unwrap();
+    let independent =
+        RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(p)).unwrap();
     let epsilons = independent.epsilons();
 
     let clustering = Clustering::new(
@@ -118,8 +136,7 @@ fn analytic_error_bound_covers_the_measured_estimation_error() {
     let attribute = 1; // Education, 16 categories
     let matrix = RRMatrix::uniform_keep(0.7, 16).unwrap();
     let mut rng = StdRng::seed_from_u64(8);
-    let reports =
-        mdrr::core::randomize_attribute(&dataset, attribute, &matrix, &mut rng).unwrap();
+    let reports = mdrr::core::randomize_attribute(&dataset, attribute, &matrix, &mut rng).unwrap();
     let lambda_hat = empirical_distribution(&reports, 16).unwrap();
 
     // The expected reported distribution λ = Pᵀ π from the true marginals.
@@ -144,7 +161,12 @@ fn joint_protocol_beats_independence_on_a_small_dependent_schema() {
     // dependence that the independence assumption misses.
     let schema = Schema::new(vec![
         Attribute::new("A", AttributeKind::Nominal, vec!["0".into(), "1".into()]).unwrap(),
-        Attribute::new("B", AttributeKind::Nominal, vec!["0".into(), "1".into(), "2".into()]).unwrap(),
+        Attribute::new(
+            "B",
+            AttributeKind::Nominal,
+            vec!["0".into(), "1".into(), "2".into()],
+        )
+        .unwrap(),
     ])
     .unwrap();
     let mut rng = StdRng::seed_from_u64(9);
@@ -157,7 +179,8 @@ fn joint_protocol_beats_independence_on_a_small_dependent_schema() {
 
     let joint = RRJoint::with_keep_probability(schema.clone(), 0.7, None).unwrap();
     let joint_release = joint.run(&dataset, &mut rng).unwrap();
-    let independent = RRIndependent::new(schema, &RandomizationLevel::KeepProbability(0.7)).unwrap();
+    let independent =
+        RRIndependent::new(schema, &RandomizationLevel::KeepProbability(0.7)).unwrap();
     let independent_release = independent.run(&dataset, &mut rng).unwrap();
 
     let truth = EmpiricalEstimator::new(&dataset);
@@ -177,28 +200,45 @@ fn synthetic_regeneration_preserves_the_released_distribution() {
     let schema = dataset.schema().clone();
     let cluster = vec![2usize, 4, 6]; // Marital-status × Relationship × Sex
     let mut clusters = vec![cluster.clone()];
-    clusters.extend((0..schema.len()).filter(|a| !cluster.contains(a)).map(|a| vec![a]));
+    clusters.extend(
+        (0..schema.len())
+            .filter(|a| !cluster.contains(a))
+            .map(|a| vec![a]),
+    );
     let clustering = Clustering::new(clusters, schema.len()).unwrap();
 
     let mut rng = StdRng::seed_from_u64(12);
-    let release = RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, 0.8)
-        .unwrap()
-        .run(&dataset, &mut rng)
-        .unwrap();
+    let release =
+        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, 0.8)
+            .unwrap()
+            .run(&dataset, &mut rng)
+            .unwrap();
     let estimated = release.cluster_distribution(0).unwrap().to_vec();
-    let synthetic = mdrr::protocols::synthesize_deterministic(&schema, &cluster, &estimated, 15_000).unwrap();
+    let synthetic =
+        mdrr::protocols::synthesize_deterministic(&schema, &cluster, &estimated, 15_000).unwrap();
 
     // The synthetic data reproduce the estimated joint distribution up to
     // rounding, and hence stay close to the true projected distribution.
     let (_, synthetic_joint) = synthetic.joint_distribution(&[0, 1, 2]).unwrap();
-    let tv_to_estimate: f64 =
-        synthetic_joint.iter().zip(estimated.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    let tv_to_estimate: f64 = synthetic_joint
+        .iter()
+        .zip(estimated.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
     assert!(tv_to_estimate < 1e-3, "rounding error {tv_to_estimate}");
 
     let (_, true_joint) = dataset.joint_distribution(&cluster).unwrap();
-    let tv_to_truth: f64 =
-        synthetic_joint.iter().zip(true_joint.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
-    assert!(tv_to_truth < 0.08, "distance to the true distribution {tv_to_truth}");
+    let tv_to_truth: f64 = synthetic_joint
+        .iter()
+        .zip(true_joint.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
+    assert!(
+        tv_to_truth < 0.08,
+        "distance to the true distribution {tv_to_truth}"
+    );
 }
 
 #[test]
@@ -206,8 +246,11 @@ fn csv_roundtrip_of_a_randomized_release() {
     // A randomized release can be exported to CSV and re-imported without
     // loss — the release format a data collector would actually publish.
     let dataset = adult(500, 13);
-    let protocol =
-        RRIndependent::new(dataset.schema().clone(), &RandomizationLevel::KeepProbability(0.6)).unwrap();
+    let protocol = RRIndependent::new(
+        dataset.schema().clone(),
+        &RandomizationLevel::KeepProbability(0.6),
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(14);
     let release = protocol.run(&dataset, &mut rng).unwrap();
 

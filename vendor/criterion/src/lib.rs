@@ -1,0 +1,282 @@
+//! Offline vendored shim of [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the mdrr benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`] — backed by a simple wall-clock timer instead of
+//! upstream's statistical machinery. Each benchmark is calibrated to run for
+//! roughly [`Criterion::measurement_time`] and reports the mean time per
+//! iteration.
+//!
+//! The point of the shim is that `cargo bench` (and `cargo build
+//! --all-targets`) works offline and produces useful relative numbers;
+//! swap in real criterion for publication-grade statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: hands out groups and runs standalone benchmarks.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target wall-clock time spent measuring each benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.measurement_time, routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-scoped override; `None` falls back to the parent's setting.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timing loop is adaptive,
+    /// so the requested sample count does not change anything.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time for the benchmarks of this group only
+    /// (like upstream criterion, it does not affect later groups).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    fn effective_measurement_time(&self) -> Duration {
+        self.measurement_time
+            .unwrap_or(self.criterion.measurement_time)
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.effective_measurement_time(), &mut routine);
+        self
+    }
+
+    /// Runs one benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.effective_measurement_time(), |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (purely cosmetic in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"function_name/parameter"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    measurement_time: Duration,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count to fill the
+    /// measurement window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration: find an iteration count that takes ≳ 1 ms.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 30 {
+                break;
+            }
+            batch = batch.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                ((batch_floor.as_nanos() / elapsed.as_nanos().max(1)) as u64).clamp(2, 16)
+            });
+        }
+
+        // Measurement: repeat batches until the window is filled.
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark<F>(label: &str, measurement_time: Duration, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        measurement_time,
+        mean_ns: f64::NAN,
+        iterations: 0,
+    };
+    routine(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("  {label:<48} (no measurement: Bencher::iter was never called)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let human = if mean < 1_000.0 {
+        format!("{mean:.1} ns")
+    } else if mean < 1_000_000.0 {
+        format!("{:.2} us", mean / 1_000.0)
+    } else if mean < 1_000_000_000.0 {
+        format!("{:.2} ms", mean / 1_000_000.0)
+    } else {
+        format!("{:.3} s", mean / 1_000_000_000.0)
+    };
+    println!(
+        "  {label:<48} {human:>12}/iter ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// Declares a group-runner function that executes each listed benchmark
+/// function with a fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_a_finite_mean() {
+        let mut criterion = Criterion::default().measurement_time(Duration::from_millis(5));
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

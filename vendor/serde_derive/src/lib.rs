@@ -1,0 +1,490 @@
+//! Offline vendored shim of `serde_derive`: hand-rolled `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` macros (no `syn`/`quote`, which are
+//! unavailable offline).
+//!
+//! Supported shapes — exactly what the mdrr workspace uses:
+//!
+//! * non-generic structs with named fields, tuple structs, unit structs;
+//! * non-generic enums with unit, tuple and struct variants
+//!   (externally-tagged representation, like upstream serde's default).
+//!
+//! Generic types and `#[serde(...)]` attributes are *not* supported and
+//! produce a compile error pointing here.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` (arity recorded, field types irrelevant)
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the shim's `serde::Serialize` (tree-building) impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` (tree-reading) impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim: expected `struct` or `enum`, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected a type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the vendored serde_derive"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("serde shim: unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!(
+                "serde shim: expected an enum body, found {other:?}"
+            )),
+        },
+        other => Err(format!("serde shim: cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, …).
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim: expected a field name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type expression up to (and over) the next top-level comma,
+/// tracking `<`/`>` nesting so commas inside generics do not terminate early.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated items at the top level of a token stream.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim: expected a variant name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        skip_type_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string())"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {inner})])",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             value.get({f:?}).unwrap_or(&::serde::Value::Null)\
+                         ).map_err(|e| ::serde::DeError::new(\
+                             format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                             other => Err(::serde::DeError::expected(\"an object\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}({})),\n\
+                         other => Err(::serde::DeError::expected(\"an array of length {arity}\", other)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!("Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))")
+                            } else {
+                                let items: Vec<String> = (0..*arity)
+                                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                    .collect();
+                                format!(
+                                    "match inner {{\n\
+                                         ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}::{vname}({})),\n\
+                                         other => Err(::serde::DeError::expected(\"an array of length {arity}\", other)),\n\
+                                     }}",
+                                    items.join(", ")
+                                )
+                            };
+                            Some(format!("{vname:?} => {{ {body} }},"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                             inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let inner_binder = if tagged_arms.is_empty() { "_inner" } else { "inner" };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, {inner_binder}) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::expected(\"a {name} variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
