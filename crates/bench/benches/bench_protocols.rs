@@ -82,8 +82,12 @@ fn bench_adjustment(c: &mut Criterion) {
             |b, &iterations| {
                 let config = AdjustmentConfig::new(iterations, 1e-12).unwrap();
                 b.iter(|| {
-                    rr_adjustment(black_box(release.randomized()), black_box(&targets), config)
-                        .unwrap()
+                    rr_adjustment(
+                        black_box(release.randomized().unwrap()),
+                        black_box(&targets),
+                        config,
+                    )
+                    .unwrap()
                 })
             },
         );

@@ -1,0 +1,129 @@
+//! Benchmarks of the streaming subsystem: single-shard ingest throughput
+//! (client-side encoding + accumulator counting) and the k-way merge of
+//! sharded accumulators that precedes every mid-stream snapshot.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdrr_data::{adult_schema, AdultSynthesizer};
+use mdrr_protocols::{Clustering, RRClusters, RRIndependent, RandomizationLevel};
+use mdrr_stream::{Accumulator, ShardedCollector, StreamProtocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn protocols() -> Vec<(&'static str, StreamProtocol)> {
+    let schema = adult_schema();
+    let m = schema.len();
+    let clustering =
+        Clustering::new((0..m / 2).map(|k| vec![2 * k, 2 * k + 1]).collect(), m).unwrap();
+    vec![
+        (
+            "independent",
+            RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(0.7))
+                .unwrap()
+                .into(),
+        ),
+        (
+            "clusters",
+            RRClusters::with_keep_probability(schema, clustering, 0.7)
+                .unwrap()
+                .into(),
+        ),
+    ]
+}
+
+fn records(n: usize) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let synthesizer = AdultSynthesizer::paper_sized();
+    (0..n)
+        .map(|_| synthesizer.sample_record(&mut rng))
+        .collect()
+}
+
+fn bench_single_shard_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest_single_shard");
+    group.sample_size(10);
+    let batch = records(10_000);
+    for (name, protocol) in protocols() {
+        group.bench_with_input(
+            BenchmarkId::new("encode_ingest_10k", name),
+            &protocol,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut acc = Accumulator::new(&p.channel_sizes()).unwrap();
+                    for record in &batch {
+                        let report = p.encode_record(black_box(record), &mut rng).unwrap();
+                        acc.ingest(&report).unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest_sharded");
+    group.sample_size(10);
+    let batch = records(50_000);
+    let (_, protocol) = protocols().remove(0);
+    for &shards in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("scoped_50k", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut collector = ShardedCollector::new(protocol.clone(), shards).unwrap();
+                    collector.ingest_records(black_box(&batch), 3).unwrap();
+                    collector.total_reports()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_kway_merge");
+    for (name, protocol) in protocols() {
+        for &k in &[4usize, 16, 64] {
+            // Pre-fill k shard accumulators.
+            let mut collector = ShardedCollector::new(protocol.clone(), k).unwrap();
+            collector.ingest_records(&records(5_000), 11).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("merge_{name}"), k),
+                &collector,
+                |b, collector| {
+                    b.iter(|| {
+                        let merged = collector.merged().unwrap();
+                        black_box(merged.n_reports())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_snapshot");
+    for (name, protocol) in protocols() {
+        let mut collector = ShardedCollector::new(protocol, 8).unwrap();
+        collector.ingest_records(&records(20_000), 13).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_mid_stream", name),
+            &collector,
+            |b, collector| b.iter(|| collector.snapshot().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_shard_ingest,
+    bench_sharded_ingest,
+    bench_kway_merge,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! `stream_sim` — drives the streaming subsystem at million-client scale.
+//!
+//! Simulates `--clients` respondents of the synthetic Adult population:
+//! each client locally randomizes her record into a compact report, the
+//! sharded collector ingests the reports across `--shards` scoped-thread
+//! workers, and after every round the collector is snapshotted mid-stream
+//! to report ingestion throughput and estimation error over time.
+//!
+//! ```text
+//! cargo run -p mdrr-bench --release --bin stream_sim
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --clients 2000000 --shards 16
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --quick --out /tmp/stream.json
+//! ```
+//!
+//! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
+//! `--rounds R` (default 10), `--protocol independent|joint|clusters`
+//! (default independent), `--seed N`, `--quick` (50 000 clients, 4 shards,
+//! 5 rounds), `--out PATH`.
+//!
+//! The snapshot estimates are numerically identical to the batch-path
+//! estimates on the same randomized codes; that equivalence is pinned by
+//! `crates/stream/tests/proptest_stream.rs` and the `mdrr-eval`
+//! streamed-vs-batch experiment.
+
+use mdrr_bench::maybe_write_json;
+use mdrr_data::{adult_schema, AdultSynthesizer};
+use mdrr_protocols::{
+    Clustering, FrequencyEstimator, RRClusters, RRIndependent, RRJoint, RandomizationLevel,
+};
+use mdrr_stream::{ShardedCollector, StreamProtocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Keep probability used for every protocol variant.
+const KEEP_PROBABILITY: f64 = 0.7;
+
+/// Attributes the RR-Joint variant is restricted to (the full Adult joint
+/// domain exceeds the protocol's cap).
+const JOINT_ATTRIBUTES: [usize; 3] = [0, 1, 2];
+
+#[derive(Debug, Clone)]
+struct Options {
+    clients: usize,
+    shards: usize,
+    rounds: usize,
+    protocol: String,
+    seed: u64,
+    output: Option<PathBuf>,
+}
+
+impl Options {
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut options = Options {
+            clients: 1_000_000,
+            shards: 8,
+            rounds: 10,
+            protocol: "independent".to_string(),
+            seed: 42,
+            output: None,
+        };
+        let mut quick = false;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--clients" => options.clients = parse(&flag, value(&flag)?)?,
+                "--shards" => options.shards = parse(&flag, value(&flag)?)?,
+                "--rounds" => options.rounds = parse(&flag, value(&flag)?)?,
+                "--seed" => options.seed = parse(&flag, value(&flag)?)?,
+                "--protocol" => options.protocol = value(&flag)?,
+                "--out" => options.output = Some(PathBuf::from(value(&flag)?)),
+                "--quick" => quick = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if quick {
+            options.clients = options.clients.min(50_000);
+            options.shards = options.shards.min(4);
+            options.rounds = options.rounds.min(5);
+        }
+        if options.clients == 0 || options.shards == 0 || options.rounds == 0 {
+            return Err("--clients, --shards and --rounds must be positive".to_string());
+        }
+        // Every round must ingest at least one client, or its snapshot
+        // would have nothing to estimate from.
+        options.rounds = options.rounds.min(options.clients);
+        Ok(options)
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for {flag}"))
+}
+
+/// One mid-stream snapshot measurement.
+#[derive(Debug, Clone, Serialize)]
+struct RoundReport {
+    round: usize,
+    total_reports: u64,
+    round_secs: f64,
+    reports_per_sec: f64,
+    /// Max absolute deviation of the snapshot's attribute marginals from
+    /// the true empirical marginals of the generated clients so far.
+    max_marginal_abs_error: f64,
+}
+
+/// The simulation result written by `--out`.
+#[derive(Debug, Clone, Serialize)]
+struct SimulationResult {
+    protocol: String,
+    clients: usize,
+    shards: usize,
+    rounds: Vec<RoundReport>,
+    total_secs: f64,
+    overall_reports_per_sec: f64,
+}
+
+fn build_protocol(name: &str) -> Result<StreamProtocol, String> {
+    let schema = adult_schema();
+    match name {
+        "independent" => Ok(RRIndependent::new(
+            schema,
+            &RandomizationLevel::KeepProbability(KEEP_PROBABILITY),
+        )
+        .map_err(|e| e.to_string())?
+        .into()),
+        "joint" => {
+            let projected = schema
+                .project(&JOINT_ATTRIBUTES)
+                .map_err(|e| e.to_string())?;
+            Ok(
+                RRJoint::with_keep_probability(projected, KEEP_PROBABILITY, None)
+                    .map_err(|e| e.to_string())?
+                    .into(),
+            )
+        }
+        "clusters" => {
+            let m = schema.len();
+            let clustering =
+                Clustering::new((0..m / 2).map(|k| vec![2 * k, 2 * k + 1]).collect(), m)
+                    .map_err(|e| e.to_string())?;
+            Ok(
+                RRClusters::with_keep_probability(schema, clustering, KEEP_PROBABILITY)
+                    .map_err(|e| e.to_string())?
+                    .into(),
+            )
+        }
+        other => Err(format!(
+            "unknown protocol `{other}` (expected independent, joint or clusters)"
+        )),
+    }
+}
+
+fn main() {
+    let options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
+        eprintln!("{message}");
+        eprintln!(
+            "usage: [--clients N] [--shards K] [--rounds R] \
+             [--protocol independent|joint|clusters] [--seed N] [--quick] [--out PATH]"
+        );
+        std::process::exit(2);
+    });
+    let protocol = build_protocol(&options.protocol).unwrap_or_else(|message| {
+        eprintln!("{message}");
+        std::process::exit(2);
+    });
+
+    let schema = protocol.schema().clone();
+    let cards = schema.cardinalities();
+    let synthesizer = AdultSynthesizer::paper_sized();
+    let project_to_joint = options.protocol == "joint";
+
+    println!("{}", "=".repeat(72));
+    println!(
+        "stream_sim — {} clients through {} shards ({} rounds, RR-{}, p = {})",
+        options.clients, options.shards, options.rounds, options.protocol, KEEP_PROBABILITY
+    );
+    println!("{}", "=".repeat(72));
+
+    let mut collector =
+        ShardedCollector::new(protocol, options.shards).expect("collector construction failed");
+    // True per-attribute counts of the generated clients, for the error
+    // column (the simulator knows the ground truth; a real collector does
+    // not).
+    let mut true_counts: Vec<Vec<u64>> = cards.iter().map(|&c| vec![0u64; c]).collect();
+    let mut generator_rng = StdRng::seed_from_u64(options.seed);
+    let mut rounds = Vec::with_capacity(options.rounds);
+    let started = Instant::now();
+
+    for round in 1..=options.rounds {
+        // Clients of this round (the last round absorbs the remainder).
+        let clients = if round == options.rounds {
+            options.clients - options.clients / options.rounds * (options.rounds - 1)
+        } else {
+            options.clients / options.rounds
+        };
+        let mut records = Vec::with_capacity(clients);
+        for _ in 0..clients {
+            let mut record = synthesizer.sample_record(&mut generator_rng);
+            if project_to_joint {
+                record.truncate(JOINT_ATTRIBUTES.len());
+            }
+            for (j, &v) in record.iter().enumerate() {
+                true_counts[j][v as usize] += 1;
+            }
+            records.push(record);
+        }
+        // Time only the collector's work (encoding + sharded ingestion),
+        // not the simulator's record generation above.
+        let round_start = Instant::now();
+        collector
+            .ingest_records(&records, options.seed.wrapping_add(round as u64))
+            .expect("ingestion failed");
+        let round_secs = round_start.elapsed().as_secs_f64();
+
+        let snapshot = collector.snapshot().expect("snapshot failed");
+        let total = collector.total_reports();
+        let mut max_error = 0.0f64;
+        for (j, channel) in true_counts.iter().enumerate() {
+            for (code, &count) in channel.iter().enumerate() {
+                let truth = count as f64 / total as f64;
+                let estimated = snapshot
+                    .frequency(&[(j, code as u32)])
+                    .expect("marginal query failed");
+                max_error = max_error.max((estimated - truth).abs());
+            }
+        }
+        let reports_per_sec = if round_secs > 0.0 {
+            clients as f64 / round_secs
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "round {round:>3}: {total:>9} reports total | {reports_per_sec:>12.0} reports/s \
+             | max marginal error {max_error:.5}"
+        );
+        rounds.push(RoundReport {
+            round,
+            total_reports: total,
+            round_secs,
+            reports_per_sec,
+            max_marginal_abs_error: max_error,
+        });
+    }
+
+    let total_secs = started.elapsed().as_secs_f64();
+    let result = SimulationResult {
+        protocol: options.protocol.clone(),
+        clients: options.clients,
+        shards: options.shards,
+        rounds,
+        total_secs,
+        overall_reports_per_sec: options.clients as f64 / total_secs,
+    };
+    println!("{}", "-".repeat(72));
+    println!(
+        "{} reports in {:.2}s — {:.0} reports/s end to end (generation + ingestion + {} snapshots)",
+        options.clients,
+        total_secs,
+        result.overall_reports_per_sec,
+        result.rounds.len()
+    );
+    println!(
+        "final max marginal error: {:.5} (streamed snapshot vs generated ground truth)",
+        result
+            .rounds
+            .last()
+            .map(|r| r.max_marginal_abs_error)
+            .unwrap_or(f64::NAN)
+    );
+
+    let cli = mdrr_bench::CliOptions {
+        output: options.output.clone(),
+        ..Default::default()
+    };
+    maybe_write_json(&cli, &result);
+}

@@ -52,6 +52,52 @@ pub fn empirical_distribution(codes: &[u32], r: usize) -> Result<Vec<f64>, CoreE
     Ok(counts.into_iter().map(|c| c as f64 / n).collect())
 }
 
+/// Empirical distribution from a per-category count vector — the streaming
+/// form of [`empirical_distribution`]: the counts are the sufficient
+/// statistic for the reported distribution, so a collector that only keeps
+/// per-category tallies (never the raw codes) loses nothing.
+///
+/// The arithmetic is exactly `count / total` with `total = Σ counts`, the
+/// same operation [`empirical_distribution`] performs, so both paths produce
+/// bit-identical distributions on the same reports.
+///
+/// # Errors
+/// [`CoreError::InvalidParameter`] if `counts` is empty or sums to zero.
+pub fn distribution_from_counts(counts: &[u64]) -> Result<Vec<f64>, CoreError> {
+    if counts.is_empty() {
+        return Err(CoreError::invalid(
+            "counts",
+            "cannot compute a distribution from an empty count vector",
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(CoreError::invalid(
+            "counts",
+            "cannot compute the empirical distribution of zero reports",
+        ));
+    }
+    let n = total as f64;
+    Ok(counts.iter().map(|&c| c as f64 / n).collect())
+}
+
+/// The paper's estimator (Section 6.4) applied to accumulated per-category
+/// counts: [`distribution_from_counts`] followed by [`estimate_proper`].
+/// This is the incremental-estimation primitive of the streaming collector —
+/// count vectors are mergeable across shards, and the estimate depends on
+/// the reports only through them.
+///
+/// # Errors
+/// * [`CoreError::InvalidParameter`] for an empty or all-zero count vector;
+/// * propagated dimension and singularity errors from the matrix.
+pub fn estimate_proper_from_counts(
+    matrix: &RRMatrix,
+    counts: &[u64],
+) -> Result<Vec<f64>, CoreError> {
+    let lambda_hat = distribution_from_counts(counts)?;
+    estimate_proper(matrix, &lambda_hat)
+}
+
 /// The raw unbiased estimator of Equation (2): `π̂ = (Pᵀ)⁻¹ λ̂`.
 ///
 /// The output sums to (approximately) 1 but individual entries may be
@@ -169,6 +215,36 @@ mod tests {
         assert!(empirical_distribution(&[], 3).is_err());
         assert!(empirical_distribution(&[0, 5], 3).is_err());
         assert!(empirical_distribution(&[0], 0).is_err());
+    }
+
+    #[test]
+    fn count_vector_estimation_matches_the_report_path() {
+        let m = RRMatrix::direct(0.7, 3).unwrap();
+        let reports = [0u32, 1, 1, 2, 1, 0, 2, 2, 2, 1];
+        let mut counts = [0u64; 3];
+        for &r in &reports {
+            counts[r as usize] += 1;
+        }
+        let via_reports = estimate_from_reports(&m, &reports).unwrap();
+        let via_counts = estimate_proper_from_counts(&m, &counts).unwrap();
+        assert_eq!(via_reports, via_counts);
+        assert_eq!(
+            empirical_distribution(&reports, 3).unwrap(),
+            distribution_from_counts(&counts).unwrap()
+        );
+    }
+
+    #[test]
+    fn count_vector_estimation_validates_input() {
+        assert!(distribution_from_counts(&[]).is_err());
+        assert!(distribution_from_counts(&[0, 0, 0]).is_err());
+        let m = RRMatrix::direct(0.7, 3).unwrap();
+        assert!(estimate_proper_from_counts(&m, &[0, 0, 0]).is_err());
+        // A count vector of the wrong arity is a dimension mismatch.
+        assert!(matches!(
+            estimate_proper_from_counts(&m, &[1, 2]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use bounds::{
 };
 pub use error::CoreError;
 pub use estimate::{
-    empirical_distribution, estimate_from_reports, estimate_proper, estimate_raw,
-    iterative_bayesian_update,
+    distribution_from_counts, empirical_distribution, estimate_from_reports, estimate_proper,
+    estimate_proper_from_counts, estimate_raw, iterative_bayesian_update,
 };
 pub use matrix::RRMatrix;
 pub use privacy::{epsilon_for_keep_probability, split_budget, Composition, PrivacyAccountant};

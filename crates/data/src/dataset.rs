@@ -151,6 +151,28 @@ impl Dataset {
         (0..self.n_records()).map(move |i| self.columns.iter().map(|c| c[i]).collect())
     }
 
+    /// Iterator over row-major chunks of at most `chunk_size` records —
+    /// the unit of work a streaming simulator hands to its shard workers.
+    /// The last chunk may be shorter; an empty dataset yields no chunks.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidParameter`] if `chunk_size == 0`.
+    pub fn record_chunks(
+        &self,
+        chunk_size: usize,
+    ) -> Result<impl Iterator<Item = Vec<Vec<u32>>> + '_, DataError> {
+        if chunk_size == 0 {
+            return Err(DataError::invalid("chunk_size", "must be positive"));
+        }
+        let n = self.n_records();
+        Ok((0..n).step_by(chunk_size).map(move |start| {
+            let end = (start + chunk_size).min(n);
+            (start..end)
+                .map(|i| self.columns.iter().map(|c| c[i]).collect())
+                .collect()
+        }))
+    }
+
     /// Absolute counts of each category of attribute `index`.
     ///
     /// # Errors
@@ -498,6 +520,26 @@ mod tests {
         // Record 2 is (A=1, B=2): code 1*3+2=5 under [A,B], 2*2+1=5 under [B,A].
         assert_eq!(codes_ab[2], 5);
         assert_eq!(codes_ba[2], 5);
+    }
+
+    #[test]
+    fn record_chunks_cover_all_records_in_order() {
+        let ds = sample();
+        assert!(ds.record_chunks(0).is_err());
+
+        let chunks: Vec<Vec<Vec<u32>>> = ds.record_chunks(2).unwrap().collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[2].len(), 1);
+        let flattened: Vec<Vec<u32>> = chunks.into_iter().flatten().collect();
+        let direct: Vec<Vec<u32>> = ds.records().collect();
+        assert_eq!(flattened, direct);
+
+        // A chunk size beyond the record count yields a single chunk.
+        assert_eq!(ds.record_chunks(100).unwrap().count(), 1);
+        // An empty dataset yields no chunks at all.
+        let empty = Dataset::empty(schema());
+        assert_eq!(empty.record_chunks(4).unwrap().count(), 0);
     }
 
     #[test]

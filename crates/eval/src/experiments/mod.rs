@@ -1,7 +1,8 @@
 //! Experiment drivers that regenerate every table and figure of the
 //! paper's evaluation (Section 6), plus the analytic accuracy comparison of
-//! Section 3.3 and the covariance-attenuation check of Proposition 1 /
-//! Corollary 1.
+//! Section 3.3, the covariance-attenuation check of Proposition 1 /
+//! Corollary 1, and the streamed-vs-batch equivalence check of the
+//! streaming subsystem ([`stream`]).
 //!
 //! Each driver is a pure function from an [`ExperimentConfig`] to a
 //! serializable result container; the `mdrr-bench` binaries print and dump
@@ -14,6 +15,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod runner;
+pub mod stream;
 pub mod table1;
 pub mod table2;
 

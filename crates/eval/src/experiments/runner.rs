@@ -120,7 +120,10 @@ pub fn run_method_once(
             )?;
             let release = protocol.run(dataset, rng)?;
             // No Equation (2) correction: count directly on the randomized data.
-            let raw = EmpiricalEstimator::new(release.randomized());
+            let randomized = release
+                .randomized()
+                .expect("batch run releases include the randomized dataset");
+            let raw = EmpiricalEstimator::new(randomized);
             query.estimated_count(&raw)?
         }
         MethodSpec::Independent { p } => {
@@ -138,7 +141,10 @@ pub fn run_method_once(
             )?;
             let release = protocol.run(dataset, rng)?;
             let targets = AdjustmentTarget::from_independent(&release);
-            let adjusted = rr_adjustment(release.randomized(), &targets, *adjustment)?;
+            let randomized = release
+                .randomized()
+                .expect("batch run releases include the randomized dataset");
+            let adjusted = rr_adjustment(randomized, &targets, *adjustment)?;
             query.estimated_count(&adjusted)?
         }
         MethodSpec::Clusters { p, clustering } => {
@@ -162,7 +168,10 @@ pub fn run_method_once(
             )?;
             let release = protocol.run(dataset, rng)?;
             let targets = AdjustmentTarget::from_clusters(&release)?;
-            let adjusted = rr_adjustment(release.randomized(), &targets, *adjustment)?;
+            let randomized = release
+                .randomized()
+                .expect("batch run releases include the randomized dataset");
+            let adjusted = rr_adjustment(randomized, &targets, *adjustment)?;
             query.estimated_count(&adjusted)?
         }
     };

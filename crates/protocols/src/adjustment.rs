@@ -17,7 +17,7 @@
 
 use crate::clusters::ClustersRelease;
 use crate::error::ProtocolError;
-use crate::estimator::{Assignment, FrequencyEstimator};
+use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
 use crate::independent::IndependentRelease;
 use mdrr_data::Dataset;
 use serde::{Deserialize, Serialize};
@@ -185,26 +185,9 @@ impl AdjustedRelease {
 impl FrequencyEstimator for AdjustedRelease {
     fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
         // Validate the constraints, then sum the weights of matching records.
-        let schema = self.randomized.schema();
-        let mut seen = vec![false; schema.len()];
+        validate_assignment(assignment, &self.randomized.schema().cardinalities())?;
         let mut columns = Vec::with_capacity(assignment.len());
         for &(attribute, code) in assignment {
-            if attribute >= schema.len() {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute index {attribute} out of range"
-                )));
-            }
-            if code as usize >= schema.attribute(attribute)?.cardinality() {
-                return Err(ProtocolError::unsupported(format!(
-                    "code {code} out of range for attribute {attribute}"
-                )));
-            }
-            if seen[attribute] {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute {attribute} constrained twice in the same assignment"
-                )));
-            }
-            seen[attribute] = true;
             columns.push((self.randomized.column(attribute)?, code));
         }
         let mut freq = 0.0;

@@ -15,10 +15,8 @@
 
 use crate::clustering::Clustering;
 use crate::error::ProtocolError;
-use crate::estimator::{Assignment, FrequencyEstimator};
-use mdrr_core::{
-    empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix,
-};
+use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
+use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
 use mdrr_data::{Dataset, JointDomain, Schema};
 use rand::Rng;
 
@@ -155,6 +153,11 @@ impl RRClusters {
         Ok(())
     }
 
+    /// The schema the protocol was configured for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
     /// The clustering the protocol uses.
     pub fn clustering(&self) -> &Clustering {
         &self.clustering
@@ -168,6 +171,134 @@ impl RRClusters {
     /// The per-cluster joint-domain codecs (cluster order).
     pub fn domains(&self) -> &[JointDomain] {
         &self.domains
+    }
+
+    /// Client-side encoding: randomizes one true record into its report —
+    /// one randomized joint code per cluster, in cluster order.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::Data`] if the record does not fit the schema;
+    /// * propagated randomization errors otherwise.
+    pub fn encode_record(
+        &self,
+        record: &[u32],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, ProtocolError> {
+        self.schema.validate_record(record)?;
+        let mut report = Vec::with_capacity(self.clustering.len());
+        let mut tuple = Vec::new();
+        for (cluster, (domain, matrix)) in self
+            .clustering
+            .clusters()
+            .iter()
+            .zip(self.domains.iter().zip(self.matrices.iter()))
+        {
+            tuple.clear();
+            tuple.extend(cluster.iter().map(|&a| record[a]));
+            let code = domain.encode(&tuple)?;
+            report.push(matrix.randomize(code as u32, rng)?);
+        }
+        Ok(report)
+    }
+
+    /// Collector-side estimation from accumulated sufficient statistics:
+    /// builds a release from per-cluster count vectors over the randomized
+    /// joint codes of `n_records` reports.  Numerically identical to the
+    /// estimate [`RRClusters::run`] computes from the same codes, but
+    /// carries no randomized microdata
+    /// ([`ClustersRelease::randomized`] is `None`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `n_records` is
+    /// zero, the number of count vectors differs from the number of
+    /// clusters, a count vector's length differs from its cluster's
+    /// joint-domain size, or a count vector does not sum to `n_records`.
+    pub fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<ClustersRelease, ProtocolError> {
+        if n_records == 0 {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Clusters release from zero reports",
+            ));
+        }
+        if counts.len() != self.clustering.len() {
+            return Err(ProtocolError::config(format!(
+                "expected {} per-cluster count vectors, got {}",
+                self.clustering.len(),
+                counts.len()
+            )));
+        }
+        let mut distributions = Vec::with_capacity(self.clustering.len());
+        let mut accountant = PrivacyAccountant::new();
+        for (k, cluster) in self.clustering.clusters().iter().enumerate() {
+            let matrix = &self.matrices[k];
+            let domain = &self.domains[k];
+            let channel = &counts[k];
+            if channel.len() != domain.size() {
+                return Err(ProtocolError::config(format!(
+                    "count vector for cluster {k} has {} cells but its joint domain has {}",
+                    channel.len(),
+                    domain.size()
+                )));
+            }
+            let total: u64 = channel.iter().sum();
+            if total != n_records as u64 {
+                return Err(ProtocolError::config(format!(
+                    "count vector for cluster {k} sums to {total} but {n_records} reports \
+                     were accumulated"
+                )));
+            }
+            distributions.push(estimate_proper_from_counts(matrix, channel)?);
+            accountant.record_matrix(
+                format!("RR-Clusters on cluster {k} (attributes {cluster:?})"),
+                matrix,
+            );
+        }
+        Ok(ClustersRelease {
+            schema: self.schema.clone(),
+            clustering: self.clustering.clone(),
+            domains: self.domains.clone(),
+            distributions,
+            randomized: None,
+            accountant,
+            n_records,
+        })
+    }
+
+    /// Collector-side estimation from an already-randomized data set (the
+    /// pooled per-cluster reports of all parties, decoded to microdata).
+    /// [`RRClusters::run`] is exactly client-side randomization followed by
+    /// this constructor.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for a schema mismatch or an
+    ///   empty data set;
+    /// * propagated estimation errors otherwise.
+    pub fn release_from_randomized(
+        &self,
+        randomized: Dataset,
+    ) -> Result<ClustersRelease, ProtocolError> {
+        if randomized.schema() != &self.schema {
+            return Err(ProtocolError::config(
+                "randomized dataset schema does not match the protocol configuration",
+            ));
+        }
+        if randomized.is_empty() {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Clusters release from an empty dataset",
+            ));
+        }
+        let counts: Vec<Vec<u64>> = self
+            .clustering
+            .clusters()
+            .iter()
+            .map(|cluster| randomized.joint_counts(cluster).map(|(_, c)| c))
+            .collect::<Result<_, _>>()?;
+        let mut release = self.release_from_counts(&counts, randomized.n_records())?;
+        release.randomized = Some(randomized);
+        Ok(release)
     }
 
     /// Runs the protocol: randomizes each cluster's joint codes, estimates
@@ -194,39 +325,26 @@ impl RRClusters {
             ));
         }
         let n = dataset.n_records();
-        let mut distributions = Vec::with_capacity(self.clustering.len());
-        let mut accountant = PrivacyAccountant::new();
-        // Column-major buffer for the reconstructed randomized dataset.
+        // Column-major buffer for the reconstructed randomized dataset,
+        // plus per-cluster counts tallied from the in-hand joint codes so
+        // estimation needs no re-encoding round-trip.
         let mut randomized_columns: Vec<Vec<u32>> = vec![vec![0; n]; self.schema.len()];
-
+        let mut counts: Vec<Vec<u64>> = self.domains.iter().map(|d| vec![0u64; d.size()]).collect();
         for (k, cluster) in self.clustering.clusters().iter().enumerate() {
-            let matrix = &self.matrices[k];
-            let domain = &self.domains[k];
-            let randomized_codes = randomize_joint(dataset, cluster, matrix, rng)?;
-            let lambda_hat = empirical_distribution(&randomized_codes, domain.size())?;
-            distributions.push(estimate_proper(matrix, &lambda_hat)?);
-            accountant.record_matrix(
-                format!("RR-Clusters on cluster {k} (attributes {cluster:?})"),
-                matrix,
-            );
+            let randomized_codes = randomize_joint(dataset, cluster, &self.matrices[k], rng)?;
             // Scatter the decoded randomized values back into the columns.
             for (i, &code) in randomized_codes.iter().enumerate() {
-                let tuple = domain.decode(code as usize)?;
+                counts[k][code as usize] += 1;
+                let tuple = self.domains[k].decode(code as usize)?;
                 for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
                     randomized_columns[attribute][i] = value;
                 }
             }
         }
-
         let randomized = Dataset::from_columns(self.schema.clone(), randomized_columns)?;
-        Ok(ClustersRelease {
-            schema: self.schema.clone(),
-            clustering: self.clustering.clone(),
-            domains: self.domains.clone(),
-            distributions,
-            randomized,
-            accountant,
-        })
+        let mut release = self.release_from_counts(&counts, n)?;
+        release.randomized = Some(randomized);
+        Ok(release)
     }
 }
 
@@ -237,14 +355,17 @@ pub struct ClustersRelease {
     clustering: Clustering,
     domains: Vec<JointDomain>,
     distributions: Vec<Vec<f64>>,
-    randomized: Dataset,
+    randomized: Option<Dataset>,
     accountant: PrivacyAccountant,
+    n_records: usize,
 }
 
 impl ClustersRelease {
-    /// The published randomized microdata set.
-    pub fn randomized(&self) -> &Dataset {
-        &self.randomized
+    /// The published randomized microdata set — `Some` for batch releases,
+    /// `None` for releases assembled from streamed sufficient statistics
+    /// ([`RRClusters::release_from_counts`]).
+    pub fn randomized(&self) -> Option<&Dataset> {
+        self.randomized.as_ref()
     }
 
     /// The clustering the release was produced with.
@@ -303,27 +424,10 @@ impl ClustersRelease {
 
 impl FrequencyEstimator for ClustersRelease {
     fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        validate_assignment(assignment, &self.schema.cardinalities())?;
         // Group the constraints by cluster.
         let mut per_cluster: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.clustering.len()];
-        let mut seen = vec![false; self.schema.len()];
         for &(attribute, code) in assignment {
-            if attribute >= self.schema.len() {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute index {attribute} out of range"
-                )));
-            }
-            let card = self.schema.attribute(attribute)?.cardinality();
-            if code as usize >= card {
-                return Err(ProtocolError::unsupported(format!(
-                    "code {code} out of range for attribute {attribute} ({card} categories)"
-                )));
-            }
-            if seen[attribute] {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute {attribute} constrained twice in the same assignment"
-                )));
-            }
-            seen[attribute] = true;
             let k = self.clustering.cluster_of(attribute).ok_or_else(|| {
                 ProtocolError::unsupported(format!(
                     "attribute {attribute} not covered by any cluster"
@@ -371,7 +475,7 @@ impl FrequencyEstimator for ClustersRelease {
     }
 
     fn record_count(&self) -> usize {
-        self.randomized.n_records()
+        self.n_records
     }
 }
 
@@ -556,12 +660,82 @@ mod tests {
         let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.6).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let release = protocol.run(&ds, &mut rng).unwrap();
-        assert_eq!(release.randomized().n_records(), 1_000);
-        assert_eq!(release.randomized().schema(), ds.schema());
+        let randomized = release.randomized().unwrap();
+        assert_eq!(randomized.n_records(), 1_000);
+        assert_eq!(randomized.schema(), ds.schema());
         assert_eq!(release.accountant().len(), 2);
         assert_eq!(release.record_count(), 1_000);
         assert!(release.cluster_distribution(0).is_ok());
         assert!(release.cluster_distribution(5).is_err());
+    }
+
+    #[test]
+    fn streamed_counts_match_the_batch_estimate_exactly() {
+        let ds = dataset(4_000, 13);
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.6).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(14);
+        let reports: Vec<Vec<u32>> = ds
+            .records()
+            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
+            .collect();
+
+        // Streaming collector: one count vector per cluster.
+        let mut counts: Vec<Vec<u64>> = protocol
+            .domains()
+            .iter()
+            .map(|d| vec![0u64; d.size()])
+            .collect();
+        for report in &reports {
+            for (k, &code) in report.iter().enumerate() {
+                counts[k][code as usize] += 1;
+            }
+        }
+        let streamed = protocol
+            .release_from_counts(&counts, reports.len())
+            .unwrap();
+        assert!(streamed.randomized().is_none());
+
+        // Batch collector: decode the same reports into microdata.
+        let mut columns: Vec<Vec<u32>> = vec![vec![0; reports.len()]; 3];
+        for (i, report) in reports.iter().enumerate() {
+            for (k, cluster) in protocol.clustering().clusters().iter().enumerate() {
+                let tuple = protocol.domains()[k].decode(report[k] as usize).unwrap();
+                for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
+                    columns[attribute][i] = value;
+                }
+            }
+        }
+        let randomized = Dataset::from_columns(schema(), columns).unwrap();
+        let batch = protocol.release_from_randomized(randomized).unwrap();
+        for k in 0..2 {
+            assert_eq!(
+                streamed.cluster_distribution(k).unwrap(),
+                batch.cluster_distribution(k).unwrap()
+            );
+        }
+        assert_eq!(streamed.record_count(), batch.record_count());
+    }
+
+    #[test]
+    fn encode_record_and_counts_validate_input() {
+        let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(protocol.encode_record(&[0, 0], &mut rng).is_err());
+        assert!(protocol.encode_record(&[0, 9, 0], &mut rng).is_err());
+        let report = protocol.encode_record(&[1, 2, 0], &mut rng).unwrap();
+        assert_eq!(report.len(), 2);
+
+        assert!(protocol
+            .release_from_counts(&[vec![0; 6], vec![0; 2]], 0)
+            .is_err());
+        assert!(protocol.release_from_counts(&[vec![2; 3]], 6).is_err());
+        assert!(protocol
+            .release_from_counts(&[vec![1; 6], vec![3, 2]], 6)
+            .is_err());
+        assert!(protocol
+            .release_from_counts(&[vec![1; 6], vec![3, 3]], 6)
+            .is_ok());
     }
 
     #[test]

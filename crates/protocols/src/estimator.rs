@@ -16,6 +16,43 @@ use crate::error::ProtocolError;
 /// takes code 1"; all other attributes are unconstrained.
 pub type Assignment = [(usize, u32)];
 
+/// Validates a partial assignment against per-attribute cardinalities:
+/// every attribute index must be in range, every code must be within its
+/// attribute's cardinality, and no attribute may be constrained twice — a
+/// duplicate constraint is at best redundant and at worst contradictory
+/// (`[(0, 1), (0, 2)]` matches nothing), so every estimator rejects it with
+/// an error instead of silently computing an answer.
+///
+/// # Errors
+/// Returns [`ProtocolError::UnsupportedQuery`] describing the first
+/// violated constraint.
+pub fn validate_assignment(
+    assignment: &Assignment,
+    cardinalities: &[usize],
+) -> Result<(), ProtocolError> {
+    let mut seen = vec![false; cardinalities.len()];
+    for &(attribute, code) in assignment {
+        let Some(&cardinality) = cardinalities.get(attribute) else {
+            return Err(ProtocolError::unsupported(format!(
+                "attribute index {attribute} out of range ({} attributes)",
+                cardinalities.len()
+            )));
+        };
+        if code as usize >= cardinality {
+            return Err(ProtocolError::unsupported(format!(
+                "code {code} out of range for attribute {attribute} ({cardinality} categories)"
+            )));
+        }
+        if seen[attribute] {
+            return Err(ProtocolError::unsupported(format!(
+                "attribute {attribute} constrained twice in the same assignment"
+            )));
+        }
+        seen[attribute] = true;
+    }
+    Ok(())
+}
+
 /// A release (estimated distribution, adjusted weights, raw randomized
 /// data, …) that can estimate the probability that a random record of the
 /// *true* data set matches a partial assignment.
@@ -68,6 +105,7 @@ impl<'a> EmpiricalEstimator<'a> {
 
 impl FrequencyEstimator for EmpiricalEstimator<'_> {
     fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        validate_assignment(assignment, &self.dataset.schema().cardinalities())?;
         let n = self.dataset.n_records();
         if n == 0 {
             return Ok(0.0);
@@ -114,6 +152,21 @@ mod tests {
         assert!((est.count(&[(1, 2)]).unwrap() - 3.0).abs() < 1e-12);
         assert!((est.frequency(&[]).unwrap() - 1.0).abs() < 1e-12);
         assert!(est.frequency(&[(9, 0)]).is_err());
+        assert!(est.frequency(&[(0, 9)]).is_err());
+        assert!(est.frequency(&[(0, 0), (0, 0)]).is_err());
+        assert!(est.frequency(&[(0, 0), (0, 1)]).is_err());
+    }
+
+    #[test]
+    fn validate_assignment_rejects_bad_constraints() {
+        let cards = [2usize, 3];
+        assert!(validate_assignment(&[], &cards).is_ok());
+        assert!(validate_assignment(&[(0, 1), (1, 2)], &cards).is_ok());
+        assert!(validate_assignment(&[(2, 0)], &cards).is_err());
+        assert!(validate_assignment(&[(1, 3)], &cards).is_err());
+        // Duplicates are rejected even when the codes agree.
+        assert!(validate_assignment(&[(1, 2), (1, 2)], &cards).is_err());
+        assert!(validate_assignment(&[(1, 0), (0, 1), (1, 0)], &cards).is_err());
     }
 
     #[test]

@@ -12,10 +12,9 @@
 //! RR-Adjustment (Section 5) repairs.
 
 use crate::error::ProtocolError;
-use crate::estimator::{Assignment, FrequencyEstimator};
+use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
 use mdrr_core::{
-    empirical_distribution, estimate_proper, randomize_dataset_independent, PrivacyAccountant,
-    RRMatrix,
+    estimate_proper_from_counts, randomize_dataset_independent, PrivacyAccountant, RRMatrix,
 };
 use mdrr_data::{Dataset, Schema};
 use rand::Rng;
@@ -123,6 +122,122 @@ impl RRIndependent {
         self.matrices.iter().map(RRMatrix::epsilon).collect()
     }
 
+    /// Client-side encoding: randomizes one true record into its report —
+    /// one randomized code per attribute.  This is the unit of work a party
+    /// performs locally before sending anything to the collector; the
+    /// streaming subsystem (`mdrr-stream`) accumulates these reports into
+    /// per-attribute count vectors and estimates with
+    /// [`RRIndependent::release_from_counts`].
+    ///
+    /// # Errors
+    /// * [`ProtocolError::Data`] if the record does not fit the schema;
+    /// * propagated randomization errors otherwise.
+    pub fn encode_record(
+        &self,
+        record: &[u32],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, ProtocolError> {
+        self.schema.validate_record(record)?;
+        record
+            .iter()
+            .zip(self.matrices.iter())
+            .map(|(&value, matrix)| matrix.randomize(value, rng).map_err(ProtocolError::from))
+            .collect()
+    }
+
+    /// Collector-side estimation from accumulated sufficient statistics:
+    /// builds a release from per-attribute count vectors over the
+    /// randomized codes of `n_records` reports.  The count vectors are all
+    /// the collector needs — the release is numerically identical to the one
+    /// [`RRIndependent::run`] computes from the same randomized codes, but
+    /// carries no randomized microdata
+    /// ([`IndependentRelease::randomized`] is `None`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `n_records` is
+    /// zero, the number of count vectors does not match the schema, a count
+    /// vector's length does not match its attribute's cardinality, or a
+    /// count vector does not sum to `n_records`.
+    pub fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<IndependentRelease, ProtocolError> {
+        if n_records == 0 {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Independent release from zero reports",
+            ));
+        }
+        if counts.len() != self.matrices.len() {
+            return Err(ProtocolError::config(format!(
+                "expected {} per-attribute count vectors, got {}",
+                self.matrices.len(),
+                counts.len()
+            )));
+        }
+        let mut marginals = Vec::with_capacity(self.matrices.len());
+        let mut accountant = PrivacyAccountant::new();
+        for (j, (matrix, channel)) in self.matrices.iter().zip(counts.iter()).enumerate() {
+            if channel.len() != matrix.size() {
+                return Err(ProtocolError::config(format!(
+                    "count vector for attribute {j} has {} categories, expected {}",
+                    channel.len(),
+                    matrix.size()
+                )));
+            }
+            let total: u64 = channel.iter().sum();
+            if total != n_records as u64 {
+                return Err(ProtocolError::config(format!(
+                    "count vector for attribute {j} sums to {total} but {n_records} reports \
+                     were accumulated"
+                )));
+            }
+            marginals.push(estimate_proper_from_counts(matrix, channel)?);
+            accountant.record_matrix(
+                format!("RR-Independent on {}", self.schema.attribute(j)?.name()),
+                matrix,
+            );
+        }
+        Ok(IndependentRelease {
+            randomized: None,
+            matrices: self.matrices.clone(),
+            marginals,
+            accountant,
+            n_records,
+        })
+    }
+
+    /// Collector-side estimation from an already-randomized data set — the
+    /// batch entry point of the collector given the pooled reports of all
+    /// parties.  [`RRIndependent::run`] is exactly client-side
+    /// randomization followed by this constructor.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for a schema mismatch or an
+    ///   empty data set;
+    /// * propagated estimation errors otherwise.
+    pub fn release_from_randomized(
+        &self,
+        randomized: Dataset,
+    ) -> Result<IndependentRelease, ProtocolError> {
+        if randomized.schema() != &self.schema {
+            return Err(ProtocolError::config(
+                "randomized dataset schema does not match the protocol configuration",
+            ));
+        }
+        if randomized.is_empty() {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Independent release from an empty dataset",
+            ));
+        }
+        let counts: Vec<Vec<u64>> = (0..self.schema.len())
+            .map(|j| randomized.marginal_counts(j))
+            .collect::<Result<_, _>>()?;
+        let mut release = self.release_from_counts(&counts, randomized.n_records())?;
+        release.randomized = Some(randomized);
+        Ok(release)
+    }
+
     /// Runs the protocol: randomizes the data set (each party/record
     /// independently, each attribute independently) and estimates the
     /// per-attribute true distributions.
@@ -147,42 +262,30 @@ impl RRIndependent {
             ));
         }
         let randomized = randomize_dataset_independent(dataset, &self.matrices, rng)?;
-
-        let mut marginals = Vec::with_capacity(self.matrices.len());
-        let mut accountant = PrivacyAccountant::new();
-        for (j, matrix) in self.matrices.iter().enumerate() {
-            let reports = randomized.column(j)?;
-            let lambda_hat = empirical_distribution(reports, matrix.size())?;
-            marginals.push(estimate_proper(matrix, &lambda_hat)?);
-            accountant.record_matrix(
-                format!("RR-Independent on {}", self.schema.attribute(j)?.name()),
-                matrix,
-            );
-        }
-        Ok(IndependentRelease {
-            randomized,
-            matrices: self.matrices.clone(),
-            marginals,
-            accountant,
-        })
+        self.release_from_randomized(randomized)
     }
 }
 
-/// The output of one run of RR-Independent: the randomized data set, the
-/// matrices that produced it, the estimated per-attribute distributions and
-/// the privacy ledger.
+/// The output of one run of RR-Independent: the randomized data set (for
+/// batch runs), the matrices that produced it, the estimated per-attribute
+/// distributions and the privacy ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndependentRelease {
-    randomized: Dataset,
+    randomized: Option<Dataset>,
     matrices: Vec<RRMatrix>,
     marginals: Vec<Vec<f64>>,
     accountant: PrivacyAccountant,
+    n_records: usize,
 }
 
 impl IndependentRelease {
-    /// The published randomized data set `Y`.
-    pub fn randomized(&self) -> &Dataset {
-        &self.randomized
+    /// The published randomized data set `Y` — `Some` for batch releases
+    /// ([`RRIndependent::run`] / [`RRIndependent::release_from_randomized`]),
+    /// `None` for releases assembled from streamed sufficient statistics
+    /// ([`RRIndependent::release_from_counts`]), where the microdata is
+    /// never materialized.
+    pub fn randomized(&self) -> Option<&Dataset> {
+        self.randomized.as_ref()
     }
 
     /// The per-attribute randomization matrices.
@@ -216,29 +319,16 @@ impl IndependentRelease {
 
 impl FrequencyEstimator for IndependentRelease {
     fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
-        let mut freq = 1.0;
-        let mut seen = vec![false; self.marginals.len()];
-        for &(attribute, code) in assignment {
-            let marginal = self.marginal(attribute)?;
-            if code as usize >= marginal.len() {
-                return Err(ProtocolError::unsupported(format!(
-                    "code {code} out of range for attribute {attribute} ({} categories)",
-                    marginal.len()
-                )));
-            }
-            if seen[attribute] {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute {attribute} constrained twice in the same assignment"
-                )));
-            }
-            seen[attribute] = true;
-            freq *= marginal[code as usize];
-        }
-        Ok(freq)
+        let cardinalities: Vec<usize> = self.marginals.iter().map(Vec::len).collect();
+        validate_assignment(assignment, &cardinalities)?;
+        Ok(assignment
+            .iter()
+            .map(|&(attribute, code)| self.marginals[attribute][code as usize])
+            .product())
     }
 
     fn record_count(&self) -> usize {
-        self.randomized.n_records()
+        self.n_records
     }
 }
 
@@ -382,6 +472,66 @@ mod tests {
         assert!(release.frequency(&[(0, 1), (0, 2)]).is_err());
         let count = release.count(&[(1, 0)]).unwrap();
         assert!(count >= 0.0 && count <= ds.n_records() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn streamed_counts_match_the_batch_estimate_exactly() {
+        let ds = independent_dataset(5_000, 20);
+        let protocol =
+            RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(0.6)).unwrap();
+
+        // Client side: every record encodes into one report.
+        let mut rng = StdRng::seed_from_u64(21);
+        let reports: Vec<Vec<u32>> = ds
+            .records()
+            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
+            .collect();
+
+        // Streaming collector: accumulate per-attribute counts only.
+        let mut counts = vec![vec![0u64; 3], vec![0u64; 2]];
+        for report in &reports {
+            for (j, &code) in report.iter().enumerate() {
+                counts[j][code as usize] += 1;
+            }
+        }
+        let streamed = protocol
+            .release_from_counts(&counts, reports.len())
+            .unwrap();
+        assert!(streamed.randomized().is_none());
+        assert_eq!(streamed.record_count(), 5_000);
+
+        // Batch collector: the same reports as a materialized dataset.
+        let randomized = Dataset::from_records(schema(), &reports).unwrap();
+        let batch = protocol.release_from_randomized(randomized).unwrap();
+        assert!(batch.randomized().is_some());
+        for j in 0..2 {
+            assert_eq!(streamed.marginal(j).unwrap(), batch.marginal(j).unwrap());
+        }
+    }
+
+    #[test]
+    fn encode_record_and_counts_validate_input() {
+        let protocol =
+            RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(0.6)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(protocol.encode_record(&[0], &mut rng).is_err());
+        assert!(protocol.encode_record(&[0, 5], &mut rng).is_err());
+        assert!(protocol.encode_record(&[2, 1], &mut rng).is_ok());
+
+        // Zero reports, wrong arity, wrong cardinality, inconsistent totals.
+        assert!(protocol
+            .release_from_counts(&[vec![0; 3], vec![0; 2]], 0)
+            .is_err());
+        assert!(protocol.release_from_counts(&[vec![4, 0, 0]], 4).is_err());
+        assert!(protocol
+            .release_from_counts(&[vec![4, 0], vec![4, 0]], 4)
+            .is_err());
+        assert!(protocol
+            .release_from_counts(&[vec![4, 0, 0], vec![3, 0]], 4)
+            .is_err());
+        assert!(protocol
+            .release_from_counts(&[vec![4, 0, 0], vec![3, 1]], 4)
+            .is_ok());
     }
 
     #[test]

@@ -14,10 +14,8 @@
 //! paper's experiments cannot run RR-Joint on the full Adult schema.
 
 use crate::error::ProtocolError;
-use crate::estimator::{Assignment, FrequencyEstimator};
-use mdrr_core::{
-    empirical_distribution, estimate_proper, randomize_joint, PrivacyAccountant, RRMatrix,
-};
+use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
+use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
 use mdrr_data::{Dataset, JointDomain, Schema};
 use rand::Rng;
 
@@ -87,6 +85,11 @@ impl RRJoint {
         Ok(())
     }
 
+    /// The schema the protocol was configured for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
     /// The joint-domain codec.
     pub fn domain(&self) -> &JointDomain {
         &self.domain
@@ -95,6 +98,95 @@ impl RRJoint {
     /// The randomization matrix over the joint domain.
     pub fn matrix(&self) -> &RRMatrix {
         &self.matrix
+    }
+
+    /// Client-side encoding: randomizes one true record into its report —
+    /// a single randomized code over the joint domain.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::Data`] if the record does not fit the schema;
+    /// * propagated randomization errors otherwise.
+    pub fn encode_record(&self, record: &[u32], rng: &mut impl Rng) -> Result<u32, ProtocolError> {
+        self.schema.validate_record(record)?;
+        let code = self.domain.encode(record)?;
+        Ok(self.matrix.randomize(code as u32, rng)?)
+    }
+
+    /// Collector-side estimation from accumulated sufficient statistics:
+    /// builds a release from the count vector over the joint domain of the
+    /// randomized codes of `n_records` reports.  Numerically identical to
+    /// the estimate [`RRJoint::run`] computes from the same codes, but
+    /// carries no randomized microdata ([`JointRelease::randomized`] is
+    /// `None`).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfiguration`] if `n_records` is
+    /// zero, the count vector's length differs from the joint-domain size,
+    /// or the counts do not sum to `n_records`.
+    pub fn release_from_counts(
+        &self,
+        counts: &[u64],
+        n_records: usize,
+    ) -> Result<JointRelease, ProtocolError> {
+        if n_records == 0 {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Joint release from zero reports",
+            ));
+        }
+        if counts.len() != self.domain.size() {
+            return Err(ProtocolError::config(format!(
+                "count vector has {} cells but the joint domain has {}",
+                counts.len(),
+                self.domain.size()
+            )));
+        }
+        let total: u64 = counts.iter().sum();
+        if total != n_records as u64 {
+            return Err(ProtocolError::config(format!(
+                "count vector sums to {total} but {n_records} reports were accumulated"
+            )));
+        }
+        let joint = estimate_proper_from_counts(&self.matrix, counts)?;
+        let mut accountant = PrivacyAccountant::new();
+        accountant.record_matrix("RR-Joint on the full attribute set", &self.matrix);
+        Ok(JointRelease {
+            schema: self.schema.clone(),
+            domain: self.domain.clone(),
+            randomized: None,
+            joint,
+            accountant,
+            n_records,
+        })
+    }
+
+    /// Collector-side estimation from an already-randomized data set (the
+    /// pooled reports of all parties, decoded to microdata).
+    /// [`RRJoint::run`] is exactly client-side randomization followed by
+    /// this constructor.
+    ///
+    /// # Errors
+    /// * [`ProtocolError::InvalidConfiguration`] for a schema mismatch or an
+    ///   empty data set;
+    /// * propagated estimation errors otherwise.
+    pub fn release_from_randomized(
+        &self,
+        randomized: Dataset,
+    ) -> Result<JointRelease, ProtocolError> {
+        if randomized.schema() != &self.schema {
+            return Err(ProtocolError::config(
+                "randomized dataset schema does not match the protocol configuration",
+            ));
+        }
+        if randomized.is_empty() {
+            return Err(ProtocolError::config(
+                "cannot build an RR-Joint release from an empty dataset",
+            ));
+        }
+        let attributes: Vec<usize> = (0..self.schema.len()).collect();
+        let (_, counts) = randomized.joint_counts(&attributes)?;
+        let mut release = self.release_from_counts(&counts, randomized.n_records())?;
+        release.randomized = Some(randomized);
+        Ok(release)
     }
 
     /// Runs the protocol and estimates the joint distribution of the true
@@ -121,28 +213,21 @@ impl RRJoint {
         }
         let attributes: Vec<usize> = (0..self.schema.len()).collect();
         let randomized_codes = randomize_joint(dataset, &attributes, &self.matrix, rng)?;
-        let lambda_hat = empirical_distribution(&randomized_codes, self.domain.size())?;
-        let joint = estimate_proper(&self.matrix, &lambda_hat)?;
 
-        // Reconstruct the randomized microdata set from the joint codes so
+        // Estimate directly from the in-hand joint codes (no re-encoding
+        // round-trip) and reconstruct the randomized microdata set so
         // downstream consumers (Randomized baseline, RR-Adjustment) can use
         // it like any other release.
+        let mut counts = vec![0u64; self.domain.size()];
         let mut randomized = Dataset::empty(self.schema.clone());
         for &code in &randomized_codes {
+            counts[code as usize] += 1;
             let record = self.domain.decode(code as usize)?;
             randomized.push_record(&record)?;
         }
-
-        let mut accountant = PrivacyAccountant::new();
-        accountant.record_matrix("RR-Joint on the full attribute set", &self.matrix);
-
-        Ok(JointRelease {
-            schema: self.schema.clone(),
-            domain: self.domain.clone(),
-            randomized,
-            joint,
-            accountant,
-        })
+        let mut release = self.release_from_counts(&counts, randomized_codes.len())?;
+        release.randomized = Some(randomized);
+        Ok(release)
     }
 }
 
@@ -151,15 +236,18 @@ impl RRJoint {
 pub struct JointRelease {
     schema: Schema,
     domain: JointDomain,
-    randomized: Dataset,
+    randomized: Option<Dataset>,
     joint: Vec<f64>,
     accountant: PrivacyAccountant,
+    n_records: usize,
 }
 
 impl JointRelease {
-    /// The published randomized microdata set.
-    pub fn randomized(&self) -> &Dataset {
-        &self.randomized
+    /// The published randomized microdata set — `Some` for batch releases,
+    /// `None` for releases assembled from streamed sufficient statistics
+    /// ([`RRJoint::release_from_counts`]).
+    pub fn randomized(&self) -> Option<&Dataset> {
+        self.randomized.as_ref()
     }
 
     /// The estimated joint distribution over the full domain (code order of
@@ -181,26 +269,9 @@ impl JointRelease {
 
 impl FrequencyEstimator for JointRelease {
     fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
-        // Validate the assignment once.
-        let m = self.schema.len();
-        let mut constraint: Vec<Option<u32>> = vec![None; m];
+        validate_assignment(assignment, &self.schema.cardinalities())?;
+        let mut constraint: Vec<Option<u32>> = vec![None; self.schema.len()];
         for &(attribute, code) in assignment {
-            if attribute >= m {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute index {attribute} out of range"
-                )));
-            }
-            let card = self.schema.attribute(attribute)?.cardinality();
-            if code as usize >= card {
-                return Err(ProtocolError::unsupported(format!(
-                    "code {code} out of range for attribute {attribute} ({card} categories)"
-                )));
-            }
-            if constraint[attribute].is_some() {
-                return Err(ProtocolError::unsupported(format!(
-                    "attribute {attribute} constrained twice in the same assignment"
-                )));
-            }
             constraint[attribute] = Some(code);
         }
         // Sum the estimated joint distribution over all matching cells.
@@ -222,7 +293,7 @@ impl FrequencyEstimator for JointRelease {
     }
 
     fn record_count(&self) -> usize {
-        self.randomized.n_records()
+        self.n_records
     }
 }
 
@@ -323,8 +394,56 @@ mod tests {
         let protocol = RRJoint::with_epsilon(schema(), 3.0, None).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let release = protocol.run(&ds, &mut rng).unwrap();
-        assert_eq!(release.randomized().n_records(), 500);
-        assert_eq!(release.randomized().schema(), ds.schema());
+        let randomized = release.randomized().unwrap();
+        assert_eq!(randomized.n_records(), 500);
+        assert_eq!(randomized.schema(), ds.schema());
+    }
+
+    #[test]
+    fn streamed_counts_match_the_batch_estimate_exactly() {
+        let ds = dependent_dataset(4_000, 9);
+        let protocol = RRJoint::with_keep_probability(schema(), 0.6, None).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let reports: Vec<u32> = ds
+            .records()
+            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
+            .collect();
+
+        let mut counts = vec![0u64; protocol.domain().size()];
+        for &code in &reports {
+            counts[code as usize] += 1;
+        }
+        let streamed = protocol
+            .release_from_counts(&counts, reports.len())
+            .unwrap();
+        assert!(streamed.randomized().is_none());
+
+        let mut randomized = Dataset::empty(schema());
+        for &code in &reports {
+            randomized
+                .push_record(&protocol.domain().decode(code as usize).unwrap())
+                .unwrap();
+        }
+        let batch = protocol.release_from_randomized(randomized).unwrap();
+        assert_eq!(streamed.joint_distribution(), batch.joint_distribution());
+        assert_eq!(streamed.record_count(), batch.record_count());
+    }
+
+    #[test]
+    fn encode_record_and_counts_validate_input() {
+        let protocol = RRJoint::with_keep_probability(schema(), 0.6, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(protocol.encode_record(&[0], &mut rng).is_err());
+        assert!(protocol.encode_record(&[0, 5], &mut rng).is_err());
+        assert!(protocol.encode_record(&[1, 2], &mut rng).is_ok());
+
+        assert!(protocol.release_from_counts(&[0; 6], 0).is_err());
+        assert!(protocol.release_from_counts(&[1, 1, 1], 3).is_err());
+        assert!(protocol
+            .release_from_counts(&[1, 1, 1, 0, 0, 0], 4)
+            .is_err());
+        assert!(protocol.release_from_counts(&[1, 1, 1, 1, 0, 0], 4).is_ok());
     }
 
     #[test]

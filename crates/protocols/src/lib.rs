@@ -76,7 +76,7 @@ pub use dependence::{
     dependence_via_rr_pairs, DependenceEstimate,
 };
 pub use error::ProtocolError;
-pub use estimator::{EmpiricalEstimator, FrequencyEstimator};
+pub use estimator::{validate_assignment, Assignment, EmpiricalEstimator, FrequencyEstimator};
 pub use independent::{IndependentRelease, RRIndependent, RandomizationLevel};
 pub use joint::{JointRelease, RRJoint, DEFAULT_MAX_JOINT_DOMAIN};
 pub use party::{collect_independent_responses, Party};

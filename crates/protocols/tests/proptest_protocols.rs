@@ -90,7 +90,7 @@ proptest! {
             }
             prop_assert!((total - 1.0).abs() < 1e-6);
         }
-        prop_assert_eq!(release.randomized().n_records(), ds.n_records());
+        prop_assert_eq!(release.randomized().unwrap().n_records(), ds.n_records());
     }
 
     #[test]
@@ -125,7 +125,7 @@ proptest! {
         let protocol = RRIndependent::new(ds.schema().clone(), &RandomizationLevel::KeepProbability(0.7)).unwrap();
         let release = protocol.run(&ds, &mut rng).unwrap();
         let targets = AdjustmentTarget::from_independent(&release);
-        let adjusted = rr_adjustment(release.randomized(), &targets, AdjustmentConfig::new(60, 1e-10).unwrap()).unwrap();
+        let adjusted = rr_adjustment(release.randomized().unwrap(), &targets, AdjustmentConfig::new(60, 1e-10).unwrap()).unwrap();
         let total: f64 = adjusted.weights().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
         prop_assert!(adjusted.weights().iter().all(|&w| w >= 0.0));

@@ -1,0 +1,198 @@
+//! Mergeable per-shard accumulators of randomized reports.
+//!
+//! An [`Accumulator`] keeps one count vector per channel — the sufficient
+//! statistics of the estimation problem.  Because Equation (2) depends on
+//! the reports only through the empirical reported distribution, and that
+//! distribution only through the per-category counts, accumulating counts
+//! loses nothing: a snapshot taken from merged accumulators is numerically
+//! identical to the batch estimate over the pooled reports.  Counts are
+//! plain sums, so merging is exact, associative and commutative — shards
+//! can be combined in any order.
+
+use crate::error::StreamError;
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel count vectors over the randomized codes of the ingested
+/// reports, plus the number of reports.  The unit of parallelism of the
+/// streaming collector: each shard owns one accumulator and ingestion never
+/// contends across shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accumulator {
+    counts: Vec<Vec<u64>>,
+    n_reports: u64,
+}
+
+impl Accumulator {
+    /// An empty accumulator over channels of the given domain sizes.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] if there are no
+    /// channels or a channel has size zero.
+    pub fn new(channel_sizes: &[usize]) -> Result<Self, StreamError> {
+        if channel_sizes.is_empty() {
+            return Err(StreamError::config(
+                "an accumulator needs at least one channel",
+            ));
+        }
+        if let Some(k) = channel_sizes.iter().position(|&s| s == 0) {
+            return Err(StreamError::config(format!(
+                "channel {k} has domain size zero"
+            )));
+        }
+        Ok(Accumulator {
+            counts: channel_sizes.iter().map(|&s| vec![0u64; s]).collect(),
+            n_reports: 0,
+        })
+    }
+
+    /// Ingests one report: bumps one count per channel.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] if the report's arity
+    /// differs from the number of channels or a code is out of its
+    /// channel's range; the accumulator is unchanged on error.
+    pub fn ingest(&mut self, report: &Report) -> Result<(), StreamError> {
+        let codes = report.codes();
+        if codes.len() != self.counts.len() {
+            return Err(StreamError::config(format!(
+                "report has {} codes but the accumulator has {} channels",
+                codes.len(),
+                self.counts.len()
+            )));
+        }
+        for (k, (&code, channel)) in codes.iter().zip(self.counts.iter()).enumerate() {
+            if code as usize >= channel.len() {
+                return Err(StreamError::config(format!(
+                    "code {code} out of range for channel {k} ({} categories)",
+                    channel.len()
+                )));
+            }
+        }
+        for (&code, channel) in codes.iter().zip(self.counts.iter_mut()) {
+            channel[code as usize] += 1;
+        }
+        self.n_reports += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator into this one (exact: counts add).
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] if the channel layouts
+    /// differ; the accumulator is unchanged on error.
+    pub fn merge(&mut self, other: &Accumulator) -> Result<(), StreamError> {
+        if self.counts.len() != other.counts.len()
+            || self
+                .counts
+                .iter()
+                .zip(other.counts.iter())
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(StreamError::config(
+                "cannot merge accumulators with different channel layouts",
+            ));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a += b;
+            }
+        }
+        self.n_reports += other.n_reports;
+        Ok(())
+    }
+
+    /// The per-channel count vectors, in channel order.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Number of reports ingested (including merged ones).
+    pub fn n_reports(&self) -> u64 {
+        self.n_reports
+    }
+
+    /// Whether no report has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_reports == 0
+    }
+
+    /// The domain size of each channel, in channel order.
+    pub fn channel_sizes(&self) -> Vec<usize> {
+        self.counts.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(codes: &[u32]) -> Report {
+        Report::new(codes.to_vec())
+    }
+
+    #[test]
+    fn construction_validates_channels() {
+        assert!(Accumulator::new(&[]).is_err());
+        assert!(Accumulator::new(&[3, 0]).is_err());
+        let acc = Accumulator::new(&[3, 2]).unwrap();
+        assert!(acc.is_empty());
+        assert_eq!(acc.channel_sizes(), vec![3, 2]);
+    }
+
+    #[test]
+    fn ingestion_counts_per_channel() {
+        let mut acc = Accumulator::new(&[3, 2]).unwrap();
+        acc.ingest(&report(&[0, 1])).unwrap();
+        acc.ingest(&report(&[2, 1])).unwrap();
+        acc.ingest(&report(&[0, 0])).unwrap();
+        assert_eq!(acc.n_reports(), 3);
+        assert_eq!(acc.counts(), &[vec![2, 0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn ingestion_rejects_malformed_reports_atomically() {
+        let mut acc = Accumulator::new(&[3, 2]).unwrap();
+        assert!(acc.ingest(&report(&[0])).is_err());
+        assert!(acc.ingest(&report(&[0, 1, 0])).is_err());
+        // Second channel out of range: the first channel must NOT have been
+        // counted.
+        assert!(acc.ingest(&report(&[0, 5])).is_err());
+        assert!(acc.is_empty());
+        assert_eq!(acc.counts(), &[vec![0, 0, 0], vec![0, 0]]);
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_independent() {
+        let mut a = Accumulator::new(&[3]).unwrap();
+        let mut b = Accumulator::new(&[3]).unwrap();
+        let mut c = Accumulator::new(&[3]).unwrap();
+        for &x in &[0u32, 1, 1] {
+            a.ingest(&report(&[x])).unwrap();
+        }
+        for &x in &[2u32, 2] {
+            b.ingest(&report(&[x])).unwrap();
+        }
+        c.ingest(&report(&[0])).unwrap();
+
+        let mut abc = a.clone();
+        abc.merge(&b).unwrap();
+        abc.merge(&c).unwrap();
+        let mut cba = c.clone();
+        cba.merge(&b).unwrap();
+        cba.merge(&a).unwrap();
+        assert_eq!(abc, cba);
+        assert_eq!(abc.n_reports(), 6);
+        assert_eq!(abc.counts(), &[vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Accumulator::new(&[3, 2]).unwrap();
+        let b = Accumulator::new(&[3]).unwrap();
+        let c = Accumulator::new(&[3, 4]).unwrap();
+        assert!(a.merge(&b).is_err());
+        assert!(a.merge(&c).is_err());
+        assert!(a.is_empty());
+    }
+}

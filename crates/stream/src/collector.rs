@@ -1,0 +1,343 @@
+//! The sharded streaming collector.
+//!
+//! A [`ShardedCollector`] owns `N` independent [`Accumulator`]s and fans
+//! ingestion out over `std::thread::scope` workers — one worker per shard,
+//! each with its own deterministic RNG, each writing only to its own
+//! shard's accumulator, so ingestion is embarrassingly parallel and never
+//! locks.  At any point mid-stream the shards can be merged (exactly —
+//! counts are sums) and snapshotted into the protocol's regular release via
+//! the closed-form estimators, so incremental estimation costs O(domain)
+//! per snapshot, independent of how many reports have streamed by.
+
+use crate::accumulator::Accumulator;
+use crate::error::StreamError;
+use crate::report::{Report, StreamProtocol, StreamSnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Multiplier used to derive well-separated per-shard seeds from a base
+/// seed (the SplitMix64 golden-ratio increment).
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A collector ingesting randomized reports through `N` sharded
+/// accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedCollector {
+    protocol: StreamProtocol,
+    shards: Vec<Accumulator>,
+}
+
+impl ShardedCollector {
+    /// A collector for `protocol` with `n_shards` empty shards.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] if `n_shards` is zero.
+    pub fn new(protocol: StreamProtocol, n_shards: usize) -> Result<Self, StreamError> {
+        if n_shards == 0 {
+            return Err(StreamError::config("a collector needs at least one shard"));
+        }
+        let channel_sizes = protocol.channel_sizes();
+        let shard = Accumulator::new(&channel_sizes)?;
+        Ok(ShardedCollector {
+            protocol,
+            shards: vec![shard; n_shards],
+        })
+    }
+
+    /// The protocol the collector ingests reports for.
+    pub fn protocol(&self) -> &StreamProtocol {
+        &self.protocol
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard accumulators, in shard order.
+    pub fn shards(&self) -> &[Accumulator] {
+        &self.shards
+    }
+
+    /// Total number of reports ingested across all shards.
+    pub fn total_reports(&self) -> u64 {
+        self.shards.iter().map(Accumulator::n_reports).sum()
+    }
+
+    /// Ingests one already-encoded report into a specific shard (the
+    /// network path: reports arrive pre-randomized from the clients and are
+    /// routed to a shard by any load-balancing rule).
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] for a bad shard index
+    /// or a report that does not match the protocol's channels.
+    pub fn ingest_report(&mut self, shard: usize, report: &Report) -> Result<(), StreamError> {
+        let n_shards = self.shards.len();
+        self.shards
+            .get_mut(shard)
+            .ok_or_else(|| {
+                StreamError::config(format!(
+                    "shard index {shard} out of range ({n_shards} shards)"
+                ))
+            })?
+            .ingest(report)
+    }
+
+    /// Simulates `records.len()` clients: splits the records into one
+    /// contiguous chunk per shard and runs one `std::thread::scope` worker
+    /// per shard.  Worker `k` encodes its chunk with its own deterministic
+    /// RNG (derived from `base_seed` and `k`) and accumulates into shard
+    /// `k` — no locks, no cross-shard traffic.  The result is fully
+    /// deterministic for a given `(records, base_seed, n_shards)` triple.
+    ///
+    /// Returns the number of reports ingested.
+    ///
+    /// # Errors
+    /// Returns the first worker error (e.g. a record that does not fit the
+    /// protocol's schema).  Shards that already ingested part of their
+    /// chunk keep those reports, so a failed call should be treated as
+    /// poisoning the collector.
+    pub fn ingest_records(
+        &mut self,
+        records: &[Vec<u32>],
+        base_seed: u64,
+    ) -> Result<u64, StreamError> {
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let chunk_size = records.len().div_ceil(self.shards.len());
+        let protocol = &self.protocol;
+        let results: Vec<Result<(), StreamError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(records.chunks(chunk_size))
+                .enumerate()
+                .map(|(k, (shard, chunk))| {
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(base_seed, k);
+                        for record in chunk {
+                            let report = protocol.encode_record(record, &mut rng)?;
+                            shard.ingest(&report)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(records.len() as u64)
+    }
+
+    /// Simulates generated clients without materializing their records:
+    /// worker `k` draws `clients_per_shard[k]` records from `generator`
+    /// with its own deterministic RNG, encodes and accumulates them.  This
+    /// is the million-client path of the `stream_sim` driver.
+    ///
+    /// Returns the number of reports ingested.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedCollector::ingest_records`]; additionally
+    /// rejects a `clients_per_shard` whose length differs from the shard
+    /// count.
+    pub fn ingest_generated<G>(
+        &mut self,
+        clients_per_shard: &[usize],
+        base_seed: u64,
+        generator: G,
+    ) -> Result<u64, StreamError>
+    where
+        G: Fn(&mut StdRng) -> Vec<u32> + Sync,
+    {
+        if clients_per_shard.len() != self.shards.len() {
+            return Err(StreamError::config(format!(
+                "{} per-shard client counts for {} shards",
+                clients_per_shard.len(),
+                self.shards.len()
+            )));
+        }
+        let protocol = &self.protocol;
+        let generator = &generator;
+        let results: Vec<Result<(), StreamError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(clients_per_shard.iter())
+                .enumerate()
+                .map(|(k, (shard, &clients))| {
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(base_seed, k);
+                        for _ in 0..clients {
+                            let record = generator(&mut rng);
+                            let report = protocol.encode_record(&record, &mut rng)?;
+                            shard.ingest(&report)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(clients_per_shard.iter().map(|&c| c as u64).sum())
+    }
+
+    /// The k-way merge of all shards (exact: counts are sums).
+    ///
+    /// # Errors
+    /// Propagates accumulator errors (cannot happen for a well-formed
+    /// collector, whose shards share one channel layout).
+    pub fn merged(&self) -> Result<Accumulator, StreamError> {
+        let mut merged = Accumulator::new(&self.protocol.channel_sizes())?;
+        for shard in &self.shards {
+            merged.merge(shard)?;
+        }
+        Ok(merged)
+    }
+
+    /// Takes a point-in-time estimate: merges all shards and runs the
+    /// protocol's closed-form estimation on the pooled counts.  The
+    /// returned release answers every query the batch release answers, and
+    /// is numerically identical to the batch estimate over the same
+    /// randomized codes.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfiguration`] when no report has
+    /// been ingested yet.
+    pub fn snapshot(&self) -> Result<StreamSnapshot, StreamError> {
+        let merged = self.merged()?;
+        if merged.is_empty() {
+            return Err(StreamError::config(
+                "cannot snapshot a collector before any report has been ingested",
+            ));
+        }
+        self.protocol
+            .release_from_counts(merged.counts(), merged.n_reports() as usize)
+    }
+}
+
+/// The deterministic RNG of shard `k` for a given base seed.
+fn shard_rng(base_seed: u64, k: usize) -> StdRng {
+    StdRng::seed_from_u64(base_seed.wrapping_add((k as u64).wrapping_mul(SHARD_SEED_STRIDE)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, Schema};
+    use mdrr_protocols::{FrequencyEstimator, RRIndependent, RandomizationLevel};
+    use rand::RngCore;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::indexed("A", 3).unwrap(),
+            Attribute::indexed("B", 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn protocol() -> StreamProtocol {
+        RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(0.7))
+            .unwrap()
+            .into()
+    }
+
+    fn records(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| vec![(i % 3) as u32, (i % 2) as u32])
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates_shard_count() {
+        assert!(ShardedCollector::new(protocol(), 0).is_err());
+        let c = ShardedCollector::new(protocol(), 4).unwrap();
+        assert_eq!(c.n_shards(), 4);
+        assert_eq!(c.total_reports(), 0);
+        assert!(c.snapshot().is_err());
+    }
+
+    #[test]
+    fn parallel_ingestion_is_deterministic_and_covers_every_record() {
+        let mut a = ShardedCollector::new(protocol(), 4).unwrap();
+        let mut b = ShardedCollector::new(protocol(), 4).unwrap();
+        let rs = records(1_001);
+        assert_eq!(a.ingest_records(&rs, 7).unwrap(), 1_001);
+        assert_eq!(b.ingest_records(&rs, 7).unwrap(), 1_001);
+        assert_eq!(a, b);
+        assert_eq!(a.total_reports(), 1_001);
+        // Every shard except possibly the last is full.
+        assert!(a.shards()[..3].iter().all(|s| s.n_reports() == 251));
+        assert_eq!(a.shards()[3].n_reports(), 248);
+
+        // A different seed produces different randomized counts.
+        let mut c = ShardedCollector::new(protocol(), 4).unwrap();
+        c.ingest_records(&rs, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ingestion_handles_degenerate_shapes() {
+        let mut c = ShardedCollector::new(protocol(), 8).unwrap();
+        // Fewer records than shards: trailing shards stay empty.
+        assert_eq!(c.ingest_records(&records(3), 1).unwrap(), 3);
+        assert_eq!(c.total_reports(), 3);
+        // No records at all is a no-op.
+        assert_eq!(c.ingest_records(&[], 1).unwrap(), 0);
+        // Invalid records surface as errors.
+        assert!(c.ingest_records(&[vec![9, 9]], 1).is_err());
+    }
+
+    #[test]
+    fn generated_ingestion_validates_and_counts() {
+        let mut c = ShardedCollector::new(protocol(), 3).unwrap();
+        assert!(c.ingest_generated(&[10, 10], 1, |_| vec![0, 0]).is_err());
+        let n = c
+            .ingest_generated(&[100, 50, 0], 1, |rng| {
+                vec![rng.next_u64() as u32 % 3, rng.next_u64() as u32 % 2]
+            })
+            .unwrap();
+        assert_eq!(n, 150);
+        assert_eq!(c.total_reports(), 150);
+        assert_eq!(c.shards()[2].n_reports(), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_manual_merge() {
+        let mut c = ShardedCollector::new(protocol(), 4).unwrap();
+        c.ingest_records(&records(2_000), 3).unwrap();
+        let merged = c.merged().unwrap();
+        assert_eq!(merged.n_reports(), 2_000);
+        let snapshot = c.snapshot().unwrap();
+        assert_eq!(snapshot.report_count(), 2_000);
+        let direct = c
+            .protocol()
+            .release_from_counts(merged.counts(), 2_000)
+            .unwrap();
+        assert_eq!(snapshot, direct);
+        // The snapshot answers queries.
+        let f = snapshot.frequency(&[(0, 1)]).unwrap();
+        assert!((f - 1.0 / 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn routed_reports_land_in_their_shard() {
+        let mut c = ShardedCollector::new(protocol(), 2).unwrap();
+        let report = Report::new(vec![1, 0]);
+        c.ingest_report(1, &report).unwrap();
+        assert!(c.ingest_report(5, &report).is_err());
+        assert_eq!(c.shards()[0].n_reports(), 0);
+        assert_eq!(c.shards()[1].n_reports(), 1);
+    }
+}

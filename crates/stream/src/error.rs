@@ -1,0 +1,61 @@
+//! Error type of the streaming subsystem.
+
+use mdrr_protocols::ProtocolError;
+use std::fmt;
+
+/// Errors produced by the streaming ingestion and estimation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// An error bubbled up from the protocol layer (encoding a report,
+    /// estimating from accumulated counts, answering a query).
+    Protocol(ProtocolError),
+    /// A streaming configuration or input was invalid (zero shards, a
+    /// report whose shape does not match the protocol's channels, merging
+    /// accumulators of different shapes, …).
+    InvalidConfiguration {
+        /// Description of the violated constraint.
+        message: String,
+    },
+}
+
+impl StreamError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(message: impl Into<String>) -> Self {
+        StreamError::InvalidConfiguration {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Protocol(e) => write!(f, "protocol error: {e}"),
+            StreamError::InvalidConfiguration { message } => {
+                write!(f, "invalid streaming configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ProtocolError> for StreamError {
+    fn from(e: ProtocolError) -> Self {
+        StreamError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = StreamError::config("zero shards");
+        assert!(e.to_string().contains("zero shards"));
+        let p: StreamError = ProtocolError::config("bad").into();
+        assert!(matches!(p, StreamError::Protocol(_)));
+        assert!(p.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests pinning the streaming path to the batch path.
+//!
+//! The load-bearing claim of the streaming subsystem is that sharding and
+//! merging lose nothing: for the same randomized codes, a snapshot taken
+//! from shard-merged accumulators is numerically identical to the batch
+//! release the protocol computes from the pooled randomized data set —
+//! for all three protocols, any shard count, any report routing and any
+//! merge order.
+
+use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
+use mdrr_protocols::{
+    Clustering, FrequencyEstimator, RRClusters, RRIndependent, RRJoint, RandomizationLevel,
+};
+use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamProtocol, StreamSnapshot};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small schema with 3 attributes of cardinalities 2–4.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..5, 3..4).prop_map(|cards| {
+        let attrs = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                Attribute::new(
+                    format!("A{i}"),
+                    AttributeKind::Nominal,
+                    (0..c).map(|k| k.to_string()).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Schema::new(attrs).unwrap()
+    })
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (schema_strategy(), 30usize..150, any::<u64>()).prop_map(|(schema, n, seed)| {
+        let cards = schema.cardinalities();
+        let mut ds = Dataset::empty(schema);
+        let mut state = seed | 1;
+        for _ in 0..n {
+            let record: Vec<u32> = cards
+                .iter()
+                .map(|&c| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % c as u64) as u32
+                })
+                .collect();
+            ds.push_record(&record).unwrap();
+        }
+        ds
+    })
+}
+
+/// The three protocols configured for a schema (clusters: first two
+/// attributes together, the rest singletons).
+fn protocols(schema: &Schema) -> Vec<StreamProtocol> {
+    let m = schema.len();
+    let clustering = Clustering::new(vec![vec![0, 1], (2..m).collect()], m).unwrap();
+    vec![
+        RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(0.6))
+            .unwrap()
+            .into(),
+        RRJoint::with_keep_probability(schema.clone(), 0.6, None)
+            .unwrap()
+            .into(),
+        RRClusters::with_keep_probability(schema.clone(), clustering, 0.6)
+            .unwrap()
+            .into(),
+    ]
+}
+
+/// Decodes a stream of reports back into the randomized microdata set the
+/// batch collector would have received.
+fn decode_reports(protocol: &StreamProtocol, reports: &[Report]) -> Dataset {
+    match protocol {
+        StreamProtocol::Independent(p) => {
+            let records: Vec<Vec<u32>> = reports.iter().map(|r| r.codes().to_vec()).collect();
+            Dataset::from_records(p.schema().clone(), &records).unwrap()
+        }
+        StreamProtocol::Joint(p) => {
+            let mut ds = Dataset::empty(p.schema().clone());
+            for report in reports {
+                let record = p.domain().decode(report.codes()[0] as usize).unwrap();
+                ds.push_record(&record).unwrap();
+            }
+            ds
+        }
+        StreamProtocol::Clusters(p) => {
+            let m = p.schema().len();
+            let mut columns: Vec<Vec<u32>> = vec![vec![0; reports.len()]; m];
+            for (i, report) in reports.iter().enumerate() {
+                for (k, cluster) in p.clustering().clusters().iter().enumerate() {
+                    let tuple = p.domains()[k].decode(report.codes()[k] as usize).unwrap();
+                    for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
+                        columns[attribute][i] = value;
+                    }
+                }
+            }
+            Dataset::from_columns(p.schema().clone(), columns).unwrap()
+        }
+    }
+}
+
+/// The batch release computed from the same randomized codes.
+fn batch_release(protocol: &StreamProtocol, reports: &[Report]) -> StreamSnapshot {
+    let randomized = decode_reports(protocol, reports);
+    match protocol {
+        StreamProtocol::Independent(p) => {
+            StreamSnapshot::Independent(p.release_from_randomized(randomized).unwrap())
+        }
+        StreamProtocol::Joint(p) => {
+            StreamSnapshot::Joint(p.release_from_randomized(randomized).unwrap())
+        }
+        StreamProtocol::Clusters(p) => {
+            StreamSnapshot::Clusters(p.release_from_randomized(randomized).unwrap())
+        }
+    }
+}
+
+/// Every single- and two-attribute assignment of a schema.
+fn query_workload(schema: &Schema) -> Vec<Vec<(usize, u32)>> {
+    let cards = schema.cardinalities();
+    let mut queries = Vec::new();
+    for (a, &ca) in cards.iter().enumerate() {
+        for va in 0..ca as u32 {
+            queries.push(vec![(a, va)]);
+            for (b, &cb) in cards.iter().enumerate().skip(a + 1) {
+                for vb in 0..cb as u32 {
+                    queries.push(vec![(a, va), (b, vb)]);
+                }
+            }
+        }
+    }
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Shard-merged streaming estimates are numerically identical to the
+    /// batch estimates on the same randomized codes, for all three
+    /// protocols, arbitrary shard counts, arbitrary report routing and
+    /// arbitrary merge orders.
+    #[test]
+    fn streaming_equals_batch_on_identical_codes(ds in dataset_strategy(),
+                                                 n_shards in 1usize..6,
+                                                 route_mult in 1u64..1000,
+                                                 rotation in 0usize..6,
+                                                 seed in any::<u64>()) {
+        for protocol in protocols(ds.schema()) {
+            // Client side: one report per record, one shared RNG so the
+            // randomized codes are fixed once and reused on both paths.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reports: Vec<Report> = ds
+                .records()
+                .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
+                .collect();
+
+            // Streaming side: route reports to arbitrary shards…
+            let mut collector = ShardedCollector::new(protocol.clone(), n_shards).unwrap();
+            for (i, report) in reports.iter().enumerate() {
+                let shard = ((i as u64).wrapping_mul(route_mult) % n_shards as u64) as usize;
+                collector.ingest_report(shard, report).unwrap();
+            }
+            prop_assert_eq!(collector.total_reports(), reports.len() as u64);
+            let snapshot = collector.snapshot().unwrap();
+
+            // …and additionally merge the shards in a rotated order.
+            let mut merged = Accumulator::new(&protocol.channel_sizes()).unwrap();
+            for k in 0..n_shards {
+                merged.merge(&collector.shards()[(k + rotation) % n_shards]).unwrap();
+            }
+            let rotated = protocol
+                .release_from_counts(merged.counts(), merged.n_reports() as usize)
+                .unwrap();
+
+            // Batch side: the pooled reports as a randomized data set.
+            let batch = batch_release(&protocol, &reports);
+
+            prop_assert_eq!(snapshot.report_count(), batch.report_count());
+            for query in query_workload(ds.schema()) {
+                let streamed = snapshot.frequency(&query).unwrap();
+                let reordered = rotated.frequency(&query).unwrap();
+                let batched = batch.frequency(&query).unwrap();
+                prop_assert!((streamed - batched).abs() < 1e-12,
+                             "query {:?}: streamed {} vs batch {}", query, streamed, batched);
+                prop_assert!((reordered - streamed).abs() < 1e-12,
+                             "query {:?}: merge order changed the estimate", query);
+            }
+        }
+    }
+
+    /// Splitting one stream of records across different shard counts via
+    /// the scoped-thread ingestion path never changes the total report
+    /// count, and every snapshot is a proper estimator.
+    #[test]
+    fn scoped_ingestion_is_complete_for_any_shard_count(ds in dataset_strategy(),
+                                                        n_shards in 1usize..6,
+                                                        seed in any::<u64>()) {
+        let records: Vec<Vec<u32>> = ds.records().collect();
+        let protocol = protocols(ds.schema()).remove(0);
+        let mut collector = ShardedCollector::new(protocol, n_shards).unwrap();
+        let ingested = collector.ingest_records(&records, seed).unwrap();
+        prop_assert_eq!(ingested, records.len() as u64);
+        prop_assert_eq!(collector.total_reports(), records.len() as u64);
+        let snapshot = collector.snapshot().unwrap();
+        prop_assert_eq!(snapshot.report_count(), records.len());
+        let total = snapshot.frequency(&[]).unwrap();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

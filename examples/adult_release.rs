@@ -68,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 4: RR-Adjustment on top of the cluster release.
     let targets = AdjustmentTarget::from_clusters(&clusters_release)?;
     let adjusted = rr_adjustment(
-        clusters_release.randomized(),
+        clusters_release
+            .randomized()
+            .expect("batch run releases include the randomized dataset"),
         &targets,
         AdjustmentConfig::default(),
     )?;

@@ -19,6 +19,9 @@
 //!   ([`data`]);
 //! * the numerical substrate — dense linear algebra, χ² special functions,
 //!   contingency statistics ([`math`]);
+//! * the sharded streaming subsystem — client-side report encoders,
+//!   mergeable count-vector accumulators and mid-stream snapshots that are
+//!   numerically identical to the batch estimates ([`stream`]);
 //! * the evaluation harness that regenerates every table and figure of the
 //!   paper ([`eval`]).
 //!
@@ -59,6 +62,7 @@ pub use mdrr_data as data;
 pub use mdrr_eval as eval;
 pub use mdrr_math as math;
 pub use mdrr_protocols as protocols;
+pub use mdrr_stream as stream;
 
 /// The most commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
@@ -72,10 +76,11 @@ pub mod prelude {
     };
     pub use mdrr_eval::{CountQuery, ExperimentConfig};
     pub use mdrr_protocols::{
-        cluster_attributes, rr_adjustment, AdjustmentConfig, AdjustmentTarget, Clustering,
-        ClusteringConfig, EmpiricalEstimator, FrequencyEstimator, ProtocolError, RRClusters,
-        RRIndependent, RRJoint, RandomizationLevel,
+        cluster_attributes, rr_adjustment, validate_assignment, AdjustmentConfig, AdjustmentTarget,
+        Clustering, ClusteringConfig, EmpiricalEstimator, FrequencyEstimator, ProtocolError,
+        RRClusters, RRIndependent, RRJoint, RandomizationLevel,
     };
+    pub use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamProtocol, StreamSnapshot};
 }
 
 #[cfg(test)]

@@ -67,13 +67,20 @@ fn full_clustered_pipeline_dependences_clustering_release_adjustment() {
         RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, p)
             .unwrap();
     let release = protocol.run(&dataset, &mut rng).unwrap();
-    assert_eq!(release.randomized().n_records(), dataset.n_records());
+    assert_eq!(
+        release.randomized().unwrap().n_records(),
+        dataset.n_records()
+    );
 
     // …and RR-Adjustment re-weights the randomized data to match the
     // estimated per-cluster distributions.
     let targets = AdjustmentTarget::from_clusters(&release).unwrap();
-    let adjusted =
-        rr_adjustment(release.randomized(), &targets, AdjustmentConfig::default()).unwrap();
+    let adjusted = rr_adjustment(
+        release.randomized().unwrap(),
+        &targets,
+        AdjustmentConfig::default(),
+    )
+    .unwrap();
     assert!((adjusted.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 
     // Every marginal survives the whole pipeline.
@@ -255,7 +262,7 @@ fn csv_roundtrip_of_a_randomized_release() {
     let release = protocol.run(&dataset, &mut rng).unwrap();
 
     let mut buffer = Vec::new();
-    mdrr::data::csv::write_csv(release.randomized(), &mut buffer).unwrap();
+    mdrr::data::csv::write_csv(release.randomized().unwrap(), &mut buffer).unwrap();
     let restored = mdrr::data::csv::read_csv(dataset.schema().clone(), buffer.as_slice()).unwrap();
-    assert_eq!(&restored, release.randomized());
+    assert_eq!(&restored, release.randomized().unwrap());
 }
