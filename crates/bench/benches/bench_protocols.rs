@@ -7,8 +7,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mdrr_data::{AdultSynthesizer, Dataset};
 use mdrr_protocols::{
     cluster_attributes, dependence_via_randomized_attributes, rr_adjustment, AdjustmentConfig,
-    AdjustmentTarget, Clustering, ClusteringConfig, RRClusters, RRIndependent, RandomizationLevel,
-    SecureSumSession,
+    AdjustmentTarget, Clustering, ClusteringConfig, Protocol, RRClusters, RRIndependent,
+    RandomizationLevel, SecureSumSession,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +118,49 @@ fn bench_dependence_and_clustering(c: &mut Criterion) {
     group.finish();
 }
 
+/// Static vs `dyn Protocol` dispatch on the ingest hot path: the same
+/// 10 000 client-side encodes, once through the concrete inherent method
+/// (monomorphised, inlinable) and once through the object-safe trait (one
+/// virtual call per record).  Pins the virtual-call overhead the streaming
+/// collector pays for being generic over any protocol — expected well
+/// under 5%, since each encode is dominated by the randomization draws.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_dispatch");
+    group.sample_size(20);
+    let dataset = adult(10_000);
+    let records: Vec<Vec<u32>> = dataset.records().collect();
+    let concrete = RRIndependent::new(
+        dataset.schema().clone(),
+        &RandomizationLevel::KeepProbability(0.7),
+    )
+    .unwrap();
+    let object: &dyn Protocol = &concrete;
+
+    group.bench_function("encode_10k_static", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for record in &records {
+                let codes = concrete.encode_record(black_box(record), &mut rng).unwrap();
+                sum += u64::from(codes[0]);
+            }
+            sum
+        })
+    });
+    group.bench_function("encode_10k_dyn", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for record in &records {
+                let codes = object.encode_record(black_box(record), &mut rng).unwrap();
+                sum += u64::from(codes[0]);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
 fn bench_secure_sum(c: &mut Criterion) {
     let mut group = c.benchmark_group("secure_sum");
     for &n in &[64usize, 256, 1_024] {
@@ -140,6 +183,7 @@ criterion_group!(
     bench_protocol_runs,
     bench_adjustment,
     bench_dependence_and_clustering,
+    bench_dispatch,
     bench_secure_sum
 );
 criterion_main!(benches);

@@ -4,28 +4,34 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdrr_data::{adult_schema, AdultSynthesizer};
-use mdrr_protocols::{Clustering, RRClusters, RRIndependent, RandomizationLevel};
-use mdrr_stream::{Accumulator, ShardedCollector, StreamProtocol};
+use mdrr_protocols::{Clustering, Protocol, ProtocolSpec, RandomizationLevel};
+use mdrr_stream::{Accumulator, Report, ShardedCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
-fn protocols() -> Vec<(&'static str, StreamProtocol)> {
+fn protocols() -> Vec<(&'static str, Arc<dyn Protocol>)> {
     let schema = adult_schema();
     let m = schema.len();
     let clustering =
         Clustering::new((0..m / 2).map(|k| vec![2 * k, 2 * k + 1]).collect(), m).unwrap();
+    let level = RandomizationLevel::KeepProbability(0.7);
     vec![
         (
             "independent",
-            RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(0.7))
-                .unwrap()
-                .into(),
+            ProtocolSpec::independent(level.clone())
+                .build_arc(&schema)
+                .unwrap(),
         ),
         (
             "clusters",
-            RRClusters::with_keep_probability(schema, clustering, 0.7)
-                .unwrap()
-                .into(),
+            ProtocolSpec::Clusters {
+                level,
+                clustering,
+                equivalent_risk: false,
+            }
+            .build_arc(&schema)
+            .unwrap(),
         ),
     ]
 }
@@ -51,7 +57,7 @@ fn bench_single_shard_ingest(c: &mut Criterion) {
                     let mut rng = StdRng::seed_from_u64(1);
                     let mut acc = Accumulator::new(&p.channel_sizes()).unwrap();
                     for record in &batch {
-                        let report = p.encode_record(black_box(record), &mut rng).unwrap();
+                        let report = Report::encode(&**p, black_box(record), &mut rng).unwrap();
                         acc.ingest(&report).unwrap();
                     }
                     acc

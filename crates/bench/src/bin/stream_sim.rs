@@ -14,8 +14,9 @@
 //!
 //! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
 //! `--rounds R` (default 10), `--protocol independent|joint|clusters`
-//! (default independent), `--seed N`, `--quick` (50 000 clients, 4 shards,
-//! 5 rounds), `--out PATH`.
+//! (default independent), `--spec PATH` (a serde `ProtocolSpec` JSON file,
+//! overriding `--protocol`), `--seed N`, `--quick` (50 000 clients,
+//! 4 shards, 5 rounds), `--out PATH`.
 //!
 //! The snapshot estimates are numerically identical to the batch-path
 //! estimates on the same randomized codes; that equivalence is pinned by
@@ -24,14 +25,13 @@
 
 use mdrr_bench::maybe_write_json;
 use mdrr_data::{adult_schema, AdultSynthesizer};
-use mdrr_protocols::{
-    Clustering, FrequencyEstimator, RRClusters, RRIndependent, RRJoint, RandomizationLevel,
-};
-use mdrr_stream::{ShardedCollector, StreamProtocol};
+use mdrr_protocols::{Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel};
+use mdrr_stream::ShardedCollector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Keep probability used for every protocol variant.
@@ -47,6 +47,7 @@ struct Options {
     shards: usize,
     rounds: usize,
     protocol: String,
+    spec: Option<PathBuf>,
     seed: u64,
     output: Option<PathBuf>,
 }
@@ -58,6 +59,7 @@ impl Options {
             shards: 8,
             rounds: 10,
             protocol: "independent".to_string(),
+            spec: None,
             seed: 42,
             output: None,
         };
@@ -74,6 +76,7 @@ impl Options {
                 "--rounds" => options.rounds = parse(&flag, value(&flag)?)?,
                 "--seed" => options.seed = parse(&flag, value(&flag)?)?,
                 "--protocol" => options.protocol = value(&flag)?,
+                "--spec" => options.spec = Some(PathBuf::from(value(&flag)?)),
                 "--out" => options.output = Some(PathBuf::from(value(&flag)?)),
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -122,35 +125,27 @@ struct SimulationResult {
     overall_reports_per_sec: f64,
 }
 
-fn build_protocol(name: &str) -> Result<StreamProtocol, String> {
-    let schema = adult_schema();
+/// The named protocol presets, as declarative specs — exactly what a
+/// `--spec` JSON file would contain.
+fn preset_spec(name: &str) -> Result<ProtocolSpec, String> {
+    let level = RandomizationLevel::KeepProbability(KEEP_PROBABILITY);
     match name {
-        "independent" => Ok(RRIndependent::new(
-            schema,
-            &RandomizationLevel::KeepProbability(KEEP_PROBABILITY),
-        )
-        .map_err(|e| e.to_string())?
-        .into()),
-        "joint" => {
-            let projected = schema
-                .project(&JOINT_ATTRIBUTES)
-                .map_err(|e| e.to_string())?;
-            Ok(
-                RRJoint::with_keep_probability(projected, KEEP_PROBABILITY, None)
-                    .map_err(|e| e.to_string())?
-                    .into(),
-            )
-        }
+        "independent" => Ok(ProtocolSpec::independent(level)),
+        "joint" => Ok(ProtocolSpec::Joint {
+            level,
+            max_domain: None,
+            equivalent_risk: false,
+        }),
         "clusters" => {
-            let m = schema.len();
+            let m = adult_schema().len();
             let clustering =
                 Clustering::new((0..m / 2).map(|k| vec![2 * k, 2 * k + 1]).collect(), m)
                     .map_err(|e| e.to_string())?;
-            Ok(
-                RRClusters::with_keep_probability(schema, clustering, KEEP_PROBABILITY)
-                    .map_err(|e| e.to_string())?
-                    .into(),
-            )
+            Ok(ProtocolSpec::Clusters {
+                level,
+                clustering,
+                equivalent_risk: false,
+            })
         }
         other => Err(format!(
             "unknown protocol `{other}` (expected independent, joint or clusters)"
@@ -158,16 +153,54 @@ fn build_protocol(name: &str) -> Result<StreamProtocol, String> {
     }
 }
 
+/// Builds the simulated protocol: either from a `--spec` JSON file (built
+/// over the full Adult schema, exactly as written) or from a named preset.
+/// Only the RR-Joint *preset* is projected onto the first
+/// [`JOINT_ATTRIBUTES`] of Adult (the full joint domain exceeds the cap);
+/// a user-supplied spec is never silently reshaped.
+fn build_protocol(options: &Options) -> Result<Arc<dyn Protocol>, String> {
+    let mut schema = adult_schema();
+    let spec = match &options.spec {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            serde_json::from_str(&json)
+                .map_err(|e| format!("invalid ProtocolSpec in {}: {e}", path.display()))?
+        }
+        None => {
+            let preset = preset_spec(&options.protocol)?;
+            if matches!(preset, ProtocolSpec::Joint { .. }) {
+                schema = schema
+                    .project(&JOINT_ATTRIBUTES)
+                    .map_err(|e| e.to_string())?;
+            }
+            preset
+        }
+    };
+    // The simulator estimates from streamed count vectors, which
+    // RR-Adjustment cannot do (Algorithm 2 needs the randomized
+    // microdata) — fail before ingesting anything rather than at the
+    // first snapshot.
+    if matches!(spec, ProtocolSpec::Adjusted { .. }) {
+        return Err(
+            "RR-Adjustment cannot estimate from streamed counts; use its base protocol spec"
+                .to_string(),
+        );
+    }
+    spec.build_arc(&schema).map_err(|e| e.to_string())
+}
+
 fn main() {
     let options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
         eprintln!("{message}");
         eprintln!(
             "usage: [--clients N] [--shards K] [--rounds R] \
-             [--protocol independent|joint|clusters] [--seed N] [--quick] [--out PATH]"
+             [--protocol independent|joint|clusters] [--spec PATH] [--seed N] [--quick] \
+             [--out PATH]"
         );
         std::process::exit(2);
     });
-    let protocol = build_protocol(&options.protocol).unwrap_or_else(|message| {
+    let protocol = build_protocol(&options).unwrap_or_else(|message| {
         eprintln!("{message}");
         std::process::exit(2);
     });
@@ -175,12 +208,17 @@ fn main() {
     let schema = protocol.schema().clone();
     let cards = schema.cardinalities();
     let synthesizer = AdultSynthesizer::paper_sized();
-    let project_to_joint = options.protocol == "joint";
+    let record_arity = schema.len();
+    let protocol_name = protocol.name();
 
     println!("{}", "=".repeat(72));
     println!(
-        "stream_sim — {} clients through {} shards ({} rounds, RR-{}, p = {})",
-        options.clients, options.shards, options.rounds, options.protocol, KEEP_PROBABILITY
+        "stream_sim — {} clients through {} shards ({} rounds, {}, total ε = {:.3})",
+        options.clients,
+        options.shards,
+        options.rounds,
+        protocol_name,
+        protocol.total_epsilon()
     );
     println!("{}", "=".repeat(72));
 
@@ -204,9 +242,7 @@ fn main() {
         let mut records = Vec::with_capacity(clients);
         for _ in 0..clients {
             let mut record = synthesizer.sample_record(&mut generator_rng);
-            if project_to_joint {
-                record.truncate(JOINT_ATTRIBUTES.len());
-            }
+            record.truncate(record_arity);
             for (j, &v) in record.iter().enumerate() {
                 true_counts[j][v as usize] += 1;
             }
@@ -252,7 +288,7 @@ fn main() {
 
     let total_secs = started.elapsed().as_secs_f64();
     let result = SimulationResult {
-        protocol: options.protocol.clone(),
+        protocol: protocol_name,
         clients: options.clients,
         shards: options.shards,
         rounds,

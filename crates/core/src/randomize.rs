@@ -1,6 +1,6 @@
 //! Dataset-level randomization helpers.
 //!
-//! [`RRMatrix`](crate::matrix::RRMatrix) randomizes individual category
+//! [`RRMatrix`] randomizes individual category
 //! codes; the helpers in this module lift that to whole attributes and whole
 //! datasets, which is the granularity the protocols of `mdrr-protocols`
 //! operate at.  The semantics deliberately mirror the local-anonymization

@@ -5,9 +5,8 @@ use crate::metrics::{absolute_error, relative_error, ErrorSummary};
 use crate::queries::CountQuery;
 use mdrr_data::Dataset;
 use mdrr_protocols::{
-    cluster_attributes, dependence_via_randomized_attributes, rr_adjustment, AdjustmentConfig,
-    AdjustmentTarget, Clustering, ClusteringConfig, EmpiricalEstimator, ProtocolError, RRClusters,
-    RRIndependent, RandomizationLevel,
+    cluster_attributes, dependence_via_randomized_attributes, AdjustmentConfig, Clustering,
+    ClusteringConfig, EmpiricalEstimator, ProtocolError, ProtocolSpec, RandomizationLevel,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,6 +74,37 @@ impl MethodSpec {
             | MethodSpec::ClustersAdjusted { p, .. } => *p,
         }
     }
+
+    /// The declarative [`ProtocolSpec`] this method runs: every evaluated
+    /// method is one of the unified protocols ("Randomized" runs
+    /// RR-Independent and merely *queries* the release differently — raw
+    /// counts on the randomized data instead of Equation (2)).
+    pub fn protocol_spec(&self) -> ProtocolSpec {
+        let level = RandomizationLevel::KeepProbability(self.keep_probability());
+        match self {
+            MethodSpec::Randomized { .. } | MethodSpec::Independent { .. } => {
+                ProtocolSpec::independent(level)
+            }
+            MethodSpec::IndependentAdjusted { adjustment, .. } => {
+                ProtocolSpec::independent(level).adjusted(*adjustment)
+            }
+            MethodSpec::Clusters { clustering, .. } => {
+                ProtocolSpec::clusters(level, clustering.clone())
+            }
+            MethodSpec::ClustersAdjusted {
+                clustering,
+                adjustment,
+                ..
+            } => ProtocolSpec::clusters(level, clustering.clone()).adjusted(*adjustment),
+        }
+    }
+
+    /// Whether the method queries the raw randomized data set directly
+    /// (the "Randomized" baseline of Figure 2) instead of the protocol's
+    /// Equation (2) release.
+    pub fn queries_raw_randomized(&self) -> bool {
+        matches!(self, MethodSpec::Randomized { .. })
+    }
 }
 
 /// Builds the attribute clustering used by RR-Clusters for a given
@@ -112,68 +142,21 @@ pub fn run_method_once(
     let query = CountQuery::random(dataset.schema(), sigma, rng)?;
     let truth = query.true_count(dataset)?;
 
-    let estimated = match spec {
-        MethodSpec::Randomized { p } => {
-            let protocol = RRIndependent::new(
-                dataset.schema().clone(),
-                &RandomizationLevel::KeepProbability(*p),
-            )?;
-            let release = protocol.run(dataset, rng)?;
-            // No Equation (2) correction: count directly on the randomized data.
-            let randomized = release
-                .randomized()
-                .expect("batch run releases include the randomized dataset");
-            let raw = EmpiricalEstimator::new(randomized);
-            query.estimated_count(&raw)?
-        }
-        MethodSpec::Independent { p } => {
-            let protocol = RRIndependent::new(
-                dataset.schema().clone(),
-                &RandomizationLevel::KeepProbability(*p),
-            )?;
-            let release = protocol.run(dataset, rng)?;
-            query.estimated_count(&release)?
-        }
-        MethodSpec::IndependentAdjusted { p, adjustment } => {
-            let protocol = RRIndependent::new(
-                dataset.schema().clone(),
-                &RandomizationLevel::KeepProbability(*p),
-            )?;
-            let release = protocol.run(dataset, rng)?;
-            let targets = AdjustmentTarget::from_independent(&release);
-            let randomized = release
-                .randomized()
-                .expect("batch run releases include the randomized dataset");
-            let adjusted = rr_adjustment(randomized, &targets, *adjustment)?;
-            query.estimated_count(&adjusted)?
-        }
-        MethodSpec::Clusters { p, clustering } => {
-            let protocol = RRClusters::with_equivalent_risk_from_keep_probability(
-                dataset.schema().clone(),
-                clustering.clone(),
-                *p,
-            )?;
-            let release = protocol.run(dataset, rng)?;
-            query.estimated_count(&release)?
-        }
-        MethodSpec::ClustersAdjusted {
-            p,
-            clustering,
-            adjustment,
-        } => {
-            let protocol = RRClusters::with_equivalent_risk_from_keep_probability(
-                dataset.schema().clone(),
-                clustering.clone(),
-                *p,
-            )?;
-            let release = protocol.run(dataset, rng)?;
-            let targets = AdjustmentTarget::from_clusters(&release)?;
-            let randomized = release
-                .randomized()
-                .expect("batch run releases include the randomized dataset");
-            let adjusted = rr_adjustment(randomized, &targets, *adjustment)?;
-            query.estimated_count(&adjusted)?
-        }
+    // One uniform path for every method: build the protocol from its
+    // declarative spec and run it as a trait object.  Adjusted variants are
+    // the same path — the spec stacks RR-Adjustment on the base protocol.
+    let protocol = spec.protocol_spec().build(dataset.schema())?;
+    let release = protocol.run(dataset, rng)?;
+
+    let estimated = if spec.queries_raw_randomized() {
+        // No Equation (2) correction: count directly on the randomized data.
+        let randomized = release
+            .randomized()
+            .expect("batch run releases include the randomized dataset");
+        let raw = EmpiricalEstimator::new(randomized);
+        query.estimated_count(&raw)?
+    } else {
+        query.estimated_count(&release)?
     };
 
     Ok((

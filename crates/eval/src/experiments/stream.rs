@@ -15,13 +15,13 @@
 
 use super::ExperimentConfig;
 use mdrr_protocols::{
-    Clustering, FrequencyEstimator, ProtocolError, RRClusters, RRIndependent, RRJoint,
-    RandomizationLevel,
+    Clustering, FrequencyEstimator, Protocol, ProtocolError, ProtocolSpec, RandomizationLevel,
 };
-use mdrr_stream::{Report, ShardedCollector, StreamProtocol, StreamSnapshot};
+use mdrr_stream::{Report, ShardedCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Number of shards the experiment streams through.
 pub const STREAM_SHARDS: usize = 4;
@@ -77,37 +77,36 @@ pub fn run(config: &ExperimentConfig) -> Result<StreamEquivalenceResult, Protoco
         .map_err(|e| ProtocolError::config(format!("pairing clustering failed: {e}")))?;
 
     let joint_dataset = dataset.project(&JOINT_ATTRIBUTES)?;
-    let variants: Vec<(&str, StreamProtocol, &mdrr_data::Dataset)> = vec![
+    let level = RandomizationLevel::KeepProbability(STREAM_KEEP_PROBABILITY);
+    // Protocols are selected by declarative specs and built as trait
+    // objects; adding a variant is one more spec, not a new code path.
+    let variants: Vec<(ProtocolSpec, &mdrr_data::Dataset, &mdrr_data::Schema)> = vec![
+        (ProtocolSpec::independent(level.clone()), &dataset, &schema),
         (
-            "RR-Independent",
-            RRIndependent::new(
-                schema.clone(),
-                &RandomizationLevel::KeepProbability(STREAM_KEEP_PROBABILITY),
-            )?
-            .into(),
-            &dataset,
-        ),
-        (
-            "RR-Joint",
-            RRJoint::with_keep_probability(
-                joint_dataset.schema().clone(),
-                STREAM_KEEP_PROBABILITY,
-                None,
-            )?
-            .into(),
+            ProtocolSpec::Joint {
+                level: level.clone(),
+                max_domain: None,
+                equivalent_risk: false,
+            },
             &joint_dataset,
+            joint_dataset.schema(),
         ),
         (
-            "RR-Clusters",
-            RRClusters::with_keep_probability(schema, clustering, STREAM_KEEP_PROBABILITY)?.into(),
+            ProtocolSpec::Clusters {
+                level,
+                clustering,
+                equivalent_risk: false,
+            },
             &dataset,
+            &schema,
         ),
     ];
 
     let mut per_protocol = Vec::with_capacity(variants.len());
     let mut worst = 0.0f64;
-    for (name, protocol, data) in variants {
-        let entry = run_protocol(name, &protocol, data, config.seed)?;
+    for (spec, data, protocol_schema) in variants {
+        let protocol = spec.build_arc(protocol_schema)?;
+        let entry = run_protocol(&protocol, data, config.seed)?;
         worst = worst.max(entry.max_abs_deviation);
         per_protocol.push(entry);
     }
@@ -117,16 +116,8 @@ pub fn run(config: &ExperimentConfig) -> Result<StreamEquivalenceResult, Protoco
     })
 }
 
-fn stream_error(e: mdrr_stream::StreamError) -> ProtocolError {
-    match e {
-        mdrr_stream::StreamError::Protocol(p) => p,
-        other => ProtocolError::config(other.to_string()),
-    }
-}
-
 fn run_protocol(
-    name: &str,
-    protocol: &StreamProtocol,
+    protocol: &Arc<dyn Protocol>,
     dataset: &mdrr_data::Dataset,
     seed: u64,
 ) -> Result<ProtocolEquivalence, ProtocolError> {
@@ -138,44 +129,29 @@ fn run_protocol(
     let mut reports: Vec<Report> = Vec::with_capacity(dataset.n_records());
     for chunk in dataset.record_chunks(ENCODE_CHUNK)? {
         for record in &chunk {
-            reports.push(
-                protocol
-                    .encode_record(record, &mut rng)
-                    .map_err(stream_error)?,
-            );
+            reports.push(Report::encode(&**protocol, record, &mut rng)?);
         }
     }
 
     // Streaming path: route the pre-encoded reports across the shards.
     let start = std::time::Instant::now();
-    let mut collector =
-        ShardedCollector::new(protocol.clone(), STREAM_SHARDS).map_err(stream_error)?;
+    let mut collector = ShardedCollector::new(Arc::clone(protocol), STREAM_SHARDS)?;
     for (i, report) in reports.iter().enumerate() {
-        collector
-            .ingest_report(i % STREAM_SHARDS, report)
-            .map_err(stream_error)?;
+        collector.ingest_report(i % STREAM_SHARDS, report)?;
     }
-    let snapshot = collector.snapshot().map_err(stream_error)?;
+    let snapshot = collector.snapshot()?;
     let elapsed = start.elapsed().as_secs_f64();
 
     // Batch path: the same reports decoded into the pooled randomized
-    // data set and estimated through the batch constructors.
+    // data set and estimated through the batch constructor.
     let mut randomized = mdrr_data::Dataset::empty(protocol.schema().clone());
     for report in &reports {
-        let record = protocol.decode_report(report).map_err(stream_error)?;
+        let record = protocol.decode_report(report.codes())?;
         randomized
             .push_record(&record)
             .map_err(ProtocolError::from)?;
     }
-    let batch: StreamSnapshot = match protocol {
-        StreamProtocol::Independent(p) => {
-            StreamSnapshot::Independent(p.release_from_randomized(randomized)?)
-        }
-        StreamProtocol::Joint(p) => StreamSnapshot::Joint(p.release_from_randomized(randomized)?),
-        StreamProtocol::Clusters(p) => {
-            StreamSnapshot::Clusters(p.release_from_randomized(randomized)?)
-        }
-    };
+    let batch = protocol.release_from_randomized(randomized)?;
 
     // Compare over every single- and pair-marginal assignment.
     let cards = protocol.schema().cardinalities();
@@ -200,7 +176,7 @@ fn run_protocol(
     }
 
     Ok(ProtocolEquivalence {
-        protocol: name.to_string(),
+        protocol: protocol.name(),
         reports: reports.len(),
         shards: STREAM_SHARDS,
         queries,

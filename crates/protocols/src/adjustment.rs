@@ -16,11 +16,15 @@
 //! estimates, it consumes no additional privacy budget (Section 5).
 
 use crate::clusters::ClustersRelease;
-use crate::error::ProtocolError;
+use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
 use crate::independent::IndependentRelease;
-use mdrr_data::Dataset;
+use crate::protocol::{Protocol, Release};
+use mdrr_core::PrivacyAccountant;
+use mdrr_data::{Dataset, Schema};
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One marginal constraint of the adjustment: the weighted distribution of
 /// the listed attributes (jointly, in the given order) must match
@@ -143,12 +147,39 @@ pub struct AdjustedRelease {
     weights: Vec<f64>,
     iterations: usize,
     converged: bool,
+    accountant: PrivacyAccountant,
 }
 
 impl AdjustedRelease {
     /// The randomized data set the weights refer to.
     pub fn randomized(&self) -> &Dataset {
         &self.randomized
+    }
+
+    /// Attaches the privacy ledger of the release the adjustment targets
+    /// were derived from.  The adjustment itself consumes no additional
+    /// budget (Section 5), so the ledger of an adjusted release is exactly
+    /// the base release's ledger; standalone [`rr_adjustment`] calls leave
+    /// it empty.
+    #[must_use]
+    pub fn with_accountant(mut self, accountant: PrivacyAccountant) -> Self {
+        self.accountant = accountant;
+        self
+    }
+
+    /// The privacy ledger (the base release's ledger — the adjustment adds
+    /// no entries, see [`AdjustedRelease::with_accountant`]).
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// The weighted marginal distribution of a single attribute (the shared
+    /// [`Release::marginal`] accessor).
+    ///
+    /// # Errors
+    /// Propagates dataset access errors for a bad attribute index.
+    pub fn marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
+        self.weighted_distribution(&[attribute])
     }
 
     /// The per-record weights (they sum to 1).
@@ -289,7 +320,137 @@ pub fn rr_adjustment(
         weights,
         iterations,
         converged,
+        accountant: PrivacyAccountant::new(),
     })
+}
+
+/// RR-Adjustment as a protocol in its own right: any base [`Protocol`]
+/// followed by Algorithm 2.
+///
+/// The base protocol performs the client-side randomization and the
+/// collector-side estimation; the adjustment then re-weights the randomized
+/// data set against the targets the base release derives for itself
+/// ([`Release::adjustment_targets`]) — per-attribute marginals for
+/// RR-Independent, per-cluster joints for RR-Clusters.  This is the
+/// "RR-Independent + RR-Adj" / "RR-Cluster + RR-Adj" configuration of the
+/// paper's Section 6.2, expressed uniformly over `Arc<dyn Protocol>` so a
+/// [`crate::ProtocolSpec`] can stack it on any base.
+///
+/// Because Algorithm 2 reads the randomized *microdata* `Y`, this protocol
+/// supports the batch paths ([`Protocol::run`],
+/// [`Protocol::release_from_randomized`]) but not estimation from streamed
+/// count vectors, which do not retain `Y` —
+/// [`Protocol::release_from_counts`] returns
+/// [`MdrrError::UnsupportedQuery`].
+#[derive(Debug, Clone)]
+pub struct RRAdjustment {
+    base: Arc<dyn Protocol>,
+    config: AdjustmentConfig,
+}
+
+impl RRAdjustment {
+    /// Stacks RR-Adjustment on a base protocol.
+    pub fn new(base: Arc<dyn Protocol>, config: AdjustmentConfig) -> Self {
+        RRAdjustment { base, config }
+    }
+
+    /// The base protocol the adjustment repairs.
+    pub fn base(&self) -> &Arc<dyn Protocol> {
+        &self.base
+    }
+
+    /// The termination parameters of the iterative fitting.
+    pub fn config(&self) -> AdjustmentConfig {
+        self.config
+    }
+
+    /// Runs the adjustment against an already-computed base release.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] when the base release
+    /// carries no randomized microdata (count-vector releases cannot be
+    /// adjusted); propagated adjustment errors otherwise.
+    fn adjust(&self, base_release: &dyn Release) -> Result<AdjustedRelease, MdrrError> {
+        let randomized = base_release.randomized().ok_or_else(|| {
+            MdrrError::config(
+                "RR-Adjustment needs the randomized microdata, but the base release \
+                 was assembled from count vectors only",
+            )
+        })?;
+        let targets = base_release.adjustment_targets()?;
+        Ok(rr_adjustment(randomized, &targets, self.config)?
+            .with_accountant(base_release.accountant().clone()))
+    }
+}
+
+impl Protocol for RRAdjustment {
+    fn name(&self) -> String {
+        format!("{} + RR-Adjustment", self.base.name())
+    }
+
+    fn schema(&self) -> &Schema {
+        self.base.schema()
+    }
+
+    fn channel_sizes(&self) -> Vec<usize> {
+        self.base.channel_sizes()
+    }
+
+    fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
+        self.base.encode_record(record, rng)
+    }
+
+    fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
+        self.base.decode_report(codes)
+    }
+
+    fn release_from_counts(
+        &self,
+        _counts: &[Vec<u64>],
+        _n_records: usize,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        Err(MdrrError::unsupported(
+            "RR-Adjustment estimates from the randomized microdata (Algorithm 2 re-weights \
+             records of Y); per-channel count vectors do not retain it — use \
+             release_from_randomized or run instead",
+        ))
+    }
+
+    fn release_from_randomized(&self, randomized: Dataset) -> Result<Box<dyn Release>, MdrrError> {
+        let base_release = self.base.release_from_randomized(randomized)?;
+        Ok(Box::new(self.adjust(&*base_release)?))
+    }
+
+    fn run(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Result<Box<dyn Release>, MdrrError> {
+        let base_release = self.base.run(dataset, rng)?;
+        Ok(Box::new(self.adjust(&*base_release)?))
+    }
+
+    fn epsilons(&self) -> Vec<f64> {
+        // The adjustment only reads Y and the published estimates, so it
+        // consumes no budget beyond the base protocol's (Section 5).
+        self.base.epsilons()
+    }
+}
+
+impl Release for AdjustedRelease {
+    fn marginal(&self, attribute: usize) -> Result<Vec<f64>, MdrrError> {
+        AdjustedRelease::marginal(self, attribute)
+    }
+
+    fn accountant(&self) -> &PrivacyAccountant {
+        AdjustedRelease::accountant(self)
+    }
+
+    fn randomized(&self) -> Option<&Dataset> {
+        Some(&self.randomized)
+    }
+
+    fn adjustment_targets(&self) -> Result<Vec<AdjustmentTarget>, MdrrError> {
+        Err(MdrrError::unsupported(
+            "an adjusted release already matches its targets; adjust the base release instead",
+        ))
+    }
 }
 
 #[cfg(test)]

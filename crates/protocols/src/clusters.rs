@@ -13,12 +13,14 @@
 //! (Section 6.3.2), where `ε_A` is the budget RR-Independent would have
 //! spent on attribute `A` alone.
 
+use crate::adjustment::AdjustmentTarget;
 use crate::clustering::Clustering;
-use crate::error::ProtocolError;
+use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
+use crate::protocol::{validate_report_shape, Protocol, RandomizationLevel, Release};
 use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
 use mdrr_data::{Dataset, JointDomain, Schema};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// The RR-Clusters protocol: a clustering plus one randomization matrix per
 /// cluster.
@@ -86,21 +88,24 @@ impl RRClusters {
         clustering: Clustering,
         p: f64,
     ) -> Result<Self, ProtocolError> {
-        if !(0.0..=1.0).contains(&p) {
-            return Err(ProtocolError::config(format!(
-                "keep probability must lie in [0, 1], got {p}"
-            )));
-        }
-        let epsilons: Vec<f64> = schema
-            .attributes()
-            .iter()
-            .map(|a| RRMatrix::uniform_keep(p, a.cardinality()).map(|m| m.epsilon()))
-            .collect::<Result<_, _>>()?;
-        if epsilons.iter().any(|e| !e.is_finite()) {
-            return Err(ProtocolError::config(
-                "keep probability of 1 gives an infinite budget; use a value below 1",
-            ));
-        }
+        Self::with_level(schema, clustering, &RandomizationLevel::KeepProbability(p))
+    }
+
+    /// Configures RR-Clusters at the equivalent risk of RR-Independent with
+    /// `level`: the per-attribute budgets the level implies are spent
+    /// jointly per cluster (Section 6.3.2).  Generalises
+    /// [`RRClusters::with_equivalent_risk_from_keep_probability`] to every
+    /// [`RandomizationLevel`] variant.
+    ///
+    /// # Errors
+    /// Same conditions as [`RRClusters::with_equivalent_risk`] plus an
+    /// invalid level.
+    pub fn with_level(
+        schema: Schema,
+        clustering: Clustering,
+        level: &RandomizationLevel,
+    ) -> Result<Self, ProtocolError> {
+        let epsilons = level.attribute_epsilons(&schema)?;
         Self::with_equivalent_risk(schema, clustering, &epsilons)
     }
 
@@ -396,13 +401,14 @@ impl ClustersRelease {
     }
 
     /// The estimated marginal distribution of a single attribute, obtained
-    /// by marginalising its cluster's estimated joint distribution.  This is
-    /// what RR-Adjustment uses as its per-group targets.
+    /// by marginalising its cluster's estimated joint distribution (the
+    /// shared [`Release::marginal`] accessor, formerly
+    /// `attribute_marginal`).
     ///
     /// # Errors
     /// Returns [`ProtocolError::UnsupportedQuery`] for a bad attribute
     /// index.
-    pub fn attribute_marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
+    pub fn marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
         let k = self.clustering.cluster_of(attribute).ok_or_else(|| {
             ProtocolError::unsupported(format!("attribute {attribute} not covered by any cluster"))
         })?;
@@ -476,6 +482,78 @@ impl FrequencyEstimator for ClustersRelease {
 
     fn record_count(&self) -> usize {
         self.n_records
+    }
+}
+
+impl Protocol for RRClusters {
+    fn name(&self) -> String {
+        "RR-Clusters".to_string()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn channel_sizes(&self) -> Vec<usize> {
+        self.domains.iter().map(JointDomain::size).collect()
+    }
+
+    fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
+        RRClusters::encode_record(self, record, &mut &mut *rng)
+    }
+
+    fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
+        validate_report_shape(codes, &Protocol::channel_sizes(self))?;
+        let mut record = vec![0u32; self.schema.len()];
+        for (k, cluster) in self.clustering.clusters().iter().enumerate() {
+            let tuple = self.domains[k].decode(codes[k] as usize)?;
+            for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
+                record[attribute] = value;
+            }
+        }
+        Ok(record)
+    }
+
+    fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRClusters::release_from_counts(
+            self, counts, n_records,
+        )?))
+    }
+
+    fn release_from_randomized(&self, randomized: Dataset) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRClusters::release_from_randomized(
+            self, randomized,
+        )?))
+    }
+
+    fn run(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRClusters::run(self, dataset, &mut &mut *rng)?))
+    }
+
+    fn epsilons(&self) -> Vec<f64> {
+        self.matrices.iter().map(RRMatrix::epsilon).collect()
+    }
+}
+
+impl Release for ClustersRelease {
+    fn marginal(&self, attribute: usize) -> Result<Vec<f64>, MdrrError> {
+        ClustersRelease::marginal(self, attribute)
+    }
+
+    fn accountant(&self) -> &PrivacyAccountant {
+        ClustersRelease::accountant(self)
+    }
+
+    fn randomized(&self) -> Option<&Dataset> {
+        ClustersRelease::randomized(self)
+    }
+
+    fn adjustment_targets(&self) -> Result<Vec<AdjustmentTarget>, MdrrError> {
+        AdjustmentTarget::from_clusters(self)
     }
 }
 
@@ -639,7 +717,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let release = protocol.run(&ds, &mut rng).unwrap();
         for attribute in 0..3 {
-            let marginal = release.attribute_marginal(attribute).unwrap();
+            let marginal = release.marginal(attribute).unwrap();
             assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             let truth = ds.marginal_distribution(attribute).unwrap();
             for (a, b) in marginal.iter().zip(truth.iter()) {
@@ -651,7 +729,7 @@ mod tests {
                 assert!((via_query - expected).abs() < 1e-9);
             }
         }
-        assert!(release.attribute_marginal(9).is_err());
+        assert!(release.marginal(9).is_err());
     }
 
     #[test]

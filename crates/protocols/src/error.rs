@@ -1,89 +1,104 @@
-//! Error type for the multi-dimensional RR protocols.
+//! The single error type of the MDRR protocol and streaming layers.
+//!
+//! Everything above the substrate crates reports one error type,
+//! [`MdrrError`]: protocol configuration, client-side encoding, collector
+//! estimation, release queries and streaming ingestion.  Substrate errors
+//! ([`CoreError`], [`DataError`], [`MathError`]) are wrapped via `From`, so
+//! `?` composes across every layer without ad-hoc conversion shims.
+//!
+//! The former per-layer names `ProtocolError` (this crate) and
+//! `StreamError` (`mdrr-stream`) survive as plain type aliases of
+//! [`MdrrError`] so existing call sites and signatures keep compiling; new
+//! code should name [`MdrrError`] directly.
 
 use mdrr_core::CoreError;
 use mdrr_data::DataError;
 use mdrr_math::MathError;
 use std::fmt;
 
-/// Errors produced by the protocol layer.
+/// Errors produced by the protocol and streaming layers.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ProtocolError {
+pub enum MdrrError {
     /// An error bubbled up from the core RR mechanism.
     Core(CoreError),
     /// An error bubbled up from the dataset layer.
     Data(DataError),
     /// An error bubbled up from the numerical substrate.
     Math(MathError),
-    /// A protocol configuration was invalid (empty cluster, bad thresholds,
-    /// mismatched attribute lists, …).
+    /// A configuration was invalid (empty cluster, bad thresholds,
+    /// mismatched attribute lists, zero shards, malformed reports, …).
     InvalidConfiguration {
         /// Description of the violated constraint.
         message: String,
     },
-    /// A query referenced attributes the release cannot answer (e.g. an
-    /// attribute missing from every cluster estimate).
+    /// A query referenced attributes the release cannot answer, or asked a
+    /// release for something it does not support (e.g. streaming counts
+    /// into RR-Adjustment, which needs the randomized microdata).
     UnsupportedQuery {
         /// Description of the problem.
         message: String,
     },
 }
 
-impl fmt::Display for ProtocolError {
+/// Compatibility alias: the protocol layer's historical error name.
+pub type ProtocolError = MdrrError;
+
+impl fmt::Display for MdrrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::Core(e) => write!(f, "core error: {e}"),
-            ProtocolError::Data(e) => write!(f, "data error: {e}"),
-            ProtocolError::Math(e) => write!(f, "math error: {e}"),
-            ProtocolError::InvalidConfiguration { message } => {
-                write!(f, "invalid protocol configuration: {message}")
+            MdrrError::Core(e) => write!(f, "core error: {e}"),
+            MdrrError::Data(e) => write!(f, "data error: {e}"),
+            MdrrError::Math(e) => write!(f, "math error: {e}"),
+            MdrrError::InvalidConfiguration { message } => {
+                write!(f, "invalid configuration: {message}")
             }
-            ProtocolError::UnsupportedQuery { message } => {
+            MdrrError::UnsupportedQuery { message } => {
                 write!(f, "unsupported query: {message}")
             }
         }
     }
 }
 
-impl std::error::Error for ProtocolError {
+impl std::error::Error for MdrrError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ProtocolError::Core(e) => Some(e),
-            ProtocolError::Data(e) => Some(e),
-            ProtocolError::Math(e) => Some(e),
+            MdrrError::Core(e) => Some(e),
+            MdrrError::Data(e) => Some(e),
+            MdrrError::Math(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<CoreError> for ProtocolError {
+impl From<CoreError> for MdrrError {
     fn from(e: CoreError) -> Self {
-        ProtocolError::Core(e)
+        MdrrError::Core(e)
     }
 }
 
-impl From<DataError> for ProtocolError {
+impl From<DataError> for MdrrError {
     fn from(e: DataError) -> Self {
-        ProtocolError::Data(e)
+        MdrrError::Data(e)
     }
 }
 
-impl From<MathError> for ProtocolError {
+impl From<MathError> for MdrrError {
     fn from(e: MathError) -> Self {
-        ProtocolError::Math(e)
+        MdrrError::Math(e)
     }
 }
 
-impl ProtocolError {
-    /// Convenience constructor for [`ProtocolError::InvalidConfiguration`].
+impl MdrrError {
+    /// Convenience constructor for [`MdrrError::InvalidConfiguration`].
     pub fn config(message: impl Into<String>) -> Self {
-        ProtocolError::InvalidConfiguration {
+        MdrrError::InvalidConfiguration {
             message: message.into(),
         }
     }
 
-    /// Convenience constructor for [`ProtocolError::UnsupportedQuery`].
+    /// Convenience constructor for [`MdrrError::UnsupportedQuery`].
     pub fn unsupported(message: impl Into<String>) -> Self {
-        ProtocolError::UnsupportedQuery {
+        MdrrError::UnsupportedQuery {
             message: message.into(),
         }
     }
@@ -95,16 +110,16 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let c: ProtocolError = CoreError::invalid("p", "bad").into();
+        let c: MdrrError = CoreError::invalid("p", "bad").into();
         assert!(c.to_string().contains("core error"));
-        let d: ProtocolError = DataError::UnknownAttribute { name: "A".into() }.into();
+        let d: MdrrError = DataError::UnknownAttribute { name: "A".into() }.into();
         assert!(d.to_string().contains("data error"));
-        let m: ProtocolError = MathError::SingularMatrix { pivot: 1 }.into();
+        let m: MdrrError = MathError::SingularMatrix { pivot: 1 }.into();
         assert!(m.to_string().contains("math error"));
-        assert!(ProtocolError::config("Tv must be positive")
+        assert!(MdrrError::config("Tv must be positive")
             .to_string()
             .contains("Tv"));
-        assert!(ProtocolError::unsupported("attribute 9")
+        assert!(MdrrError::unsupported("attribute 9")
             .to_string()
             .contains("attribute 9"));
     }
@@ -112,8 +127,17 @@ mod tests {
     #[test]
     fn source_is_present_for_wrapped_errors() {
         use std::error::Error;
-        let c: ProtocolError = CoreError::invalid("p", "bad").into();
+        let c: MdrrError = CoreError::invalid("p", "bad").into();
         assert!(c.source().is_some());
-        assert!(ProtocolError::config("x").source().is_none());
+        assert!(MdrrError::config("x").source().is_none());
+    }
+
+    #[test]
+    fn layer_aliases_are_the_same_type() {
+        // `ProtocolError` is a plain alias: values flow freely in both
+        // directions with no conversion.
+        let e: ProtocolError = MdrrError::config("alias");
+        let back: MdrrError = e;
+        assert!(back.to_string().contains("alias"));
     }
 }

@@ -87,6 +87,18 @@ impl<T: FrequencyEstimator + ?Sized> FrequencyEstimator for &T {
     }
 }
 
+/// Blanket implementation so `Box<dyn Release>` (and any other boxed
+/// estimator) answers queries without dereferencing at every call site.
+impl<T: FrequencyEstimator + ?Sized> FrequencyEstimator for Box<T> {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        (**self).frequency(assignment)
+    }
+
+    fn record_count(&self) -> usize {
+        (**self).record_count()
+    }
+}
+
 /// The trivial estimator backed by the *true* data set (or any plain data
 /// set): exact empirical frequencies.  Used as the ground truth in the
 /// evaluation and as the "Randomized" baseline when applied to the

@@ -11,29 +11,17 @@
 //! This is the baseline of the paper's experiments and the release that
 //! RR-Adjustment (Section 5) repairs.
 
-use crate::error::ProtocolError;
+use crate::adjustment::AdjustmentTarget;
+use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
+use crate::protocol::{validate_report_shape, Protocol, Release};
 use mdrr_core::{
     estimate_proper_from_counts, randomize_dataset_independent, PrivacyAccountant, RRMatrix,
 };
 use mdrr_data::{Dataset, Schema};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rand::{Rng, RngCore};
 
-/// How strongly each attribute is randomized.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum RandomizationLevel {
-    /// Keep each attribute's true value with probability `p` and otherwise
-    /// redraw uniformly from the attribute's domain (the mechanism used in
-    /// the paper's experiments, Section 6.3, parameterised by
-    /// `p ∈ {0.1, 0.3, 0.5, 0.7}`).
-    KeepProbability(f64),
-    /// Give each attribute the optimal matrix for the same privacy budget
-    /// ε (Section 6.3.1).
-    EpsilonPerAttribute(f64),
-    /// Explicit per-attribute privacy budgets, in schema order.
-    Epsilons(Vec<f64>),
-}
+pub use crate::protocol::RandomizationLevel;
 
 /// The RR-Independent protocol, configured for a schema.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,33 +37,7 @@ impl RRIndependent {
     /// Returns [`ProtocolError::InvalidConfiguration`] for invalid levels
     /// (probability outside `[0, 1]`, negative ε, wrong budget count).
     pub fn new(schema: Schema, level: &RandomizationLevel) -> Result<Self, ProtocolError> {
-        let matrices = match level {
-            RandomizationLevel::KeepProbability(p) => schema
-                .attributes()
-                .iter()
-                .map(|a| RRMatrix::uniform_keep(*p, a.cardinality()))
-                .collect::<Result<Vec<_>, _>>()?,
-            RandomizationLevel::EpsilonPerAttribute(eps) => schema
-                .attributes()
-                .iter()
-                .map(|a| RRMatrix::from_epsilon(*eps, a.cardinality()))
-                .collect::<Result<Vec<_>, _>>()?,
-            RandomizationLevel::Epsilons(budgets) => {
-                if budgets.len() != schema.len() {
-                    return Err(ProtocolError::config(format!(
-                        "expected {} per-attribute budgets, got {}",
-                        schema.len(),
-                        budgets.len()
-                    )));
-                }
-                schema
-                    .attributes()
-                    .iter()
-                    .zip(budgets.iter())
-                    .map(|(a, &eps)| RRMatrix::from_epsilon(eps, a.cardinality()))
-                    .collect::<Result<Vec<_>, _>>()?
-            }
-        };
+        let matrices = level.independent_matrices(&schema)?;
         Ok(RRIndependent { schema, matrices })
     }
 
@@ -293,17 +255,16 @@ impl IndependentRelease {
         &self.matrices
     }
 
-    /// The estimated true distribution `π̂_j` of attribute `j`.
+    /// The estimated true distribution `π̂_j` of attribute `j` (the shared
+    /// [`Release::marginal`] accessor; see [`IndependentRelease::marginals`]
+    /// for zero-copy access to all of them).
     ///
     /// # Errors
     /// Returns [`ProtocolError::UnsupportedQuery`] for a bad index.
-    pub fn marginal(&self, attribute: usize) -> Result<&[f64], ProtocolError> {
-        self.marginals
-            .get(attribute)
-            .map(Vec::as_slice)
-            .ok_or_else(|| {
-                ProtocolError::unsupported(format!("attribute index {attribute} out of range"))
-            })
+    pub fn marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
+        self.marginals.get(attribute).cloned().ok_or_else(|| {
+            ProtocolError::unsupported(format!("attribute index {attribute} out of range"))
+        })
     }
 
     /// All estimated marginal distributions, in schema order.
@@ -329,6 +290,71 @@ impl FrequencyEstimator for IndependentRelease {
 
     fn record_count(&self) -> usize {
         self.n_records
+    }
+}
+
+impl Protocol for RRIndependent {
+    fn name(&self) -> String {
+        "RR-Independent".to_string()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn channel_sizes(&self) -> Vec<usize> {
+        self.matrices.iter().map(RRMatrix::size).collect()
+    }
+
+    fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
+        RRIndependent::encode_record(self, record, &mut &mut *rng)
+    }
+
+    fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
+        validate_report_shape(codes, &Protocol::channel_sizes(self))?;
+        Ok(codes.to_vec())
+    }
+
+    fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRIndependent::release_from_counts(
+            self, counts, n_records,
+        )?))
+    }
+
+    fn release_from_randomized(&self, randomized: Dataset) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRIndependent::release_from_randomized(
+            self, randomized,
+        )?))
+    }
+
+    fn run(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRIndependent::run(self, dataset, &mut &mut *rng)?))
+    }
+
+    fn epsilons(&self) -> Vec<f64> {
+        RRIndependent::epsilons(self)
+    }
+}
+
+impl Release for IndependentRelease {
+    fn marginal(&self, attribute: usize) -> Result<Vec<f64>, MdrrError> {
+        IndependentRelease::marginal(self, attribute)
+    }
+
+    fn accountant(&self) -> &PrivacyAccountant {
+        IndependentRelease::accountant(self)
+    }
+
+    fn randomized(&self) -> Option<&Dataset> {
+        IndependentRelease::randomized(self)
+    }
+
+    fn adjustment_targets(&self) -> Result<Vec<AdjustmentTarget>, MdrrError> {
+        Ok(AdjustmentTarget::from_independent(self))
     }
 }
 

@@ -13,13 +13,16 @@
 //! and refuses to build a protocol beyond it — exactly the reason the
 //! paper's experiments cannot run RR-Joint on the full Adult schema.
 
-use crate::error::ProtocolError;
+use crate::adjustment::AdjustmentTarget;
+use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
+use crate::protocol::{validate_report_shape, Protocol, RandomizationLevel, Release};
 use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
 use mdrr_data::{Dataset, JointDomain, Schema};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
-/// Default cap on the joint-domain size accepted by [`RRJoint::new`].
+/// Default cap on the joint-domain size accepted by the [`RRJoint`]
+/// constructors.
 pub const DEFAULT_MAX_JOINT_DOMAIN: usize = 1_000_000;
 
 /// The RR-Joint protocol over the full attribute set of a schema.
@@ -66,6 +69,31 @@ impl RRJoint {
         let domain = JointDomain::new(&schema.cardinalities())?;
         Self::check_domain(&domain, max_domain)?;
         let matrix = RRMatrix::uniform_keep(p, domain.size())?;
+        Ok(RRJoint {
+            schema,
+            domain,
+            matrix,
+        })
+    }
+
+    /// Configures RR-Joint at the *equivalent risk* of RR-Independent with
+    /// `level` (Section 6.3.2, with the full attribute set as one cluster):
+    /// the joint matrix is the optimal matrix for `Σ_A ε_A`, where `ε_A`
+    /// are the per-attribute budgets the level implies.  The same level
+    /// therefore buys the same total differential-privacy guarantee whether
+    /// it is spent by RR-Independent, RR-Joint or RR-Clusters.
+    ///
+    /// # Errors
+    /// Same conditions as [`RRJoint::with_epsilon`] plus an invalid level.
+    pub fn with_level(
+        schema: Schema,
+        level: &RandomizationLevel,
+        max_domain: Option<usize>,
+    ) -> Result<Self, ProtocolError> {
+        let epsilons = level.attribute_epsilons(&schema)?;
+        let domain = JointDomain::new(&schema.cardinalities())?;
+        Self::check_domain(&domain, max_domain)?;
+        let matrix = RRMatrix::cluster_from_epsilons(&epsilons, domain.size())?;
         Ok(RRJoint {
             schema,
             domain,
@@ -265,6 +293,28 @@ impl JointRelease {
     pub fn accountant(&self) -> &PrivacyAccountant {
         &self.accountant
     }
+
+    /// The estimated marginal distribution of a single attribute, obtained
+    /// by marginalising the estimated joint distribution (the shared
+    /// [`Release::marginal`] accessor).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnsupportedQuery`] for a bad attribute
+    /// index.
+    pub fn marginal(&self, attribute: usize) -> Result<Vec<f64>, ProtocolError> {
+        let cardinality = *self.schema.cardinalities().get(attribute).ok_or_else(|| {
+            ProtocolError::unsupported(format!("attribute index {attribute} out of range"))
+        })?;
+        let mut marginal = vec![0.0; cardinality];
+        for (cell, &prob) in self.joint.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            let tuple = self.domain.decode(cell)?;
+            marginal[tuple[attribute] as usize] += prob;
+        }
+        Ok(marginal)
+    }
 }
 
 impl FrequencyEstimator for JointRelease {
@@ -294,6 +344,82 @@ impl FrequencyEstimator for JointRelease {
 
     fn record_count(&self) -> usize {
         self.n_records
+    }
+}
+
+impl Protocol for RRJoint {
+    fn name(&self) -> String {
+        "RR-Joint".to_string()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn channel_sizes(&self) -> Vec<usize> {
+        vec![self.domain.size()]
+    }
+
+    fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
+        Ok(vec![RRJoint::encode_record(self, record, &mut &mut *rng)?])
+    }
+
+    fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
+        validate_report_shape(codes, &Protocol::channel_sizes(self))?;
+        Ok(self.domain.decode(codes[0] as usize)?)
+    }
+
+    fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        if counts.len() != 1 {
+            return Err(MdrrError::config(format!(
+                "RR-Joint has a single channel but {} count vectors were provided",
+                counts.len()
+            )));
+        }
+        Ok(Box::new(RRJoint::release_from_counts(
+            self, &counts[0], n_records,
+        )?))
+    }
+
+    fn release_from_randomized(&self, randomized: Dataset) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRJoint::release_from_randomized(
+            self, randomized,
+        )?))
+    }
+
+    fn run(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Result<Box<dyn Release>, MdrrError> {
+        Ok(Box::new(RRJoint::run(self, dataset, &mut &mut *rng)?))
+    }
+
+    fn epsilons(&self) -> Vec<f64> {
+        vec![self.matrix.epsilon()]
+    }
+}
+
+impl Release for JointRelease {
+    fn marginal(&self, attribute: usize) -> Result<Vec<f64>, MdrrError> {
+        JointRelease::marginal(self, attribute)
+    }
+
+    fn accountant(&self) -> &PrivacyAccountant {
+        JointRelease::accountant(self)
+    }
+
+    fn randomized(&self) -> Option<&Dataset> {
+        JointRelease::randomized(self)
+    }
+
+    fn adjustment_targets(&self) -> Result<Vec<AdjustmentTarget>, MdrrError> {
+        // The joint estimate constrains the full attribute set at once; an
+        // adjustment against it reproduces the estimated joint exactly.
+        Ok(vec![AdjustmentTarget::new(
+            (0..self.schema.len()).collect(),
+            self.joint.clone(),
+        )?])
     }
 }
 

@@ -1,7 +1,14 @@
 //! # mdrr-protocols
 //!
-//! The multi-dimensional randomized-response protocols of the paper:
+//! The multi-dimensional randomized-response protocols of the paper,
+//! unified behind one object-safe surface:
 //!
+//! * [`protocol`] — the [`Protocol`] and [`Release`] traits every mechanism
+//!   implements (channel topology, client-side encoding, collector-side
+//!   estimation, privacy accounting, uniform queries), plus the
+//!   [`RandomizationLevel`] that parameterises all of them;
+//! * [`spec`] — the serde-able [`ProtocolSpec`] builder that constructs any
+//!   protocol from configuration data;
 //! * [`independent`] — Protocol 1 (RR-Independent): per-attribute RR, joint
 //!   frequencies estimated under the independence assumption;
 //! * [`joint`] — Protocol 2 (RR-Joint): a single RR over the Cartesian
@@ -15,46 +22,50 @@
 //! * [`clusters`] — RR-Clusters: RR-Joint within each cluster with
 //!   equivalent-risk matrices (Section 6.3.2);
 //! * [`adjustment`] — Algorithm 2 (RR-Adjustment): iterative re-weighting
-//!   of the randomized data set to repair the independence assumptions;
+//!   of the randomized data set, stackable on any base protocol via
+//!   [`RRAdjustment`];
 //! * [`synthetic`] — re-creation of synthetic microdata from an estimated
 //!   joint distribution;
 //! * [`party`] — the party-side view of the protocols (local
 //!   anonymization trust model made explicit);
-//! * [`estimator`] — the common [`FrequencyEstimator`] interface every
-//!   release implements, on which the evaluation harness builds the
-//!   paper's count queries.
+//! * [`estimator`] — the common [`FrequencyEstimator`] query interface
+//!   every release implements;
+//! * [`error`] — the single [`MdrrError`] of the protocol and streaming
+//!   layers.
 //!
 //! ## Example
 //!
-//! Run RR-Independent over a small synthetic dataset and query an estimated
-//! joint frequency:
+//! Select a protocol from configuration data, run it as a trait object and
+//! query the release through the uniform [`Release`] surface:
 //!
 //! ```
 //! use mdrr_data::AdultSynthesizer;
-//! use mdrr_protocols::{FrequencyEstimator, RRIndependent, RandomizationLevel};
+//! use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(11);
 //! let dataset = AdultSynthesizer::new(2_000)?.generate(&mut rng);
 //!
-//! let protocol = RRIndependent::new(
-//!     dataset.schema().clone(),
-//!     &RandomizationLevel::KeepProbability(0.7),
-//! )?;
-//! let release = protocol.run(&dataset, &mut rng)?;
+//! // Any protocol builds from a serde-able spec; swap "Independent" for
+//! // Joint, Clusters or an Adjusted stack without touching the code below.
+//! let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+//! let protocol = spec.build(dataset.schema())?; // Box<dyn Protocol>
+//! let release = protocol.run(&dataset, &mut rng)?; // Box<dyn Release>
 //!
 //! // Estimated marginals are proper distributions…
 //! let marginal = release.marginal(0)?;
 //! assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-//! // …and joint frequencies factor across attributes (Protocol 1).
+//! // …joint frequencies answer through the same trait for every protocol…
 //! let joint = release.frequency(&[(0, 0), (1, 0)])?;
 //! assert!((0.0..=1.0).contains(&joint));
-//! # Ok::<(), mdrr_protocols::ProtocolError>(())
+//! // …and the privacy ledger rides along.
+//! assert_eq!(release.accountant().len(), dataset.schema().len());
+//! # Ok::<(), mdrr_protocols::MdrrError>(())
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adjustment;
 pub mod clustering;
@@ -65,20 +76,26 @@ pub mod estimator;
 pub mod independent;
 pub mod joint;
 pub mod party;
+pub mod protocol;
 pub mod secure_sum;
+pub mod spec;
 pub mod synthetic;
 
-pub use adjustment::{rr_adjustment, AdjustedRelease, AdjustmentConfig, AdjustmentTarget};
+pub use adjustment::{
+    rr_adjustment, AdjustedRelease, AdjustmentConfig, AdjustmentTarget, RRAdjustment,
+};
 pub use clustering::{cluster_attributes, Clustering, ClusteringConfig, DependenceMatrix};
 pub use clusters::{ClustersRelease, RRClusters};
 pub use dependence::{
     dependence_matrix_plain, dependence_via_exact_bivariate, dependence_via_randomized_attributes,
     dependence_via_rr_pairs, DependenceEstimate,
 };
-pub use error::ProtocolError;
+pub use error::{MdrrError, ProtocolError};
 pub use estimator::{validate_assignment, Assignment, EmpiricalEstimator, FrequencyEstimator};
-pub use independent::{IndependentRelease, RRIndependent, RandomizationLevel};
+pub use independent::{IndependentRelease, RRIndependent};
 pub use joint::{JointRelease, RRJoint, DEFAULT_MAX_JOINT_DOMAIN};
 pub use party::{collect_independent_responses, Party};
+pub use protocol::{Protocol, RandomizationLevel, Release};
 pub use secure_sum::{secure_contingency_table, SecureSumMode, SecureSumSession};
+pub use spec::ProtocolSpec;
 pub use synthetic::{synthesize_deterministic, synthesize_sampling};

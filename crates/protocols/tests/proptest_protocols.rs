@@ -62,7 +62,7 @@ proptest! {
         let release = protocol.run(&ds, &mut rng).unwrap();
         for j in 0..ds.n_attributes() {
             let marginal = release.marginal(j).unwrap();
-            prop_assert!(mdrr_math::is_probability_vector(marginal, 1e-9));
+            prop_assert!(mdrr_math::is_probability_vector(&marginal, 1e-9));
         }
         // Frequencies of assignments are in [0, 1] and multiply per attribute.
         let f0 = release.frequency(&[(0, 0)]).unwrap();

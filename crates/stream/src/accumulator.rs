@@ -9,7 +9,7 @@
 //! plain sums, so merging is exact, associative and commutative — shards
 //! can be combined in any order.
 
-use crate::error::StreamError;
+use crate::error::MdrrError;
 use crate::report::Report;
 use serde::{Deserialize, Serialize};
 
@@ -27,16 +27,16 @@ impl Accumulator {
     /// An empty accumulator over channels of the given domain sizes.
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] if there are no
+    /// Returns [`MdrrError::InvalidConfiguration`] if there are no
     /// channels or a channel has size zero.
-    pub fn new(channel_sizes: &[usize]) -> Result<Self, StreamError> {
+    pub fn new(channel_sizes: &[usize]) -> Result<Self, MdrrError> {
         if channel_sizes.is_empty() {
-            return Err(StreamError::config(
+            return Err(MdrrError::config(
                 "an accumulator needs at least one channel",
             ));
         }
         if let Some(k) = channel_sizes.iter().position(|&s| s == 0) {
-            return Err(StreamError::config(format!(
+            return Err(MdrrError::config(format!(
                 "channel {k} has domain size zero"
             )));
         }
@@ -49,13 +49,13 @@ impl Accumulator {
     /// Ingests one report: bumps one count per channel.
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] if the report's arity
+    /// Returns [`MdrrError::InvalidConfiguration`] if the report's arity
     /// differs from the number of channels or a code is out of its
     /// channel's range; the accumulator is unchanged on error.
-    pub fn ingest(&mut self, report: &Report) -> Result<(), StreamError> {
+    pub fn ingest(&mut self, report: &Report) -> Result<(), MdrrError> {
         let codes = report.codes();
         if codes.len() != self.counts.len() {
-            return Err(StreamError::config(format!(
+            return Err(MdrrError::config(format!(
                 "report has {} codes but the accumulator has {} channels",
                 codes.len(),
                 self.counts.len()
@@ -63,7 +63,7 @@ impl Accumulator {
         }
         for (k, (&code, channel)) in codes.iter().zip(self.counts.iter()).enumerate() {
             if code as usize >= channel.len() {
-                return Err(StreamError::config(format!(
+                return Err(MdrrError::config(format!(
                     "code {code} out of range for channel {k} ({} categories)",
                     channel.len()
                 )));
@@ -79,9 +79,9 @@ impl Accumulator {
     /// Merges another accumulator into this one (exact: counts add).
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] if the channel layouts
+    /// Returns [`MdrrError::InvalidConfiguration`] if the channel layouts
     /// differ; the accumulator is unchanged on error.
-    pub fn merge(&mut self, other: &Accumulator) -> Result<(), StreamError> {
+    pub fn merge(&mut self, other: &Accumulator) -> Result<(), MdrrError> {
         if self.counts.len() != other.counts.len()
             || self
                 .counts
@@ -89,7 +89,7 @@ impl Accumulator {
                 .zip(other.counts.iter())
                 .any(|(a, b)| a.len() != b.len())
         {
-            return Err(StreamError::config(
+            return Err(MdrrError::config(
                 "cannot merge accumulators with different channel layouts",
             ));
         }

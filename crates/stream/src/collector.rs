@@ -8,22 +8,34 @@
 //! counts are sums) and snapshotted into the protocol's regular release via
 //! the closed-form estimators, so incremental estimation costs O(domain)
 //! per snapshot, independent of how many reports have streamed by.
+//!
+//! The collector is generic over the protocol: it holds an
+//! `Arc<dyn Protocol>` and works with any implementation of
+//! [`mdrr_protocols::Protocol`] — the paper's three mechanisms today, any
+//! future backend unchanged.
 
 use crate::accumulator::Accumulator;
-use crate::error::StreamError;
-use crate::report::{Report, StreamProtocol, StreamSnapshot};
+use crate::error::MdrrError;
+use crate::report::Report;
+use mdrr_protocols::{Protocol, Release};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Multiplier used to derive well-separated per-shard seeds from a base
 /// seed (the SplitMix64 golden-ratio increment).
 const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// A point-in-time estimate taken from the accumulated sufficient
+/// statistics: the protocol's regular release (so every batch query runs
+/// unchanged against a mid-stream snapshot), without randomized microdata.
+pub type StreamSnapshot = Box<dyn Release>;
+
 /// A collector ingesting randomized reports through `N` sharded
-/// accumulators.
-#[derive(Debug, Clone, PartialEq)]
+/// accumulators, for any `dyn Protocol`.
+#[derive(Debug, Clone)]
 pub struct ShardedCollector {
-    protocol: StreamProtocol,
+    protocol: Arc<dyn Protocol>,
     shards: Vec<Accumulator>,
 }
 
@@ -31,10 +43,10 @@ impl ShardedCollector {
     /// A collector for `protocol` with `n_shards` empty shards.
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] if `n_shards` is zero.
-    pub fn new(protocol: StreamProtocol, n_shards: usize) -> Result<Self, StreamError> {
+    /// Returns [`MdrrError::InvalidConfiguration`] if `n_shards` is zero.
+    pub fn new(protocol: Arc<dyn Protocol>, n_shards: usize) -> Result<Self, MdrrError> {
         if n_shards == 0 {
-            return Err(StreamError::config("a collector needs at least one shard"));
+            return Err(MdrrError::config("a collector needs at least one shard"));
         }
         let channel_sizes = protocol.channel_sizes();
         let shard = Accumulator::new(&channel_sizes)?;
@@ -44,8 +56,20 @@ impl ShardedCollector {
         })
     }
 
+    /// Convenience constructor wrapping a concrete protocol into the
+    /// `Arc<dyn Protocol>` the collector holds.
+    ///
+    /// # Errors
+    /// Same conditions as [`ShardedCollector::new`].
+    pub fn for_protocol(
+        protocol: impl Protocol + 'static,
+        n_shards: usize,
+    ) -> Result<Self, MdrrError> {
+        Self::new(Arc::new(protocol), n_shards)
+    }
+
     /// The protocol the collector ingests reports for.
-    pub fn protocol(&self) -> &StreamProtocol {
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
         &self.protocol
     }
 
@@ -69,14 +93,14 @@ impl ShardedCollector {
     /// routed to a shard by any load-balancing rule).
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] for a bad shard index
+    /// Returns [`MdrrError::InvalidConfiguration`] for a bad shard index
     /// or a report that does not match the protocol's channels.
-    pub fn ingest_report(&mut self, shard: usize, report: &Report) -> Result<(), StreamError> {
+    pub fn ingest_report(&mut self, shard: usize, report: &Report) -> Result<(), MdrrError> {
         let n_shards = self.shards.len();
         self.shards
             .get_mut(shard)
             .ok_or_else(|| {
-                StreamError::config(format!(
+                MdrrError::config(format!(
                     "shard index {shard} out of range ({n_shards} shards)"
                 ))
             })?
@@ -101,13 +125,13 @@ impl ShardedCollector {
         &mut self,
         records: &[Vec<u32>],
         base_seed: u64,
-    ) -> Result<u64, StreamError> {
+    ) -> Result<u64, MdrrError> {
         if records.is_empty() {
             return Ok(0);
         }
         let chunk_size = records.len().div_ceil(self.shards.len());
-        let protocol = &self.protocol;
-        let results: Vec<Result<(), StreamError>> = std::thread::scope(|scope| {
+        let protocol: &dyn Protocol = &*self.protocol;
+        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
@@ -117,7 +141,7 @@ impl ShardedCollector {
                     scope.spawn(move || {
                         let mut rng = shard_rng(base_seed, k);
                         for record in chunk {
-                            let report = protocol.encode_record(record, &mut rng)?;
+                            let report = Report::encode(protocol, record, &mut rng)?;
                             shard.ingest(&report)?;
                         }
                         Ok(())
@@ -151,20 +175,20 @@ impl ShardedCollector {
         clients_per_shard: &[usize],
         base_seed: u64,
         generator: G,
-    ) -> Result<u64, StreamError>
+    ) -> Result<u64, MdrrError>
     where
         G: Fn(&mut StdRng) -> Vec<u32> + Sync,
     {
         if clients_per_shard.len() != self.shards.len() {
-            return Err(StreamError::config(format!(
+            return Err(MdrrError::config(format!(
                 "{} per-shard client counts for {} shards",
                 clients_per_shard.len(),
                 self.shards.len()
             )));
         }
-        let protocol = &self.protocol;
+        let protocol: &dyn Protocol = &*self.protocol;
         let generator = &generator;
-        let results: Vec<Result<(), StreamError>> = std::thread::scope(|scope| {
+        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
@@ -175,7 +199,7 @@ impl ShardedCollector {
                         let mut rng = shard_rng(base_seed, k);
                         for _ in 0..clients {
                             let record = generator(&mut rng);
-                            let report = protocol.encode_record(&record, &mut rng)?;
+                            let report = Report::encode(protocol, &record, &mut rng)?;
                             shard.ingest(&report)?;
                         }
                         Ok(())
@@ -198,7 +222,7 @@ impl ShardedCollector {
     /// # Errors
     /// Propagates accumulator errors (cannot happen for a well-formed
     /// collector, whose shards share one channel layout).
-    pub fn merged(&self) -> Result<Accumulator, StreamError> {
+    pub fn merged(&self) -> Result<Accumulator, MdrrError> {
         let mut merged = Accumulator::new(&self.protocol.channel_sizes())?;
         for shard in &self.shards {
             merged.merge(shard)?;
@@ -213,12 +237,12 @@ impl ShardedCollector {
     /// randomized codes.
     ///
     /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] when no report has
+    /// Returns [`MdrrError::InvalidConfiguration`] when no report has
     /// been ingested yet.
-    pub fn snapshot(&self) -> Result<StreamSnapshot, StreamError> {
+    pub fn snapshot(&self) -> Result<StreamSnapshot, MdrrError> {
         let merged = self.merged()?;
         if merged.is_empty() {
-            return Err(StreamError::config(
+            return Err(MdrrError::config(
                 "cannot snapshot a collector before any report has been ingested",
             ));
         }
@@ -236,7 +260,7 @@ fn shard_rng(base_seed: u64, k: usize) -> StdRng {
 mod tests {
     use super::*;
     use mdrr_data::{Attribute, Schema};
-    use mdrr_protocols::{FrequencyEstimator, RRIndependent, RandomizationLevel};
+    use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
     use rand::RngCore;
 
     fn schema() -> Schema {
@@ -247,10 +271,10 @@ mod tests {
         .unwrap()
     }
 
-    fn protocol() -> StreamProtocol {
-        RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(0.7))
+    fn protocol() -> Arc<dyn Protocol> {
+        ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7))
+            .build_arc(&schema())
             .unwrap()
-            .into()
     }
 
     fn records(n: usize) -> Vec<Vec<u32>> {
@@ -269,13 +293,23 @@ mod tests {
     }
 
     #[test]
+    fn for_protocol_wraps_concrete_protocols() {
+        let concrete =
+            mdrr_protocols::RRIndependent::new(schema(), &RandomizationLevel::KeepProbability(0.7))
+                .unwrap();
+        let c = ShardedCollector::for_protocol(concrete, 2).unwrap();
+        assert_eq!(c.protocol().name(), "RR-Independent");
+        assert_eq!(c.n_shards(), 2);
+    }
+
+    #[test]
     fn parallel_ingestion_is_deterministic_and_covers_every_record() {
         let mut a = ShardedCollector::new(protocol(), 4).unwrap();
         let mut b = ShardedCollector::new(protocol(), 4).unwrap();
         let rs = records(1_001);
         assert_eq!(a.ingest_records(&rs, 7).unwrap(), 1_001);
         assert_eq!(b.ingest_records(&rs, 7).unwrap(), 1_001);
-        assert_eq!(a, b);
+        assert_eq!(a.shards(), b.shards());
         assert_eq!(a.total_reports(), 1_001);
         // Every shard except possibly the last is full.
         assert!(a.shards()[..3].iter().all(|s| s.n_reports() == 251));
@@ -284,7 +318,7 @@ mod tests {
         // A different seed produces different randomized counts.
         let mut c = ShardedCollector::new(protocol(), 4).unwrap();
         c.ingest_records(&rs, 8).unwrap();
-        assert_ne!(a, c);
+        assert_ne!(a.shards(), c.shards());
     }
 
     #[test]
@@ -320,14 +354,18 @@ mod tests {
         let merged = c.merged().unwrap();
         assert_eq!(merged.n_reports(), 2_000);
         let snapshot = c.snapshot().unwrap();
-        assert_eq!(snapshot.report_count(), 2_000);
+        assert_eq!(snapshot.record_count(), 2_000);
         let direct = c
             .protocol()
             .release_from_counts(merged.counts(), 2_000)
             .unwrap();
-        assert_eq!(snapshot, direct);
-        // The snapshot answers queries.
+        // The snapshot is the protocol's regular release over the merged
+        // counts: identical marginals and identical query answers.
+        for j in 0..2 {
+            assert_eq!(snapshot.marginal(j).unwrap(), direct.marginal(j).unwrap());
+        }
         let f = snapshot.frequency(&[(0, 1)]).unwrap();
+        assert_eq!(f, direct.frequency(&[(0, 1)]).unwrap());
         assert!((f - 1.0 / 3.0).abs() < 0.1);
     }
 

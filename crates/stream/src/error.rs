@@ -1,61 +1,30 @@
 //! Error type of the streaming subsystem.
+//!
+//! The streaming layer reports the same [`MdrrError`] as the protocol layer
+//! it sits on — shape violations (zero shards, a report that does not match
+//! the protocol's channels, mismatched accumulator layouts) surface as
+//! [`MdrrError::InvalidConfiguration`], and protocol errors propagate
+//! unchanged through `?` with no wrapping.  The historical `StreamError`
+//! name survives as a plain alias.
 
-use mdrr_protocols::ProtocolError;
-use std::fmt;
+pub use mdrr_protocols::MdrrError;
 
-/// Errors produced by the streaming ingestion and estimation layer.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StreamError {
-    /// An error bubbled up from the protocol layer (encoding a report,
-    /// estimating from accumulated counts, answering a query).
-    Protocol(ProtocolError),
-    /// A streaming configuration or input was invalid (zero shards, a
-    /// report whose shape does not match the protocol's channels, merging
-    /// accumulators of different shapes, …).
-    InvalidConfiguration {
-        /// Description of the violated constraint.
-        message: String,
-    },
-}
-
-impl StreamError {
-    /// Convenience constructor for configuration errors.
-    pub fn config(message: impl Into<String>) -> Self {
-        StreamError::InvalidConfiguration {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for StreamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StreamError::Protocol(e) => write!(f, "protocol error: {e}"),
-            StreamError::InvalidConfiguration { message } => {
-                write!(f, "invalid streaming configuration: {message}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for StreamError {}
-
-impl From<ProtocolError> for StreamError {
-    fn from(e: ProtocolError) -> Self {
-        StreamError::Protocol(e)
-    }
-}
+/// Compatibility alias: the streaming layer's historical error name.
+pub type StreamError = MdrrError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn display_and_conversion() {
-        let e = StreamError::config("zero shards");
+    fn stream_errors_are_mdrr_errors() {
+        // One error type across the layers: protocol errors flow into
+        // streaming signatures without conversion, and the alias is
+        // interchangeable with the canonical name.
+        let e: StreamError = MdrrError::config("zero shards");
         assert!(e.to_string().contains("zero shards"));
-        let p: StreamError = ProtocolError::config("bad").into();
-        assert!(matches!(p, StreamError::Protocol(_)));
-        assert!(p.to_string().contains("bad"));
+        let p: MdrrError = mdrr_protocols::ProtocolError::config("bad");
+        let s: StreamError = p;
+        assert!(s.to_string().contains("bad"));
     }
 }

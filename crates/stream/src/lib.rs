@@ -7,32 +7,36 @@
 //! * [`report`] — each client locally randomizes one record into a compact
 //!   [`Report`] (one code per *channel*: per attribute for RR-Independent,
 //!   one joint code for RR-Joint, per cluster for RR-Clusters), via the
-//!   protocol-agnostic [`StreamProtocol`] encoder;
+//!   object-safe [`mdrr_protocols::Protocol`] encoder;
 //! * [`accumulator`] — the collector keeps only per-channel count vectors
 //!   ([`Accumulator`]): the sufficient statistics of Equation (2), exact
 //!   and mergeable in any order;
-//! * [`collector`] — a [`ShardedCollector`] fans ingestion out over
+//! * [`collector`] — a [`ShardedCollector`] holds an `Arc<dyn Protocol>`
+//!   (any current or future protocol, unchanged), fans ingestion out over
 //!   `std::thread::scope` workers (one per shard, each with its own
 //!   deterministic RNG, no locks) and can be snapshotted mid-stream into
-//!   the protocol's regular release ([`StreamSnapshot`]), numerically
-//!   identical to the batch estimate over the same randomized codes.
+//!   the protocol's regular release (a [`StreamSnapshot`], i.e.
+//!   `Box<dyn Release>`), numerically identical to the batch estimate over
+//!   the same randomized codes.
 //!
 //! ## Example
 //!
 //! Stream 10 000 simulated clients through 4 shards and query a mid-stream
-//! snapshot:
+//! snapshot — the protocol is selected by a serde-able spec, so swapping
+//! mechanisms is a configuration change, not a code change:
 //!
 //! ```
 //! use mdrr_data::{Attribute, Schema};
-//! use mdrr_protocols::{FrequencyEstimator, RRIndependent, RandomizationLevel};
+//! use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
 //! use mdrr_stream::ShardedCollector;
 //!
 //! let schema = Schema::new(vec![
 //!     Attribute::indexed("A", 3)?,
 //!     Attribute::indexed("B", 2)?,
 //! ])?;
-//! let protocol = RRIndependent::new(schema, &RandomizationLevel::KeepProbability(0.7))?;
-//! let mut collector = ShardedCollector::new(protocol.into(), 4)?;
+//! let protocol = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7))
+//!     .build_arc(&schema)?; // Arc<dyn Protocol>
+//! let mut collector = ShardedCollector::new(protocol, 4)?;
 //!
 //! // Each simulated client randomizes her record locally; the collector
 //! // only ever accumulates per-channel counts.
@@ -41,15 +45,15 @@
 //!     .collect();
 //! collector.ingest_records(&records, 42)?;
 //!
-//! let snapshot = collector.snapshot()?;
-//! assert_eq!(snapshot.report_count(), 10_000);
+//! let snapshot = collector.snapshot()?; // Box<dyn Release>
+//! assert_eq!(snapshot.record_count(), 10_000);
 //! let marginal = snapshot.frequency(&[(0, 0)])?;
 //! assert!((marginal - 1.0 / 3.0).abs() < 0.05);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accumulator;
 pub mod collector;
@@ -57,6 +61,6 @@ pub mod error;
 pub mod report;
 
 pub use accumulator::Accumulator;
-pub use collector::ShardedCollector;
-pub use error::StreamError;
-pub use report::{Report, StreamProtocol, StreamSnapshot};
+pub use collector::{ShardedCollector, StreamSnapshot};
+pub use error::{MdrrError, StreamError};
+pub use report::Report;

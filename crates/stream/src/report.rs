@@ -1,21 +1,18 @@
-//! Client-side reports and the protocol-agnostic streaming view of the
-//! paper's three release mechanisms.
+//! Client-side reports: the compact wire format of the streaming path.
 //!
 //! Every protocol, seen from the collector, is a set of *channels*: for
 //! RR-Independent one channel per attribute, for RR-Joint a single channel
-//! over the full joint domain, for RR-Clusters one channel per cluster.  A
-//! client locally randomizes her record into a [`Report`] carrying one code
-//! per channel; the collector only ever needs the per-channel count vectors
-//! of those codes (the sufficient statistics), never the reports
+//! over the full joint domain, for RR-Clusters one channel per cluster
+//! (the [`mdrr_protocols::Protocol::channel_sizes`] topology).  A client
+//! locally randomizes her record into a [`Report`] carrying one code per
+//! channel — [`Report::encode`] is `Protocol::encode_record` plus the
+//! wrapping — and the collector only ever needs the per-channel count
+//! vectors of those codes (the sufficient statistics), never the reports
 //! themselves.
 
-use crate::error::StreamError;
-use mdrr_data::Schema;
-use mdrr_protocols::{
-    Assignment, ClustersRelease, FrequencyEstimator, IndependentRelease, JointRelease,
-    ProtocolError, RRClusters, RRIndependent, RRJoint,
-};
-use rand::Rng;
+use crate::error::MdrrError;
+use mdrr_protocols::Protocol;
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// One client's randomized report: one randomized code per channel of the
@@ -34,6 +31,19 @@ impl Report {
         Report { codes }
     }
 
+    /// Client-side encoding: randomizes one true record into its report
+    /// with any protocol — static or `dyn`.
+    ///
+    /// # Errors
+    /// Propagates the protocol's validation and randomization errors.
+    pub fn encode(
+        protocol: &dyn Protocol,
+        record: &[u32],
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, MdrrError> {
+        Ok(Report::new(protocol.encode_record(record, rng)?))
+    }
+
     /// The randomized code of each channel, in channel order.
     pub fn codes(&self) -> &[u32] {
         &self.codes
@@ -50,187 +60,11 @@ impl Report {
     }
 }
 
-/// A protocol configured for streaming ingestion: the uniform
-/// encode/estimate interface over the paper's three mechanisms.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StreamProtocol {
-    /// Protocol 1: one channel per attribute.
-    Independent(RRIndependent),
-    /// Protocol 2: a single channel over the full joint domain.
-    Joint(RRJoint),
-    /// RR-Clusters: one channel per cluster.
-    Clusters(RRClusters),
-}
-
-impl StreamProtocol {
-    /// The schema the protocol was configured for.
-    pub fn schema(&self) -> &Schema {
-        match self {
-            StreamProtocol::Independent(p) => p.schema(),
-            StreamProtocol::Joint(p) => p.schema(),
-            StreamProtocol::Clusters(p) => p.schema(),
-        }
-    }
-
-    /// The domain size of each channel, in channel order.
-    pub fn channel_sizes(&self) -> Vec<usize> {
-        match self {
-            StreamProtocol::Independent(p) => p.matrices().iter().map(|m| m.size()).collect(),
-            StreamProtocol::Joint(p) => vec![p.domain().size()],
-            StreamProtocol::Clusters(p) => p.domains().iter().map(|d| d.size()).collect(),
-        }
-    }
-
-    /// Client-side encoding: randomizes one true record into its report.
-    ///
-    /// # Errors
-    /// Propagates the protocol's validation and randomization errors.
-    pub fn encode_record(&self, record: &[u32], rng: &mut impl Rng) -> Result<Report, StreamError> {
-        let codes = match self {
-            StreamProtocol::Independent(p) => p.encode_record(record, rng)?,
-            StreamProtocol::Joint(p) => vec![p.encode_record(record, rng)?],
-            StreamProtocol::Clusters(p) => p.encode_record(record, rng)?,
-        };
-        Ok(Report::new(codes))
-    }
-
-    /// Decodes a report back into the randomized microdata record the
-    /// batch collector would have received (the inverse of the channel
-    /// encoding; the randomization itself is of course not invertible).
-    ///
-    /// # Errors
-    /// Returns [`StreamError::InvalidConfiguration`] if the report's arity
-    /// or codes do not match the protocol's channels.
-    pub fn decode_report(&self, report: &Report) -> Result<Vec<u32>, StreamError> {
-        let sizes = self.channel_sizes();
-        if report.len() != sizes.len() {
-            return Err(StreamError::config(format!(
-                "report has {} codes but the protocol has {} channels",
-                report.len(),
-                sizes.len()
-            )));
-        }
-        for (k, (&code, size)) in report.codes().iter().zip(sizes).enumerate() {
-            if code as usize >= size {
-                return Err(StreamError::config(format!(
-                    "code {code} out of range for channel {k} ({size} categories)"
-                )));
-            }
-        }
-        match self {
-            StreamProtocol::Independent(_) => Ok(report.codes().to_vec()),
-            StreamProtocol::Joint(p) => Ok(p
-                .domain()
-                .decode(report.codes()[0] as usize)
-                .map_err(ProtocolError::from)?),
-            StreamProtocol::Clusters(p) => {
-                let mut record = vec![0u32; p.schema().len()];
-                for (k, cluster) in p.clustering().clusters().iter().enumerate() {
-                    let tuple = p.domains()[k]
-                        .decode(report.codes()[k] as usize)
-                        .map_err(ProtocolError::from)?;
-                    for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
-                        record[attribute] = value;
-                    }
-                }
-                Ok(record)
-            }
-        }
-    }
-
-    /// Collector-side estimation: builds a release from per-channel count
-    /// vectors over the randomized codes of `n_records` reports.
-    ///
-    /// # Errors
-    /// Propagates the protocol's shape and consistency errors.
-    pub fn release_from_counts(
-        &self,
-        counts: &[Vec<u64>],
-        n_records: usize,
-    ) -> Result<StreamSnapshot, StreamError> {
-        match self {
-            StreamProtocol::Independent(p) => Ok(StreamSnapshot::Independent(
-                p.release_from_counts(counts, n_records)?,
-            )),
-            StreamProtocol::Joint(p) => {
-                if counts.len() != 1 {
-                    return Err(StreamError::config(format!(
-                        "RR-Joint has a single channel but {} count vectors were provided",
-                        counts.len()
-                    )));
-                }
-                Ok(StreamSnapshot::Joint(
-                    p.release_from_counts(&counts[0], n_records)?,
-                ))
-            }
-            StreamProtocol::Clusters(p) => Ok(StreamSnapshot::Clusters(
-                p.release_from_counts(counts, n_records)?,
-            )),
-        }
-    }
-}
-
-impl From<RRIndependent> for StreamProtocol {
-    fn from(p: RRIndependent) -> Self {
-        StreamProtocol::Independent(p)
-    }
-}
-
-impl From<RRJoint> for StreamProtocol {
-    fn from(p: RRJoint) -> Self {
-        StreamProtocol::Joint(p)
-    }
-}
-
-impl From<RRClusters> for StreamProtocol {
-    fn from(p: RRClusters) -> Self {
-        StreamProtocol::Clusters(p)
-    }
-}
-
-/// A point-in-time estimate taken from the accumulated sufficient
-/// statistics: the protocol's regular release (so every batch query runs
-/// unchanged against a mid-stream snapshot), without randomized microdata.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StreamSnapshot {
-    /// Snapshot of an RR-Independent stream.
-    Independent(IndependentRelease),
-    /// Snapshot of an RR-Joint stream.
-    Joint(JointRelease),
-    /// Snapshot of an RR-Clusters stream.
-    Clusters(ClustersRelease),
-}
-
-impl StreamSnapshot {
-    /// Number of reports the snapshot is based on.
-    pub fn report_count(&self) -> usize {
-        self.record_count()
-    }
-}
-
-impl FrequencyEstimator for StreamSnapshot {
-    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
-        match self {
-            StreamSnapshot::Independent(r) => r.frequency(assignment),
-            StreamSnapshot::Joint(r) => r.frequency(assignment),
-            StreamSnapshot::Clusters(r) => r.frequency(assignment),
-        }
-    }
-
-    fn record_count(&self) -> usize {
-        match self {
-            StreamSnapshot::Independent(r) => r.record_count(),
-            StreamSnapshot::Joint(r) => r.record_count(),
-            StreamSnapshot::Clusters(r) => r.record_count(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mdrr_data::{Attribute, Schema};
-    use mdrr_protocols::{Clustering, RandomizationLevel};
+    use mdrr_protocols::{Clustering, ProtocolSpec, RandomizationLevel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -242,102 +76,55 @@ mod tests {
         .unwrap()
     }
 
-    fn protocols() -> Vec<StreamProtocol> {
-        let s = schema();
+    fn specs() -> Vec<ProtocolSpec> {
+        let level = RandomizationLevel::KeepProbability(0.7);
         vec![
-            RRIndependent::new(s.clone(), &RandomizationLevel::KeepProbability(0.7))
-                .unwrap()
-                .into(),
-            RRJoint::with_keep_probability(s.clone(), 0.7, None)
-                .unwrap()
-                .into(),
-            RRClusters::with_keep_probability(
-                s,
-                Clustering::new(vec![vec![0], vec![1]], 2).unwrap(),
-                0.7,
-            )
-            .unwrap()
-            .into(),
+            ProtocolSpec::independent(level.clone()),
+            ProtocolSpec::joint(level.clone()),
+            ProtocolSpec::clusters(level, Clustering::new(vec![vec![0], vec![1]], 2).unwrap()),
         ]
-    }
-
-    #[test]
-    fn channel_layouts_match_the_protocol_shape() {
-        let all = protocols();
-        assert_eq!(all[0].channel_sizes(), vec![3, 2]);
-        assert_eq!(all[1].channel_sizes(), vec![6]);
-        assert_eq!(all[2].channel_sizes(), vec![3, 2]);
-        for p in &all {
-            assert_eq!(p.schema().len(), 2);
-        }
     }
 
     #[test]
     fn encoded_reports_have_one_code_per_channel() {
         let mut rng = StdRng::seed_from_u64(1);
-        for p in protocols() {
-            let report = p.encode_record(&[2, 1], &mut rng).unwrap();
+        for spec in specs() {
+            let p = spec.build(&schema()).unwrap();
+            let report = Report::encode(&*p, &[2, 1], &mut rng).unwrap();
             assert_eq!(report.len(), p.channel_sizes().len());
             assert!(!report.is_empty());
             for (&code, size) in report.codes().iter().zip(p.channel_sizes()) {
                 assert!((code as usize) < size);
             }
-            assert!(p.encode_record(&[3, 0], &mut rng).is_err());
-            assert!(p.encode_record(&[0], &mut rng).is_err());
-        }
-    }
-
-    #[test]
-    fn snapshots_answer_queries_through_the_estimator_trait() {
-        let mut rng = StdRng::seed_from_u64(2);
-        for p in protocols() {
-            let mut counts: Vec<Vec<u64>> =
-                p.channel_sizes().iter().map(|&s| vec![0u64; s]).collect();
-            let n = 500;
-            for i in 0..n {
-                let record = vec![(i % 3) as u32, (i % 2) as u32];
-                let report = p.encode_record(&record, &mut rng).unwrap();
-                for (channel, &code) in counts.iter_mut().zip(report.codes()) {
-                    channel[code as usize] += 1;
-                }
-            }
-            let snapshot = p.release_from_counts(&counts, n).unwrap();
-            assert_eq!(snapshot.report_count(), n);
-            let f = snapshot.frequency(&[(0, 0)]).unwrap();
-            assert!((0.0..=1.0).contains(&f));
-            assert!(snapshot.frequency(&[(0, 0), (0, 1)]).is_err());
+            assert!(Report::encode(&*p, &[3, 0], &mut rng).is_err());
+            assert!(Report::encode(&*p, &[0], &mut rng).is_err());
         }
     }
 
     #[test]
     fn decode_inverts_the_channel_encoding() {
         let mut rng = StdRng::seed_from_u64(5);
-        for p in protocols() {
+        for spec in specs() {
+            let p = spec.build(&schema()).unwrap();
             for record in [[0u32, 0], [2, 1], [1, 0]] {
-                // With keep probability 1 the report IS the encoded record,
-                // so decode must give the record back. With randomization we
-                // can still check the decoded record is schema-valid.
-                let report = p.encode_record(&record, &mut rng).unwrap();
-                let decoded = p.decode_report(&report).unwrap();
+                // The decoded record is always schema-valid…
+                let report = Report::encode(&*p, &record, &mut rng).unwrap();
+                let decoded = p.decode_report(report.codes()).unwrap();
                 assert!(p.schema().validate_record(&decoded).is_ok());
             }
-            assert!(p.decode_report(&Report::new(vec![])).is_err());
-            assert!(p.decode_report(&Report::new(vec![99, 99])).is_err());
+            assert!(p.decode_report(&[]).is_err());
+            assert!(p.decode_report(&[99, 99]).is_err());
         }
 
-        // Identity randomization: decode(encode(x)) == x exactly.
-        let p: StreamProtocol = RRJoint::with_keep_probability(schema(), 1.0, None)
-            .unwrap()
-            .into();
-        let report = p.encode_record(&[2, 1], &mut rng).unwrap();
-        assert_eq!(p.decode_report(&report).unwrap(), vec![2, 1]);
-    }
-
-    #[test]
-    fn joint_snapshot_rejects_multi_channel_counts() {
-        let p: StreamProtocol = RRJoint::with_keep_probability(schema(), 0.7, None)
-            .unwrap()
-            .into();
-        assert!(p.release_from_counts(&[vec![1; 6], vec![1; 6]], 6).is_err());
+        // …and with identity randomization decode(encode(x)) == x exactly.
+        let p = ProtocolSpec::Joint {
+            level: RandomizationLevel::KeepProbability(1.0),
+            max_domain: None,
+            equivalent_risk: false,
+        }
+        .build(&schema())
+        .unwrap();
+        let report = Report::encode(&*p, &[2, 1], &mut rng).unwrap();
+        assert_eq!(p.decode_report(report.codes()).unwrap(), vec![2, 1]);
     }
 }

@@ -4,17 +4,20 @@
 //! merging lose nothing: for the same randomized codes, a snapshot taken
 //! from shard-merged accumulators is numerically identical to the batch
 //! release the protocol computes from the pooled randomized data set —
-//! for all three protocols, any shard count, any report routing and any
-//! merge order.
+//! for every protocol behind `dyn Protocol`, any shard count, any report
+//! routing and any merge order.  Since the collector dispatches through
+//! `Arc<dyn Protocol>`, these properties hold for any future protocol with
+//! a sound `release_from_counts` — no per-protocol test arms needed.
 
 use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
 use mdrr_protocols::{
-    Clustering, FrequencyEstimator, RRClusters, RRIndependent, RRJoint, RandomizationLevel,
+    Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel, Release,
 };
-use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamProtocol, StreamSnapshot};
+use mdrr_stream::{Accumulator, Report, ShardedCollector};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A small schema with 3 attributes of cardinalities 2–4.
 fn schema_strategy() -> impl Strategy<Value = Schema> {
@@ -56,70 +59,39 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     })
 }
 
-/// The three protocols configured for a schema (clusters: first two
-/// attributes together, the rest singletons).
-fn protocols(schema: &Schema) -> Vec<StreamProtocol> {
+/// The three protocols configured for a schema, all behind `dyn Protocol`
+/// (clusters: first two attributes together, the rest one cluster).
+fn protocols(schema: &Schema) -> Vec<Arc<dyn Protocol>> {
     let m = schema.len();
     let clustering = Clustering::new(vec![vec![0, 1], (2..m).collect()], m).unwrap();
-    vec![
-        RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(0.6))
-            .unwrap()
-            .into(),
-        RRJoint::with_keep_probability(schema.clone(), 0.6, None)
-            .unwrap()
-            .into(),
-        RRClusters::with_keep_probability(schema.clone(), clustering, 0.6)
-            .unwrap()
-            .into(),
+    let level = RandomizationLevel::KeepProbability(0.6);
+    [
+        ProtocolSpec::independent(level.clone()),
+        ProtocolSpec::Joint {
+            level: level.clone(),
+            max_domain: None,
+            equivalent_risk: false,
+        },
+        ProtocolSpec::Clusters {
+            level,
+            clustering,
+            equivalent_risk: false,
+        },
     ]
+    .iter()
+    .map(|spec| spec.build_arc(schema).unwrap())
+    .collect()
 }
 
-/// Decodes a stream of reports back into the randomized microdata set the
-/// batch collector would have received.
-fn decode_reports(protocol: &StreamProtocol, reports: &[Report]) -> Dataset {
-    match protocol {
-        StreamProtocol::Independent(p) => {
-            let records: Vec<Vec<u32>> = reports.iter().map(|r| r.codes().to_vec()).collect();
-            Dataset::from_records(p.schema().clone(), &records).unwrap()
-        }
-        StreamProtocol::Joint(p) => {
-            let mut ds = Dataset::empty(p.schema().clone());
-            for report in reports {
-                let record = p.domain().decode(report.codes()[0] as usize).unwrap();
-                ds.push_record(&record).unwrap();
-            }
-            ds
-        }
-        StreamProtocol::Clusters(p) => {
-            let m = p.schema().len();
-            let mut columns: Vec<Vec<u32>> = vec![vec![0; reports.len()]; m];
-            for (i, report) in reports.iter().enumerate() {
-                for (k, cluster) in p.clustering().clusters().iter().enumerate() {
-                    let tuple = p.domains()[k].decode(report.codes()[k] as usize).unwrap();
-                    for (&attribute, &value) in cluster.iter().zip(tuple.iter()) {
-                        columns[attribute][i] = value;
-                    }
-                }
-            }
-            Dataset::from_columns(p.schema().clone(), columns).unwrap()
-        }
+/// The batch release computed from the same randomized codes: decode every
+/// report into the pooled randomized data set and estimate from it.
+fn batch_release(protocol: &dyn Protocol, reports: &[Report]) -> Box<dyn Release> {
+    let mut randomized = Dataset::empty(protocol.schema().clone());
+    for report in reports {
+        let record = protocol.decode_report(report.codes()).unwrap();
+        randomized.push_record(&record).unwrap();
     }
-}
-
-/// The batch release computed from the same randomized codes.
-fn batch_release(protocol: &StreamProtocol, reports: &[Report]) -> StreamSnapshot {
-    let randomized = decode_reports(protocol, reports);
-    match protocol {
-        StreamProtocol::Independent(p) => {
-            StreamSnapshot::Independent(p.release_from_randomized(randomized).unwrap())
-        }
-        StreamProtocol::Joint(p) => {
-            StreamSnapshot::Joint(p.release_from_randomized(randomized).unwrap())
-        }
-        StreamProtocol::Clusters(p) => {
-            StreamSnapshot::Clusters(p.release_from_randomized(randomized).unwrap())
-        }
-    }
+    protocol.release_from_randomized(randomized).unwrap()
 }
 
 /// Every single- and two-attribute assignment of a schema.
@@ -158,11 +130,11 @@ proptest! {
             let mut rng = StdRng::seed_from_u64(seed);
             let reports: Vec<Report> = ds
                 .records()
-                .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
+                .map(|r| Report::encode(&*protocol, &r, &mut rng).unwrap())
                 .collect();
 
             // Streaming side: route reports to arbitrary shards…
-            let mut collector = ShardedCollector::new(protocol.clone(), n_shards).unwrap();
+            let mut collector = ShardedCollector::new(Arc::clone(&protocol), n_shards).unwrap();
             for (i, report) in reports.iter().enumerate() {
                 let shard = ((i as u64).wrapping_mul(route_mult) % n_shards as u64) as usize;
                 collector.ingest_report(shard, report).unwrap();
@@ -180,9 +152,9 @@ proptest! {
                 .unwrap();
 
             // Batch side: the pooled reports as a randomized data set.
-            let batch = batch_release(&protocol, &reports);
+            let batch = batch_release(&*protocol, &reports);
 
-            prop_assert_eq!(snapshot.report_count(), batch.report_count());
+            prop_assert_eq!(snapshot.record_count(), batch.record_count());
             for query in query_workload(ds.schema()) {
                 let streamed = snapshot.frequency(&query).unwrap();
                 let reordered = rotated.frequency(&query).unwrap();
@@ -209,7 +181,7 @@ proptest! {
         prop_assert_eq!(ingested, records.len() as u64);
         prop_assert_eq!(collector.total_reports(), records.len() as u64);
         let snapshot = collector.snapshot().unwrap();
-        prop_assert_eq!(snapshot.report_count(), records.len());
+        prop_assert_eq!(snapshot.record_count(), records.len());
         let total = snapshot.frequency(&[]).unwrap();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }

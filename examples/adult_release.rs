@@ -54,19 +54,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Step 3: RR-Clusters at the equivalent risk of RR-Independent with p.
-    let clusters_protocol =
-        RRClusters::with_equivalent_risk_from_keep_probability(schema.clone(), clustering, p)?;
+    // Protocols are selected declaratively: a ProtocolSpec is plain serde
+    // data (swap it for a JSON config file and nothing below changes) and
+    // builds an object-safe `dyn Protocol`.
+    let level = RandomizationLevel::KeepProbability(p);
+    let clusters_spec = ProtocolSpec::clusters(level.clone(), clustering);
+    println!(
+        "\nprotocol spec (serde round-trippable):\n{}",
+        serde_json::to_string_pretty(&clusters_spec).expect("specs serialize")
+    );
+    let clusters_protocol = clusters_spec.build(&schema)?;
     let clusters_release = clusters_protocol.run(&dataset, &mut rng)?;
     println!("\nprivacy ledger of the RR-Clusters release:");
     println!("{}", clusters_release.accountant());
 
-    // Baseline: RR-Independent at the same per-attribute risk.
-    let independent_protocol =
-        RRIndependent::new(schema.clone(), &RandomizationLevel::KeepProbability(p))?;
-    let independent_release = independent_protocol.run(&dataset, &mut rng)?;
+    // Baseline: RR-Independent at the same per-attribute risk — the same
+    // two lines, a different spec.
+    let independent_release = ProtocolSpec::independent(level)
+        .build(&schema)?
+        .run(&dataset, &mut rng)?;
 
-    // Step 4: RR-Adjustment on top of the cluster release.
-    let targets = AdjustmentTarget::from_clusters(&clusters_release)?;
+    // Step 4: RR-Adjustment on top of the cluster release.  Every release
+    // derives its own Algorithm 2 targets (per-cluster joints here).
+    let targets = clusters_release.adjustment_targets()?;
     let adjusted = rr_adjustment(
         clusters_release
             .randomized()

@@ -77,10 +77,11 @@ pub mod prelude {
     pub use mdrr_eval::{CountQuery, ExperimentConfig};
     pub use mdrr_protocols::{
         cluster_attributes, rr_adjustment, validate_assignment, AdjustmentConfig, AdjustmentTarget,
-        Clustering, ClusteringConfig, EmpiricalEstimator, FrequencyEstimator, ProtocolError,
-        RRClusters, RRIndependent, RRJoint, RandomizationLevel,
+        Clustering, ClusteringConfig, EmpiricalEstimator, FrequencyEstimator, MdrrError, Protocol,
+        ProtocolError, ProtocolSpec, RRAdjustment, RRClusters, RRIndependent, RRJoint,
+        RandomizationLevel, Release,
     };
-    pub use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamProtocol, StreamSnapshot};
+    pub use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamSnapshot};
 }
 
 #[cfg(test)]

@@ -86,7 +86,7 @@ fn full_clustered_pipeline_dependences_clustering_release_adjustment() {
     // Every marginal survives the whole pipeline.
     for attribute in 0..8 {
         let truth = dataset.marginal_distribution(attribute).unwrap();
-        let estimate = release.attribute_marginal(attribute).unwrap();
+        let estimate = release.marginal(attribute).unwrap();
         let tv: f64 = truth
             .iter()
             .zip(estimate.iter())
