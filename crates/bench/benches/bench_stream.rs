@@ -1,11 +1,13 @@
 //! Benchmarks of the streaming subsystem: single-shard ingest throughput
-//! (client-side encoding + accumulator counting) and the k-way merge of
-//! sharded accumulators that precedes every mid-stream snapshot.
+//! (client-side encoding + accumulator counting), the k-way merge of
+//! sharded accumulators that precedes every mid-stream snapshot, and the
+//! `bench_batch` group pinning the columnar batch pipeline against the
+//! scalar per-record reference (encode, ingest, and end-to-end sharded).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdrr_data::{adult_schema, AdultSynthesizer};
+use mdrr_data::{adult_schema, AdultSynthesizer, Dataset};
 use mdrr_protocols::{Clustering, Protocol, ProtocolSpec, RandomizationLevel};
-use mdrr_stream::{Accumulator, Report, ShardedCollector};
+use mdrr_stream::{Accumulator, Report, ReportBatch, ShardedCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -125,11 +127,161 @@ fn bench_snapshot(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-record vs batch vs fused-tally *encoding* of the same 10k records
+/// under the same seed (the outputs are bit-identical; only the cost
+/// differs).
+fn bench_batch_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_batch");
+    group.sample_size(10);
+    let rows = records(10_000);
+    for (name, protocol) in protocols() {
+        let dataset = Dataset::from_records(protocol.schema().clone(), &rows).unwrap();
+        let sizes = protocol.channel_sizes();
+        group.bench_with_input(
+            BenchmarkId::new("encode_10k_per_record", name),
+            &protocol,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut last = 0u32;
+                    for record in &rows {
+                        let report = Report::encode(&**p, black_box(record), &mut rng).unwrap();
+                        last = report.codes()[0];
+                    }
+                    last
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_10k_batch", name),
+            &protocol,
+            |b, p| {
+                let mut batch = ReportBatch::for_protocol(&**p);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    batch
+                        .encode_records(&**p, black_box(&dataset.view()), &mut rng)
+                        .unwrap();
+                    batch.n_reports()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode_10k_tally", name),
+            &protocol,
+            |b, p| {
+                let mut tallies: Vec<Vec<u64>> = sizes.iter().map(|&s| vec![0u64; s]).collect();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    p.encode_tally(black_box(&dataset.view()), &mut rng, &mut tallies)
+                        .unwrap();
+                    tallies[0][0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Per-report vs batch *counting* of 10k pre-encoded reports.
+fn bench_batch_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_batch");
+    group.sample_size(10);
+    let rows = records(10_000);
+    let (name, protocol) = protocols().remove(0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut batch = ReportBatch::for_protocol(&*protocol);
+    let dataset = Dataset::from_records(protocol.schema().clone(), &rows).unwrap();
+    batch
+        .encode_records(&*protocol, &dataset.view(), &mut rng)
+        .unwrap();
+    let reports: Vec<Report> = {
+        let mut codes = Vec::new();
+        (0..batch.n_reports())
+            .map(|i| {
+                batch.read_report(i, &mut codes).unwrap();
+                Report::new(codes.clone())
+            })
+            .collect()
+    };
+    group.bench_function(BenchmarkId::new("ingest_10k_per_report", name), |b| {
+        b.iter(|| {
+            let mut acc = Accumulator::new(&protocol.channel_sizes()).unwrap();
+            for report in &reports {
+                acc.ingest(black_box(report)).unwrap();
+            }
+            acc.n_reports()
+        })
+    });
+    group.bench_function(BenchmarkId::new("ingest_10k_batch", name), |b| {
+        b.iter(|| {
+            let mut acc = Accumulator::new(&protocol.channel_sizes()).unwrap();
+            acc.ingest_batch(black_box(&batch)).unwrap();
+            acc.n_reports()
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end sharded ingestion of 100k clients: the columnar batch
+/// pipeline (row-major and zero-copy view inputs) against the scalar
+/// reference path, all bit-identical under the shared seed.
+fn bench_batch_sharded_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_batch");
+    group.sample_size(10);
+    let rows = records(100_000);
+    let (_, protocol) = protocols().remove(0);
+    let dataset = Dataset::from_records(protocol.schema().clone(), &rows).unwrap();
+    for &shards in &[2usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_100k_per_record", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut collector = ShardedCollector::new(protocol.clone(), shards).unwrap();
+                    collector
+                        .ingest_records_per_record(black_box(&rows), 3)
+                        .unwrap();
+                    collector.total_reports()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_100k_batch_rows", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut collector = ShardedCollector::new(protocol.clone(), shards).unwrap();
+                    collector.ingest_records(black_box(&rows), 3).unwrap();
+                    collector.total_reports()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_100k_batch_view", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut collector = ShardedCollector::new(protocol.clone(), shards).unwrap();
+                    collector
+                        .ingest_view(black_box(&dataset.view()), 3)
+                        .unwrap();
+                    collector.total_reports()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_shard_ingest,
     bench_sharded_ingest,
     bench_kway_merge,
-    bench_snapshot
+    bench_snapshot,
+    bench_batch_encode,
+    bench_batch_ingest,
+    bench_batch_sharded_end_to_end
 );
 criterion_main!(benches);

@@ -10,29 +10,67 @@
 //! cargo run -p mdrr-bench --release --bin stream_sim
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --clients 2000000 --shards 16
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --quick --out /tmp/stream.json
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --path per-record
 //! ```
 //!
 //! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
 //! `--rounds R` (default 10), `--protocol independent|joint|clusters`
 //! (default independent), `--spec PATH` (a serde `ProtocolSpec` JSON file,
-//! overriding `--protocol`), `--seed N`, `--quick` (50 000 clients,
+//! overriding `--protocol`), `--path batch|per-record` (default batch: the
+//! columnar zero-allocation pipeline; `per-record` is the scalar reference
+//! path, kept to quantify the gap), `--seed N`, `--quick` (50 000 clients,
 //! 4 shards, 5 rounds), `--out PATH`.
 //!
-//! The snapshot estimates are numerically identical to the batch-path
-//! estimates on the same randomized codes; that equivalence is pinned by
+//! The binary counts heap allocations through a wrapping global allocator
+//! and reports allocations **per ingested report** for the timed ingestion
+//! section — the headline number of the zero-allocation batch pipeline
+//! (expect ~0.00x for `batch`, ~2 for `per-record`).  The snapshot
+//! estimates are numerically identical to the batch-path estimates on the
+//! same randomized codes; that equivalence is pinned by
 //! `crates/stream/tests/proptest_stream.rs` and the `mdrr-eval`
 //! streamed-vs-batch experiment.
 
 use mdrr_bench::maybe_write_json;
-use mdrr_data::{adult_schema, AdultSynthesizer};
+use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer};
 use mdrr_protocols::{Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel};
 use mdrr_stream::ShardedCollector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts every heap allocation (alloc + realloc) made by the process, so
+/// the simulator can report allocations per ingested report for the timed
+/// ingestion sections.
+struct CountingAllocator;
+
+/// Number of allocations since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the only addition is
+// a relaxed atomic counter bump, which allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// Keep probability used for every protocol variant.
 const KEEP_PROBABILITY: f64 = 0.7;
@@ -41,6 +79,16 @@ const KEEP_PROBABILITY: f64 = 0.7;
 /// domain exceeds the protocol's cap).
 const JOINT_ATTRIBUTES: [usize; 3] = [0, 1, 2];
 
+#[derive(Debug, Clone, PartialEq)]
+enum IngestPath {
+    /// The columnar zero-allocation pipeline
+    /// ([`ShardedCollector::ingest_view`]).
+    Batch,
+    /// The scalar reference pipeline
+    /// ([`ShardedCollector::ingest_records_per_record`]).
+    PerRecord,
+}
+
 #[derive(Debug, Clone)]
 struct Options {
     clients: usize,
@@ -48,6 +96,7 @@ struct Options {
     rounds: usize,
     protocol: String,
     spec: Option<PathBuf>,
+    path: IngestPath,
     seed: u64,
     output: Option<PathBuf>,
 }
@@ -60,6 +109,7 @@ impl Options {
             rounds: 10,
             protocol: "independent".to_string(),
             spec: None,
+            path: IngestPath::Batch,
             seed: 42,
             output: None,
         };
@@ -77,6 +127,17 @@ impl Options {
                 "--seed" => options.seed = parse(&flag, value(&flag)?)?,
                 "--protocol" => options.protocol = value(&flag)?,
                 "--spec" => options.spec = Some(PathBuf::from(value(&flag)?)),
+                "--path" => {
+                    options.path = match value(&flag)?.as_str() {
+                        "batch" => IngestPath::Batch,
+                        "per-record" => IngestPath::PerRecord,
+                        other => {
+                            return Err(format!(
+                                "unknown path `{other}` (expected batch or per-record)"
+                            ))
+                        }
+                    }
+                }
                 "--out" => options.output = Some(PathBuf::from(value(&flag)?)),
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -109,6 +170,10 @@ struct RoundReport {
     total_reports: u64,
     round_secs: f64,
     reports_per_sec: f64,
+    /// Heap allocations performed during the timed ingestion section.
+    ingest_allocations: u64,
+    /// `ingest_allocations / clients` — ~0 for the batch path.
+    allocations_per_report: f64,
     /// Max absolute deviation of the snapshot's attribute marginals from
     /// the true empirical marginals of the generated clients so far.
     max_marginal_abs_error: f64,
@@ -118,11 +183,18 @@ struct RoundReport {
 #[derive(Debug, Clone, Serialize)]
 struct SimulationResult {
     protocol: String,
+    /// `batch` or `per-record`.
+    path: String,
     clients: usize,
     shards: usize,
     rounds: Vec<RoundReport>,
     total_secs: f64,
     overall_reports_per_sec: f64,
+    /// Mean ingestion throughput over the rounds (the headline number: the
+    /// collector's encode+count rate, generation and snapshots excluded).
+    mean_ingest_reports_per_sec: f64,
+    /// Mean allocations per report during ingestion.
+    mean_allocations_per_report: f64,
 }
 
 /// The named protocol presets, as declarative specs — exactly what a
@@ -195,8 +267,8 @@ fn main() {
         eprintln!("{message}");
         eprintln!(
             "usage: [--clients N] [--shards K] [--rounds R] \
-             [--protocol independent|joint|clusters] [--spec PATH] [--seed N] [--quick] \
-             [--out PATH]"
+             [--protocol independent|joint|clusters] [--spec PATH] [--path batch|per-record] \
+             [--seed N] [--quick] [--out PATH]"
         );
         std::process::exit(2);
     });
@@ -210,10 +282,15 @@ fn main() {
     let synthesizer = AdultSynthesizer::paper_sized();
     let record_arity = schema.len();
     let protocol_name = protocol.name();
+    let path_name = match options.path {
+        IngestPath::Batch => "batch",
+        IngestPath::PerRecord => "per-record",
+    };
 
     println!("{}", "=".repeat(72));
     println!(
-        "stream_sim — {} clients through {} shards ({} rounds, {}, total ε = {:.3})",
+        "stream_sim — {} clients through {} shards ({} rounds, {}, {path_name} path, \
+         total ε = {:.3})",
         options.clients,
         options.shards,
         options.rounds,
@@ -230,6 +307,10 @@ fn main() {
     let mut true_counts: Vec<Vec<u64>> = cards.iter().map(|&c| vec![0u64; c]).collect();
     let mut generator_rng = StdRng::seed_from_u64(options.seed);
     let mut rounds = Vec::with_capacity(options.rounds);
+    // Clients arrive columnar on the batch path (zero per-record
+    // allocation in the timed section) and row-major on the reference
+    // path.
+    let mut columnar = RecordsBuffer::new(record_arity).expect("schema is non-empty");
     let started = Instant::now();
 
     for round in 1..=options.rounds {
@@ -239,22 +320,33 @@ fn main() {
         } else {
             options.clients / options.rounds
         };
-        let mut records = Vec::with_capacity(clients);
+        columnar.clear();
+        let mut rows: Vec<Vec<u32>> = Vec::new();
         for _ in 0..clients {
             let mut record = synthesizer.sample_record(&mut generator_rng);
             record.truncate(record_arity);
             for (j, &v) in record.iter().enumerate() {
                 true_counts[j][v as usize] += 1;
             }
-            records.push(record);
+            match options.path {
+                IngestPath::Batch => columnar
+                    .push_record(&record)
+                    .expect("generated records fit the schema arity"),
+                IngestPath::PerRecord => rows.push(record),
+            }
         }
         // Time only the collector's work (encoding + sharded ingestion),
         // not the simulator's record generation above.
+        let seed = options.seed.wrapping_add(round as u64);
+        let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
         let round_start = Instant::now();
-        collector
-            .ingest_records(&records, options.seed.wrapping_add(round as u64))
-            .expect("ingestion failed");
+        match options.path {
+            IngestPath::Batch => collector.ingest_view(&columnar.view(), seed),
+            IngestPath::PerRecord => collector.ingest_records_per_record(&rows, seed),
+        }
+        .expect("ingestion failed");
         let round_secs = round_start.elapsed().as_secs_f64();
+        let ingest_allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
 
         let snapshot = collector.snapshot().expect("snapshot failed");
         let total = collector.total_reports();
@@ -273,35 +365,47 @@ fn main() {
         } else {
             f64::INFINITY
         };
+        let allocations_per_report = ingest_allocations as f64 / clients as f64;
         println!(
             "round {round:>3}: {total:>9} reports total | {reports_per_sec:>12.0} reports/s \
-             | max marginal error {max_error:.5}"
+             | {allocations_per_report:>7.4} allocs/report | max marginal error {max_error:.5}"
         );
         rounds.push(RoundReport {
             round,
             total_reports: total,
             round_secs,
             reports_per_sec,
+            ingest_allocations,
+            allocations_per_report,
             max_marginal_abs_error: max_error,
         });
     }
 
     let total_secs = started.elapsed().as_secs_f64();
+    let mean = |f: fn(&RoundReport) -> f64| -> f64 {
+        rounds.iter().map(f).sum::<f64>() / rounds.len() as f64
+    };
     let result = SimulationResult {
         protocol: protocol_name,
+        path: path_name.to_string(),
         clients: options.clients,
         shards: options.shards,
-        rounds,
         total_secs,
         overall_reports_per_sec: options.clients as f64 / total_secs,
+        mean_ingest_reports_per_sec: mean(|r| r.reports_per_sec),
+        mean_allocations_per_report: mean(|r| r.allocations_per_report),
+        rounds,
     };
     println!("{}", "-".repeat(72));
     println!(
-        "{} reports in {:.2}s — {:.0} reports/s end to end (generation + ingestion + {} snapshots)",
+        "{} reports in {:.2}s — {:.0} reports/s end to end (generation + ingestion + {} \
+         snapshots); mean ingest {:.0} reports/s at {:.4} allocs/report",
         options.clients,
         total_secs,
         result.overall_reports_per_sec,
-        result.rounds.len()
+        result.rounds.len(),
+        result.mean_ingest_reports_per_sec,
+        result.mean_allocations_per_report
     );
     println!(
         "final max marginal error: {:.5} (streamed snapshot vs generated ground truth)",

@@ -48,6 +48,278 @@ pub struct RRMatrix {
 /// Probability tolerance used when validating stochasticity.
 const TOL: f64 = 1e-9;
 
+/// The number of uniform bits behind one draw: a raw `next_u64` output is
+/// reduced to its top 53 bits, exactly the bits `rng.gen::<f64>()` keeps.
+const DRAW_BITS: u32 = 53;
+
+/// Largest channel domain counted through interleaved stack banks in
+/// [`PreparedRandomizer::randomize_strided_tally`] (4 banks of this width
+/// fit comfortably on the stack and zero quickly).
+const TALLY_BANK_WIDTH: usize = 64;
+
+/// The integer keep/redraw constants of a uniform-perturbation row,
+/// precomputed once per matrix (or per call on the scalar path — the same
+/// expressions either way, which is what keeps the two paths
+/// bit-identical).
+///
+/// * `threshold` = `⌈diag · 2⁵³⌉`: a draw's top 53 bits `hi` satisfy
+///   `hi < threshold` with probability exactly
+///   `⌈diag · 2⁵³⌉ / 2⁵³` — the same probability the former
+///   `gen::<f64>() < diag` comparison had, since `(hi · 2⁻⁵³) < diag ⟺
+///   hi < ⌈diag · 2⁵³⌉` for integer `hi`.
+/// * `redraw_scale` = `⌊(r − 1) · 2⁶⁴ / (2⁵³ − threshold)⌋`: the 64.64
+///   fixed-point factor mapping the leftover mass
+///   `hi − threshold ∈ [0, 2⁵³ − threshold)` onto `0 .. r − 1`
+///   (`idx = (diff · redraw_scale) >> 64` is provably `< r − 1`, so no
+///   clamp is needed; the non-uniformity of the map is below `2⁻¹⁰` of one
+///   category even for the largest capped joint domains).
+///
+/// Everything is integer arithmetic — no float conversion, no division in
+/// the hot loop — which is what lets the batched encoders run the kernel
+/// at a few cycles per value.
+#[inline]
+fn uniform_row_constants(r: usize, diag: f64) -> (u64, u128) {
+    let threshold = uniform_threshold(r, diag);
+    (threshold, uniform_redraw_scale(r, threshold))
+}
+
+/// The keep threshold `⌈diag · 2⁵³⌉` alone (cheap: one multiply and a
+/// ceil) — the scalar path computes this per call and derives the redraw
+/// scale only when the (rarer) redraw branch is actually taken, so the
+/// u128 division stays off the keep path.
+#[inline]
+fn uniform_threshold(r: usize, diag: f64) -> u64 {
+    let full = 1u64 << DRAW_BITS;
+    if diag >= 1.0 || r == 1 {
+        full
+    } else {
+        ((diag * full as f64).ceil() as u64).min(full)
+    }
+}
+
+/// The fixed-point redraw scale for a given threshold (one u128 division).
+#[inline]
+fn uniform_redraw_scale(r: usize, threshold: u64) -> u128 {
+    let span = (1u64 << DRAW_BITS) - threshold;
+    if span == 0 || r <= 1 {
+        0
+    } else {
+        ((r as u128 - 1) << 64) / span as u128
+    }
+}
+
+/// The redraw half of the kernel: maps the leftover mass `hi − threshold`
+/// onto one of the `r − 1` categories other than `true_value`.  Shared by
+/// the batched kernel and the scalar path so their arithmetic can never
+/// diverge.
+#[inline]
+fn uniform_redraw(threshold: u64, redraw_scale: u128, true_value: u32, hi: u64) -> u32 {
+    let idx = (((hi - threshold) as u128 * redraw_scale) >> 64) as u32;
+    idx + u32::from(idx >= true_value)
+}
+
+/// The fused keep/redraw kernel of the uniform-perturbation form: maps one
+/// raw 64-bit draw to the randomized category.
+///
+/// The row of `true_value` is `diag` at the true value and constant
+/// elsewhere, so a single draw decides both questions at once: the top 53
+/// bits below `threshold` keep the value, and otherwise the *leftover*
+/// uniform mass selects one of the `r − 1` other categories through the
+/// fixed-point `redraw_scale` (see [`uniform_row_constants`]).  One RNG
+/// draw per value, no data-dependent extra draws; this is the draw
+/// discipline both the per-record and the batched encoders share, which is
+/// what makes them bit-identical under a common seed.
+#[inline]
+fn sample_uniform_raw(threshold: u64, redraw_scale: u128, true_value: u32, raw: u64) -> u32 {
+    let hi = raw >> (64 - DRAW_BITS);
+    if hi < threshold {
+        return true_value;
+    }
+    uniform_redraw(threshold, redraw_scale, true_value, hi)
+}
+
+/// One-draw inverse-CDF sampling along row `u` of a general row-stochastic
+/// matrix: walk the row subtracting probabilities until the draw is spent.
+#[inline]
+fn sample_general_row(m: &Matrix, r: usize, u: usize, mut draw: f64) -> u32 {
+    for (v, &p) in m.row(u).iter().enumerate() {
+        draw -= p;
+        if draw <= 0.0 {
+            return v as u32;
+        }
+    }
+    (r - 1) as u32
+}
+
+/// A matrix's randomization kernel with the form dispatch and constants
+/// hoisted out — the per-value engine of the batched encoders.
+///
+/// Borrowing a [`PreparedRandomizer`] once per batch turns the per-value
+/// work into pure integer arithmetic over *pre-drawn* raw u64s: no form
+/// `match` re-resolution, no `Result`, no RNG virtual call in the loop.
+/// The mapping from a raw draw to a randomized category is exactly the one
+/// [`RRMatrix::randomize`] applies to one `next_u64` output (the same
+/// integer threshold/fixed-point kernel), so a caller that feeds draws from
+/// [`rand::RngCore::fill_u64`] in value order is bit-identical to
+/// per-value `randomize` calls on the same RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedRandomizer<'a> {
+    r: usize,
+    kind: PreparedKind<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PreparedKind<'a> {
+    Uniform { threshold: u64, redraw_scale: u128 },
+    General(&'a Matrix),
+}
+
+impl PreparedRandomizer<'_> {
+    /// Randomizes `true_value` with the raw 64-bit draw `raw` — exactly
+    /// what [`RRMatrix::randomize`] computes from one `next_u64` output.
+    ///
+    /// The caller must have validated `true_value < r` (the batched
+    /// encoders validate each column once per batch); out-of-range values
+    /// are a debug-time panic and an unspecified in-range result in
+    /// release builds.
+    #[inline]
+    pub fn randomize_raw(&self, true_value: u32, raw: u64) -> u32 {
+        debug_assert!((true_value as usize) < self.r, "category out of range");
+        match self.kind {
+            PreparedKind::Uniform {
+                threshold,
+                redraw_scale,
+            } => sample_uniform_raw(threshold, redraw_scale, true_value, raw),
+            PreparedKind::General(m) => {
+                sample_general_row(m, self.r, true_value as usize, rand::unit_f64_from_u64(raw))
+            }
+        }
+    }
+
+    /// Randomizes a whole column of (pre-validated) category codes with
+    /// pre-drawn randomness, appending to `out`: value `i` uses
+    /// `draws[offset + i · stride]`.
+    ///
+    /// The strided indexing is what lets a *column-at-a-time* encoder keep
+    /// the *record-major* draw-to-value mapping of the per-record path
+    /// (value `i` of channel `j` out of `m` always consumes draw
+    /// `i · m + j` of the batch, no matter in which order the channels are
+    /// processed) — column-major processing speed, per-record bit-identity.
+    /// The form `match` is resolved once per call, the loop body is pure
+    /// arithmetic, and `out` grows through one exact-size `extend`.
+    ///
+    /// # Panics
+    /// Panics if `draws` is shorter than the strided indexing requires or
+    /// `stride` is zero.
+    #[inline]
+    pub fn randomize_strided_into(
+        &self,
+        column: &[u32],
+        draws: &[u64],
+        offset: usize,
+        stride: usize,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(stride > 0, "draw stride must be positive");
+        assert!(
+            column.is_empty() || offset + (column.len() - 1) * stride < draws.len(),
+            "draw buffer too short for the strided column"
+        );
+        match self.kind {
+            PreparedKind::Uniform {
+                threshold,
+                redraw_scale,
+            } => {
+                out.extend(column.iter().enumerate().map(|(i, &v)| {
+                    sample_uniform_raw(threshold, redraw_scale, v, draws[offset + i * stride])
+                }));
+            }
+            PreparedKind::General(m) => {
+                let r = self.r;
+                out.extend(column.iter().enumerate().map(|(i, &v)| {
+                    let u = rand::unit_f64_from_u64(draws[offset + i * stride]);
+                    sample_general_row(m, r, v as usize, u)
+                }));
+            }
+        }
+    }
+
+    /// The counting sibling of
+    /// [`PreparedRandomizer::randomize_strided_into`]: identical draws,
+    /// identical randomized codes, but instead of materializing the codes
+    /// it bumps `tally[code]` — the per-category sufficient statistics —
+    /// in the same pass.  This is the hot loop of bulk ingestion, where
+    /// the collector only ever needs the count vectors: fusing the count
+    /// into the randomization avoids storing and re-reading every code.
+    ///
+    /// # Panics
+    /// Panics if `tally.len() != r`, `draws` is shorter than the strided
+    /// indexing requires, or `stride` is zero.
+    #[inline]
+    pub fn randomize_strided_tally(
+        &self,
+        column: &[u32],
+        draws: &[u64],
+        offset: usize,
+        stride: usize,
+        tally: &mut [u64],
+    ) {
+        assert!(stride > 0, "draw stride must be positive");
+        assert!(
+            column.is_empty() || offset + (column.len() - 1) * stride < draws.len(),
+            "draw buffer too short for the strided column"
+        );
+        assert_eq!(tally.len(), self.r, "tally length must match the domain");
+        match self.kind {
+            PreparedKind::Uniform {
+                threshold,
+                redraw_scale,
+            } => {
+                if self.r <= TALLY_BANK_WIDTH {
+                    // Four interleaved stack banks: consecutive values
+                    // never increment the same counter slot, so the
+                    // store-forwarding chains that serialize counting on
+                    // low-cardinality channels (where most codes hit the
+                    // same one or two categories) are broken.
+                    let mut banks = [0u64; 4 * TALLY_BANK_WIDTH];
+                    for (i, &v) in column.iter().enumerate() {
+                        let code = sample_uniform_raw(
+                            threshold,
+                            redraw_scale,
+                            v,
+                            draws[offset + i * stride],
+                        );
+                        banks[(i & 3) * TALLY_BANK_WIDTH + code as usize] += 1;
+                    }
+                    for (code, slot) in tally.iter_mut().enumerate() {
+                        *slot += banks[code]
+                            + banks[TALLY_BANK_WIDTH + code]
+                            + banks[2 * TALLY_BANK_WIDTH + code]
+                            + banks[3 * TALLY_BANK_WIDTH + code];
+                    }
+                } else {
+                    for (i, &v) in column.iter().enumerate() {
+                        let code = sample_uniform_raw(
+                            threshold,
+                            redraw_scale,
+                            v,
+                            draws[offset + i * stride],
+                        );
+                        tally[code as usize] += 1;
+                    }
+                }
+            }
+            PreparedKind::General(m) => {
+                for (i, &v) in column.iter().enumerate() {
+                    let u = rand::unit_f64_from_u64(draws[offset + i * stride]);
+                    let code = sample_general_row(m, self.r, v as usize, u);
+                    tally[code as usize] += 1;
+                }
+            }
+        }
+    }
+}
+
 impl RRMatrix {
     /// The identity matrix: no randomization (and no privacy).
     ///
@@ -316,6 +588,12 @@ impl RRMatrix {
     /// Randomizes one category code according to row `true_value` of the
     /// matrix.
     ///
+    /// Consumes exactly one RNG draw per value for the uniform-perturbation
+    /// form (the fused keep/redraw kernel) and one per value for general
+    /// matrices, so randomizing `n` values always advances the RNG by `n`
+    /// draws regardless of the outcomes — the invariant the batched
+    /// encoders rely on to be bit-identical to this per-value path.
+    ///
     /// # Errors
     /// Returns [`CoreError::DimensionMismatch`] if `true_value >= r`.
     pub fn randomize(&self, true_value: u32, rng: &mut impl Rng) -> Result<u32, CoreError> {
@@ -328,35 +606,90 @@ impl RRMatrix {
             });
         }
         match &self.form {
-            Form::Uniform { diag, off } => {
-                // Row u is: diag at u, off elsewhere.
-                let stay = *diag;
-                let draw: f64 = rng.gen();
-                if draw < stay || self.r == 1 {
-                    Ok(true_value)
+            Form::Uniform { diag, .. } => {
+                // Same arithmetic as the batched kernel, but the u128
+                // division behind the redraw scale only runs when the
+                // redraw branch is actually taken.
+                let threshold = uniform_threshold(self.r, *diag);
+                let hi = rng.next_u64() >> (64 - DRAW_BITS);
+                Ok(if hi < threshold {
+                    true_value
                 } else {
-                    // Uniform over the other r − 1 categories: all off-diagonal
-                    // probabilities are equal.
-                    debug_assert!(*off > 0.0 || stay >= 1.0 - TOL);
-                    let mut other = rng.gen_range(0..self.r - 1) as u32;
-                    if other >= true_value {
-                        other += 1;
+                    uniform_redraw(
+                        threshold,
+                        uniform_redraw_scale(self.r, threshold),
+                        true_value,
+                        hi,
+                    )
+                })
+            }
+            Form::General(m) => Ok(sample_general_row(m, self.r, u, rng.gen())),
+        }
+    }
+
+    /// The matrix's randomization kernel with form dispatch and constants
+    /// hoisted — see [`PreparedRandomizer`].
+    pub fn prepared(&self) -> PreparedRandomizer<'_> {
+        PreparedRandomizer {
+            r: self.r,
+            kind: match &self.form {
+                Form::Uniform { diag, .. } => {
+                    let (threshold, redraw_scale) = uniform_row_constants(self.r, *diag);
+                    PreparedKind::Uniform {
+                        threshold,
+                        redraw_scale,
                     }
-                    Ok(other)
                 }
+                Form::General(m) => PreparedKind::General(m),
+            },
+        }
+    }
+
+    /// Randomizes a whole column of category codes, appending the results
+    /// to `out` — the batched, allocation-free sibling of
+    /// [`RRMatrix::randomize`].
+    ///
+    /// The column is validated in one pass up front (a single range check
+    /// per batch rather than one per value), then the hot loop runs with
+    /// the matrix constants hoisted.  The draws consumed are exactly the
+    /// draws [`RRMatrix::randomize`] would consume on the same values in
+    /// the same order, so the output is bit-identical to the per-value
+    /// path under a shared RNG.  On error `out` is unchanged.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::DimensionMismatch`] if any code is out of range.
+    pub fn randomize_into(
+        &self,
+        column: &[u32],
+        rng: &mut impl Rng,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CoreError> {
+        if let Some(&bad) = column.iter().find(|&&v| v as usize >= self.r) {
+            return Err(CoreError::DimensionMismatch {
+                context: "randomize_into".to_string(),
+                expected: self.r,
+                got: bad as usize,
+            });
+        }
+        out.reserve(column.len());
+        match &self.form {
+            Form::Uniform { diag, .. } => {
+                let (threshold, redraw_scale) = uniform_row_constants(self.r, *diag);
+                out.extend(
+                    column
+                        .iter()
+                        .map(|&v| sample_uniform_raw(threshold, redraw_scale, v, rng.next_u64())),
+                );
             }
             Form::General(m) => {
-                let row = m.row(u);
-                let mut draw: f64 = rng.gen();
-                for (v, &p) in row.iter().enumerate() {
-                    draw -= p;
-                    if draw <= 0.0 {
-                        return Ok(v as u32);
-                    }
-                }
-                Ok((self.r - 1) as u32)
+                out.extend(
+                    column
+                        .iter()
+                        .map(|&v| sample_general_row(m, self.r, v as usize, rng.gen())),
+                );
             }
         }
+        Ok(())
     }
 
     /// Randomizes a whole column of category codes.
@@ -368,7 +701,9 @@ impl RRMatrix {
         column: &[u32],
         rng: &mut impl Rng,
     ) -> Result<Vec<u32>, CoreError> {
-        column.iter().map(|&v| self.randomize(v, rng)).collect()
+        let mut out = Vec::new();
+        self.randomize_into(column, rng, &mut out)?;
+        Ok(out)
     }
 
     /// Propagates a true distribution through the mechanism:

@@ -24,10 +24,16 @@ pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), Data
     let schema = dataset.schema();
     let header: Vec<&str> = schema.attributes().iter().map(Attribute::name).collect();
     writeln!(writer, "{}", header.join(",")).map_err(DataError::from)?;
-    for record in dataset.records() {
-        let mut labels = Vec::with_capacity(record.len());
-        for (j, &code) in record.iter().enumerate() {
-            labels.push(schema.attribute(j)?.label(code)?.to_string());
+    // Read rows through the columnar view into one reused buffer instead of
+    // allocating a fresh record Vec per row.
+    let view = dataset.view();
+    let mut row = Vec::with_capacity(view.n_attributes());
+    let mut labels: Vec<&str> = Vec::with_capacity(view.n_attributes());
+    for i in 0..view.n_records() {
+        view.read_record(i, &mut row)?;
+        labels.clear();
+        for (j, &code) in row.iter().enumerate() {
+            labels.push(schema.attribute(j)?.label(code)?);
         }
         writeln!(writer, "{}", labels.join(",")).map_err(DataError::from)?;
     }

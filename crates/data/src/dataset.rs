@@ -15,6 +15,7 @@
 use crate::domain::JointDomain;
 use crate::error::DataError;
 use crate::schema::Schema;
+use crate::view::RecordsView;
 use serde::{Deserialize, Serialize};
 
 /// An `n`-record categorical microdata set over a fixed schema.
@@ -147,13 +148,54 @@ impl Dataset {
     }
 
     /// Iterator over records as rows of codes.
+    ///
+    /// **Note:** every item is a freshly allocated `Vec<u32>`, which makes
+    /// this iterator unsuitable for bulk work — prefer the zero-copy
+    /// columnar [`Dataset::view`] / [`Dataset::column_chunks`] (or
+    /// [`RecordsView::read_record`] into a reused row buffer when a
+    /// row-major record is unavoidable).  Kept for small result sets and
+    /// tests.
     pub fn records(&self) -> impl Iterator<Item = Vec<u32>> + '_ {
         (0..self.n_records()).map(move |i| self.columns.iter().map(|c| c[i]).collect())
+    }
+
+    /// The whole dataset as a borrowed columnar [`RecordsView`] — the
+    /// zero-copy input of the batched protocol encoders.
+    pub fn view(&self) -> RecordsView<'_> {
+        let columns: Vec<&[u32]> = self.columns.iter().map(Vec::as_slice).collect();
+        RecordsView::new(columns).expect("dataset columns are equal-length by construction")
+    }
+
+    /// Iterator over columnar chunk views of at most `chunk_size` records —
+    /// the bulk sibling of [`Dataset::record_chunks`] that never
+    /// materializes row-major records (each chunk is a set of column
+    /// sub-slices; no copying at all).  The last chunk may be shorter; an
+    /// empty dataset yields no chunks.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidParameter`] if `chunk_size == 0`.
+    pub fn column_chunks(
+        &self,
+        chunk_size: usize,
+    ) -> Result<impl Iterator<Item = RecordsView<'_>> + '_, DataError> {
+        if chunk_size == 0 {
+            return Err(DataError::invalid("chunk_size", "must be positive"));
+        }
+        let n = self.n_records();
+        let view = self.view();
+        Ok((0..n).step_by(chunk_size).map(move |start| {
+            let end = (start + chunk_size).min(n);
+            view.slice(start..end)
+                .expect("chunk ranges are in bounds by construction")
+        }))
     }
 
     /// Iterator over row-major chunks of at most `chunk_size` records —
     /// the unit of work a streaming simulator hands to its shard workers.
     /// The last chunk may be shorter; an empty dataset yields no chunks.
+    ///
+    /// **Note:** every chunk allocates one `Vec<u32>` per record; bulk
+    /// callers should prefer the zero-copy [`Dataset::column_chunks`].
     ///
     /// # Errors
     /// Returns [`DataError::InvalidParameter`] if `chunk_size == 0`.

@@ -76,6 +76,14 @@ impl JointDomain {
         self.size
     }
 
+    /// The mixed-radix weight of each attribute in the joint code, in
+    /// attribute order (`encode(values) = Σ values[i] · strides()[i]`).
+    /// Exposed so batched encoders can fuse the encoding into their hot
+    /// loops after validating each column once.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
     /// Encodes a tuple of per-attribute category codes into a joint code.
     ///
     /// # Errors

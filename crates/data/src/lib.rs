@@ -9,6 +9,9 @@
 //!   frequency counting primitives the estimators need;
 //! * [`domain`] — the mixed-radix codec that lets RR-Joint and RR-Clusters
 //!   treat a Cartesian product of attributes as one categorical attribute;
+//! * [`view`] — borrowed ([`RecordsView`]) and owned ([`RecordsBuffer`])
+//!   columnar record batches, the zero-copy currency of the batched
+//!   encode → ingest pipeline;
 //! * [`csv`] — minimal CSV import/export so the real UCI Adult file (or any
 //!   categorical CSV) can be used instead of the synthetic generator;
 //! * [`adult`] — the synthetic Adult generator used by the experiment
@@ -50,9 +53,11 @@ pub mod dataset;
 pub mod domain;
 pub mod error;
 pub mod schema;
+pub mod view;
 
 pub use adult::{adult_schema, AdultAttribute, AdultSynthesizer, ADULT_RECORD_COUNT};
 pub use dataset::Dataset;
 pub use domain::JointDomain;
 pub use error::DataError;
 pub use schema::{Attribute, AttributeKind, Schema};
+pub use view::{RecordsBuffer, RecordsView};

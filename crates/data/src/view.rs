@@ -1,0 +1,267 @@
+//! Borrowed and owned columnar record batches — the zero-copy currency of
+//! the bulk encode → ingest → estimate pipeline.
+//!
+//! [`crate::Dataset`] stores records column-major, and every bulk consumer
+//! (the batched protocol encoders, the sharded streaming collector, the
+//! experiment drivers) works column-wise too.  Historically they still met
+//! through *row-major* `Vec<u32>` records — one heap allocation per record
+//! per hop.  A [`RecordsView`] is the fix: a borrowed set of equal-length
+//! column slices over a contiguous range of records, free to construct,
+//! free to sub-slice, and naturally produced by
+//! [`crate::Dataset::column_chunks`].  [`RecordsBuffer`] is its owned,
+//! reusable counterpart for callers whose records arrive row by row (a
+//! client generator, a network decoder): push rows in, hand the columnar
+//! view to the batch encoder, `clear`, repeat — the buffers amortise to
+//! zero allocations per record.
+
+use crate::error::DataError;
+use std::ops::Range;
+
+/// A borrowed columnar batch of records: one `&[u32]` per attribute, all of
+/// equal length.  `columns()[j][i]` is record `i`'s code for attribute `j`.
+///
+/// The view performs no schema validation — it only guarantees shape
+/// (equal-length columns).  Code-range validation belongs to the consumer
+/// (the batched protocol encoders validate each column once per batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordsView<'a> {
+    columns: Vec<&'a [u32]>,
+    n_records: usize,
+}
+
+impl<'a> RecordsView<'a> {
+    /// Wraps column slices as a batch of records.
+    ///
+    /// # Errors
+    /// Returns [`DataError::SchemaMismatch`] if no column is given or the
+    /// columns have differing lengths.
+    pub fn new(columns: Vec<&'a [u32]>) -> Result<Self, DataError> {
+        let n_records = match columns.first() {
+            Some(c) => c.len(),
+            None => {
+                return Err(DataError::SchemaMismatch {
+                    message: "a records view needs at least one column".to_string(),
+                })
+            }
+        };
+        if let Some((j, col)) = columns
+            .iter()
+            .enumerate()
+            .find(|(_, col)| col.len() != n_records)
+        {
+            return Err(DataError::SchemaMismatch {
+                message: format!(
+                    "column {j} has {} values but column 0 has {n_records}",
+                    col.len()
+                ),
+            });
+        }
+        Ok(RecordsView { columns, n_records })
+    }
+
+    /// Number of records in the batch.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Number of attributes (columns) per record.
+    pub fn n_attributes(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// The column slices, in attribute order.
+    pub fn columns(&self) -> &[&'a [u32]] {
+        &self.columns
+    }
+
+    /// The column of attribute `index`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::AttributeIndexOutOfRange`] for a bad index.
+    pub fn column(&self, index: usize) -> Result<&'a [u32], DataError> {
+        self.columns
+            .get(index)
+            .copied()
+            .ok_or(DataError::AttributeIndexOutOfRange {
+                index,
+                len: self.columns.len(),
+            })
+    }
+
+    /// Fills `row` with record `i` (cleared first) — the bridge for
+    /// consumers that still need a row-major record, without allocating a
+    /// fresh `Vec` per record.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidParameter`] if `i >= n_records()`.
+    pub fn read_record(&self, i: usize, row: &mut Vec<u32>) -> Result<(), DataError> {
+        if i >= self.n_records {
+            return Err(DataError::invalid(
+                "record",
+                format!("record index {i} out of range ({} records)", self.n_records),
+            ));
+        }
+        row.clear();
+        row.extend(self.columns.iter().map(|c| c[i]));
+        Ok(())
+    }
+
+    /// A sub-view over the records at `range` (column sub-slicing; no
+    /// copying).
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidParameter`] if the range exceeds the
+    /// batch.
+    pub fn slice(&self, range: Range<usize>) -> Result<RecordsView<'a>, DataError> {
+        if range.start > range.end || range.end > self.n_records {
+            return Err(DataError::invalid(
+                "range",
+                format!(
+                    "record range {}..{} out of bounds ({} records)",
+                    range.start, range.end, self.n_records
+                ),
+            ));
+        }
+        Ok(RecordsView {
+            n_records: range.end - range.start,
+            columns: self
+                .columns
+                .iter()
+                .map(|c| &c[range.start..range.end])
+                .collect(),
+        })
+    }
+}
+
+/// An owned, reusable columnar record buffer: the transpose target for
+/// records that arrive row by row.
+///
+/// `clear` keeps the column capacities, so a worker that fills, encodes and
+/// clears the same buffer per chunk allocates nothing after warm-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordsBuffer {
+    columns: Vec<Vec<u32>>,
+}
+
+impl RecordsBuffer {
+    /// An empty buffer for records of `n_attributes` values.
+    ///
+    /// # Errors
+    /// Returns [`DataError::SchemaMismatch`] if `n_attributes` is zero.
+    pub fn new(n_attributes: usize) -> Result<Self, DataError> {
+        if n_attributes == 0 {
+            return Err(DataError::SchemaMismatch {
+                message: "a records buffer needs at least one attribute".to_string(),
+            });
+        }
+        Ok(RecordsBuffer {
+            columns: vec![Vec::new(); n_attributes],
+        })
+    }
+
+    /// Appends one row-major record, transposing it into the columns.
+    ///
+    /// # Errors
+    /// Returns [`DataError::SchemaMismatch`] for an arity mismatch; the
+    /// buffer is unchanged on error.  Codes are *not* range-checked here —
+    /// the batched encoders validate each column once per batch.
+    pub fn push_record(&mut self, record: &[u32]) -> Result<(), DataError> {
+        if record.len() != self.columns.len() {
+            return Err(DataError::SchemaMismatch {
+                message: format!(
+                    "record has {} values but the buffer has {} attributes",
+                    record.len(),
+                    self.columns.len()
+                ),
+            });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(record.iter()) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Number of buffered records.
+    pub fn n_records(&self) -> usize {
+        self.columns.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of attributes per record.
+    pub fn n_attributes(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records() == 0
+    }
+
+    /// Empties the buffer, keeping the column capacities for reuse.
+    pub fn clear(&mut self) {
+        for col in &mut self.columns {
+            col.clear();
+        }
+    }
+
+    /// The buffered records as a borrowed columnar view.
+    pub fn view(&self) -> RecordsView<'_> {
+        RecordsView {
+            n_records: self.n_records(),
+            columns: self.columns.iter().map(Vec::as_slice).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_validates_shape() {
+        assert!(RecordsView::new(vec![]).is_err());
+        assert!(RecordsView::new(vec![&[0, 1][..], &[0][..]]).is_err());
+        let view = RecordsView::new(vec![&[0, 1, 2][..], &[1, 0, 1][..]]).unwrap();
+        assert_eq!(view.n_records(), 3);
+        assert_eq!(view.n_attributes(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.column(1).unwrap(), &[1, 0, 1]);
+        assert!(view.column(2).is_err());
+    }
+
+    #[test]
+    fn view_reads_rows_and_slices() {
+        let view = RecordsView::new(vec![&[0, 1, 2][..], &[1, 0, 1][..]]).unwrap();
+        let mut row = vec![99; 7];
+        view.read_record(1, &mut row).unwrap();
+        assert_eq!(row, vec![1, 0]);
+        assert!(view.read_record(3, &mut row).is_err());
+
+        let sub = view.slice(1..3).unwrap();
+        assert_eq!(sub.n_records(), 2);
+        assert_eq!(sub.columns()[0], &[1, 2]);
+        assert!(view.slice(1..4).is_err());
+        assert!(view.slice(0..0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn buffer_transposes_and_reuses() {
+        assert!(RecordsBuffer::new(0).is_err());
+        let mut buf = RecordsBuffer::new(2).unwrap();
+        assert!(buf.is_empty());
+        buf.push_record(&[0, 1]).unwrap();
+        buf.push_record(&[2, 0]).unwrap();
+        assert!(buf.push_record(&[1]).is_err());
+        assert_eq!(buf.n_records(), 2);
+        let view = buf.view();
+        assert_eq!(view.columns()[0], &[0, 2]);
+        assert_eq!(view.columns()[1], &[1, 0]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.n_attributes(), 2);
+    }
+}

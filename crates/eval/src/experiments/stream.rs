@@ -4,8 +4,9 @@
 //! over per-channel count vectors loses nothing: a mid-stream snapshot is
 //! numerically identical to the batch release computed from the same
 //! randomized codes.  This experiment demonstrates that end to end on the
-//! synthetic Adult data set for all three protocols: every record is
-//! encoded once (client side), the reports are routed to a sharded
+//! synthetic Adult data set for all three protocols: every record chunk
+//! is batch-encoded once (client side, through the columnar
+//! `ReportBatch` pipeline), the report batches are routed to a sharded
 //! collector *and* decoded into the pooled randomized data set (the batch
 //! collector's input), and the two estimates are compared over the full
 //! single- and pair-marginal query workload.  The expected deviation is
@@ -17,7 +18,7 @@ use super::ExperimentConfig;
 use mdrr_protocols::{
     Clustering, FrequencyEstimator, Protocol, ProtocolError, ProtocolSpec, RandomizationLevel,
 };
-use mdrr_stream::{Report, ShardedCollector};
+use mdrr_stream::{ReportBatch, ShardedCollector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,7 @@ use std::sync::Arc;
 /// Number of shards the experiment streams through.
 pub const STREAM_SHARDS: usize = 4;
 
-/// Batch size of the chunked record iteration feeding the encoders.
+/// Batch size of the columnar chunk views feeding the batched encoders.
 pub const ENCODE_CHUNK: usize = 1_024;
 
 /// Keep probability used for all three protocols.
@@ -121,23 +122,26 @@ fn run_protocol(
     dataset: &mdrr_data::Dataset,
     seed: u64,
 ) -> Result<ProtocolEquivalence, ProtocolError> {
-    // Client side: every record randomizes into one report, once.  The
-    // records are drawn through the chunked iterator — the arrival pattern
-    // of a real deployment, where clients report in batches rather than as
-    // one materialized table.
+    // Client side: every record chunk randomizes into one columnar
+    // [`ReportBatch`] through the batched encoder, once.  The records are
+    // drawn through the zero-copy columnar chunk views — the arrival
+    // pattern of a real deployment, where clients report in batches
+    // rather than as one materialized table.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut reports: Vec<Report> = Vec::with_capacity(dataset.n_records());
-    for chunk in dataset.record_chunks(ENCODE_CHUNK)? {
-        for record in &chunk {
-            reports.push(Report::encode(&**protocol, record, &mut rng)?);
-        }
+    let mut batches: Vec<ReportBatch> = Vec::new();
+    for chunk in dataset.column_chunks(ENCODE_CHUNK)? {
+        let mut batch = ReportBatch::for_protocol(&**protocol);
+        batch.encode_records(&**protocol, &chunk, &mut rng)?;
+        batches.push(batch);
     }
+    let n_reports: usize = batches.iter().map(ReportBatch::n_reports).sum();
 
-    // Streaming path: route the pre-encoded reports across the shards.
+    // Streaming path: route the pre-encoded report batches across the
+    // shards (bulk counting, no per-report work).
     let start = std::time::Instant::now();
     let mut collector = ShardedCollector::new(Arc::clone(protocol), STREAM_SHARDS)?;
-    for (i, report) in reports.iter().enumerate() {
-        collector.ingest_report(i % STREAM_SHARDS, report)?;
+    for (i, batch) in batches.iter().enumerate() {
+        collector.ingest_batch(i % STREAM_SHARDS, batch)?;
     }
     let snapshot = collector.snapshot()?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -145,11 +149,15 @@ fn run_protocol(
     // Batch path: the same reports decoded into the pooled randomized
     // data set and estimated through the batch constructor.
     let mut randomized = mdrr_data::Dataset::empty(protocol.schema().clone());
-    for report in &reports {
-        let record = protocol.decode_report(report.codes())?;
-        randomized
-            .push_record(&record)
-            .map_err(ProtocolError::from)?;
+    let mut codes = Vec::new();
+    for batch in &batches {
+        for i in 0..batch.n_reports() {
+            batch.read_report(i, &mut codes)?;
+            let record = protocol.decode_report(&codes)?;
+            randomized
+                .push_record(&record)
+                .map_err(ProtocolError::from)?;
+        }
     }
     let batch = protocol.release_from_randomized(randomized)?;
 
@@ -177,12 +185,12 @@ fn run_protocol(
 
     Ok(ProtocolEquivalence {
         protocol: protocol.name(),
-        reports: reports.len(),
+        reports: n_reports,
         shards: STREAM_SHARDS,
         queries,
         max_abs_deviation,
         reports_per_sec: if elapsed > 0.0 {
-            reports.len() as f64 / elapsed
+            n_reports as f64 / elapsed
         } else {
             f64::INFINITY
         },

@@ -400,6 +400,27 @@ impl Protocol for RRAdjustment {
         self.base.encode_record(record, rng)
     }
 
+    /// Delegates to the base protocol's (tuned) batch encoder: the
+    /// adjustment changes nothing client-side.
+    fn encode_batch(
+        &self,
+        records: &mdrr_data::RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut [Vec<u32>],
+    ) -> Result<(), MdrrError> {
+        self.base.encode_batch(records, rng, out)
+    }
+
+    /// Delegates to the base protocol's (tuned) fused tally encoder.
+    fn encode_tally(
+        &self,
+        records: &mdrr_data::RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        tallies: &mut [Vec<u64>],
+    ) -> Result<(), MdrrError> {
+        self.base.encode_tally(records, rng, tallies)
+    }
+
     fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
         self.base.decode_report(codes)
     }

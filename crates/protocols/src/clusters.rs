@@ -17,10 +17,20 @@ use crate::adjustment::AdjustmentTarget;
 use crate::clustering::Clustering;
 use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
-use crate::protocol::{validate_report_shape, Protocol, RandomizationLevel, Release};
-use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
-use mdrr_data::{Dataset, JointDomain, Schema};
+use crate::protocol::{
+    gather_joint_codes, validate_batch_shape, validate_records_view, validate_report_shape,
+    validate_tally_shape, with_predrawn, Protocol, RandomizationLevel, Release,
+};
+use mdrr_core::{
+    estimate_proper_from_counts, randomize_joint, PreparedRandomizer, PrivacyAccountant, RRMatrix,
+};
+use mdrr_data::{Dataset, JointDomain, RecordsView, Schema};
 use rand::{Rng, RngCore};
+
+/// Hoisted per-cluster batch-encode state: the cluster's columns (in
+/// cluster order), its mixed-radix strides, and its prepared
+/// randomization kernel.
+type PreparedCluster<'a> = (Vec<&'a [u32]>, &'a [usize], PreparedRandomizer<'a>);
 
 /// The RR-Clusters protocol: a clustering plus one randomization matrix per
 /// cluster.
@@ -156,6 +166,21 @@ impl RRClusters {
             )));
         }
         Ok(())
+    }
+
+    /// Hoists each cluster's column set (in cluster order), mixed-radix
+    /// strides and prepared randomization kernel — the loop-invariant
+    /// state shared by the batched encoders.
+    fn prepared_clusters<'a>(&'a self, columns: &[&'a [u32]]) -> Vec<PreparedCluster<'a>> {
+        self.clustering
+            .clusters()
+            .iter()
+            .zip(self.domains.iter().zip(self.matrices.iter()))
+            .map(|(cluster, (domain, matrix))| {
+                let cluster_columns = cluster.iter().map(|&a| columns[a]).collect();
+                (cluster_columns, domain.strides(), matrix.prepared())
+            })
+            .collect()
     }
 
     /// The schema the protocol was configured for.
@@ -500,6 +525,68 @@ impl Protocol for RRClusters {
 
     fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
         RRClusters::encode_record(self, record, &mut &mut *rng)
+    }
+
+    /// Tuned batch override: the schema is validated once per batch and
+    /// each cluster's column set, mixed-radix strides and prepared
+    /// randomization kernel are gathered once up front, so the hot loop
+    /// fuses the joint encoding and the randomization over bulk-pre-drawn
+    /// randomness with no per-record tuple buffer.  Draws are consumed
+    /// record-major (record `i`'s clusters in cluster order) —
+    /// bit-identical to repeated [`RRClusters::encode_record`] calls.
+    fn encode_batch(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut [Vec<u32>],
+    ) -> Result<(), MdrrError> {
+        validate_batch_shape(out.len(), self.clustering.len())?;
+        validate_records_view(records, &self.schema)?;
+        let n = records.n_records();
+        for channel in out.iter_mut() {
+            channel.reserve(n);
+        }
+        let prepared = self.prepared_clusters(records.columns());
+        let n_clusters = prepared.len();
+        // Scratch for the fused mixed-radix joint codes of one cluster of
+        // one chunk.
+        let mut codes: Vec<u32> = Vec::new();
+        with_predrawn(n, n_clusters, rng, |range, draws| {
+            // Cluster-at-a-time over the pre-drawn randomness: cluster `j`
+            // of record `i` consumes draw `i·n_clusters + j` — the
+            // record-major mapping of the per-record path.
+            for (j, ((cluster_columns, strides, sampler), channel)) in
+                prepared.iter().zip(out.iter_mut()).enumerate()
+            {
+                gather_joint_codes(cluster_columns, strides, range.clone(), &mut codes);
+                sampler.randomize_strided_into(&codes, draws, j, n_clusters, channel);
+            }
+        });
+        Ok(())
+    }
+
+    /// Fused randomize-and-count override: the same draw schedule and
+    /// codes as the batch encoder, tallied per cluster in one pass.
+    fn encode_tally(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        tallies: &mut [Vec<u64>],
+    ) -> Result<(), MdrrError> {
+        validate_tally_shape(tallies, &Protocol::channel_sizes(self))?;
+        validate_records_view(records, &self.schema)?;
+        let prepared = self.prepared_clusters(records.columns());
+        let n_clusters = prepared.len();
+        let mut codes: Vec<u32> = Vec::new();
+        with_predrawn(records.n_records(), n_clusters, rng, |range, draws| {
+            for (j, ((cluster_columns, strides, sampler), tally)) in
+                prepared.iter().zip(tallies.iter_mut()).enumerate()
+            {
+                gather_joint_codes(cluster_columns, strides, range.clone(), &mut codes);
+                sampler.randomize_strided_tally(&codes, draws, j, n_clusters, tally);
+            }
+        });
+        Ok(())
     }
 
     fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {

@@ -14,11 +14,14 @@
 use crate::adjustment::AdjustmentTarget;
 use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
-use crate::protocol::{validate_report_shape, Protocol, Release};
+use crate::protocol::{
+    validate_batch_shape, validate_records_view, validate_report_shape, validate_tally_shape,
+    with_predrawn, Protocol, Release,
+};
 use mdrr_core::{
     estimate_proper_from_counts, randomize_dataset_independent, PrivacyAccountant, RRMatrix,
 };
-use mdrr_data::{Dataset, Schema};
+use mdrr_data::{Dataset, RecordsView, Schema};
 use rand::{Rng, RngCore};
 
 pub use crate::protocol::RandomizationLevel;
@@ -308,6 +311,73 @@ impl Protocol for RRIndependent {
 
     fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
         RRIndependent::encode_record(self, record, &mut &mut *rng)
+    }
+
+    /// Tuned batch override: the schema is validated once per batch
+    /// (per-column range scans), the per-attribute randomization kernels
+    /// are prepared once, the randomness is bulk-pre-drawn (one virtual
+    /// RNG call per refill), and codes are written straight into the
+    /// reusable per-channel buffers — zero allocations per record, pure
+    /// arithmetic in the loop.  Draws are consumed record-major (record
+    /// `i`'s attributes in schema order), exactly as repeated
+    /// [`RRIndependent::encode_record`] calls would consume them.
+    fn encode_batch(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut [Vec<u32>],
+    ) -> Result<(), MdrrError> {
+        validate_batch_shape(out.len(), self.matrices.len())?;
+        validate_records_view(records, &self.schema)?;
+        let n = records.n_records();
+        for channel in out.iter_mut() {
+            channel.reserve(n);
+        }
+        let columns = records.columns();
+        let samplers: Vec<_> = self.matrices.iter().map(RRMatrix::prepared).collect();
+        let m = samplers.len();
+        with_predrawn(n, m, rng, |range, draws| {
+            // Column-at-a-time over the pre-drawn randomness: channel `j`
+            // of record `i` consumes draw `i·m + j` — the record-major
+            // mapping of the per-record path — while each channel runs as
+            // one tight `RRMatrix::randomize_strided_into` pass.
+            for (j, ((column, sampler), channel)) in columns
+                .iter()
+                .zip(samplers.iter())
+                .zip(out.iter_mut())
+                .enumerate()
+            {
+                sampler.randomize_strided_into(&column[range.clone()], draws, j, m, channel);
+            }
+        });
+        Ok(())
+    }
+
+    /// Fused randomize-and-count override: the same draw schedule and
+    /// codes as the batch encoder, tallied per attribute in one pass —
+    /// nothing is stored or re-read.
+    fn encode_tally(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        tallies: &mut [Vec<u64>],
+    ) -> Result<(), MdrrError> {
+        validate_tally_shape(tallies, &Protocol::channel_sizes(self))?;
+        validate_records_view(records, &self.schema)?;
+        let columns = records.columns();
+        let samplers: Vec<_> = self.matrices.iter().map(RRMatrix::prepared).collect();
+        let m = samplers.len();
+        with_predrawn(records.n_records(), m, rng, |range, draws| {
+            for (j, ((column, sampler), tally)) in columns
+                .iter()
+                .zip(samplers.iter())
+                .zip(tallies.iter_mut())
+                .enumerate()
+            {
+                sampler.randomize_strided_tally(&column[range.clone()], draws, j, m, tally);
+            }
+        });
+        Ok(())
     }
 
     fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {

@@ -16,9 +16,12 @@
 use crate::adjustment::AdjustmentTarget;
 use crate::error::{MdrrError, ProtocolError};
 use crate::estimator::{validate_assignment, Assignment, FrequencyEstimator};
-use crate::protocol::{validate_report_shape, Protocol, RandomizationLevel, Release};
+use crate::protocol::{
+    gather_joint_codes, validate_batch_shape, validate_records_view, validate_report_shape,
+    validate_tally_shape, with_predrawn, Protocol, RandomizationLevel, Release,
+};
 use mdrr_core::{estimate_proper_from_counts, randomize_joint, PrivacyAccountant, RRMatrix};
-use mdrr_data::{Dataset, JointDomain, Schema};
+use mdrr_data::{Dataset, JointDomain, RecordsView, Schema};
 use rand::{Rng, RngCore};
 
 /// Default cap on the joint-domain size accepted by the [`RRJoint`]
@@ -362,6 +365,58 @@ impl Protocol for RRJoint {
 
     fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
         Ok(vec![RRJoint::encode_record(self, record, &mut &mut *rng)?])
+    }
+
+    /// Tuned batch override: the schema is validated once per batch, the
+    /// mixed-radix joint encoding is fused into the loop via the domain's
+    /// strides (no per-record tuple buffer, no per-value range re-checks),
+    /// the randomness is bulk-pre-drawn and the single channel buffer is
+    /// written in place.  One draw per record, in record order —
+    /// bit-identical to repeated [`RRJoint::encode_record`] calls.
+    fn encode_batch(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut [Vec<u32>],
+    ) -> Result<(), MdrrError> {
+        validate_batch_shape(out.len(), 1)?;
+        validate_records_view(records, &self.schema)?;
+        let n = records.n_records();
+        let channel = &mut out[0];
+        channel.reserve(n);
+        let strides = self.domain.strides();
+        let columns = records.columns();
+        let sampler = self.matrix.prepared();
+        // Scratch for the fused mixed-radix joint codes of one chunk.
+        let mut codes: Vec<u32> = Vec::new();
+        with_predrawn(n, 1, rng, |range, draws| {
+            gather_joint_codes(columns, strides, range, &mut codes);
+            sampler.randomize_strided_into(&codes, draws, 0, 1, channel);
+        });
+        Ok(())
+    }
+
+    /// Fused randomize-and-count override: the same draw schedule and
+    /// codes as the batch encoder, tallied over the joint domain in one
+    /// pass.
+    fn encode_tally(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        tallies: &mut [Vec<u64>],
+    ) -> Result<(), MdrrError> {
+        validate_tally_shape(tallies, &Protocol::channel_sizes(self))?;
+        validate_records_view(records, &self.schema)?;
+        let strides = self.domain.strides();
+        let columns = records.columns();
+        let sampler = self.matrix.prepared();
+        let tally = &mut tallies[0];
+        let mut codes: Vec<u32> = Vec::new();
+        with_predrawn(records.n_records(), 1, rng, |range, draws| {
+            gather_joint_codes(columns, strides, range, &mut codes);
+            sampler.randomize_strided_tally(&codes, draws, 0, 1, tally);
+        });
+        Ok(())
     }
 
     fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {

@@ -9,6 +9,7 @@
 //! plain sums, so merging is exact, associative and commutative — shards
 //! can be combined in any order.
 
+use crate::batch::ReportBatch;
 use crate::error::MdrrError;
 use crate::report::Report;
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,94 @@ impl Accumulator {
             channel[code as usize] += 1;
         }
         self.n_reports += 1;
+        Ok(())
+    }
+
+    /// Ingests a whole columnar [`ReportBatch`]: one tight counting loop
+    /// per channel, with a single shape/range validation pass per batch
+    /// (one arity check, one length check and one max-code scan per
+    /// channel) instead of one per report.  Counting `n` reports this way
+    /// is equivalent to `n` [`Accumulator::ingest`] calls on the same
+    /// codes, at a fraction of the cost.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] if the batch's channel
+    /// count differs from the accumulator's, the channel buffers are
+    /// ragged, or a code is out of its channel's range; the accumulator is
+    /// unchanged on error.
+    pub fn ingest_batch(&mut self, batch: &ReportBatch) -> Result<(), MdrrError> {
+        let channels = batch.channels();
+        if channels.len() != self.counts.len() {
+            return Err(MdrrError::config(format!(
+                "batch has {} channels but the accumulator has {}",
+                channels.len(),
+                self.counts.len()
+            )));
+        }
+        let n = batch.n_reports();
+        for (k, (codes, channel)) in channels.iter().zip(self.counts.iter()).enumerate() {
+            if codes.len() != n {
+                return Err(MdrrError::config(format!(
+                    "batch channel {k} holds {} codes but channel 0 holds {n}",
+                    codes.len()
+                )));
+            }
+            if let Some(&max) = codes.iter().max() {
+                if max as usize >= channel.len() {
+                    return Err(MdrrError::config(format!(
+                        "code {max} out of range for channel {k} ({} categories)",
+                        channel.len()
+                    )));
+                }
+            }
+        }
+        // Validated above: every code is in range, so the counting loops
+        // run branch-predictably start to finish.
+        for (codes, channel) in channels.iter().zip(self.counts.iter_mut()) {
+            for &code in codes {
+                channel[code as usize] += 1;
+            }
+        }
+        self.n_reports += n as u64;
+        Ok(())
+    }
+
+    /// Absorbs externally tallied per-channel count vectors covering
+    /// `n_reports` reports — the sink of the fused
+    /// [`mdrr_protocols::Protocol::encode_tally`] path, where a worker
+    /// randomizes straight into its own count vectors and hands the
+    /// finished statistics over in one call.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] if the channel layouts
+    /// differ or any channel's counts do not sum to `n_reports` (each
+    /// report contributes exactly one code per channel); the accumulator
+    /// is unchanged on error.
+    pub fn absorb_counts(&mut self, counts: &[Vec<u64>], n_reports: u64) -> Result<(), MdrrError> {
+        if counts.len() != self.counts.len()
+            || counts
+                .iter()
+                .zip(self.counts.iter())
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(MdrrError::config(
+                "cannot absorb counts with a different channel layout",
+            ));
+        }
+        for (k, channel) in counts.iter().enumerate() {
+            let total: u64 = channel.iter().sum();
+            if total != n_reports {
+                return Err(MdrrError::config(format!(
+                    "channel {k} counts sum to {total} but {n_reports} reports were tallied"
+                )));
+            }
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(counts.iter()) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                *a += b;
+            }
+        }
+        self.n_reports += n_reports;
         Ok(())
     }
 
@@ -158,6 +247,45 @@ mod tests {
         // Second channel out of range: the first channel must NOT have been
         // counted.
         assert!(acc.ingest(&report(&[0, 5])).is_err());
+        assert!(acc.is_empty());
+        assert_eq!(acc.counts(), &[vec![0, 0, 0], vec![0, 0]]);
+    }
+
+    #[test]
+    fn batch_ingestion_matches_per_report_ingestion() {
+        let reports = [[0u32, 1], [2, 1], [0, 0], [1, 1]];
+        let mut per_report = Accumulator::new(&[3, 2]).unwrap();
+        let mut batch = ReportBatch::new(2).unwrap();
+        for codes in &reports {
+            per_report.ingest(&report(codes)).unwrap();
+            batch.push(&report(codes)).unwrap();
+        }
+        let mut batched = Accumulator::new(&[3, 2]).unwrap();
+        batched.ingest_batch(&batch).unwrap();
+        assert_eq!(batched, per_report);
+        assert_eq!(batched.n_reports(), 4);
+        // An empty batch is a no-op.
+        batch.clear();
+        batched.ingest_batch(&batch).unwrap();
+        assert_eq!(batched.n_reports(), 4);
+    }
+
+    #[test]
+    fn batch_ingestion_rejects_malformed_batches_atomically() {
+        let mut acc = Accumulator::new(&[3, 2]).unwrap();
+        // Wrong channel count.
+        let mut wrong_arity = ReportBatch::new(1).unwrap();
+        wrong_arity.push(&Report::new(vec![0])).unwrap();
+        assert!(acc.ingest_batch(&wrong_arity).is_err());
+        // Ragged channels.
+        let mut ragged = ReportBatch::new(2).unwrap();
+        ragged.channels_mut()[0].push(0);
+        assert!(acc.ingest_batch(&ragged).is_err());
+        // Out-of-range code in the second channel: nothing is counted.
+        let mut bad_code = ReportBatch::new(2).unwrap();
+        bad_code.push(&Report::new(vec![0, 1])).unwrap();
+        bad_code.push(&Report::new(vec![1, 5])).unwrap();
+        assert!(acc.ingest_batch(&bad_code).is_err());
         assert!(acc.is_empty());
         assert_eq!(acc.counts(), &[vec![0, 0, 0], vec![0, 0]]);
     }

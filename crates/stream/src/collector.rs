@@ -15,8 +15,10 @@
 //! future backend unchanged.
 
 use crate::accumulator::Accumulator;
+use crate::batch::ReportBatch;
 use crate::error::MdrrError;
 use crate::report::Report;
+use mdrr_data::{RecordsBuffer, RecordsView};
 use mdrr_protocols::{Protocol, Release};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +27,12 @@ use std::sync::Arc;
 /// Multiplier used to derive well-separated per-shard seeds from a base
 /// seed (the SplitMix64 golden-ratio increment).
 const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Records per [`mdrr_protocols::Protocol::encode_batch`] call on the bulk
+/// ingestion paths: large enough to amortise the once-per-batch validation
+/// and buffer bookkeeping to nothing, small enough that a chunk's columnar
+/// codes stay cache-resident between encoding and counting.
+pub const ENCODE_BATCH: usize = 8 * 1024;
 
 /// A point-in-time estimate taken from the accumulated sufficient
 /// statistics: the protocol's regular release (so every batch query runs
@@ -107,21 +115,173 @@ impl ShardedCollector {
             .ingest(report)
     }
 
-    /// Simulates `records.len()` clients: splits the records into one
-    /// contiguous chunk per shard and runs one `std::thread::scope` worker
-    /// per shard.  Worker `k` encodes its chunk with its own deterministic
-    /// RNG (derived from `base_seed` and `k`) and accumulates into shard
-    /// `k` — no locks, no cross-shard traffic.  The result is fully
-    /// deterministic for a given `(records, base_seed, n_shards)` triple.
+    /// Ingests a whole columnar [`ReportBatch`] into a specific shard (the
+    /// bulk network path: pre-encoded reports arriving in batches and
+    /// routed to a shard by any load-balancing rule).  Returns the number
+    /// of reports ingested.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] for a bad shard index
+    /// or a batch that does not match the protocol's channels.
+    pub fn ingest_batch(&mut self, shard: usize, batch: &ReportBatch) -> Result<u64, MdrrError> {
+        let n_shards = self.shards.len();
+        self.shards
+            .get_mut(shard)
+            .ok_or_else(|| {
+                MdrrError::config(format!(
+                    "shard index {shard} out of range ({n_shards} shards)"
+                ))
+            })?
+            .ingest_batch(batch)?;
+        Ok(batch.n_reports() as u64)
+    }
+
+    /// Simulates `records.n_records()` clients from a zero-copy columnar
+    /// view — the fastest bulk path: splits the view into one contiguous
+    /// range per shard and runs one `std::thread::scope` worker per
+    /// non-empty range.  Worker `k` encodes its range in
+    /// [`ENCODE_BATCH`]-sized chunks through the protocol's batched
+    /// encoder with its own deterministic RNG (derived from `base_seed`
+    /// and `k`; the shard → RNG mapping is independent of how many shards
+    /// end up with records) and bulk-counts each chunk into shard `k` —
+    /// no locks, no cross-shard traffic, zero allocations per record.
+    ///
+    /// The result is fully deterministic for a given
+    /// `(records, base_seed, n_shards)` triple and bit-identical to
+    /// encoding and ingesting shard `k`'s records one at a time with the
+    /// same RNG ([`ShardedCollector::ingest_records_per_record`]), which
+    /// the stream proptests enforce.
     ///
     /// Returns the number of reports ingested.
     ///
     /// # Errors
     /// Returns the first worker error (e.g. a record that does not fit the
-    /// protocol's schema).  Shards that already ingested part of their
-    /// chunk keep those reports, so a failed call should be treated as
-    /// poisoning the collector.
+    /// protocol's schema).  Shards that already counted earlier chunks of
+    /// their range keep those reports, so a failed call should be treated
+    /// as poisoning the collector.
+    pub fn ingest_view(
+        &mut self,
+        records: &RecordsView<'_>,
+        base_seed: u64,
+    ) -> Result<u64, MdrrError> {
+        let n = records.n_records();
+        if n == 0 {
+            return Ok(0);
+        }
+        let chunk_size = n.div_ceil(self.shards.len());
+        let channel_sizes = self.protocol.channel_sizes();
+        let channel_sizes = &channel_sizes;
+        let protocol: &dyn Protocol = &*self.protocol;
+        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .filter(|&(k, _)| k * chunk_size < n)
+                .map(|(k, shard)| {
+                    let range = records
+                        .slice(k * chunk_size..((k + 1) * chunk_size).min(n))
+                        .expect("shard ranges are in bounds by construction");
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(base_seed, k);
+                        let mut tallies: Vec<Vec<u64>> =
+                            channel_sizes.iter().map(|&s| vec![0u64; s]).collect();
+                        let mut start = 0;
+                        while start < range.n_records() {
+                            let end = (start + ENCODE_BATCH).min(range.n_records());
+                            let chunk = range.slice(start..end)?;
+                            protocol.encode_tally(&chunk, &mut rng, &mut tallies)?;
+                            start = end;
+                        }
+                        shard.absorb_counts(&tallies, range.n_records() as u64)?;
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(n as u64)
+    }
+
+    /// Simulates `records.len()` clients from row-major records: the same
+    /// sharding, chunking and RNG schedule as
+    /// [`ShardedCollector::ingest_view`], with each worker transposing its
+    /// chunks into a reused columnar buffer before the batched encode — so
+    /// bulk callers that only have rows still get the zero-allocation
+    /// encode/count loops (the transpose itself reuses one buffer per
+    /// worker).
+    ///
+    /// Returns the number of reports ingested.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedCollector::ingest_view`].
     pub fn ingest_records(
+        &mut self,
+        records: &[Vec<u32>],
+        base_seed: u64,
+    ) -> Result<u64, MdrrError> {
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let chunk_size = records.len().div_ceil(self.shards.len());
+        let arity = self.protocol.schema().len();
+        let channel_sizes = self.protocol.channel_sizes();
+        let channel_sizes = &channel_sizes;
+        let protocol: &dyn Protocol = &*self.protocol;
+        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(records.chunks(chunk_size))
+                .enumerate()
+                .map(|(k, (shard, chunk))| {
+                    scope.spawn(move || {
+                        let mut rng = shard_rng(base_seed, k);
+                        let mut buffer = RecordsBuffer::new(arity)?;
+                        let mut tallies: Vec<Vec<u64>> =
+                            channel_sizes.iter().map(|&s| vec![0u64; s]).collect();
+                        for sub in chunk.chunks(ENCODE_BATCH) {
+                            buffer.clear();
+                            for record in sub {
+                                buffer.push_record(record)?;
+                            }
+                            protocol.encode_tally(&buffer.view(), &mut rng, &mut tallies)?;
+                        }
+                        shard.absorb_counts(&tallies, chunk.len() as u64)?;
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(records.len() as u64)
+    }
+
+    /// The scalar reference sibling of [`ShardedCollector::ingest_records`]:
+    /// identical sharding and RNG schedule, but every record is encoded
+    /// into its own [`Report`] and ingested one at a time — two heap
+    /// allocations, a dyn-dispatched encode and a full validation per
+    /// record.  Kept public as the ground truth the batch path is
+    /// proptest-pinned against, and as the baseline of the
+    /// `bench_batch` criterion group.
+    ///
+    /// Returns the number of reports ingested.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedCollector::ingest_view`].
+    pub fn ingest_records_per_record(
         &mut self,
         records: &[Vec<u32>],
         base_seed: u64,
@@ -161,13 +321,19 @@ impl ShardedCollector {
 
     /// Simulates generated clients without materializing their records:
     /// worker `k` draws `clients_per_shard[k]` records from `generator`
-    /// with its own deterministic RNG, encodes and accumulates them.  This
-    /// is the million-client path of the `stream_sim` driver.
+    /// with its own deterministic RNG into a reused columnar buffer,
+    /// batch-encodes and bulk-counts them in [`ENCODE_BATCH`]-sized
+    /// chunks.  This is the million-client path of the `stream_sim`
+    /// driver.  Workers are only spawned for shards with a non-zero client
+    /// count; the shard → RNG mapping is unaffected.
+    ///
+    /// Within a chunk the generator draws run before the encoding draws
+    /// (generate the chunk, then encode it), both on the shard's RNG.
     ///
     /// Returns the number of reports ingested.
     ///
     /// # Errors
-    /// Same contract as [`ShardedCollector::ingest_records`]; additionally
+    /// Same contract as [`ShardedCollector::ingest_view`]; additionally
     /// rejects a `clients_per_shard` whose length differs from the shard
     /// count.
     pub fn ingest_generated<G>(
@@ -186,6 +352,9 @@ impl ShardedCollector {
                 self.shards.len()
             )));
         }
+        let arity = self.protocol.schema().len();
+        let channel_sizes = self.protocol.channel_sizes();
+        let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
         let generator = &generator;
         let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
@@ -194,14 +363,25 @@ impl ShardedCollector {
                 .iter_mut()
                 .zip(clients_per_shard.iter())
                 .enumerate()
+                .filter(|(_, (_, &clients))| clients > 0)
                 .map(|(k, (shard, &clients))| {
                     scope.spawn(move || {
                         let mut rng = shard_rng(base_seed, k);
-                        for _ in 0..clients {
-                            let record = generator(&mut rng);
-                            let report = Report::encode(protocol, &record, &mut rng)?;
-                            shard.ingest(&report)?;
+                        let mut buffer = RecordsBuffer::new(arity)?;
+                        let mut tallies: Vec<Vec<u64>> =
+                            channel_sizes.iter().map(|&s| vec![0u64; s]).collect();
+                        let mut remaining = clients;
+                        while remaining > 0 {
+                            let take = remaining.min(ENCODE_BATCH);
+                            buffer.clear();
+                            for _ in 0..take {
+                                let record = generator(&mut rng);
+                                buffer.push_record(&record)?;
+                            }
+                            protocol.encode_tally(&buffer.view(), &mut rng, &mut tallies)?;
+                            remaining -= take;
                         }
+                        shard.absorb_counts(&tallies, clients as u64)?;
                         Ok(())
                     })
                 })
@@ -345,6 +525,53 @@ mod tests {
         assert_eq!(n, 150);
         assert_eq!(c.total_reports(), 150);
         assert_eq!(c.shards()[2].n_reports(), 0);
+    }
+
+    #[test]
+    fn batch_ingestion_is_bit_identical_to_the_per_record_path() {
+        // Same records, same base seed: the columnar batch pipeline and
+        // the scalar reference pipeline must produce byte-identical shard
+        // accumulators, for shard counts around and beyond the chunking
+        // boundaries.
+        let rs = records(3_007);
+        for n_shards in [1usize, 3, 8] {
+            let mut batched = ShardedCollector::new(protocol(), n_shards).unwrap();
+            let mut scalar = ShardedCollector::new(protocol(), n_shards).unwrap();
+            let mut columnar = ShardedCollector::new(protocol(), n_shards).unwrap();
+            assert_eq!(batched.ingest_records(&rs, 77).unwrap(), 3_007);
+            assert_eq!(scalar.ingest_records_per_record(&rs, 77).unwrap(), 3_007);
+            let ds = mdrr_data::Dataset::from_records(schema(), &rs).unwrap();
+            assert_eq!(columnar.ingest_view(&ds.view(), 77).unwrap(), 3_007);
+            assert_eq!(batched.shards(), scalar.shards(), "{n_shards} shards");
+            assert_eq!(batched.shards(), columnar.shards(), "{n_shards} shards");
+        }
+    }
+
+    #[test]
+    fn routed_batches_land_in_their_shard() {
+        let mut c = ShardedCollector::new(protocol(), 2).unwrap();
+        let mut batch = crate::batch::ReportBatch::new(2).unwrap();
+        batch.push(&Report::new(vec![1, 0])).unwrap();
+        batch.push(&Report::new(vec![2, 1])).unwrap();
+        assert_eq!(c.ingest_batch(1, &batch).unwrap(), 2);
+        assert!(c.ingest_batch(5, &batch).is_err());
+        assert_eq!(c.shards()[0].n_reports(), 0);
+        assert_eq!(c.shards()[1].n_reports(), 2);
+    }
+
+    #[test]
+    fn view_ingestion_handles_degenerate_shapes() {
+        let mut c = ShardedCollector::new(protocol(), 8).unwrap();
+        // Fewer records than shards: trailing shards stay empty, and no
+        // worker is spawned for them.
+        let ds = mdrr_data::Dataset::from_records(schema(), &records(3)).unwrap();
+        assert_eq!(c.ingest_view(&ds.view(), 1).unwrap(), 3);
+        assert_eq!(c.total_reports(), 3);
+        assert!(c.shards()[3..].iter().all(Accumulator::is_empty));
+        // An empty view is a no-op.
+        let empty = mdrr_data::Dataset::empty(schema());
+        assert_eq!(c.ingest_view(&empty.view(), 1).unwrap(), 0);
+        assert_eq!(c.total_reports(), 3);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   [`Report`] (one code per *channel*: per attribute for RR-Independent,
 //!   one joint code for RR-Joint, per cluster for RR-Clusters), via the
 //!   object-safe [`mdrr_protocols::Protocol`] encoder;
+//! * [`batch`] — bulk work flows through columnar [`ReportBatch`]es:
+//!   whole record chunks are encoded by the protocols' batched encoders
+//!   and counted in tight per-channel loops, with zero allocations per
+//!   report and output bit-identical to the per-report path under the
+//!   same seed (proptest-pinned);
 //! * [`accumulator`] — the collector keeps only per-channel count vectors
 //!   ([`Accumulator`]): the sufficient statistics of Equation (2), exact
 //!   and mergeable in any order;
@@ -56,11 +61,13 @@
 #![deny(missing_docs)]
 
 pub mod accumulator;
+pub mod batch;
 pub mod collector;
 pub mod error;
 pub mod report;
 
 pub use accumulator::Accumulator;
-pub use collector::{ShardedCollector, StreamSnapshot};
+pub use batch::ReportBatch;
+pub use collector::{ShardedCollector, StreamSnapshot, ENCODE_BATCH};
 pub use error::{MdrrError, StreamError};
 pub use report::Report;

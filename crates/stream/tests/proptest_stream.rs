@@ -11,9 +11,10 @@
 
 use mdrr_data::{Attribute, AttributeKind, Dataset, Schema};
 use mdrr_protocols::{
-    Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel, Release,
+    AdjustmentConfig, Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel,
+    Release,
 };
-use mdrr_stream::{Accumulator, Report, ShardedCollector};
+use mdrr_stream::{Accumulator, Report, ReportBatch, ShardedCollector};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,8 +60,9 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     })
 }
 
-/// The three protocols configured for a schema, all behind `dyn Protocol`
-/// (clusters: first two attributes together, the rest one cluster).
+/// The three estimating protocols configured for a schema, all behind
+/// `dyn Protocol` (clusters: first two attributes together, the rest one
+/// cluster).
 fn protocols(schema: &Schema) -> Vec<Arc<dyn Protocol>> {
     let m = schema.len();
     let clustering = Clustering::new(vec![vec![0, 1], (2..m).collect()], m).unwrap();
@@ -81,6 +83,24 @@ fn protocols(schema: &Schema) -> Vec<Arc<dyn Protocol>> {
     .iter()
     .map(|spec| spec.build_arc(schema).unwrap())
     .collect()
+}
+
+/// All four `ProtocolSpec` shapes (the three above plus RR-Adjustment
+/// stacked on RR-Independent) — the client-side encoders the batch path
+/// must be bit-identical to.
+fn all_four_protocols(schema: &Schema) -> Vec<Arc<dyn Protocol>> {
+    let mut all = protocols(schema);
+    all.push(
+        ProtocolSpec::Adjusted {
+            base: Box::new(ProtocolSpec::independent(
+                RandomizationLevel::KeepProbability(0.6),
+            )),
+            config: AdjustmentConfig::default(),
+        }
+        .build_arc(schema)
+        .unwrap(),
+    );
+    all
 }
 
 /// The batch release computed from the same randomized codes: decode every
@@ -184,5 +204,82 @@ proptest! {
         prop_assert_eq!(snapshot.record_count(), records.len());
         let total = snapshot.frequency(&[]).unwrap();
         prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The load-bearing claim of the batch pipeline: for all four
+    /// `ProtocolSpec`s, under one shared seed and *arbitrary* chunk
+    /// splits, `encode_batch` + `ingest_batch` and the fused
+    /// `encode_tally` produce byte-identical accumulator counts (and
+    /// byte-identical codes) to encoding every record one at a time with
+    /// `Report::encode` and ingesting report by report.
+    #[test]
+    fn batch_paths_are_bit_identical_to_the_per_record_path(ds in dataset_strategy(),
+                                                            chunk_size in 1usize..64,
+                                                            seed in any::<u64>()) {
+        for protocol in all_four_protocols(ds.schema()) {
+            let sizes = protocol.channel_sizes();
+
+            // Scalar reference: one report at a time, one shared RNG.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut reference = Accumulator::new(&sizes).unwrap();
+            let mut reports = Vec::with_capacity(ds.n_records());
+            for record in ds.records() {
+                let report = Report::encode(&*protocol, &record, &mut rng).unwrap();
+                reference.ingest(&report).unwrap();
+                reports.push(report);
+            }
+
+            // Batch path: the same records through arbitrary columnar
+            // chunk splits over a fresh RNG with the same seed.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut batched = Accumulator::new(&sizes).unwrap();
+            let mut batch = ReportBatch::for_protocol(&*protocol);
+            let mut codes = Vec::new();
+            let mut i = 0usize;
+            for chunk in ds.column_chunks(chunk_size).unwrap() {
+                batch.encode_records(&*protocol, &chunk, &mut rng).unwrap();
+                batched.ingest_batch(&batch).unwrap();
+                // Chunk boundaries must not affect the codes themselves.
+                for k in 0..batch.n_reports() {
+                    batch.read_report(k, &mut codes).unwrap();
+                    prop_assert_eq!(&codes[..], reports[i].codes(),
+                                    "record {} differs on {}", i, protocol.name());
+                    i += 1;
+                }
+            }
+            prop_assert_eq!(&batched, &reference, "batch counts differ on {}", protocol.name());
+
+            // Fused tally path: same draws, straight into count vectors.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tallies: Vec<Vec<u64>> = sizes.iter().map(|&s| vec![0u64; s]).collect();
+            for chunk in ds.column_chunks(chunk_size).unwrap() {
+                protocol.encode_tally(&chunk, &mut rng, &mut tallies).unwrap();
+            }
+            prop_assert_eq!(&tallies[..], reference.counts(),
+                            "tally counts differ on {}", protocol.name());
+        }
+    }
+
+    /// The sharded bulk paths — row-major, columnar view, and generated —
+    /// are byte-identical to the scalar reference ingestion for any shard
+    /// count and seed (same chunk → shard assignment, same shard → RNG
+    /// mapping, same draws).
+    #[test]
+    fn sharded_batch_ingestion_is_bit_identical(ds in dataset_strategy(),
+                                                n_shards in 1usize..6,
+                                                seed in any::<u64>()) {
+        let records: Vec<Vec<u32>> = ds.records().collect();
+        for protocol in all_four_protocols(ds.schema()) {
+            let mut scalar = ShardedCollector::new(Arc::clone(&protocol), n_shards).unwrap();
+            scalar.ingest_records_per_record(&records, seed).unwrap();
+
+            let mut rows = ShardedCollector::new(Arc::clone(&protocol), n_shards).unwrap();
+            rows.ingest_records(&records, seed).unwrap();
+            prop_assert_eq!(rows.shards(), scalar.shards(), "rows path on {}", protocol.name());
+
+            let mut view = ShardedCollector::new(Arc::clone(&protocol), n_shards).unwrap();
+            view.ingest_view(&ds.view(), seed).unwrap();
+            prop_assert_eq!(view.shards(), scalar.shards(), "view path on {}", protocol.name());
+        }
     }
 }

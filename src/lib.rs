@@ -72,7 +72,7 @@ pub mod prelude {
     };
     pub use mdrr_data::{
         adult_schema, AdultSynthesizer, Attribute, AttributeKind, DataError, Dataset, JointDomain,
-        Schema,
+        RecordsBuffer, RecordsView, Schema,
     };
     pub use mdrr_eval::{CountQuery, ExperimentConfig};
     pub use mdrr_protocols::{
@@ -81,7 +81,7 @@ pub mod prelude {
         ProtocolError, ProtocolSpec, RRAdjustment, RRClusters, RRIndependent, RRJoint,
         RandomizationLevel, Release,
     };
-    pub use mdrr_stream::{Accumulator, Report, ShardedCollector, StreamSnapshot};
+    pub use mdrr_stream::{Accumulator, Report, ReportBatch, ShardedCollector, StreamSnapshot};
 }
 
 #[cfg(test)]

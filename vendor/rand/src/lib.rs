@@ -20,7 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use distributions::{Distribution, Standard};
+pub use distributions::{unit_f64_from_u64, Distribution, Standard};
 
 /// The core of a random number generator: a source of uniformly random bits.
 pub trait RngCore {
@@ -31,6 +31,21 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fills `out` with consecutive [`RngCore::next_u64`] values.
+    ///
+    /// Semantically exactly `for slot in out { *slot = self.next_u64() }`,
+    /// but callers holding the generator behind `&mut dyn RngCore` pay one
+    /// virtual call per *buffer* instead of one per draw — the concrete
+    /// generator's `next_u64` inlines into this default body.  (This
+    /// method is an extension over the real rand 0.8 surface, used by the
+    /// workspace's batched encoders; swapping in the real crate would need
+    /// a one-line polyfill.)
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -40,6 +55,10 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 
     fn next_u32(&mut self) -> u32 {
         (**self).next_u32()
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        (**self).fill_u64(out)
     }
 }
 
@@ -276,9 +295,17 @@ pub mod distributions {
 
     impl Distribution<f64> for Standard {
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
-            // 53 uniform bits → [0, 1) with full double precision.
-            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+            unit_f64_from_u64(rng.next_u64())
         }
+    }
+
+    /// The exact `u64 → [0, 1)` mapping `Standard` uses for `f64` (53
+    /// uniform bits, full double precision).  Public so bulk consumers
+    /// that pre-draw raw u64 buffers via [`super::RngCore::fill_u64`]
+    /// produce bit-identical floats to per-value `rng.gen::<f64>()` calls.
+    #[inline]
+    pub fn unit_f64_from_u64(x: u64) -> f64 {
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     impl Distribution<f32> for Standard {
