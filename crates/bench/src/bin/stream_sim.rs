@@ -1,4 +1,5 @@
-//! `stream_sim` — drives the streaming subsystem at million-client scale.
+//! `stream_sim` — drives the streaming subsystem at million-client scale,
+//! with durable checkpoints, crash-resume and cross-process merging.
 //!
 //! Simulates `--clients` respondents of the synthetic Adult population:
 //! each client locally randomizes her record into a compact report, the
@@ -11,6 +12,11 @@
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --clients 2000000 --shards 16
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --quick --out /tmp/stream.json
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --path per-record
+//! # durability: checkpoint every round, die, resume the exact stream
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --quick --checkpoint-dir /tmp/ckpt
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --resume /tmp/ckpt
+//! # pool the persisted shards of any number of runs/machines
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --merge /tmp/ckptA --merge /tmp/ckptB
 //! ```
 //!
 //! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
@@ -20,6 +26,18 @@
 //! columnar zero-allocation pipeline; `per-record` is the scalar reference
 //! path, kept to quantify the gap), `--seed N`, `--quick` (50 000 clients,
 //! 4 shards, 5 rounds), `--out PATH`.
+//!
+//! Durability flags: `--checkpoint-dir DIR` persists every shard's count
+//! vectors (plus the simulator's exact RNG position and ground-truth
+//! counters) into an `mdrr-store` checkpoint directory after each round;
+//! `--resume DIR` restores the collector and the generator RNG from such a
+//! directory and continues the *exact* draw stream — a killed-and-resumed
+//! run produces byte-identical checkpoints to an uninterrupted one;
+//! `--kill-after N` exits right after the round-`N` checkpoint (a scripted
+//! crash, used by the CI smoke test); `--merge PATH` (repeatable) pools
+//! checkpoint directories and/or single snapshot files from any number of
+//! runs or machines into one exact merged estimate, and `--merged-out
+//! PATH` writes the pooled snapshot itself.
 //!
 //! The binary counts heap allocations through a wrapping global allocator
 //! and reports allocations **per ingested report** for the timed ingestion
@@ -31,14 +49,15 @@
 //! streamed-vs-batch experiment.
 
 use mdrr_bench::maybe_write_json;
-use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer};
+use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer, Schema};
 use mdrr_protocols::{Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel};
-use mdrr_stream::ShardedCollector;
+use mdrr_store::{merge_snapshots, Snapshot, SnapshotReader, SnapshotWriter};
+use mdrr_stream::{CheckpointManifest, ShardedCollector, MANIFEST_FILE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,6 +108,25 @@ enum IngestPath {
     PerRecord,
 }
 
+impl IngestPath {
+    fn name(&self) -> &'static str {
+        match self {
+            IngestPath::Batch => "batch",
+            IngestPath::PerRecord => "per-record",
+        }
+    }
+
+    fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "batch" => Ok(IngestPath::Batch),
+            "per-record" => Ok(IngestPath::PerRecord),
+            other => Err(format!(
+                "unknown path `{other}` (expected batch or per-record)"
+            )),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Options {
     clients: usize,
@@ -99,6 +137,11 @@ struct Options {
     path: IngestPath,
     seed: u64,
     output: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    kill_after: Option<usize>,
+    merge: Vec<PathBuf>,
+    merged_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -112,6 +155,11 @@ impl Options {
             path: IngestPath::Batch,
             seed: 42,
             output: None,
+            checkpoint_dir: None,
+            resume: None,
+            kill_after: None,
+            merge: Vec::new(),
+            merged_out: None,
         };
         let mut quick = false;
         let mut iter = args.into_iter();
@@ -127,18 +175,13 @@ impl Options {
                 "--seed" => options.seed = parse(&flag, value(&flag)?)?,
                 "--protocol" => options.protocol = value(&flag)?,
                 "--spec" => options.spec = Some(PathBuf::from(value(&flag)?)),
-                "--path" => {
-                    options.path = match value(&flag)?.as_str() {
-                        "batch" => IngestPath::Batch,
-                        "per-record" => IngestPath::PerRecord,
-                        other => {
-                            return Err(format!(
-                                "unknown path `{other}` (expected batch or per-record)"
-                            ))
-                        }
-                    }
-                }
+                "--path" => options.path = IngestPath::parse(&value(&flag)?)?,
                 "--out" => options.output = Some(PathBuf::from(value(&flag)?)),
+                "--checkpoint-dir" => options.checkpoint_dir = Some(PathBuf::from(value(&flag)?)),
+                "--resume" => options.resume = Some(PathBuf::from(value(&flag)?)),
+                "--kill-after" => options.kill_after = Some(parse(&flag, value(&flag)?)?),
+                "--merge" => options.merge.push(PathBuf::from(value(&flag)?)),
+                "--merged-out" => options.merged_out = Some(PathBuf::from(value(&flag)?)),
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -148,8 +191,25 @@ impl Options {
             options.shards = options.shards.min(4);
             options.rounds = options.rounds.min(5);
         }
+        if !options.merge.is_empty() {
+            if options.resume.is_some() || options.checkpoint_dir.is_some() {
+                return Err("--merge is a standalone mode; drop --resume/--checkpoint-dir".into());
+            }
+            return Ok(options);
+        }
         if options.clients == 0 || options.shards == 0 || options.rounds == 0 {
             return Err("--clients, --shards and --rounds must be positive".to_string());
+        }
+        if options.kill_after.is_some()
+            && options.checkpoint_dir.is_none()
+            && options.resume.is_none()
+        {
+            // A resumed run implicitly keeps checkpointing into the
+            // resume directory, so --kill-after is meaningful there too.
+            return Err("--kill-after requires --checkpoint-dir (nothing would survive)".into());
+        }
+        if options.resume.is_some() && options.spec.is_some() {
+            return Err("--resume restores the protocol from the checkpoint; drop --spec".into());
         }
         // Every round must ingest at least one client, or its snapshot
         // would have nothing to estimate from.
@@ -161,6 +221,11 @@ impl Options {
 fn parse<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("invalid value `{raw}` for {flag}"))
+}
+
+fn die(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2)
 }
 
 /// One mid-stream snapshot measurement.
@@ -187,6 +252,9 @@ struct SimulationResult {
     path: String,
     clients: usize,
     shards: usize,
+    /// First round this process ran (`> 1` when resumed from a
+    /// checkpoint; earlier rounds ran in the killed process).
+    first_round: usize,
     rounds: Vec<RoundReport>,
     total_secs: f64,
     overall_reports_per_sec: f64,
@@ -195,6 +263,29 @@ struct SimulationResult {
     mean_ingest_reports_per_sec: f64,
     /// Mean allocations per report during ingestion.
     mean_allocations_per_report: f64,
+}
+
+/// The simulator's own resume state, persisted as the opaque `app_state`
+/// string of every checkpoint: the run's targets, how far it got, the
+/// generator RNG's exact position and the ground-truth counters.  With
+/// this plus the per-shard count vectors, `--resume` continues the exact
+/// draw stream — a killed-and-resumed run is byte-identical to an
+/// uninterrupted one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResumeState {
+    seed: u64,
+    clients: usize,
+    shards: usize,
+    rounds: usize,
+    protocol: String,
+    path: String,
+    rounds_done: usize,
+    clients_done: usize,
+    /// Raw xoshiro256++ state of the client-record generator RNG.
+    generator_rng: [u64; 4],
+    /// True per-attribute counts of every client generated so far (the
+    /// simulator's ground truth for the error column).
+    true_counts: Vec<Vec<u64>>,
 }
 
 /// The named protocol presets, as declarative specs — exactly what a
@@ -225,12 +316,13 @@ fn preset_spec(name: &str) -> Result<ProtocolSpec, String> {
     }
 }
 
-/// Builds the simulated protocol: either from a `--spec` JSON file (built
-/// over the full Adult schema, exactly as written) or from a named preset.
-/// Only the RR-Joint *preset* is projected onto the first
-/// [`JOINT_ATTRIBUTES`] of Adult (the full joint domain exceeds the cap);
-/// a user-supplied spec is never silently reshaped.
-fn build_protocol(options: &Options) -> Result<Arc<dyn Protocol>, String> {
+/// Resolves the simulated protocol's declarative spec and schema: either
+/// from a `--spec` JSON file (over the full Adult schema, exactly as
+/// written) or from a named preset.  Only the RR-Joint *preset* is
+/// projected onto the first [`JOINT_ATTRIBUTES`] of Adult (the full joint
+/// domain exceeds the cap); a user-supplied spec is never silently
+/// reshaped.
+fn build_spec(options: &Options) -> Result<(ProtocolSpec, Schema), String> {
     let mut schema = adult_schema();
     let spec = match &options.spec {
         Some(path) => {
@@ -259,33 +351,235 @@ fn build_protocol(options: &Options) -> Result<Arc<dyn Protocol>, String> {
                 .to_string(),
         );
     }
-    spec.build_arc(&schema).map_err(|e| e.to_string())
+    Ok((spec, schema))
+}
+
+/// Expands a `--merge` operand into snapshots: a checkpoint directory
+/// contributes the shard files its manifest committed — re-verifying the
+/// manifest's report total, so a torn checkpoint (shard files newer than
+/// the manifest) is rejected here exactly as `restore` would reject it —
+/// and a plain file contributes itself.
+fn merge_operand_snapshots(path: &Path) -> Result<Vec<Snapshot>, String> {
+    let read = |p: &Path| {
+        SnapshotReader::read(p).map_err(|e| format!("cannot read snapshot {}: {e}", p.display()))
+    };
+    if path.is_dir() {
+        let manifest_path = path.join(MANIFEST_FILE);
+        let json = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let manifest: CheckpointManifest = serde_json::from_str(&json)
+            .map_err(|e| format!("malformed manifest {}: {e}", manifest_path.display()))?;
+        let snapshots = manifest
+            .shard_files
+            .iter()
+            .map(|f| read(&path.join(f)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let total = snapshots
+            .iter()
+            .try_fold(0u64, |acc, s| acc.checked_add(s.n_reports()))
+            .ok_or_else(|| format!("{}: shard report counts overflow u64", path.display()))?;
+        if total != manifest.total_reports {
+            return Err(format!(
+                "torn checkpoint {}: shard files cover {total} reports but the manifest \
+                 committed {} — merge a consistent checkpoint",
+                path.display(),
+                manifest.total_reports
+            ));
+        }
+        Ok(snapshots)
+    } else {
+        Ok(vec![read(path)?])
+    }
+}
+
+/// The merge-mode result written by `--out`.
+#[derive(Debug, Clone, Serialize)]
+struct MergeReport {
+    inputs: Vec<String>,
+    snapshots_merged: usize,
+    protocol: String,
+    total_reports: u64,
+    merged_out: Option<String>,
+    /// Estimated attribute marginals of the pooled release (`None` when
+    /// the embedded protocol cannot estimate from counts).
+    marginals: Option<Vec<Vec<f64>>>,
+}
+
+/// `--merge` mode: pool persisted shard snapshots from any number of
+/// checkpoint directories (or loose snapshot files), verify spec
+/// compatibility, sum counts exactly, and estimate from the pooled
+/// sufficient statistics.
+fn run_merge(options: &Options) {
+    let mut snapshots = Vec::new();
+    for operand in &options.merge {
+        snapshots.extend(merge_operand_snapshots(operand).unwrap_or_else(|e| die(e)));
+    }
+    let merged = merge_snapshots(&snapshots)
+        .unwrap_or_else(|e| die(format!("merging {} snapshots: {e}", snapshots.len())));
+    println!("{}", "=".repeat(72));
+    println!(
+        "stream_sim --merge: pooled {} snapshot files from {} operands",
+        snapshots.len(),
+        options.merge.len()
+    );
+    println!("{}", "=".repeat(72));
+    println!(
+        "protocol {}  |  {} attributes  |  {} channels  |  {} pooled reports",
+        merged.spec().label(),
+        merged.schema().len(),
+        merged.counts().len(),
+        merged.n_reports()
+    );
+    if let Some(out) = &options.merged_out {
+        SnapshotWriter::new(out)
+            .write(&merged)
+            .unwrap_or_else(|e| die(format!("writing merged snapshot: {e}")));
+        println!("merged snapshot written to {}", out.display());
+    }
+    let marginals = match merged.release() {
+        Ok(release) => {
+            let m = merged.schema().len();
+            let mut all = Vec::with_capacity(m);
+            for j in 0..m {
+                let marginal = release
+                    .marginal(j)
+                    .unwrap_or_else(|e| die(format!("marginal query failed: {e}")));
+                let name = merged.schema().attribute(j).map(|a| a.name().to_string());
+                println!(
+                    "  marginal {:>12}: {}",
+                    name.unwrap_or_else(|_| format!("#{j}")),
+                    marginal
+                        .iter()
+                        .map(|p| format!("{p:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                all.push(marginal);
+            }
+            Some(all)
+        }
+        Err(e) => {
+            println!("pooled counts cannot be estimated by this protocol: {e}");
+            None
+        }
+    };
+    let report = MergeReport {
+        inputs: options
+            .merge
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect(),
+        snapshots_merged: snapshots.len(),
+        protocol: merged.spec().label(),
+        total_reports: merged.n_reports(),
+        merged_out: options.merged_out.as_ref().map(|p| p.display().to_string()),
+        marginals,
+    };
+    let cli = mdrr_bench::CliOptions {
+        output: options.output.clone(),
+        ..Default::default()
+    };
+    maybe_write_json(&cli, &report);
 }
 
 fn main() {
-    let options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
+    let mut options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
         eprintln!("{message}");
         eprintln!(
             "usage: [--clients N] [--shards K] [--rounds R] \
              [--protocol independent|joint|clusters] [--spec PATH] [--path batch|per-record] \
-             [--seed N] [--quick] [--out PATH]"
+             [--seed N] [--quick] [--out PATH] [--checkpoint-dir DIR] [--resume DIR] \
+             [--kill-after N] [--merge PATH]... [--merged-out PATH]"
         );
         std::process::exit(2);
     });
-    let protocol = build_protocol(&options).unwrap_or_else(|message| {
-        eprintln!("{message}");
-        std::process::exit(2);
-    });
+    if !options.merge.is_empty() {
+        run_merge(&options);
+        return;
+    }
+
+    // Assemble the run: fresh, or restored from a checkpoint directory.
+    // On resume, the run's targets (clients, rounds, seed, protocol,
+    // ingestion path) come from the persisted state — the original
+    // invocation's contract — not from this invocation's flags.
+    let (spec, protocol, mut collector, mut state): (
+        ProtocolSpec,
+        Arc<dyn Protocol>,
+        ShardedCollector,
+        ResumeState,
+    ) = match options.resume.clone() {
+        Some(dir) => {
+            let restored = ShardedCollector::restore(&dir)
+                .unwrap_or_else(|e| die(format!("cannot resume from {}: {e}", dir.display())));
+            let app = restored.app_state.unwrap_or_else(|| {
+                die(format!(
+                    "{} carries no stream_sim resume state (was it written by a library \
+                     checkpoint?)",
+                    dir.display()
+                ))
+            });
+            let state: ResumeState = serde_json::from_str(&app)
+                .unwrap_or_else(|e| die(format!("malformed resume state: {e}")));
+            options.clients = state.clients;
+            options.shards = state.shards;
+            options.rounds = state.rounds;
+            options.seed = state.seed;
+            options.protocol = state.protocol.clone();
+            options.path = IngestPath::parse(&state.path).unwrap_or_else(|e| die(e));
+            // Resumed runs keep checkpointing into the same directory
+            // unless redirected.
+            if options.checkpoint_dir.is_none() {
+                options.checkpoint_dir = Some(dir.clone());
+            }
+            println!(
+                "resuming from {}: {} of {} rounds done, {} of {} clients ingested",
+                dir.display(),
+                state.rounds_done,
+                state.rounds,
+                state.clients_done,
+                state.clients
+            );
+            let protocol = restored.collector.protocol().clone();
+            (restored.spec, protocol, restored.collector, state)
+        }
+        None => {
+            let (spec, schema) = build_spec(&options).unwrap_or_else(|e| die(e));
+            let protocol = spec.build_arc(&schema).unwrap_or_else(|e| die(e));
+            let collector =
+                ShardedCollector::new(protocol.clone(), options.shards).unwrap_or_else(|e| die(e));
+            let state = ResumeState {
+                seed: options.seed,
+                clients: options.clients,
+                shards: options.shards,
+                rounds: options.rounds,
+                protocol: options.protocol.clone(),
+                path: options.path.name().to_string(),
+                rounds_done: 0,
+                clients_done: 0,
+                generator_rng: StdRng::seed_from_u64(options.seed).state(),
+                true_counts: schema
+                    .cardinalities()
+                    .iter()
+                    .map(|&c| vec![0u64; c])
+                    .collect(),
+            };
+            (spec, protocol, collector, state)
+        }
+    };
+    if state.rounds_done >= options.rounds {
+        println!(
+            "checkpoint already covers all {} rounds ({} clients); nothing to resume",
+            options.rounds, state.clients_done
+        );
+        return;
+    }
 
     let schema = protocol.schema().clone();
-    let cards = schema.cardinalities();
     let synthesizer = AdultSynthesizer::paper_sized();
     let record_arity = schema.len();
     let protocol_name = protocol.name();
-    let path_name = match options.path {
-        IngestPath::Batch => "batch",
-        IngestPath::PerRecord => "per-record",
-    };
+    let path_name = options.path.name();
+    let first_round = state.rounds_done + 1;
 
     println!("{}", "=".repeat(72));
     println!(
@@ -299,21 +593,22 @@ fn main() {
     );
     println!("{}", "=".repeat(72));
 
-    let mut collector =
-        ShardedCollector::new(protocol, options.shards).expect("collector construction failed");
-    // True per-attribute counts of the generated clients, for the error
-    // column (the simulator knows the ground truth; a real collector does
-    // not).
-    let mut true_counts: Vec<Vec<u64>> = cards.iter().map(|&c| vec![0u64; c]).collect();
-    let mut generator_rng = StdRng::seed_from_u64(options.seed);
-    let mut rounds = Vec::with_capacity(options.rounds);
+    // The generator RNG continues from the persisted position on resume —
+    // the same draw stream an uninterrupted run would have consumed.
+    let mut generator_rng = StdRng::from_state(state.generator_rng)
+        .unwrap_or_else(|| die("resume state carries an impossible (all-zero) RNG position"));
+    let mut rounds = Vec::with_capacity(options.rounds - state.rounds_done);
+    // Clients ingested by *this* process — the denominator of the overall
+    // throughput (a resumed run only worked the remaining rounds; the
+    // killed process's clients are not this process's wall-clock work).
+    let clients_this_process = options.clients - state.clients_done;
     // Clients arrive columnar on the batch path (zero per-record
     // allocation in the timed section) and row-major on the reference
     // path.
     let mut columnar = RecordsBuffer::new(record_arity).expect("schema is non-empty");
     let started = Instant::now();
 
-    for round in 1..=options.rounds {
+    for round in first_round..=options.rounds {
         // Clients of this round (the last round absorbs the remainder).
         let clients = if round == options.rounds {
             options.clients - options.clients / options.rounds * (options.rounds - 1)
@@ -326,7 +621,7 @@ fn main() {
             let mut record = synthesizer.sample_record(&mut generator_rng);
             record.truncate(record_arity);
             for (j, &v) in record.iter().enumerate() {
-                true_counts[j][v as usize] += 1;
+                state.true_counts[j][v as usize] += 1;
             }
             match options.path {
                 IngestPath::Batch => columnar
@@ -351,7 +646,7 @@ fn main() {
         let snapshot = collector.snapshot().expect("snapshot failed");
         let total = collector.total_reports();
         let mut max_error = 0.0f64;
-        for (j, channel) in true_counts.iter().enumerate() {
+        for (j, channel) in state.true_counts.iter().enumerate() {
             for (code, &count) in channel.iter().enumerate() {
                 let truth = count as f64 / total as f64;
                 let estimated = snapshot
@@ -379,6 +674,26 @@ fn main() {
             allocations_per_report,
             max_marginal_abs_error: max_error,
         });
+
+        // Durability: persist shards + resume state after every round.
+        state.rounds_done = round;
+        state.clients_done += clients;
+        state.generator_rng = generator_rng.state();
+        if let Some(dir) = &options.checkpoint_dir {
+            let app_state = serde_json::to_string(&state)
+                .unwrap_or_else(|e| die(format!("resume state does not serialize: {e}")));
+            collector
+                .checkpoint(&spec, dir, Some(&app_state))
+                .unwrap_or_else(|e| die(format!("checkpoint failed: {e}")));
+            if options.kill_after == Some(round) {
+                println!(
+                    "--kill-after {round}: simulated crash after checkpointing to {} \
+                     (resume with --resume)",
+                    dir.display()
+                );
+                return;
+            }
+        }
     }
 
     let total_secs = started.elapsed().as_secs_f64();
@@ -390,8 +705,9 @@ fn main() {
         path: path_name.to_string(),
         clients: options.clients,
         shards: options.shards,
+        first_round,
         total_secs,
-        overall_reports_per_sec: options.clients as f64 / total_secs,
+        overall_reports_per_sec: clients_this_process as f64 / total_secs,
         mean_ingest_reports_per_sec: mean(|r| r.reports_per_sec),
         mean_allocations_per_report: mean(|r| r.allocations_per_report),
         rounds,
@@ -400,7 +716,7 @@ fn main() {
     println!(
         "{} reports in {:.2}s — {:.0} reports/s end to end (generation + ingestion + {} \
          snapshots); mean ingest {:.0} reports/s at {:.4} allocs/report",
-        options.clients,
+        clients_this_process,
         total_secs,
         result.overall_reports_per_sec,
         result.rounds.len(),

@@ -190,12 +190,14 @@ impl Dataset {
         }))
     }
 
-    /// Iterator over row-major chunks of at most `chunk_size` records —
-    /// the unit of work a streaming simulator hands to its shard workers.
+    /// Iterator over row-major chunks of at most `chunk_size` records.
     /// The last chunk may be shorter; an empty dataset yields no chunks.
     ///
-    /// **Note:** every chunk allocates one `Vec<u32>` per record; bulk
-    /// callers should prefer the zero-copy [`Dataset::column_chunks`].
+    /// **Note:** every chunk allocates one `Vec<u32>` per record, which
+    /// is why the streaming pipeline no longer uses this — its shard
+    /// workers consume zero-copy columnar [`Dataset::column_chunks`] /
+    /// [`RecordsView`] slices instead.  Kept for row-oriented consumers
+    /// and tests.
     ///
     /// # Errors
     /// Returns [`DataError::InvalidParameter`] if `chunk_size == 0`.

@@ -1,0 +1,246 @@
+//! The on-disk snapshot format: byte-level encoding, decoding and the
+//! trailing checksum.
+//!
+//! The format is specified byte by byte in `docs/FORMAT.md` at the
+//! repository root — this module is the reference implementation of that
+//! contract.  In short (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  = "MDRRSNAP" (ASCII)
+//! 8       4     format version (u32, currently 1)
+//! 12      8     record count (u64)
+//! 20      4     channel count C (u32)
+//! 24      4     header JSON length H (u32)
+//! 28      H     header JSON (UTF-8: schema, protocol spec, app state)
+//! 28+H    …     C channel blocks: u32 length L, then L × u64 counts
+//! end-8   8     CRC-64/XZ over every preceding byte (u64)
+//! ```
+//!
+//! Decoding never trusts a declared length beyond the bytes actually
+//! present, so corrupt length fields cannot trigger huge allocations;
+//! every failure mode maps to a typed [`StoreError`].
+
+use crate::error::StoreError;
+use crate::snapshot::{Snapshot, SnapshotHeader};
+use std::sync::OnceLock;
+
+/// The eight magic bytes every snapshot starts with (`MDRRSNAP` in ASCII).
+///
+/// ```
+/// assert_eq!(mdrr_store::MAGIC, *b"MDRRSNAP");
+/// ```
+pub const MAGIC: [u8; 8] = *b"MDRRSNAP";
+
+/// The snapshot format version this crate reads and writes.  Readers must
+/// reject any other version (see `docs/FORMAT.md` for the versioning
+/// rules).
+///
+/// ```
+/// assert_eq!(mdrr_store::FORMAT_VERSION, 1);
+/// ```
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The reflected CRC-64/XZ generator polynomial.
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+/// CRC-64/XZ (also known as CRC-64/GO-ECMA): reflected polynomial
+/// `0xC96C5795D7870F42`, initial value `!0`, output
+/// xor `!0`.  This is the checksum at the tail of every snapshot; it is
+/// also exposed so external implementations of the format can test their
+/// own checksummers against this one.
+///
+/// ```
+/// // The standard check vector of CRC-64/XZ:
+/// assert_eq!(mdrr_store::crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+/// assert_eq!(mdrr_store::crc64(b""), 0);
+/// ```
+pub fn crc64(bytes: &[u8]) -> u64 {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u64; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ CRC64_POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = table[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Serializes a snapshot into the on-disk byte layout (header, channel
+/// blocks, trailing checksum).
+pub(crate) fn encode(snapshot: &Snapshot) -> Result<Vec<u8>, StoreError> {
+    let header = SnapshotHeader {
+        schema: snapshot.schema().clone(),
+        spec: snapshot.spec().clone(),
+        app_state: snapshot.app_state().map(str::to_string),
+    };
+    let header_json = serde_json::to_string(&header)
+        .map_err(|e| StoreError::header(format!("header does not serialize: {e}")))?;
+    let header_bytes = header_json.as_bytes();
+    if header_bytes.len() > u32::MAX as usize {
+        return Err(StoreError::header("header JSON exceeds u32::MAX bytes"));
+    }
+
+    let counts = snapshot.counts();
+    let payload: usize = counts.iter().map(|c| 4 + 8 * c.len()).sum();
+    let mut out = Vec::with_capacity(28 + header_bytes.len() + payload + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&snapshot.n_reports().to_le_bytes());
+    out.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(header_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(header_bytes);
+    for channel in counts {
+        if channel.len() > u32::MAX as usize {
+            return Err(StoreError::layout("a channel exceeds u32::MAX categories"));
+        }
+        out.extend_from_slice(&(channel.len() as u32).to_le_bytes());
+        for &count in channel {
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    let checksum = crc64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// A bounds-checked reader over a byte buffer: every read either returns
+/// the requested slice or a [`StoreError::Truncated`] naming the offset.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let available = self.bytes.len() - self.pos;
+        if n > available {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Parses and validates the on-disk byte layout back into a snapshot:
+/// magic and version first, then a bounds-checked structural walk, then
+/// the checksum, then the header JSON and the counting invariants.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let magic = cursor.take(8)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.try_into().expect("8 bytes"),
+        });
+    }
+    let version = cursor.take_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let n_reports = cursor.take_u64()?;
+    let n_channels = cursor.take_u32()? as usize;
+    let header_len = cursor.take_u32()? as usize;
+    let header_bytes = cursor.take(header_len)?;
+    let mut counts: Vec<Vec<u64>> = Vec::new();
+    for _ in 0..n_channels {
+        let len = cursor.take_u32()? as usize;
+        // Bounds-check the whole block before allocating, so a corrupt
+        // length field cannot request a giant buffer.
+        let block = cursor.take(len.saturating_mul(8))?;
+        counts.push(
+            block
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect(),
+        );
+    }
+    let checksum_offset = cursor.pos;
+    let stored = cursor.take_u64()?;
+    if cursor.pos != bytes.len() {
+        return Err(StoreError::layout(format!(
+            "{} unexpected trailing bytes after the checksum",
+            bytes.len() - cursor.pos
+        )));
+    }
+    let computed = crc64(&bytes[..checksum_offset]);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    let header_json = std::str::from_utf8(header_bytes)
+        .map_err(|_| StoreError::header("header is not valid UTF-8"))?;
+    let header: SnapshotHeader = serde_json::from_str(header_json)
+        .map_err(|e| StoreError::header(format!("header JSON does not parse: {e}")))?;
+    let mut snapshot = Snapshot::new(header.schema, header.spec, counts, n_reports)?;
+    snapshot.set_app_state(header.app_state);
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_matches_the_published_check_vectors() {
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+        // A single flipped bit changes the checksum.
+        assert_ne!(crc64(b"123456788"), crc64(b"123456789"));
+    }
+
+    #[test]
+    fn decode_rejects_foreign_and_short_files() {
+        assert!(matches!(
+            decode(b"PNG\x89abc"),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(b"NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxx"),
+            Err(StoreError::BadMagic { .. })
+        ));
+        let mut future = Vec::new();
+        future.extend_from_slice(&MAGIC);
+        future.extend_from_slice(&7u32.to_le_bytes());
+        future.extend_from_slice(&[0u8; 24]);
+        assert!(matches!(
+            decode(&future),
+            Err(StoreError::UnsupportedVersion {
+                found: 7,
+                supported: 1
+            })
+        ));
+    }
+}

@@ -1,0 +1,254 @@
+//! Crash-safe snapshot file I/O.
+//!
+//! [`SnapshotWriter`] never leaves a half-written snapshot at its target
+//! path: it serializes to a sibling temp file, fsyncs it, and atomically
+//! renames it over the target (then best-effort fsyncs the directory so
+//! the rename itself survives a power cut).  A reader therefore sees
+//! either the previous complete snapshot or the new complete snapshot,
+//! never a torn one — and [`SnapshotReader`] verifies the checksum anyway,
+//! so even out-of-band corruption surfaces as a typed error.
+
+use crate::error::StoreError;
+use crate::snapshot::Snapshot;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Extension of the sibling temp file an atomic write goes through.
+const TMP_SUFFIX: &str = "tmp";
+
+/// Atomically replaces `path` with `bytes`: write to a sibling `*.tmp`
+/// file, fsync, rename over the target, best-effort fsync the directory.
+/// Parent directories are created as needed.  This is the write
+/// discipline of every durable artifact in the store (snapshots and the
+/// checkpoint manifests built on top of them); a crash at any point
+/// leaves either the old complete file or the new complete file at
+/// `path`, never a torn one.
+///
+/// ```
+/// let dir = std::env::temp_dir().join(format!("mdrr-doc-aw-{}", std::process::id()));
+/// let path = dir.join("note.txt");
+/// mdrr_store::atomic_write(&path, b"first")?;
+/// mdrr_store::atomic_write(&path, b"second")?;
+/// assert_eq!(std::fs::read(&path)?, b"second");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Returns [`StoreError::Io`] naming the failing step (create, write,
+/// sync or rename).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)
+            .map_err(|e| StoreError::io(format!("create directory {}", parent.display()), e))?;
+    }
+    let tmp = match path.extension() {
+        Some(ext) => {
+            let mut ext = ext.to_os_string();
+            ext.push(".");
+            ext.push(TMP_SUFFIX);
+            path.with_extension(ext)
+        }
+        None => path.with_extension(TMP_SUFFIX),
+    };
+    let mut file = File::create(&tmp)
+        .map_err(|e| StoreError::io(format!("create temp file {}", tmp.display()), e))?;
+    file.write_all(bytes)
+        .map_err(|e| StoreError::io(format!("write temp file {}", tmp.display()), e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io(format!("sync temp file {}", tmp.display()), e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| {
+        StoreError::io(
+            format!("rename {} over {}", tmp.display(), path.display()),
+            e,
+        )
+    })?;
+    // Persist the rename itself; not all filesystems support fsync on a
+    // directory handle, so this is best-effort.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes snapshots to a fixed path with atomic temp-file-and-rename
+/// semantics.
+///
+/// ```
+/// use mdrr_data::{Attribute, Schema};
+/// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+/// use mdrr_store::{Snapshot, SnapshotReader, SnapshotWriter};
+///
+/// let dir = std::env::temp_dir().join(format!("mdrr-doc-{}", std::process::id()));
+/// let path = dir.join("shard-00000.mdrrsnap");
+/// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+/// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+/// let snapshot = Snapshot::new(schema, spec, vec![vec![3, 1]], 4)?;
+///
+/// SnapshotWriter::new(&path).write(&snapshot)?;
+/// assert_eq!(SnapshotReader::read(&path)?, snapshot);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotWriter {
+    path: PathBuf,
+}
+
+impl SnapshotWriter {
+    /// A writer targeting `path`.  Parent directories are created on the
+    /// first write; nothing touches the filesystem until then.
+    ///
+    /// ```
+    /// let writer = mdrr_store::SnapshotWriter::new("/tmp/never-written.mdrrsnap");
+    /// assert_eq!(writer.path().file_name().unwrap(), "never-written.mdrrsnap");
+    /// ```
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SnapshotWriter { path: path.into() }
+    }
+
+    /// The target path of this writer.
+    ///
+    /// ```
+    /// let writer = mdrr_store::SnapshotWriter::new("a/b.mdrrsnap");
+    /// assert!(writer.path().ends_with("b.mdrrsnap"));
+    /// ```
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically replaces the target path with `snapshot`: serialize,
+    /// write to a sibling `*.tmp` file, fsync, rename over the target,
+    /// best-effort fsync the directory.  A crash at any point leaves
+    /// either the old complete file or the new complete file.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::{Snapshot, SnapshotReader, SnapshotWriter};
+    /// # let dir = std::env::temp_dir().join(format!("mdrr-doc-w-{}", std::process::id()));
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let writer = SnapshotWriter::new(dir.join("state.mdrrsnap"));
+    /// writer.write(&Snapshot::new(schema.clone(), spec.clone(), vec![vec![1, 0]], 1)?)?;
+    /// writer.write(&Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?)?; // replaces
+    /// assert_eq!(SnapshotReader::read(writer.path())?.n_reports(), 2);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] for filesystem failures and the
+    /// serialization errors of [`Snapshot::to_bytes`].
+    pub fn write(&self, snapshot: &Snapshot) -> Result<(), StoreError> {
+        atomic_write(&self.path, &snapshot.to_bytes()?)
+    }
+}
+
+/// Reads and fully validates snapshot files (magic, version, structure,
+/// checksum, header, counting invariants).
+///
+/// ```
+/// use mdrr_store::{SnapshotReader, StoreError};
+///
+/// // Reading a missing file is a typed I/O error, not a panic.
+/// match SnapshotReader::read("/nonexistent/missing.mdrrsnap") {
+///     Err(StoreError::Io { .. }) => {}
+///     other => panic!("expected Io, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotReader;
+
+impl SnapshotReader {
+    /// Reads the snapshot at `path`, validating everything the format
+    /// promises before returning it.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::{Snapshot, SnapshotReader, SnapshotWriter};
+    /// # let dir = std::env::temp_dir().join(format!("mdrr-doc-r-{}", std::process::id()));
+    /// # let path = dir.join("x.mdrrsnap");
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// # let snapshot = Snapshot::new(schema, spec, vec![vec![2, 2]], 4)?;
+    /// SnapshotWriter::new(&path).write(&snapshot)?;
+    /// let restored = SnapshotReader::read(&path)?;
+    /// assert_eq!(restored.counts(), snapshot.counts());
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] for filesystem failures and the typed
+    /// validation errors of [`Snapshot::from_bytes`] for malformed
+    /// contents.
+    pub fn read(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+        let path = path.as_ref();
+        let bytes = fs::read(path)
+            .map_err(|e| StoreError::io(format!("read snapshot {}", path.display()), e))?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, Schema};
+    use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+
+    fn sample() -> Snapshot {
+        let schema = Schema::new(vec![
+            Attribute::indexed("A", 3).unwrap(),
+            Attribute::indexed("B", 2).unwrap(),
+        ])
+        .unwrap();
+        let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+        Snapshot::new(schema, spec, vec![vec![5, 3, 2], vec![6, 4]], 10).unwrap()
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdrr-store-io-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trip_and_replacement() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("nested/deeper/shard.mdrrsnap");
+        let writer = SnapshotWriter::new(&path);
+        let snapshot = sample();
+        writer.write(&snapshot).unwrap();
+        assert_eq!(SnapshotReader::read(&path).unwrap(), snapshot);
+        // No temp residue.
+        assert!(!path.with_extension("mdrrsnap.tmp").exists());
+        // A second write atomically replaces the first.
+        let mut second = snapshot.clone();
+        second.set_app_state(Some("v2".to_string()));
+        writer.write(&second).unwrap();
+        assert_eq!(SnapshotReader::read(&path).unwrap().app_state(), Some("v2"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reading_missing_or_corrupt_files_is_typed() {
+        let dir = scratch_dir("corrupt");
+        assert!(matches!(
+            SnapshotReader::read(dir.join("absent.mdrrsnap")),
+            Err(StoreError::Io { .. })
+        ));
+        // A truncated file (simulating a non-atomic partial write from a
+        // foreign writer) is caught structurally.
+        let path = dir.join("torn.mdrrsnap");
+        let bytes = sample().to_bytes().unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(SnapshotReader::read(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

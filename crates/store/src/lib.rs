@@ -1,0 +1,71 @@
+//! # mdrr-store
+//!
+//! The durable snapshot store of the MDRR pipeline: a versioned,
+//! checksummed on-disk format for accumulator state — the per-channel
+//! `u64` count vectors that are the sufficient statistics of Equation (2)
+//! — plus crash-safe atomic writes and exact cross-process merging.
+//!
+//! * [`Snapshot`] — self-describing state: magic + format version, the
+//!   embedded [`mdrr_protocols::ProtocolSpec`] and schema JSON, the count
+//!   vectors, a record count and a trailing CRC-64/XZ checksum.  The
+//!   byte-level contract is specified in `docs/FORMAT.md` so external
+//!   writers and readers can implement it independently; [`crc64`],
+//!   [`MAGIC`] and [`FORMAT_VERSION`] are public for exactly that reason.
+//! * [`SnapshotWriter`] / [`SnapshotReader`] — atomic temp-file-and-rename
+//!   persistence and fully validated reads: a crash mid-write can never
+//!   leave a torn snapshot, and any corruption (truncation, flipped
+//!   bytes, foreign files) surfaces as a typed [`StoreError`], never a
+//!   panic.
+//! * [`merge_snapshots`] / [`merge_snapshot_files`] — exact pooling of the
+//!   shards of any number of collector processes: spec compatibility is
+//!   verified, counts are summed with overflow checks, and the merged
+//!   release is numerically identical to a single process having ingested
+//!   every report itself.
+//!
+//! The streaming layer (`mdrr-stream`) builds `ShardedCollector::
+//! {checkpoint, restore}` on top of this crate; `stream_sim` drives
+//! checkpoint/resume/merge end to end from the command line.
+//!
+//! ## Example
+//!
+//! Persist counts on one "machine", pool them on another:
+//!
+//! ```
+//! use mdrr_data::{Attribute, Schema};
+//! use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
+//! use mdrr_store::{merge_snapshot_files, Snapshot, SnapshotWriter};
+//!
+//! let dir = std::env::temp_dir().join(format!("mdrr-store-doc-{}", std::process::id()));
+//! let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+//! let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.8));
+//!
+//! // Two machines each persist their shard's sufficient statistics…
+//! let paths = [dir.join("machine-a.mdrrsnap"), dir.join("machine-b.mdrrsnap")];
+//! SnapshotWriter::new(&paths[0])
+//!     .write(&Snapshot::new(schema.clone(), spec.clone(), vec![vec![350, 150]], 500)?)?;
+//! SnapshotWriter::new(&paths[1])
+//!     .write(&Snapshot::new(schema, spec, vec![vec![360, 140]], 500)?)?;
+//!
+//! // …and any process can pool them and estimate, no coordination needed.
+//! let pooled = merge_snapshot_files(&paths)?;
+//! assert_eq!(pooled.n_reports(), 1000);
+//! let release = pooled.release()?;
+//! assert!(release.frequency(&[(0, 0)])? > 0.5);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod io;
+pub mod merge;
+pub mod snapshot;
+
+pub use error::StoreError;
+pub use format::{crc64, FORMAT_VERSION, MAGIC};
+pub use io::{atomic_write, SnapshotReader, SnapshotWriter};
+pub use merge::{merge_snapshot_files, merge_snapshots};
+pub use snapshot::Snapshot;

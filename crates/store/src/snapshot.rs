@@ -1,0 +1,423 @@
+//! The in-memory form of a persisted accumulator state.
+//!
+//! A [`Snapshot`] is everything a process needs to resume or pool
+//! estimation: the schema, the declarative [`ProtocolSpec`] that built the
+//! protocol, the per-channel `u64` count vectors (the sufficient
+//! statistics of Equation (2)), the number of reports they cover, and an
+//! optional opaque application-state string (used by `stream_sim` to
+//! persist its RNG position).  Because the header embeds both spec and
+//! schema, a snapshot is fully self-describing: any process can rebuild
+//! the protocol and release from the file alone.
+
+use crate::error::StoreError;
+use crate::format;
+use mdrr_data::Schema;
+use mdrr_protocols::{MdrrError, Protocol, ProtocolSpec, Release};
+use serde::{Deserialize, Serialize};
+
+/// The JSON header embedded in every snapshot file (see `docs/FORMAT.md`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SnapshotHeader {
+    /// The schema the protocol was configured for.
+    pub(crate) schema: Schema,
+    /// The declarative spec that builds the protocol.
+    pub(crate) spec: ProtocolSpec,
+    /// Opaque application state (`null` when absent).
+    pub(crate) app_state: Option<String>,
+}
+
+/// A self-describing, durable unit of accumulator state: per-channel count
+/// vectors plus the schema and protocol spec that give them meaning.
+///
+/// ```
+/// use mdrr_data::{Attribute, Schema};
+/// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+/// use mdrr_store::Snapshot;
+///
+/// let schema = Schema::new(vec![Attribute::indexed("A", 3)?])?;
+/// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+/// // Counts over one 3-category channel covering 10 reports:
+/// let snapshot = Snapshot::new(schema, spec, vec![vec![5, 3, 2]], 10)?;
+/// assert_eq!(snapshot.n_reports(), 10);
+/// assert_eq!(snapshot.channel_sizes(), vec![3]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    schema: Schema,
+    spec: ProtocolSpec,
+    app_state: Option<String>,
+    counts: Vec<Vec<u64>>,
+    n_reports: u64,
+}
+
+impl Snapshot {
+    /// Wraps accumulator state into a snapshot, validating the counting
+    /// invariants of the format: at least one channel, no empty channel,
+    /// and every channel's counts summing to exactly `n_reports` (each
+    /// report contributes one code per channel).
+    ///
+    /// ```
+    /// use mdrr_data::{Attribute, Schema};
+    /// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// use mdrr_store::Snapshot;
+    ///
+    /// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// // 4 + 5 ≠ 10: the counts cannot cover 10 reports.
+    /// assert!(Snapshot::new(schema, spec, vec![vec![4, 5]], 10).is_err());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidLayout`] when an invariant is violated.
+    pub fn new(
+        schema: Schema,
+        spec: ProtocolSpec,
+        counts: Vec<Vec<u64>>,
+        n_reports: u64,
+    ) -> Result<Self, StoreError> {
+        if counts.is_empty() {
+            return Err(StoreError::layout("a snapshot needs at least one channel"));
+        }
+        for (k, channel) in counts.iter().enumerate() {
+            if channel.is_empty() {
+                return Err(StoreError::layout(format!("channel {k} has no categories")));
+            }
+            let mut total: u64 = 0;
+            for &count in channel {
+                total = total.checked_add(count).ok_or_else(|| {
+                    StoreError::layout(format!("channel {k} counts overflow u64"))
+                })?;
+            }
+            if total != n_reports {
+                return Err(StoreError::layout(format!(
+                    "channel {k} counts sum to {total} but the snapshot declares {n_reports} reports"
+                )));
+            }
+        }
+        Ok(Snapshot {
+            schema,
+            spec,
+            app_state: None,
+            counts,
+            n_reports,
+        })
+    }
+
+    /// Attaches (or clears) the opaque application-state string carried in
+    /// the header — e.g. a simulator's RNG position, serialized however
+    /// the application likes.  The store itself never interprets it.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let mut snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// snapshot.set_app_state(Some("{\"round\":3}".to_string()));
+    /// assert_eq!(snapshot.app_state(), Some("{\"round\":3}"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn set_app_state(&mut self, app_state: Option<String>) {
+        self.app_state = app_state;
+    }
+
+    /// The schema the counts were collected under.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// assert_eq!(snapshot.schema().len(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The declarative spec of the protocol that produced the counts.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// assert_eq!(snapshot.spec().label(), "RR-Independent");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn spec(&self) -> &ProtocolSpec {
+        &self.spec
+    }
+
+    /// The opaque application-state string, if any.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// assert_eq!(snapshot.app_state(), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn app_state(&self) -> Option<&str> {
+        self.app_state.as_deref()
+    }
+
+    /// The per-channel count vectors, in channel order.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![4, 6]], 10)?;
+    /// assert_eq!(snapshot.counts(), &[vec![4, 6]]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// The number of reports the counts cover.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![4, 6]], 10)?;
+    /// assert_eq!(snapshot.n_reports(), 10);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn n_reports(&self) -> u64 {
+        self.n_reports
+    }
+
+    /// The domain size of each channel, in channel order.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 3)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1, 0]], 2)?;
+    /// assert_eq!(snapshot.channel_sizes(), vec![3]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn channel_sizes(&self) -> Vec<usize> {
+        self.counts.iter().map(Vec::len).collect()
+    }
+
+    /// Serializes the snapshot into the on-disk byte layout (see
+    /// `docs/FORMAT.md`): header, channel blocks, trailing CRC-64/XZ.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// let bytes = snapshot.to_bytes()?;
+    /// assert_eq!(&bytes[..8], b"MDRRSNAP");
+    /// assert_eq!(Snapshot::from_bytes(&bytes)?, snapshot);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidHeader`] if the header does not
+    /// serialize, [`StoreError::InvalidLayout`] for out-of-format shapes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        format::encode(self)
+    }
+
+    /// Parses and validates the on-disk byte layout: magic, version,
+    /// structure, checksum, header JSON, counting invariants — in that
+    /// order, each failure mapped to its own [`StoreError`] variant.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::{Snapshot, StoreError};
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// # let snapshot = Snapshot::new(schema, spec, vec![vec![1, 1]], 2)?;
+    /// let mut bytes = snapshot.to_bytes()?;
+    /// let last = bytes.len() - 9; // flip a count byte, not the checksum
+    /// bytes[last] ^= 0x01;
+    /// assert!(matches!(
+    ///     Snapshot::from_bytes(&bytes),
+    ///     Err(StoreError::ChecksumMismatch { .. })
+    /// ));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Every malformed input maps to a typed [`StoreError`]; this method
+    /// never panics on untrusted bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        format::decode(bytes)
+    }
+
+    /// Builds the protocol described by the embedded spec and schema, and
+    /// verifies that its channel topology matches the stored counts — the
+    /// gate every consumer should pass before estimating from a snapshot
+    /// of unknown provenance.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 3)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![5, 3, 2]], 10)?;
+    /// let protocol = snapshot.build_protocol()?;
+    /// assert_eq!(protocol.name(), "RR-Independent");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidHeader`] if the spec does not build
+    /// over the schema, and [`StoreError::SpecMismatch`] if the built
+    /// protocol's channel sizes differ from the stored count vectors.
+    pub fn build_protocol(&self) -> Result<Box<dyn Protocol>, StoreError> {
+        let protocol = self
+            .spec
+            .build(&self.schema)
+            .map_err(|e| StoreError::header(format!("embedded spec does not build: {e}")))?;
+        let expected = protocol.channel_sizes();
+        let stored = self.channel_sizes();
+        if expected != stored {
+            return Err(StoreError::spec_mismatch(format!(
+                "the embedded spec implies channel sizes {expected:?} but the snapshot stores {stored:?}"
+            )));
+        }
+        Ok(protocol)
+    }
+
+    /// Runs the protocol's closed-form estimation over the stored counts,
+    /// yielding the same `Box<dyn Release>` a live collector's snapshot
+    /// would — every batch query runs unchanged against a restored file.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::Snapshot;
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.8));
+    /// let snapshot = Snapshot::new(schema, spec, vec![vec![70, 30]], 100)?;
+    /// let release = snapshot.release()?;
+    /// assert_eq!(release.record_count(), 100);
+    /// assert!(release.frequency(&[(0, 0)])? > 0.5);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Same conditions as [`Snapshot::build_protocol`], plus the
+    /// protocol's own estimation errors (e.g. RR-Adjustment cannot
+    /// estimate from counts alone).
+    pub fn release(&self) -> Result<Box<dyn Release>, MdrrError> {
+        let protocol = self.build_protocol()?;
+        protocol.release_from_counts(&self.counts, self.n_reports as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::Attribute;
+    use mdrr_protocols::RandomizationLevel;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::indexed("A", 3).unwrap(),
+            Attribute::indexed("B", 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn spec() -> ProtocolSpec {
+        ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7))
+    }
+
+    #[test]
+    fn construction_enforces_counting_invariants() {
+        assert!(matches!(
+            Snapshot::new(schema(), spec(), vec![], 0),
+            Err(StoreError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            Snapshot::new(schema(), spec(), vec![vec![1, 1, 0], vec![]], 2),
+            Err(StoreError::InvalidLayout { .. })
+        ));
+        // Channel sums must equal the declared record count.
+        assert!(matches!(
+            Snapshot::new(schema(), spec(), vec![vec![1, 1, 0], vec![1, 2]], 2),
+            Err(StoreError::InvalidLayout { .. })
+        ));
+        // Summation overflow is caught, not wrapped.
+        assert!(matches!(
+            Snapshot::new(schema(), spec(), vec![vec![u64::MAX, 2, 0], vec![2, 0]], 2),
+            Err(StoreError::InvalidLayout { .. })
+        ));
+        let ok = Snapshot::new(schema(), spec(), vec![vec![1, 1, 0], vec![0, 2]], 2).unwrap();
+        assert_eq!(ok.channel_sizes(), vec![3, 2]);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let mut snapshot =
+            Snapshot::new(schema(), spec(), vec![vec![5, 3, 2], vec![6, 4]], 10).unwrap();
+        snapshot.set_app_state(Some("{\"draws\":42}".to_string()));
+        let bytes = snapshot.to_bytes().unwrap();
+        let restored = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, snapshot);
+        assert_eq!(restored.app_state(), Some("{\"draws\":42}"));
+    }
+
+    #[test]
+    fn build_protocol_validates_the_channel_topology() {
+        let good = Snapshot::new(schema(), spec(), vec![vec![1, 1, 0], vec![0, 2]], 2).unwrap();
+        assert_eq!(good.build_protocol().unwrap().channel_sizes(), vec![3, 2]);
+        // An RR-Joint spec over the same schema implies one 6-category
+        // channel, not two per-attribute channels.
+        let joint = ProtocolSpec::Joint {
+            level: RandomizationLevel::KeepProbability(0.7),
+            max_domain: None,
+            equivalent_risk: false,
+        };
+        let bad = Snapshot::new(schema(), joint, vec![vec![1, 1, 0], vec![0, 2]], 2).unwrap();
+        assert!(matches!(
+            bad.build_protocol(),
+            Err(StoreError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn release_estimates_from_stored_counts() {
+        use mdrr_protocols::FrequencyEstimator;
+        let snapshot = Snapshot::new(
+            schema(),
+            spec(),
+            vec![vec![700, 200, 100], vec![600, 400]],
+            1000,
+        )
+        .unwrap();
+        let release = snapshot.release().unwrap();
+        assert_eq!(release.record_count(), 1000);
+        let marginal = release.marginal(0).unwrap();
+        assert!((marginal.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

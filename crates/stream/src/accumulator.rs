@@ -47,6 +47,30 @@ impl Accumulator {
         })
     }
 
+    /// Rebuilds an accumulator from externally held state — the restore
+    /// path of a persisted snapshot.  Validates the same invariants
+    /// [`Accumulator::absorb_counts`] enforces: at least one non-empty
+    /// channel, and every channel's counts summing to exactly `n_reports`
+    /// (each report contributes one code per channel).
+    ///
+    /// ```
+    /// use mdrr_stream::Accumulator;
+    /// let acc = Accumulator::from_counts(vec![vec![2, 0, 1], vec![1, 2]], 3)?;
+    /// assert_eq!(acc.n_reports(), 3);
+    /// assert!(Accumulator::from_counts(vec![vec![2, 0]], 3).is_err());
+    /// # Ok::<(), mdrr_stream::MdrrError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] when an invariant is
+    /// violated.
+    pub fn from_counts(counts: Vec<Vec<u64>>, n_reports: u64) -> Result<Self, MdrrError> {
+        let sizes: Vec<usize> = counts.iter().map(Vec::len).collect();
+        let mut acc = Accumulator::new(&sizes)?;
+        acc.absorb_counts(&counts, n_reports)?;
+        Ok(acc)
+    }
+
     /// Ingests one report: bumps one count per channel.
     ///
     /// # Errors

@@ -1,0 +1,386 @@
+//! Durable checkpoints of a [`ShardedCollector`].
+//!
+//! A checkpoint is a directory: one `mdrr-store` snapshot file per shard
+//! (`shard-00000.mdrrsnap`, `shard-00001.mdrrsnap`, …) plus a
+//! `MANIFEST.json` written *last* and atomically — the manifest is the
+//! commit point, so a crash mid-checkpoint leaves the previous manifest
+//! in charge of a previous consistent shard set.  Each shard file is
+//! self-describing (it embeds the schema and the declarative
+//! [`ProtocolSpec`]), so [`ShardedCollector::restore`] rebuilds the
+//! protocol and the accumulators from the directory alone, and shard
+//! files from different machines can be pooled with
+//! [`mdrr_store::merge_snapshot_files`] with no process alive that ever
+//! held the original collector.
+
+use crate::accumulator::Accumulator;
+use crate::collector::ShardedCollector;
+use crate::error::MdrrError;
+use mdrr_protocols::{Protocol, ProtocolSpec};
+use mdrr_store::{atomic_write, Snapshot, SnapshotReader, SnapshotWriter};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the checkpoint manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Version of the manifest JSON layout.
+const MANIFEST_VERSION: u32 = 1;
+
+/// The commit record of a checkpoint directory: which shard files form
+/// the consistent set, how many reports they cover in total, and the
+/// caller's opaque resume state.  Serialized as pretty JSON in
+/// [`MANIFEST_FILE`]; written last, atomically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Version of this manifest layout (currently 1).
+    pub manifest_version: u32,
+    /// Number of shards (equals `shard_files.len()`).
+    pub n_shards: usize,
+    /// Total reports across all shard snapshots at checkpoint time —
+    /// restore verifies the shard files still sum to this, which catches
+    /// a torn checkpoint (some shard files newer than the manifest).
+    pub total_reports: u64,
+    /// Shard snapshot file names relative to the checkpoint directory,
+    /// in shard order.
+    pub shard_files: Vec<String>,
+    /// Opaque application resume state (e.g. `stream_sim`'s RNG
+    /// position), or `None`.
+    pub app_state: Option<String>,
+}
+
+/// Everything [`ShardedCollector::restore`] recovers from a checkpoint
+/// directory.
+#[derive(Debug)]
+pub struct RestoredCheckpoint {
+    /// The collector, with every shard accumulator exactly as persisted.
+    pub collector: ShardedCollector,
+    /// The declarative spec the shards were collected under (pass it back
+    /// to [`ShardedCollector::checkpoint`] for the next checkpoint).
+    pub spec: ProtocolSpec,
+    /// The opaque application resume state stored in the manifest.
+    pub app_state: Option<String>,
+}
+
+/// The shard snapshot file name of shard `k`.
+fn shard_file_name(k: usize) -> String {
+    format!("shard-{k:05}.mdrrsnap")
+}
+
+impl ShardedCollector {
+    /// Persists every shard's accumulator into `dir` as `mdrr-store`
+    /// snapshot files and commits the set with an atomically written
+    /// [`CheckpointManifest`].  `spec` must be the declarative spec of
+    /// the collector's protocol (it is embedded in every shard file so
+    /// the checkpoint is self-describing); `app_state` is an opaque
+    /// string stored in the manifest for the caller's own resume logic.
+    ///
+    /// Checkpointing is crash-safe at two levels: each file write is
+    /// atomic (temp + rename), and the manifest is written last, so an
+    /// interrupted checkpoint leaves the previous manifest pointing at
+    /// the previous consistent state.
+    ///
+    /// ```
+    /// use mdrr_data::{Attribute, Schema};
+    /// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// use mdrr_stream::ShardedCollector;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("mdrr-ckpt-doc-{}", std::process::id()));
+    /// let schema = Schema::new(vec![Attribute::indexed("A", 3)?])?;
+    /// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let mut collector = ShardedCollector::new(spec.build_arc(&schema)?, 2)?;
+    /// collector.ingest_records(&[vec![0], vec![1], vec![2]], 42)?;
+    ///
+    /// let manifest = collector.checkpoint(&spec, &dir, Some("round 1"))?;
+    /// assert_eq!(manifest.n_shards, 2);
+    /// assert_eq!(manifest.total_reports, 3);
+    ///
+    /// let restored = ShardedCollector::restore(&dir)?;
+    /// assert_eq!(restored.collector.shards(), collector.shards());
+    /// assert_eq!(restored.app_state.as_deref(), Some("round 1"));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] if `spec` does not
+    /// describe this collector's protocol (name or channel topology
+    /// differ), and wrapped [`mdrr_store::StoreError`]s for I/O or
+    /// serialization failures.
+    pub fn checkpoint(
+        &self,
+        spec: &ProtocolSpec,
+        dir: &Path,
+        app_state: Option<&str>,
+    ) -> Result<CheckpointManifest, MdrrError> {
+        let schema = self.protocol().schema().clone();
+        // The spec is about to be persisted as the authoritative
+        // description of these counts: verify it actually rebuilds this
+        // protocol before writing anything.
+        let rebuilt = spec.build(&schema)?;
+        if rebuilt.name() != self.protocol().name()
+            || rebuilt.channel_sizes() != self.protocol().channel_sizes()
+        {
+            return Err(MdrrError::config(format!(
+                "checkpoint spec describes {} with channels {:?}, but the collector runs {} \
+                 with channels {:?}",
+                rebuilt.name(),
+                rebuilt.channel_sizes(),
+                self.protocol().name(),
+                self.protocol().channel_sizes()
+            )));
+        }
+        let mut shard_files = Vec::with_capacity(self.n_shards());
+        for (k, shard) in self.shards().iter().enumerate() {
+            let name = shard_file_name(k);
+            let snapshot = Snapshot::new(
+                schema.clone(),
+                spec.clone(),
+                shard.counts().to_vec(),
+                shard.n_reports(),
+            )?;
+            SnapshotWriter::new(dir.join(&name)).write(&snapshot)?;
+            shard_files.push(name);
+        }
+        let manifest = CheckpointManifest {
+            manifest_version: MANIFEST_VERSION,
+            n_shards: self.n_shards(),
+            total_reports: self.total_reports(),
+            shard_files,
+            app_state: app_state.map(str::to_string),
+        };
+        let json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| MdrrError::config(format!("manifest does not serialize: {e}")))?;
+        atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        Ok(manifest)
+    }
+
+    /// Rebuilds a collector from a checkpoint directory written by
+    /// [`ShardedCollector::checkpoint`]: reads the manifest, reads and
+    /// validates every shard snapshot (checksums, spec compatibility
+    /// across shards, counts-vs-spec channel topology), rebuilds the
+    /// protocol from the embedded spec and schema, and restores every
+    /// shard accumulator exactly.
+    ///
+    /// ```
+    /// use mdrr_data::{Attribute, Schema};
+    /// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// use mdrr_stream::ShardedCollector;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("mdrr-restore-doc-{}", std::process::id()));
+    /// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.6));
+    /// let mut collector = ShardedCollector::new(spec.build_arc(&schema)?, 3)?;
+    /// collector.ingest_records(&[vec![0], vec![1], vec![0], vec![1]], 9)?;
+    /// collector.checkpoint(&spec, &dir, None)?;
+    ///
+    /// // A fresh process — no protocol object, no schema — restores it all.
+    /// let restored = ShardedCollector::restore(&dir)?;
+    /// assert_eq!(restored.collector.total_reports(), 4);
+    /// assert_eq!(restored.collector.protocol().name(), "RR-Independent");
+    /// assert_eq!(restored.spec, spec);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] for a missing or
+    /// malformed manifest, shard files that disagree on spec or schema, a
+    /// torn checkpoint (shard totals no longer matching the manifest),
+    /// and wrapped [`mdrr_store::StoreError`]s for unreadable or corrupt
+    /// shard files.
+    pub fn restore(dir: &Path) -> Result<RestoredCheckpoint, MdrrError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let json = std::fs::read_to_string(&manifest_path).map_err(|e| {
+            MdrrError::config(format!(
+                "cannot read checkpoint manifest {}: {e}",
+                manifest_path.display()
+            ))
+        })?;
+        let manifest: CheckpointManifest = serde_json::from_str(&json).map_err(|e| {
+            MdrrError::config(format!(
+                "malformed checkpoint manifest {}: {e}",
+                manifest_path.display()
+            ))
+        })?;
+        if manifest.manifest_version != MANIFEST_VERSION {
+            return Err(MdrrError::config(format!(
+                "unsupported checkpoint manifest version {} (this reader implements {})",
+                manifest.manifest_version, MANIFEST_VERSION
+            )));
+        }
+        if manifest.shard_files.is_empty() || manifest.shard_files.len() != manifest.n_shards {
+            return Err(MdrrError::config(format!(
+                "manifest declares {} shards but lists {} shard files",
+                manifest.n_shards,
+                manifest.shard_files.len()
+            )));
+        }
+        let paths: Vec<PathBuf> = manifest.shard_files.iter().map(|f| dir.join(f)).collect();
+        let snapshots = paths
+            .iter()
+            .map(SnapshotReader::read)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(MdrrError::from)?;
+        let first = &snapshots[0];
+        for (k, snapshot) in snapshots.iter().enumerate().skip(1) {
+            if snapshot.schema() != first.schema()
+                || snapshot.spec() != first.spec()
+                || snapshot.channel_sizes() != first.channel_sizes()
+            {
+                return Err(MdrrError::config(format!(
+                    "shard file {} disagrees with shard 0 on spec, schema or channel layout",
+                    manifest.shard_files[k]
+                )));
+            }
+        }
+        let total = snapshots
+            .iter()
+            .try_fold(0u64, |acc, s| acc.checked_add(s.n_reports()))
+            .ok_or_else(|| {
+                MdrrError::config("shard report counts overflow u64; the checkpoint is corrupt")
+            })?;
+        if total != manifest.total_reports {
+            return Err(MdrrError::config(format!(
+                "torn checkpoint: shard files cover {total} reports but the manifest \
+                 committed {} — restore from the previous checkpoint",
+                manifest.total_reports
+            )));
+        }
+        // Builds the protocol and verifies counts-vs-spec channel
+        // topology in one step.
+        let protocol: Arc<dyn Protocol> = Arc::from(first.build_protocol()?);
+        let spec = first.spec().clone();
+        let shards = snapshots
+            .into_iter()
+            .map(|s| {
+                let n = s.n_reports();
+                Accumulator::from_counts(s.counts().to_vec(), n)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RestoredCheckpoint {
+            collector: ShardedCollector::from_parts(protocol, shards),
+            spec,
+            app_state: manifest.app_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_data::{Attribute, Schema};
+    use mdrr_protocols::RandomizationLevel;
+    use std::fs;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::indexed("A", 3).unwrap(),
+            Attribute::indexed("B", 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn spec() -> ProtocolSpec {
+        ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7))
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdrr-ckpt-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn loaded_collector(n_shards: usize) -> ShardedCollector {
+        let mut c = ShardedCollector::new(spec().build_arc(&schema()).unwrap(), n_shards).unwrap();
+        let records: Vec<Vec<u32>> = (0..500)
+            .map(|i| vec![(i % 3) as u32, (i % 2) as u32])
+            .collect();
+        c.ingest_records(&records, 7).unwrap();
+        c
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip_is_exact() {
+        let dir = scratch_dir("roundtrip");
+        let collector = loaded_collector(4);
+        let manifest = collector
+            .checkpoint(&spec(), &dir, Some("app state"))
+            .unwrap();
+        assert_eq!(manifest.n_shards, 4);
+        assert_eq!(manifest.total_reports, 500);
+        assert_eq!(manifest.shard_files.len(), 4);
+
+        let restored = ShardedCollector::restore(&dir).unwrap();
+        assert_eq!(restored.collector.shards(), collector.shards());
+        assert_eq!(restored.collector.protocol().name(), "RR-Independent");
+        assert_eq!(restored.spec, spec());
+        assert_eq!(restored.app_state.as_deref(), Some("app state"));
+        // The restored collector keeps ingesting and snapshotting.
+        let mut resumed = restored.collector;
+        resumed.ingest_records(&[vec![0, 0]], 8).unwrap();
+        assert_eq!(resumed.total_reports(), 501);
+        assert!(resumed.snapshot().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_mismatched_spec() {
+        let dir = scratch_dir("speccheck");
+        let collector = loaded_collector(2);
+        // A joint spec does not describe a per-attribute collector.
+        let wrong = ProtocolSpec::Joint {
+            level: RandomizationLevel::KeepProbability(0.7),
+            max_domain: None,
+            equivalent_risk: false,
+        };
+        assert!(collector.checkpoint(&wrong, &dir, None).is_err());
+        // Nothing was committed.
+        assert!(!dir.join(MANIFEST_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_detects_missing_and_torn_state() {
+        let dir = scratch_dir("torn");
+        // No manifest at all.
+        assert!(ShardedCollector::restore(&dir).is_err());
+        let collector = loaded_collector(2);
+        collector.checkpoint(&spec(), &dir, None).unwrap();
+        // Simulate a torn checkpoint: one shard file advanced past the
+        // manifest (as if the process died between shard writes).
+        let mut advanced = collector.clone();
+        advanced.ingest_records(&vec![vec![1, 1]; 10], 9).unwrap();
+        let snapshot = Snapshot::new(
+            schema(),
+            spec(),
+            advanced.shards()[0].counts().to_vec(),
+            advanced.shards()[0].n_reports(),
+        )
+        .unwrap();
+        SnapshotWriter::new(dir.join(shard_file_name(0)))
+            .write(&snapshot)
+            .unwrap();
+        let err = ShardedCollector::restore(&dir).unwrap_err();
+        assert!(err.to_string().contains("torn checkpoint"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_shard_files_and_bad_manifests() {
+        let dir = scratch_dir("corrupt");
+        let collector = loaded_collector(2);
+        collector.checkpoint(&spec(), &dir, None).unwrap();
+        // Flip one byte in the middle of a shard file.
+        let path = dir.join(shard_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(ShardedCollector::restore(&dir).is_err());
+        // A malformed manifest is a typed error too.
+        fs::write(dir.join(MANIFEST_FILE), b"{not json").unwrap();
+        assert!(ShardedCollector::restore(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

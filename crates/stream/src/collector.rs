@@ -76,6 +76,14 @@ impl ShardedCollector {
         Self::new(Arc::new(protocol), n_shards)
     }
 
+    /// Reassembles a collector from restored per-shard accumulators (the
+    /// checkpoint/restore path).  The caller guarantees every accumulator
+    /// matches the protocol's channel layout.
+    pub(crate) fn from_parts(protocol: Arc<dyn Protocol>, shards: Vec<Accumulator>) -> Self {
+        debug_assert!(!shards.is_empty());
+        ShardedCollector { protocol, shards }
+    }
+
     /// The protocol the collector ingests reports for.
     pub fn protocol(&self) -> &Arc<dyn Protocol> {
         &self.protocol
@@ -434,6 +442,34 @@ impl ShardedCollector {
 /// The deterministic RNG of shard `k` for a given base seed.
 fn shard_rng(base_seed: u64, k: usize) -> StdRng {
     StdRng::seed_from_u64(base_seed.wrapping_add((k as u64).wrapping_mul(SHARD_SEED_STRIDE)))
+}
+
+/// The base seed under which a collector's *local* shard `k` draws the
+/// exact RNG stream that *global* shard `shard_offset + k` would draw
+/// under `base_seed` — the cross-process sharding contract.
+///
+/// A fleet of processes can split one logical collector of `K = N × S`
+/// shards into `N` collectors of `S` shards each: process `p` ingests its
+/// contiguous record range under `offset_base_seed(base_seed, p * S)`,
+/// and the persisted per-shard counts merge into exactly what a single
+/// `K`-shard collector under `base_seed` would have produced — provided
+/// the record partition also lines up (every process except possibly the
+/// last must hold `S × ceil(n_total / K)` records, i.e. whole global
+/// chunks).  `examples/distributed_merge.rs` demonstrates the full
+/// construction end to end.
+///
+/// ```
+/// use mdrr_stream::offset_base_seed;
+/// // Offset 0 is the identity: process 0 shares the global base seed.
+/// assert_eq!(offset_base_seed(42, 0), 42);
+/// // Offsets compose: two shards forward twice is four shards forward.
+/// assert_eq!(
+///     offset_base_seed(offset_base_seed(42, 2), 2),
+///     offset_base_seed(42, 4)
+/// );
+/// ```
+pub fn offset_base_seed(base_seed: u64, shard_offset: usize) -> u64 {
+    base_seed.wrapping_add((shard_offset as u64).wrapping_mul(SHARD_SEED_STRIDE))
 }
 
 #[cfg(test)]

@@ -22,7 +22,14 @@
 //!   deterministic RNG, no locks) and can be snapshotted mid-stream into
 //!   the protocol's regular release (a [`StreamSnapshot`], i.e.
 //!   `Box<dyn Release>`), numerically identical to the batch estimate over
-//!   the same randomized codes.
+//!   the same randomized codes;
+//! * [`checkpoint`] — collectors persist to and restore from durable
+//!   `mdrr-store` checkpoint directories
+//!   ([`ShardedCollector::checkpoint`] / [`ShardedCollector::restore`]):
+//!   one self-describing, checksummed snapshot file per shard plus an
+//!   atomically committed manifest, so a crash loses nothing and shard
+//!   files from independent machines pool exactly via
+//!   [`mdrr_store::merge_snapshot_files`].
 //!
 //! ## Example
 //!
@@ -62,12 +69,14 @@
 
 pub mod accumulator;
 pub mod batch;
+pub mod checkpoint;
 pub mod collector;
 pub mod error;
 pub mod report;
 
 pub use accumulator::Accumulator;
 pub use batch::ReportBatch;
-pub use collector::{ShardedCollector, StreamSnapshot, ENCODE_BATCH};
+pub use checkpoint::{CheckpointManifest, RestoredCheckpoint, MANIFEST_FILE};
+pub use collector::{offset_base_seed, ShardedCollector, StreamSnapshot, ENCODE_BATCH};
 pub use error::{MdrrError, StreamError};
 pub use report::Report;

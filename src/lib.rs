@@ -22,6 +22,10 @@
 //! * the sharded streaming subsystem — client-side report encoders,
 //!   mergeable count-vector accumulators and mid-stream snapshots that are
 //!   numerically identical to the batch estimates ([`stream`]);
+//! * the durable snapshot store — a versioned, checksummed on-disk format
+//!   for accumulator state with crash-safe atomic writes, checkpoint/
+//!   restore of sharded collectors and exact cross-process shard merging
+//!   ([`store`]);
 //! * the evaluation harness that regenerates every table and figure of the
 //!   paper ([`eval`]).
 //!
@@ -62,6 +66,7 @@ pub use mdrr_data as data;
 pub use mdrr_eval as eval;
 pub use mdrr_math as math;
 pub use mdrr_protocols as protocols;
+pub use mdrr_store as store;
 pub use mdrr_stream as stream;
 
 /// The most commonly used items, re-exported for convenient glob imports.
@@ -81,7 +86,13 @@ pub mod prelude {
         ProtocolError, ProtocolSpec, RRAdjustment, RRClusters, RRIndependent, RRJoint,
         RandomizationLevel, Release,
     };
-    pub use mdrr_stream::{Accumulator, Report, ReportBatch, ShardedCollector, StreamSnapshot};
+    pub use mdrr_store::{
+        merge_snapshot_files, merge_snapshots, Snapshot, SnapshotReader, SnapshotWriter, StoreError,
+    };
+    pub use mdrr_stream::{
+        Accumulator, CheckpointManifest, Report, ReportBatch, RestoredCheckpoint, ShardedCollector,
+        StreamSnapshot,
+    };
 }
 
 #[cfg(test)]
