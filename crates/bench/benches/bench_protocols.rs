@@ -128,7 +128,9 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_dispatch");
     group.sample_size(20);
     let dataset = adult(10_000);
-    let records: Vec<Vec<u32>> = dataset.records().collect();
+    let records: Vec<Vec<u32>> = (0..dataset.n_records())
+        .map(|i| dataset.record(i).expect("index in range"))
+        .collect();
     let concrete = RRIndependent::new(
         dataset.schema().clone(),
         &RandomizationLevel::KeepProbability(0.7),

@@ -108,6 +108,12 @@ fn uniform_redraw_scale(r: usize, threshold: u64) -> u128 {
     }
 }
 
+// The shared keep/redraw kernel below is the reason the batched and
+// per-record paths are bit-identical: pure integer arithmetic, one draw
+// per value.  mdrr-lint enforces that no float (and no allocation) ever
+// sneaks back in.
+// lint:region(no_float, no_alloc)
+
 /// The redraw half of the kernel: maps the leftover mass `hi − threshold`
 /// onto one of the `r − 1` categories other than `true_value`.  Shared by
 /// the batched kernel and the scalar path so their arithmetic can never
@@ -137,6 +143,8 @@ fn sample_uniform_raw(threshold: u64, redraw_scale: u128, true_value: u32, raw: 
     }
     uniform_redraw(threshold, redraw_scale, true_value, hi)
 }
+
+// lint:endregion(no_float, no_alloc)
 
 /// One-draw inverse-CDF sampling along row `u` of a general row-stochastic
 /// matrix: walk the row subtracting probabilities until the draw is spent.
@@ -230,9 +238,11 @@ impl PreparedRandomizer<'_> {
                 threshold,
                 redraw_scale,
             } => {
+                // lint:region(no_float, no_alloc)
                 out.extend(column.iter().enumerate().map(|(i, &v)| {
                     sample_uniform_raw(threshold, redraw_scale, v, draws[offset + i * stride])
                 }));
+                // lint:endregion(no_float, no_alloc)
             }
             PreparedKind::General(m) => {
                 let r = self.r;
@@ -275,6 +285,7 @@ impl PreparedRandomizer<'_> {
                 threshold,
                 redraw_scale,
             } => {
+                // lint:region(no_float, no_alloc)
                 if self.r <= TALLY_BANK_WIDTH {
                     // Four interleaved stack banks: consecutive values
                     // never increment the same counter slot, so the
@@ -308,6 +319,7 @@ impl PreparedRandomizer<'_> {
                         tally[code as usize] += 1;
                     }
                 }
+                // lint:endregion(no_float, no_alloc)
             }
             PreparedKind::General(m) => {
                 for (i, &v) in column.iter().enumerate() {

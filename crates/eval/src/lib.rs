@@ -36,6 +36,7 @@
 //! # Ok::<(), mdrr_protocols::ProtocolError>(())
 //! ```
 
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,0 +1,179 @@
+//! Rustc-style diagnostics: structured findings, terminal rendering, and a
+//! machine-readable JSON report for CI artifacts.
+
+use std::fmt::Write as _;
+
+/// How severe a finding is.  Rule findings are warnings promoted to a
+/// failing exit by `--deny-warnings`; malformed lint directives (an
+/// `allow` without a reason, an unbalanced region) are always errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A contract violation; fails the run under `--deny-warnings`.
+    Warning,
+    /// A hard error; always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label rustc would print.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that produced this finding (its suppressible id).
+    pub rule: String,
+    /// Warning (deniable) or error (always fatal).
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column in characters.
+    pub col: u32,
+    /// The one-line statement of what is wrong.
+    pub message: String,
+    /// The source line the finding sits on, if available.
+    pub snippet: Option<String>,
+    /// How many characters of the snippet to underline (minimum 1).
+    pub span_chars: usize,
+    /// An optional `= help:` trailer (how to fix or suppress).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A finding with no snippet context (file-level or cross-file rules).
+    pub fn file_level(rule: &str, file: &str, message: String) -> Self {
+        Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Warning,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message,
+            snippet: None,
+            span_chars: 1,
+            help: None,
+        }
+    }
+
+    /// Attaches a `= help:` trailer.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the finding in the familiar rustc layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.rule,
+            self.message
+        );
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if let Some(snippet) = &self.snippet {
+            let gutter = format!("{}", self.line);
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {}", snippet.trim_end());
+            let underline_at = (self.col as usize).saturating_sub(1);
+            let _ = writeln!(
+                out,
+                "{pad} | {}{}",
+                " ".repeat(underline_at),
+                "^".repeat(self.span_chars.max(1))
+            );
+        }
+        if let Some(help) = &self.help {
+            let _ = writeln!(out, "  = help: {help}");
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings as the JSON report uploaded from CI.  Hand-rolled:
+/// the linter is deliberately dependency-free.
+pub fn report_json(diagnostics: &[Diagnostic], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"suppressed\": {suppressed},");
+    let _ = writeln!(out, "  \"findings\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        let comma = if i + 1 == diagnostics.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{comma}",
+            json_escape(&d.rule),
+            d.severity.label(),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_the_rustc_shape() {
+        let d = Diagnostic {
+            rule: "no-panic-paths".into(),
+            severity: Severity::Warning,
+            file: "crates/store/src/format.rs".into(),
+            line: 12,
+            col: 9,
+            message: "`.unwrap()` on the decode path".into(),
+            snippet: Some("        x.unwrap();".into()),
+            span_chars: 6,
+            help: Some("propagate a typed error".into()),
+        };
+        let text = d.render();
+        assert!(text.starts_with("warning[no-panic-paths]:"));
+        assert!(text.contains("--> crates/store/src/format.rs:12:9"));
+        assert!(text.contains("^^^^^^"));
+        assert!(text.contains("= help:"));
+    }
+
+    #[test]
+    fn report_json_is_valid_enough_to_round_trip_quotes() {
+        let d = Diagnostic::file_level("spec-sync", "docs/FORMAT.md", "magic \"drift\"".into());
+        let json = report_json(&[d], 3, 1);
+        assert!(json.contains("\\\"drift\\\""));
+        assert!(json.contains("\"files_scanned\": 3"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The engine: run every (selected) rule over a workspace, apply
+//! `lint:allow` suppressions, surface malformed directives and stale
+//! suppressions, and produce a deterministic, sorted finding list.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{all_rules, Rule};
+use crate::workspace::Workspace;
+
+/// The result of one lint run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Surviving findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many findings `lint:allow` directives suppressed.
+    pub suppressed: usize,
+    /// How many source files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Findings of exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether the run should fail CI: any hard error, or any warning
+    /// under `--deny-warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+}
+
+/// Runs all rules over `ws`.
+pub fn run(ws: &Workspace) -> Outcome {
+    run_filtered(ws, &all_rules(), None)
+}
+
+/// Runs `rules` over `ws`, optionally restricted to the rule ids in
+/// `only`.  Malformed-directive errors always surface; suppressions only
+/// apply to the rule they name; a suppression that suppresses nothing is
+/// itself reported so stale allows cannot accumulate.
+pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[String]>) -> Outcome {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in rules {
+        if let Some(only) = only {
+            if !only.iter().any(|id| id == rule.id()) {
+                continue;
+            }
+        }
+        rule.check(ws, &mut raw);
+    }
+
+    // Apply suppressions: a finding is suppressed when its file carries a
+    // `lint:allow(rule, …)` whose covered line is the finding's line.
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
+    for diag in raw {
+        let matched = ws.file(&diag.file).and_then(|f| {
+            f.suppressions
+                .iter()
+                .find(|s| s.rule == diag.rule && s.covers_line == diag.line)
+        });
+        match matched {
+            Some(sup) if diag.severity == Severity::Warning => {
+                sup.used.set(true);
+                suppressed += 1;
+            }
+            _ => diagnostics.push(diag),
+        }
+    }
+
+    // Malformed directives are hard errors; stale suppressions are
+    // warnings (they fail under --deny-warnings like any other finding).
+    for file in &ws.files {
+        diagnostics.extend(file.directive_errors.iter().cloned());
+        for sup in file.suppressions.iter().filter(|s| !s.used.get()) {
+            // Only flag suppressions naming rules that actually ran, so a
+            // single-rule run doesn't call every other allow stale.
+            let rule_ran = match only {
+                Some(only) => only.contains(&sup.rule),
+                None => true,
+            };
+            if !rule_ran {
+                continue;
+            }
+            let mut d = Diagnostic {
+                rule: "lint-directive".to_string(),
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: sup.line,
+                col: 1,
+                message: format!(
+                    "stale `lint:allow({})` — it suppresses nothing on line {}",
+                    sup.rule, sup.covers_line
+                ),
+                snippet: file.line_text(sup.line).map(str::to_string),
+                span_chars: 1,
+                help: Some(
+                    "delete the directive; suppressions must not outlive their finding".into(),
+                ),
+            };
+            if !crate::rules::all_rules().iter().any(|r| r.id() == sup.rule) {
+                d.severity = Severity::Error;
+                d.message = format!(
+                    "`lint:allow({})` names an unknown rule (see `mdrr-lint --list-rules`)",
+                    sup.rule
+                );
+            }
+            diagnostics.push(d);
+        }
+    }
+
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Outcome {
+        diagnostics,
+        suppressed,
+        files_scanned: ws.files.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_counted() {
+        let ws = Workspace::in_memory(
+            vec![(
+                "crates/store/src/x.rs",
+                "/// Doc.\npub fn f(v: &[u8]) -> u8 {\n    \
+                 v[0] // lint:allow(no-panic-paths, reason = \"caller checks len\")\n}\n",
+            )],
+            vec![],
+        );
+        let out = run_filtered(&ws, &all_rules(), Some(&["no-panic-paths".to_string()]));
+        assert_eq!(out.suppressed, 1);
+        assert!(
+            out.diagnostics.is_empty(),
+            "unexpected: {:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn stale_allows_are_reported() {
+        let ws = Workspace::in_memory(
+            vec![(
+                "crates/store/src/x.rs",
+                "// lint:allow(no-panic-paths, reason = \"nothing here panics\")\n\
+                 pub fn f() -> u8 { 0 }\n",
+            )],
+            vec![],
+        );
+        let out = run_filtered(&ws, &all_rules(), Some(&["no-panic-paths".to_string()]));
+        assert_eq!(out.suppressed, 0);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert!(out.diagnostics[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_hard_error() {
+        let ws = Workspace::in_memory(
+            vec![(
+                "crates/store/src/x.rs",
+                "// lint:allow(no-such-rule, reason = \"typo\")\npub fn f() {}\n",
+            )],
+            vec![],
+        );
+        let out = run_filtered(&ws, &all_rules(), None);
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("unknown rule")));
+    }
+}

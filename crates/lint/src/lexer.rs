@@ -1,0 +1,543 @@
+//! A lightweight, loss-free Rust lexer.
+//!
+//! The scanner understands exactly as much Rust as the lint rules need to
+//! be sound: it never confuses code with the inside of a comment, a string
+//! (plain, raw with any number of hashes, byte, raw byte), a char or byte
+//! literal, or a lifetime (`'a` vs `'a'`).  It is deliberately *not* a
+//! parser — rules work on token patterns — and it is total: any byte
+//! sequence that is valid UTF-8 lexes without panicking, and the produced
+//! tokens tile the input exactly (every byte belongs to exactly one token,
+//! in order), which is what the span-round-trip property test pins.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `unsafe`, `f64`, …).
+    Ident,
+    /// A raw identifier (`r#match`).
+    RawIdent,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal, including any type suffix (`1_000`, `0x_FF`,
+    /// `2.5e-3f64`).
+    Number,
+    /// A plain string literal (`"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, any hash depth).
+    RawStr,
+    /// A byte string literal (`b"…"`).
+    ByteStr,
+    /// A raw byte string literal (`br#"…"#`).
+    RawByteStr,
+    /// A char literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+    Char,
+    /// A byte literal (`b'x'`).
+    ByteChar,
+    /// A `// …` comment (doc or plain), excluding the newline.
+    LineComment,
+    /// A `/* … */` comment, with nesting.
+    BlockComment,
+    /// A single punctuation or operator character.
+    Punct,
+    /// A maximal run of whitespace.
+    Whitespace,
+    /// Anything the scanner could not classify (kept so tokens still tile
+    /// the input — e.g. a stray `'`).
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whether this token is source *code* rather than trivia — rules scan
+    /// only significant tokens and treat comments/whitespace separately.
+    pub fn is_significant(self) -> bool {
+        !matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One lexed token: its kind, byte span, and 1-based start position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive), always a char boundary.
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive), always a char
+    /// boundary.
+    pub end: usize,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters, not bytes) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text inside the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lexes `src` completely.  Total: never panics, and the returned tokens
+/// tile the whole input in order (`tokens[0].start == 0`, each token's
+/// `end` equals the next token's `start`, the last `end == src.len()`).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    while pos < src.len() {
+        let start = pos;
+        let kind = scan_token(src, &mut pos);
+        // Defensive: a scanner bug that fails to advance would loop
+        // forever; skip one char instead (as Unknown) and keep going.
+        if pos <= start {
+            pos = next_boundary(src, start);
+        }
+        tokens.push(Token {
+            kind: if pos > start {
+                kind
+            } else {
+                TokenKind::Unknown
+            },
+            start,
+            end: pos,
+            line,
+            col,
+        });
+        for ch in src.get(start..pos).unwrap_or("").chars() {
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// The char starting at byte `pos`, if `pos` is in range (callers keep
+/// `pos` on char boundaries).
+fn char_at(src: &str, pos: usize) -> Option<char> {
+    src.get(pos..).and_then(|s| s.chars().next())
+}
+
+/// The smallest char boundary strictly greater than `pos`.
+fn next_boundary(src: &str, pos: usize) -> usize {
+    let mut p = pos + 1;
+    while p < src.len() && !src.is_char_boundary(p) {
+        p += 1;
+    }
+    p.min(src.len())
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Scans one token starting at `*pos`, advancing `*pos` past it.
+fn scan_token(src: &str, pos: &mut usize) -> TokenKind {
+    let c = match char_at(src, *pos) {
+        Some(c) => c,
+        None => {
+            *pos = src.len();
+            return TokenKind::Unknown;
+        }
+    };
+    match c {
+        c if c.is_whitespace() => {
+            while let Some(w) = char_at(src, *pos) {
+                if !w.is_whitespace() {
+                    break;
+                }
+                *pos += w.len_utf8();
+            }
+            TokenKind::Whitespace
+        }
+        '/' => match char_at(src, *pos + 1) {
+            Some('/') => {
+                *pos += 2;
+                while let Some(ch) = char_at(src, *pos) {
+                    if ch == '\n' {
+                        break;
+                    }
+                    *pos += ch.len_utf8();
+                }
+                TokenKind::LineComment
+            }
+            Some('*') => {
+                *pos += 2;
+                scan_block_comment(src, pos);
+                TokenKind::BlockComment
+            }
+            _ => {
+                *pos += 1;
+                TokenKind::Punct
+            }
+        },
+        '"' => {
+            scan_quoted(src, pos, '"');
+            TokenKind::Str
+        }
+        'r' => scan_r_prefixed(src, pos),
+        'b' => scan_b_prefixed(src, pos),
+        '\'' => scan_quote(src, pos),
+        c if c.is_ascii_digit() => {
+            scan_number(src, pos);
+            TokenKind::Number
+        }
+        c if is_ident_start(c) => {
+            scan_ident(src, pos);
+            TokenKind::Ident
+        }
+        c => {
+            *pos += c.len_utf8();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes a nested block comment body; `*pos` sits just past the opening
+/// `/*`.  Unterminated comments run to end of input.
+fn scan_block_comment(src: &str, pos: &mut usize) {
+    let mut depth = 1usize;
+    while depth > 0 {
+        match char_at(src, *pos) {
+            None => break,
+            Some('/') if char_at(src, *pos + 1) == Some('*') => {
+                depth += 1;
+                *pos += 2;
+            }
+            Some('*') if char_at(src, *pos + 1) == Some('/') => {
+                depth -= 1;
+                *pos += 2;
+            }
+            Some(ch) => *pos += ch.len_utf8(),
+        }
+    }
+}
+
+/// Consumes a quoted literal (string or char body) starting at its opening
+/// quote, honoring backslash escapes.  Unterminated literals run to end of
+/// input.
+fn scan_quoted(src: &str, pos: &mut usize, close: char) {
+    *pos += close.len_utf8(); // opening quote
+    while let Some(ch) = char_at(src, *pos) {
+        *pos += ch.len_utf8();
+        if ch == '\\' {
+            if let Some(esc) = char_at(src, *pos) {
+                *pos += esc.len_utf8();
+            }
+        } else if ch == close {
+            break;
+        }
+    }
+}
+
+/// Consumes an identifier starting at `*pos`.
+fn scan_ident(src: &str, pos: &mut usize) {
+    while let Some(ch) = char_at(src, *pos) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        *pos += ch.len_utf8();
+    }
+}
+
+/// Number of consecutive `#` chars at `pos`.
+fn hash_run(src: &str, pos: usize) -> usize {
+    let mut n = 0;
+    while char_at(src, pos + n) == Some('#') {
+        n += 1;
+    }
+    n
+}
+
+/// Consumes a raw string body: `*pos` sits at the opening `"`, `hashes` is
+/// the hash depth.  Ends after `"` followed by `hashes` `#`s (or at EOF).
+fn scan_raw_string(src: &str, pos: &mut usize, hashes: usize) {
+    *pos += 1; // opening quote
+    while let Some(ch) = char_at(src, *pos) {
+        *pos += ch.len_utf8();
+        if ch == '"' && hash_run(src, *pos) >= hashes {
+            *pos += hashes;
+            break;
+        }
+    }
+}
+
+/// Dispatches tokens starting with `r`: raw string, raw identifier, or a
+/// plain identifier that merely starts with `r`.
+fn scan_r_prefixed(src: &str, pos: &mut usize) -> TokenKind {
+    let hashes = hash_run(src, *pos + 1);
+    match char_at(src, *pos + 1 + hashes) {
+        Some('"') => {
+            *pos += 1 + hashes;
+            scan_raw_string(src, pos, hashes);
+            TokenKind::RawStr
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) => {
+            *pos += 2; // r#
+            scan_ident(src, pos);
+            TokenKind::RawIdent
+        }
+        _ => {
+            scan_ident(src, pos);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Dispatches tokens starting with `b`: byte string, raw byte string, byte
+/// char, or a plain identifier that merely starts with `b`.
+fn scan_b_prefixed(src: &str, pos: &mut usize) -> TokenKind {
+    match char_at(src, *pos + 1) {
+        Some('"') => {
+            *pos += 1;
+            scan_quoted(src, pos, '"');
+            TokenKind::ByteStr
+        }
+        Some('\'') => {
+            *pos += 1;
+            scan_quoted(src, pos, '\'');
+            TokenKind::ByteChar
+        }
+        Some('r') => {
+            let hashes = hash_run(src, *pos + 2);
+            if char_at(src, *pos + 2 + hashes) == Some('"') {
+                *pos += 2 + hashes;
+                scan_raw_string(src, pos, hashes);
+                TokenKind::RawByteStr
+            } else {
+                scan_ident(src, pos);
+                TokenKind::Ident
+            }
+        }
+        _ => {
+            scan_ident(src, pos);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Disambiguates a leading `'`: char literal (`'a'`, `'\n'`) versus
+/// lifetime (`'a`, `'static`) versus a stray quote.
+fn scan_quote(src: &str, pos: &mut usize) -> TokenKind {
+    match char_at(src, *pos + 1) {
+        // `'\…'` — always a char literal.
+        Some('\\') => {
+            scan_quoted(src, pos, '\'');
+            TokenKind::Char
+        }
+        Some(c2) => {
+            let after = char_at(src, *pos + 1 + c2.len_utf8());
+            if after == Some('\'') {
+                // `'x'` for any single char x (including `'''`).
+                *pos += 1 + c2.len_utf8() + 1;
+                TokenKind::Char
+            } else if is_ident_start(c2) || c2.is_ascii_digit() {
+                // `'name` — a lifetime… unless the identifier run closes
+                // with another quote (`'abc'`, invalid Rust but must not
+                // derail the scanner: treat it as one Char token).
+                *pos += 1;
+                scan_ident(src, pos);
+                if char_at(src, *pos) == Some('\'') {
+                    *pos += 1;
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            } else {
+                *pos += 1;
+                TokenKind::Unknown
+            }
+        }
+        None => {
+            *pos += 1;
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Consumes a numeric literal: integer (decimal/hex/octal/binary with `_`
+/// separators), optional fraction, optional exponent, optional type suffix
+/// (`u32`, `f64`, …).  A `.` is only part of the number when a digit
+/// follows (`0..n` and `1.method()` stay three tokens).
+fn scan_number(src: &str, pos: &mut usize) {
+    let radix_prefix = matches!(
+        (char_at(src, *pos), char_at(src, *pos + 1)),
+        (Some('0'), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+    );
+    if radix_prefix {
+        *pos += 2;
+        while let Some(ch) = char_at(src, *pos) {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        return;
+    }
+    let digits = |pos: &mut usize| {
+        while let Some(ch) = char_at(src, *pos) {
+            if ch.is_ascii_digit() || ch == '_' {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+    };
+    digits(pos);
+    if char_at(src, *pos) == Some('.') && char_at(src, *pos + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        *pos += 1;
+        digits(pos);
+    }
+    if let Some(e) = char_at(src, *pos) {
+        if e == 'e' || e == 'E' {
+            let (skip, digit_at) = match char_at(src, *pos + 1) {
+                Some('+' | '-') => (2, char_at(src, *pos + 2)),
+                other => (1, other),
+            };
+            if digit_at.is_some_and(|c| c.is_ascii_digit()) {
+                *pos += skip;
+                digits(pos);
+            }
+        }
+    }
+    // Type suffix (also absorbs a trailing `f64` etc.).
+    while let Some(ch) = char_at(src, *pos) {
+        if is_ident_continue(ch) {
+            *pos += ch.len_utf8();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn tokens_tile_the_input() {
+        let src = "fn main() { let s = \"hi\"; /* c /* nested */ */ }";
+        let tokens = lex(src);
+        assert_eq!(tokens.first().map(|t| t.start), Some(0));
+        assert_eq!(tokens.last().map(|t| t.end), Some(src.len()));
+        for pair in tokens.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* x /* y /* z */ */ */ b";
+        let k = kinds(src);
+        assert_eq!(k[1], (TokenKind::BlockComment, "/* x /* y /* z */ */ */"));
+        assert_eq!(k[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_comment_markers() {
+        let src = r####"let s = r##"inner "quote" // not a comment "# still"##;"####;
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, text)| *kind == TokenKind::RawStr
+            && text.contains("not a comment")
+            && text.ends_with("\"##")));
+        // Nothing after the raw string was mistaken for a comment.
+        assert!(k.iter().all(|(kind, _)| *kind != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let k = kinds(src);
+        let lifetimes: Vec<_> = k
+            .iter()
+            .filter(|(kd, _)| *kd == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = k.iter().filter(|(kd, _)| *kd == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{k:?}");
+        assert_eq!(chars, vec![&(TokenKind::Char, "'a'")]);
+    }
+
+    #[test]
+    fn char_escapes_and_byte_literals() {
+        let src = r"let a = '\''; let b = '\u{1F600}'; let c = b'x';";
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::Char, r"'\''")));
+        assert!(k.contains(&(TokenKind::Char, r"'\u{1F600}'")));
+        assert!(k.contains(&(TokenKind::ByteChar, "b'x'")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let m = b"MDRRSNAP"; let r = br#"raw "bytes""#;"###;
+        let k = kinds(src);
+        assert!(k.contains(&(TokenKind::ByteStr, "b\"MDRRSNAP\"")));
+        assert!(k
+            .iter()
+            .any(|(kd, text)| *kd == TokenKind::RawByteStr && text.starts_with("br#")));
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_release_range_dots() {
+        let k = kinds("1_000u64 + 2.5e-3f64 + 0xFF_u8; for i in 0..53 {} x.0");
+        assert!(k.contains(&(TokenKind::Number, "1_000u64")));
+        assert!(k.contains(&(TokenKind::Number, "2.5e-3f64")));
+        assert!(k.contains(&(TokenKind::Number, "0xFF_u8")));
+        assert!(k.contains(&(TokenKind::Number, "0")));
+        assert!(k.contains(&(TokenKind::Number, "53")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#match = r#fn;");
+        assert_eq!(
+            k.iter()
+                .filter(|(kd, _)| *kd == TokenKind::RawIdent)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_comments_hide_quotes() {
+        let k = kinds("let s = \"// not a comment\"; // real \" comment");
+        assert_eq!(k[3], (TokenKind::Str, "\"// not a comment\""));
+        assert!(matches!(k.last(), Some((TokenKind::LineComment, _))));
+    }
+
+    #[test]
+    fn unterminated_everything_lexes_to_eof() {
+        for src in [
+            "\"unterminated",
+            "/* unterminated /* nested",
+            "r#\"unterminated raw",
+            "'\\'",
+            "b\"unterminated",
+        ] {
+            let tokens = lex(src);
+            assert_eq!(tokens.last().map(|t| t.end), Some(src.len()), "{src}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `mdrr-lint` — the workspace's own static-analysis pass.
+//!
+//! `cargo test` proves the code computes the right answers *today*;
+//! nothing in the default toolchain stops tomorrow's patch from quietly
+//! re-introducing a panic into the no-panic snapshot decoder, a float
+//! into the integer randomization kernels, an ambient-entropy draw into
+//! the deterministic-resume path, or a drift between `docs/FORMAT.md`
+//! and the constants in `crates/store/src/format.rs`.  Those are
+//! *contracts of this codebase*, not of the language, so the compiler
+//! and clippy cannot see them — this crate checks them mechanically and
+//! fails CI when they break.
+//!
+//! The design is deliberately dependency-free (the workspace builds
+//! offline against vendored shims, so `syn` is not an option): a small
+//! total lexer ([`lexer`]) that understands comments, strings, raw
+//! strings, char literals and lifetimes well enough that rules only ever
+//! see *significant* tokens; a directive layer ([`source`]) for
+//! `// lint:region(…)` scoping and `// lint:allow(rule, reason = "…")`
+//! suppressions (the reason is mandatory, and stale suppressions are
+//! themselves findings); workspace discovery ([`workspace`]); the rule
+//! set ([`rules`]); and the engine ([`engine`]) that ties them together
+//! under rustc-style diagnostics ([`diag`]).
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p mdrr-lint -- --deny-warnings
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{run, run_filtered, Outcome};
+pub use workspace::Workspace;

@@ -1,0 +1,59 @@
+//! **no-deprecated-ingest** — PR-4 replaced the row-materialising
+//! `records()` / `record_chunks(…)` accessors with the zero-copy
+//! `record(i)` / `view()` / strided-batch path, leaving the old accessors
+//! `#[deprecated]` for one transition cycle.  Deprecation warnings don't
+//! fail CI, so stragglers linger; this rule turns any remaining call site
+//! (outside `crates/data`, where the accessors are defined and unit-tested)
+//! into a lint error so the transition actually completes.
+
+use super::{is_method_call, suppress_help, Rule};
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// The deprecated dataset accessors.
+const DEPRECATED: [&str; 2] = ["records", "record_chunks"];
+
+/// See the module docs.
+pub struct NoDeprecatedIngest;
+
+impl Rule for NoDeprecatedIngest {
+    fn id(&self) -> &'static str {
+        "no-deprecated-ingest"
+    }
+
+    fn description(&self) -> &'static str {
+        "the deprecated records()/record_chunks() accessors must not gain new call sites"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            // The definition site (and its own unit tests) is exempt.
+            if file.crate_name == "mdrr-data" {
+                continue;
+            }
+            for i in 0..file.sig.len() {
+                if !is_method_call(file, i, &DEPRECATED) {
+                    continue;
+                }
+                let Some(tok) = file.sig_token(i) else {
+                    continue;
+                };
+                out.push(
+                    file.diag_at(
+                        self.id(),
+                        tok,
+                        format!(
+                            "`.{}(…)` is a deprecated row-materialising accessor",
+                            file.sig_text(i)
+                        ),
+                    )
+                    .with_help(format!(
+                        "read rows via `record(i)` / `view().read_record(i, &mut buf)` or the \
+                         strided batch path, {}",
+                        suppress_help(self.id())
+                    )),
+                );
+            }
+        }
+    }
+}

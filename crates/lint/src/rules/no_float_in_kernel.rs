@@ -1,0 +1,71 @@
+//! **no-float-in-kernel** — the PR-4 batch kernels
+//! (`PreparedRandomizer::randomize_strided_into` /
+//! `randomize_strided_tally` and the shared keep/redraw kernel in
+//! `mdrr-core`) are bit-identical to the per-record reference path
+//! precisely because the hot loop is pure integer arithmetic: one integer
+//! keep-threshold compare and one 64.64 fixed-point multiply per draw.  A
+//! float sneaking in would silently re-introduce rounding divergence and
+//! platform-dependent results.  This rule forbids `f32`/`f64` type tokens
+//! and float-typed literals inside `// lint:region(no_float)` spans.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// Region name this rule scans.
+pub const REGION: &str = "no_float";
+
+/// See the module docs.
+pub struct NoFloatInKernel;
+
+impl Rule for NoFloatInKernel {
+    fn id(&self) -> &'static str {
+        "no-float-in-kernel"
+    }
+
+    fn description(&self) -> &'static str {
+        "the strided randomize/tally kernels must stay float-free integer arithmetic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !file.regions.iter().any(|r| r.name == REGION) {
+                continue;
+            }
+            for &ti in &file.sig {
+                let Some(tok) = file.tokens.get(ti) else {
+                    continue;
+                };
+                if !file.in_region(REGION, tok.start) {
+                    continue;
+                }
+                let text = tok.text(&file.text);
+                let message = match tok.kind {
+                    TokenKind::Ident if text == "f32" || text == "f64" => {
+                        Some(format!("`{text}` inside a float-free kernel region"))
+                    }
+                    TokenKind::Number
+                        if text.ends_with("f32")
+                            || text.ends_with("f64")
+                            || (!text.starts_with("0x")
+                                && !text.starts_with("0b")
+                                && !text.starts_with("0o")
+                                && text.contains('.')) =>
+                    {
+                        Some(format!(
+                            "float literal `{text}` inside a float-free kernel region"
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some(message) = message {
+                    out.push(file.diag_at(self.id(), tok, message).with_help(
+                        "keep the kernel integer-only (threshold compare + fixed-point \
+                         multiply); floats belong in the per-matrix setup outside the region",
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! **no-panic-paths** — `mdrr-store` promises "no panic on any malformed
+//! input" (every failure mode maps to a typed `StoreError`), and the
+//! checkpoint-restore path of `mdrr-stream` inherits that promise: a
+//! corrupt snapshot, manifest or shard set must surface as a typed error,
+//! never a panic.  This rule forbids the panic vocabulary — `.unwrap()`,
+//! `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` and
+//! bare slice indexing (`xs[i]` instead of `xs.get(i)`) — in the store's
+//! library code and the stream checkpoint module, outside `#[cfg(test)]`.
+
+use super::{is_index_expr, is_macro_call, is_method_call, suppress_help, Rule};
+use crate::diag::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+use crate::workspace::Workspace;
+
+/// Panicking macros forbidden on the no-panic paths.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panicking `Option`/`Result` adapters forbidden on the no-panic paths.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// See the module docs.
+pub struct NoPanicPaths;
+
+/// Whether this file carries the no-panic contract: all `mdrr-store`
+/// library code (parse, merge, snapshot, I/O) plus the `mdrr-stream`
+/// checkpoint/restore module.
+fn in_scope(file: &SourceFile) -> bool {
+    (file.crate_name == "mdrr-store" && file.kind == FileKind::LibSrc)
+        || file.rel == "crates/stream/src/checkpoint.rs"
+}
+
+impl Rule for NoPanicPaths {
+    fn id(&self) -> &'static str {
+        "no-panic-paths"
+    }
+
+    fn description(&self) -> &'static str {
+        "snapshot parse/merge and checkpoint-restore code must return typed errors, never panic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files.iter().filter(|f| in_scope(f)) {
+            for i in 0..file.sig.len() {
+                let Some(tok) = file.sig_token(i) else {
+                    continue;
+                };
+                if file.in_test_code(tok.start) {
+                    continue;
+                }
+                let found = if is_method_call(file, i, &PANIC_METHODS) {
+                    Some(format!(
+                        "`.{}(…)` can panic on the no-panic path",
+                        file.sig_text(i)
+                    ))
+                } else if is_macro_call(file, i, &PANIC_MACROS) {
+                    Some(format!(
+                        "`{}!` is a panic on the no-panic path",
+                        file.sig_text(i)
+                    ))
+                } else if is_index_expr(file, i) {
+                    Some(
+                        "bare slice indexing can panic on the no-panic path; \
+                         use `.get(…)` and map `None` to a typed error"
+                            .to_string(),
+                    )
+                } else {
+                    None
+                };
+                if let Some(message) = found {
+                    out.push(file.diag_at(self.id(), tok, message).with_help(format!(
+                        "map the failure to a typed `StoreError`/`MdrrError` variant, {}",
+                        suppress_help(self.id())
+                    )));
+                }
+            }
+        }
+    }
+}

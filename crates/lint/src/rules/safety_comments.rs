@@ -1,0 +1,78 @@
+//! **safety-comments** — every `unsafe` block, `unsafe impl` and
+//! `unsafe trait` discharges a proof obligation that lives only in the
+//! author's head unless written down.  This rule requires an adjacent
+//! `// SAFETY:` comment (on the same line or within the three preceding
+//! lines) for each such site, mirroring clippy's
+//! `undocumented_unsafe_blocks` without needing clippy at lint time.
+//! `unsafe fn` *declarations* are exempt: they create an obligation for
+//! the caller, they don't discharge one.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct SafetyComments;
+
+/// How many preceding lines may carry the `SAFETY:` comment.
+const LOOKBACK_LINES: u32 = 3;
+
+impl Rule for SafetyComments {
+    fn id(&self) -> &'static str {
+        "safety-comments"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/impl/trait needs an adjacent `// SAFETY:` comment"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            for i in 0..file.sig.len() {
+                if file.sig_text(i) != "unsafe" {
+                    continue;
+                }
+                // Only sites that *discharge* an obligation: `unsafe {`,
+                // `unsafe impl`, `unsafe trait`.  `unsafe fn`/`unsafe extern`
+                // merely declare one.
+                let next = file.sig_text(i + 1);
+                if !(next == "{" || next == "impl" || next == "trait") {
+                    continue;
+                }
+                let Some(tok) = file.sig_token(i) else {
+                    continue;
+                };
+                if has_safety_comment(file, tok.line) {
+                    continue;
+                }
+                let site = if next == "{" {
+                    "unsafe block".to_string()
+                } else {
+                    format!("`unsafe {next}`")
+                };
+                out.push(
+                    file.diag_at(
+                        self.id(),
+                        tok,
+                        format!("{site} without an adjacent `// SAFETY:` comment"),
+                    )
+                    .with_help(
+                        "state the invariant that makes this sound in a `// SAFETY:` comment \
+                         on the line above (within 3 lines)",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True if `line` or one of the [`LOOKBACK_LINES`] lines above it carries
+/// a `SAFETY:` marker inside a comment.
+fn has_safety_comment(file: &crate::source::SourceFile, line: u32) -> bool {
+    let lo = line.saturating_sub(LOOKBACK_LINES);
+    (lo..=line).any(|l| {
+        file.line_text(l)
+            .map(|t| (t.contains("//") || t.contains("/*")) && t.contains("SAFETY:"))
+            .unwrap_or(false)
+    })
+}

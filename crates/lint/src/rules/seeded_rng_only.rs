@@ -1,0 +1,72 @@
+//! **seeded-rng-only** — byte-identical crash-resume (the CI `cmp`s a
+//! killed+resumed run against an uninterrupted one) only holds if *every*
+//! draw on the deterministic-resume path flows from an explicit seed:
+//! shard RNGs derive from `offset_base_seed`, the generator RNG persists
+//! its xoshiro state in `app_state`.  One ambient-entropy or wall-clock
+//! source anywhere in `mdrr-core`, `mdrr-protocols`, `mdrr-store` or
+//! `mdrr-stream` library code breaks the contract invisibly.  This rule
+//! forbids `thread_rng`, `from_entropy`, `random`, `SystemTime` and
+//! `Instant` there (tests excluded).
+
+use super::{suppress_help, Rule};
+use crate::diag::Diagnostic;
+use crate::source::FileKind;
+use crate::workspace::Workspace;
+
+/// Crates whose library code sits on the deterministic-resume path.
+const SCOPED_CRATES: [&str; 4] = ["mdrr-core", "mdrr-protocols", "mdrr-store", "mdrr-stream"];
+
+/// Identifiers that smuggle in ambient entropy or wall-clock state.
+const FORBIDDEN: [(&str, &str); 5] = [
+    ("thread_rng", "draws from ambient OS entropy"),
+    ("from_entropy", "seeds from ambient OS entropy"),
+    ("random", "draws from the ambient thread-local RNG"),
+    ("SystemTime", "reads the wall clock"),
+    ("Instant", "reads the monotonic clock"),
+];
+
+/// See the module docs.
+pub struct SeededRngOnly;
+
+impl Rule for SeededRngOnly {
+    fn id(&self) -> &'static str {
+        "seeded-rng-only"
+    }
+
+    fn description(&self) -> &'static str {
+        "deterministic-resume crates must seed all randomness explicitly (no entropy, no clocks)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files.iter().filter(|f| {
+            SCOPED_CRATES.contains(&f.crate_name.as_str()) && f.kind == FileKind::LibSrc
+        }) {
+            for &ti in &file.sig {
+                let Some(tok) = file.tokens.get(ti) else {
+                    continue;
+                };
+                if file.in_test_code(tok.start) {
+                    continue;
+                }
+                let text = tok.text(&file.text);
+                if let Some((name, why)) = FORBIDDEN.iter().find(|(n, _)| *n == text) {
+                    out.push(
+                        file.diag_at(
+                            self.id(),
+                            tok,
+                            format!(
+                                "`{name}` {why} — non-reproducible on the \
+                                 deterministic-resume path"
+                            ),
+                        )
+                        .with_help(format!(
+                            "derive the value from an explicit seed or pass it in from the \
+                             caller, {}",
+                            suppress_help(self.id())
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}

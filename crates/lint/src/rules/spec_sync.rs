@@ -1,0 +1,330 @@
+//! **spec-sync** — `docs/FORMAT.md` is the external byte-level contract
+//! of the snapshot format and `crates/store/src/format.rs` is its
+//! reference implementation; nothing but convention keeps the two from
+//! drifting.  This rule parses the magic bytes, format version, CRC-64/XZ
+//! polynomial + check vector, and the header-offset table out of *both*
+//! documents and fails on any disagreement.  It also recomputes the check
+//! vector from the documented polynomial, so a doc that is merely
+//! self-consistent but cryptographically wrong is caught too.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Workspace-relative path of the spec document.
+pub const SPEC_DOC: &str = "docs/FORMAT.md";
+
+/// Workspace-relative path of the reference implementation.
+pub const SPEC_IMPL: &str = "crates/store/src/format.rs";
+
+/// See the module docs.
+pub struct SpecSync;
+
+/// The constants both documents declare, as parsed from one of them.
+#[derive(Debug, Default, PartialEq)]
+pub struct SpecModel {
+    /// The ASCII magic (`MDRRSNAP`).
+    pub magic: Option<String>,
+    /// The magic spelled as hex bytes (doc only).
+    pub magic_hex: Option<Vec<u8>>,
+    /// The format version.
+    pub version: Option<u64>,
+    /// The reflected CRC-64 polynomial.
+    pub poly: Option<u64>,
+    /// The documented check vector `crc64(b"123456789")`.
+    pub check_vector: Option<u64>,
+    /// The fixed-offset header table rows as `(offset, size)` — magic,
+    /// version, record count, channel count, header length.
+    pub offsets: Vec<(u64, u64)>,
+}
+
+/// Parses a hex number that may carry `0x`, `_` separators, or trailing
+/// punctuation.
+fn parse_hex(s: &str) -> Option<u64> {
+    let s = s.trim().trim_start_matches("0x").replace('_', "");
+    let end = s.find(|c: char| !c.is_ascii_hexdigit()).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(s.get(..end)?, 16).ok()
+}
+
+/// The first backtick-quoted span in `line` after `after`.
+fn backticked_after<'a>(line: &'a str, after: &str) -> Option<&'a str> {
+    let at = line.find(after)? + after.len();
+    let rest = line.get(at..)?;
+    let open = rest.find('`')? + 1;
+    let close = rest.get(open..)?.find('`')? + open;
+    rest.get(open..close)
+}
+
+/// Reference CRC-64 (reflected, init `!0`, xor-out `!0`) over `bytes`
+/// under `poly` — used to verify the documented check vector actually
+/// follows from the documented polynomial.
+pub fn crc64_with(poly: u64, bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc ^= b as u64;
+        for _ in 0..8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ poly
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Parses the spec constants out of `docs/FORMAT.md`.
+pub fn parse_doc(md: &str) -> SpecModel {
+    let mut model = SpecModel::default();
+    for line in md.lines() {
+        let trimmed = line.trim();
+        if trimmed.contains("**magic**") {
+            model.magic = backticked_after(trimmed, "ASCII bytes").map(str::to_string);
+            if let Some(hex) = backticked_after(trimmed, "(") {
+                let bytes: Vec<u8> = hex
+                    .split_whitespace()
+                    .filter_map(|b| u8::from_str_radix(b, 16).ok())
+                    .collect();
+                if !bytes.is_empty() {
+                    model.magic_hex = Some(bytes);
+                }
+            }
+        }
+        if trimmed.contains("**format version**") {
+            model.version = backticked_after(trimmed, "currently").and_then(|v| v.parse().ok());
+        }
+        if trimmed.contains("polynomial (reflected)") {
+            model.poly = backticked_after(trimmed, "polynomial").and_then(parse_hex);
+        }
+        if trimmed.contains("check vector") {
+            // `crc64(b"123456789") = 0x995DC9BBDF1939FA`
+            if let Some(span) = backticked_after(trimmed, "check vector") {
+                if let Some((_, value)) = span.split_once('=') {
+                    model.check_vector = parse_hex(value);
+                }
+            }
+        }
+        // Layout-table rows: `| 0 | 8 | **magic**: … |` — keep the rows
+        // whose offset *and* size are plain numbers (the fixed prefix of
+        // the format, which is what can drift against constants).
+        if trimmed.starts_with('|') {
+            let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+            if cells.len() >= 3 {
+                let offset = cells[0].trim().parse::<u64>();
+                let size = cells[1].trim().trim_matches('`').parse::<u64>();
+                if let (Ok(offset), Ok(size)) = (offset, size) {
+                    model.offsets.push((offset, size));
+                }
+            }
+        }
+    }
+    model
+}
+
+/// Parses the same constants out of `crates/store/src/format.rs`: the
+/// `MAGIC` / `FORMAT_VERSION` / `CRC64_POLY` constants, the doctest check
+/// vector, and the module-doc offset table.
+pub fn parse_impl(rs: &str) -> SpecModel {
+    let mut model = SpecModel::default();
+    for (i, line) in rs.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.contains("const MAGIC") {
+            // … = *b"MDRRSNAP";
+            if let Some(at) = trimmed.find("b\"") {
+                if let Some(rest) = trimmed.get(at + 2..) {
+                    if let Some(close) = rest.find('"') {
+                        model.magic = rest.get(..close).map(str::to_string);
+                    }
+                }
+            }
+        }
+        if trimmed.contains("const FORMAT_VERSION") {
+            model.version = trimmed
+                .split('=')
+                .nth(1)
+                .and_then(|v| v.trim().trim_end_matches(';').parse().ok());
+        }
+        if trimmed.contains("const CRC64_POLY") {
+            model.poly = trimmed.split('=').nth(1).and_then(parse_hex);
+        }
+        if model.check_vector.is_none() && trimmed.contains("crc64(b\"123456789\")") {
+            // doctest: assert_eq!(mdrr_store::crc64(b"123456789"), 0x…);
+            if let Some(at) = trimmed.find("0x") {
+                model.check_vector = trimmed.get(at..).and_then(parse_hex);
+            }
+        }
+        // Module-doc offset table: `//! 12      8     record count (u64)`.
+        let _ = i;
+        if let Some(doc) = trimmed.strip_prefix("//!") {
+            let mut parts = doc.split_whitespace();
+            let offset = parts.next().and_then(|p| p.parse::<u64>().ok());
+            let size = parts.next().and_then(|p| p.parse::<u64>().ok());
+            if let (Some(offset), Some(size)) = (offset, size) {
+                model.offsets.push((offset, size));
+            }
+        }
+    }
+    model
+}
+
+/// Diffs the two models field by field; every drift names the exact field
+/// and both values.  Exposed (with [`parse_doc`]/[`parse_impl`]) so the
+/// mutation tests can flip one constant in-memory and assert the precise
+/// report.
+pub fn diff(doc: &SpecModel, imp: &SpecModel, out: &mut Vec<Diagnostic>) {
+    let drift = |out: &mut Vec<Diagnostic>, field: &str, doc_v: String, impl_v: String| {
+        out.push(
+            Diagnostic::file_level(
+                "spec-sync",
+                SPEC_DOC,
+                format!(
+                    "{field} drift: `{SPEC_DOC}` declares {doc_v} but `{SPEC_IMPL}` \
+                     defines {impl_v}"
+                ),
+            )
+            .with_help(
+                "docs/FORMAT.md and format.rs are one contract — change both together \
+                 (and bump the format version if the bytes moved)",
+            ),
+        );
+    };
+    let missing = |out: &mut Vec<Diagnostic>, what: &str, file: &str| {
+        out.push(Diagnostic::file_level(
+            "spec-sync",
+            file,
+            format!("cannot find {what} in `{file}` — the spec-sync anchors were moved or deleted"),
+        ));
+    };
+
+    match (&doc.magic, &imp.magic) {
+        (Some(d), Some(i)) if d != i => {
+            drift(out, "magic bytes", format!("`{d}`"), format!("`{i}`"))
+        }
+        (None, _) => missing(out, "the ASCII magic", SPEC_DOC),
+        (_, None) => missing(out, "the `MAGIC` constant", SPEC_IMPL),
+        _ => {}
+    }
+    if let (Some(magic), Some(hex)) = (&doc.magic, &doc.magic_hex) {
+        if magic.as_bytes() != hex.as_slice() {
+            drift(
+                out,
+                "magic hex spelling",
+                format!("bytes {hex:02x?}"),
+                format!("ASCII `{magic}` ({:02x?})", magic.as_bytes()),
+            );
+        }
+    }
+    match (doc.version, imp.version) {
+        (Some(d), Some(i)) if d != i => {
+            drift(out, "format version", format!("{d}"), format!("{i}"))
+        }
+        (None, _) => missing(out, "the format version", SPEC_DOC),
+        (_, None) => missing(out, "the `FORMAT_VERSION` constant", SPEC_IMPL),
+        _ => {}
+    }
+    match (doc.poly, imp.poly) {
+        (Some(d), Some(i)) if d != i => drift(
+            out,
+            "CRC-64 polynomial",
+            format!("{d:#018x}"),
+            format!("{i:#018x}"),
+        ),
+        (None, _) => missing(out, "the CRC-64 polynomial", SPEC_DOC),
+        (_, None) => missing(out, "the `CRC64_POLY` constant", SPEC_IMPL),
+        _ => {}
+    }
+    match (doc.check_vector, imp.check_vector) {
+        (Some(d), Some(i)) if d != i => drift(
+            out,
+            "CRC-64 check vector",
+            format!("{d:#018x}"),
+            format!("{i:#018x}"),
+        ),
+        (None, _) => missing(out, "the CRC-64 check vector", SPEC_DOC),
+        (_, None) => missing(out, "the doctest check vector", SPEC_IMPL),
+        _ => {}
+    }
+    // The check vector must actually follow from the documented
+    // polynomial — self-consistent drift of both is still drift.
+    if let (Some(poly), Some(vector)) = (doc.poly, doc.check_vector) {
+        let computed = crc64_with(poly, b"123456789");
+        if computed != vector {
+            drift(
+                out,
+                "CRC-64 check vector (recomputed)",
+                format!("{vector:#018x}"),
+                format!("{computed:#018x} as computed from the documented polynomial"),
+            );
+        }
+    }
+    if doc.offsets.is_empty() {
+        missing(out, "the layout offset table", SPEC_DOC);
+    }
+    if imp.offsets.is_empty() {
+        missing(out, "the module-doc offset table", SPEC_IMPL);
+    }
+    if !doc.offsets.is_empty() && !imp.offsets.is_empty() && doc.offsets != imp.offsets {
+        drift(
+            out,
+            "header-offset table",
+            format!("rows {:?}", doc.offsets),
+            format!("rows {:?}", imp.offsets),
+        );
+    }
+    // Offsets must be self-consistent: each fixed row starts where the
+    // previous ended.
+    let mut expected = 0u64;
+    for &(offset, size) in &doc.offsets {
+        if offset != expected {
+            out.push(Diagnostic::file_level(
+                "spec-sync",
+                SPEC_DOC,
+                format!(
+                    "header-offset table is not self-consistent: a field at offset {offset} \
+                     should start at {expected} (previous field sizes sum there)"
+                ),
+            ));
+            break;
+        }
+        expected = offset.saturating_add(size);
+    }
+}
+
+/// Runs the full spec-sync check over in-memory document texts — the
+/// entry point both the rule and the mutation tests use.
+pub fn check_texts(doc_md: &str, impl_rs: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    diff(&parse_doc(doc_md), &parse_impl(impl_rs), &mut out);
+    out
+}
+
+impl Rule for SpecSync {
+    fn id(&self) -> &'static str {
+        "spec-sync"
+    }
+
+    fn description(&self) -> &'static str {
+        "docs/FORMAT.md and crates/store/src/format.rs must declare identical format constants"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let doc = ws.aux.get(SPEC_DOC);
+        let imp = ws.file(SPEC_IMPL).map(|f| f.text.as_str());
+        match (doc, imp) {
+            (Some(doc), Some(imp)) => out.extend(check_texts(doc, imp)),
+            (None, _) => out.push(Diagnostic::file_level(
+                self.id(),
+                SPEC_DOC,
+                format!("`{SPEC_DOC}` is missing — the snapshot format has no spec to sync against"),
+            )),
+            (_, None) => out.push(Diagnostic::file_level(
+                self.id(),
+                SPEC_IMPL,
+                format!("`{SPEC_IMPL}` is missing — the snapshot format has no reference implementation"),
+            )),
+        }
+    }
+}

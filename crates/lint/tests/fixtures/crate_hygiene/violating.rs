@@ -1,0 +1,10 @@
+//! Fixture lib.rs: no `#![deny(missing_docs)]`, and a public error enum
+//! with neither `Display` nor `std::error::Error`.
+
+/// Failure modes of the fixture crate.
+pub enum FixtureError {
+    /// The input did not parse.
+    Malformed,
+    /// An index was out of range.
+    OutOfRange,
+}

@@ -1,0 +1,18 @@
+//! Fixture: per-value allocations inside a region declared allocation-free.
+
+/// A counting loop that allocates on every iteration.
+pub fn tally(columns: &[Vec<u32>], sizes: &[usize]) -> Vec<Vec<u64>> {
+    let mut out: Vec<Vec<u64>> = sizes.iter().map(|&s| vec![0u64; s]).collect();
+    // lint:region(no_alloc)
+    for (codes, counts) in columns.iter().zip(out.iter_mut()) {
+        let copy = codes.to_vec();
+        let label = format!("{} codes", copy.len());
+        let rows: Vec<u64> = copy.iter().map(|&c| c as u64).collect();
+        let boxed = Box::new(label);
+        for (c, _) in rows.iter().zip(boxed.chars()) {
+            counts[*c as usize] += 1;
+        }
+    }
+    // lint:endregion(no_alloc)
+    out
+}

@@ -1,0 +1,19 @@
+//! Fixture: the supported access patterns — indexed rows into a reused
+//! buffer, or the zero-copy columnar view.
+
+/// Reads every row through the reused-buffer path.
+pub fn row_sum(ds: &Dataset) -> u64 {
+    let view = ds.view();
+    let mut row = Vec::new();
+    let mut sum = 0u64;
+    for i in 0..ds.n_records() {
+        view.read_record(i, &mut row).expect("index in range");
+        sum += row.iter().map(|&c| c as u64).sum::<u64>();
+    }
+    sum
+}
+
+/// Single-row access by index.
+pub fn first_row(ds: &Dataset) -> Option<Vec<u32>> {
+    ds.record(0).ok()
+}

@@ -1,0 +1,12 @@
+//! Fixture: call sites still on the deprecated row-materialising
+//! accessors.
+
+/// Materializes every row, one fresh `Vec` per record.
+pub fn all_rows(ds: &Dataset) -> Vec<Vec<u32>> {
+    ds.records().collect()
+}
+
+/// Walks the dataset in row-major chunks through the deprecated API.
+pub fn chunked(ds: &Dataset) -> usize {
+    ds.record_chunks(64).count()
+}

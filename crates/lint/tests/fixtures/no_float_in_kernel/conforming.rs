@@ -1,0 +1,19 @@
+//! Fixture: an integer-only kernel region, with the float setup correctly
+//! outside the region.
+
+/// Float math is fine outside the region: per-matrix setup.
+pub fn threshold_of(p: f64) -> u64 {
+    (p * 9007199254740992.0) as u64
+}
+
+/// The kernel itself: threshold compare and fixed-point multiply only.
+pub fn kernel(threshold: u64, redraw_scale: u128, true_value: u32, raw: u64) -> u32 {
+    // lint:region(no_float)
+    let hi = raw >> 11;
+    if hi < threshold {
+        return true_value;
+    }
+    let idx = (((hi - threshold) as u128 * redraw_scale) >> 64) as u32;
+    idx + u32::from(idx >= true_value)
+    // lint:endregion(no_float)
+}

@@ -1,0 +1,14 @@
+//! Fixture: floats leaking into a region declared float-free.
+
+/// A kernel that drifted back to floating-point arithmetic.
+pub fn kernel(threshold: u64, draw: u64, r: u32) -> u32 {
+    // lint:region(no_float)
+    let p: f64 = threshold as f64 / 9007199254740992.0;
+    let keep = (draw as f64) < p * 2.0f64;
+    if keep {
+        0
+    } else {
+        r - 1
+    }
+    // lint:endregion(no_float)
+}

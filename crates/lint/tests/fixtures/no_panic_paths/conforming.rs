@@ -1,0 +1,46 @@
+//! Fixture: the same operations written panic-free — typed errors, `get`,
+//! exhaustive matches — plus the two sanctioned escapes (test code and a
+//! reasoned `lint:allow`).
+
+/// Reads the declared length, reporting truncation as a typed error.
+pub fn length(bytes: &[u8]) -> Result<u32, StoreError> {
+    let head = bytes.get(..4).ok_or(StoreError::Truncated {
+        offset: 0,
+        needed: 4,
+        available: bytes.len(),
+    })?;
+    let mut word = [0u8; 4];
+    for (dst, src) in word.iter_mut().zip(head) {
+        *dst = *src;
+    }
+    Ok(u32::from_le_bytes(word))
+}
+
+/// Dispatches on a tag byte with a typed error for unknown tags.
+pub fn dispatch(tag: u8) -> Result<&'static str, StoreError> {
+    match tag {
+        0 => Ok("counts"),
+        1 => Ok("header"),
+        other => Err(StoreError::layout(format!("unknown block tag {other}"))),
+    }
+}
+
+/// Looks up a shard name with an explicit bounds check.
+pub fn shard_name(names: &[String], k: usize) -> Option<&str> {
+    names.get(k).map(String::as_str)
+}
+
+/// A masked index is provably in range — suppressed with a reason.
+pub fn masked(table: &[u64; 256], byte: u8) -> u64 {
+    // lint:allow(no-panic-paths, reason = "index is masked to 0..256, table has 256 slots")
+    table[(byte & 0xFF) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: every way no-panic-paths fires on store parse code.
+
+/// Reads the declared length, panicking on truncated input.
+pub fn length(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+/// Dispatches on a tag byte, panicking on unknown tags.
+pub fn dispatch(tag: u8) -> &'static str {
+    match tag {
+        0 => "counts",
+        1 => "header",
+        _ => unreachable!("validated upstream"),
+    }
+}
+
+/// Indexes a shard table without a bounds check.
+pub fn shard_name(names: &[String], k: usize) -> &str {
+    &names[k]
+}
+
+/// Expects a parsed header that may be absent.
+pub fn header(parsed: Option<&str>) -> &str {
+    parsed.expect("header present")
+}

@@ -1,0 +1,24 @@
+//! Fixture: every unsafe site documents the invariant that makes it
+//! sound; `unsafe fn` declarations need no comment (they create an
+//! obligation, they don't discharge one).
+
+/// Reinterprets a `u64` slice as bytes.
+pub fn as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding and no invalid bit patterns, the pointer
+    // and length come from a live slice, and 8 × len cannot overflow
+    // because the slice already fits in memory.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), words.len() * 8) }
+}
+
+/// A counting allocator shim.
+pub struct Counting;
+
+// SAFETY: Counting is a zero-sized stateless marker; sharing it across
+// threads touches no data.
+unsafe impl Sync for Counting {}
+
+/// Declaring an unsafe fn is not itself an unsafe act.
+pub unsafe fn caller_must_check(p: *const u8) -> u8 {
+    // SAFETY: the contract of this function requires `p` to be valid.
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+//! Fixture: unsafe sites with no written proof obligation.
+
+/// Reinterprets a `u64` slice as bytes.
+pub fn as_bytes(words: &[u64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), words.len() * 8) }
+}
+
+/// A counting allocator shim.
+pub struct Counting;
+
+unsafe impl Sync for Counting {}
+
+/// A marker trait whose implementors promise exclusive access.
+pub unsafe trait Exclusive {}

@@ -1,0 +1,21 @@
+//! Fixture: ambient entropy and wall-clock reads on the
+//! deterministic-resume path.
+
+/// Seeds shard RNGs from ambient OS entropy — resume can never reproduce.
+pub fn shard_rngs(n: usize) -> Vec<StdRng> {
+    (0..n).map(|_| StdRng::from_entropy()).collect()
+}
+
+/// Draws through the thread-local generator.
+pub fn route(n_shards: usize) -> usize {
+    let mut rng = thread_rng();
+    rng.next_u64() as usize % n_shards
+}
+
+/// Derives a "seed" from the wall clock.
+pub fn clock_seed() -> u64 {
+    let now = SystemTime::now();
+    let tick = Instant::now();
+    let _ = tick;
+    now.duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

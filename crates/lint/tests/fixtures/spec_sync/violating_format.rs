@@ -1,0 +1,27 @@
+//! Fixture implementation that drifted from `conforming_FORMAT.md`: new
+//! magic, bumped version, different polynomial, rearranged offsets — the
+//! document was never updated.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  = "MDRRSNAQ" (ASCII)
+//! 8       4     format version (u32, currently 3)
+//! 12      4     channel count C (u32)
+//! 16      8     record count (u64)
+//! ```
+
+/// The eight magic bytes.
+pub const MAGIC: [u8; 8] = *b"MDRRSNAQ";
+
+/// The format version this fixture reads and writes.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The reflected CRC-64/ECMA-182 generator polynomial (not XZ!).
+const CRC64_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// ```
+/// assert_eq!(fixture::crc64(b"123456789"), 0x6C40_DF5F_0B49_7347);
+/// ```
+pub fn crc64(_bytes: &[u8]) -> u64 {
+    CRC64_POLY
+}

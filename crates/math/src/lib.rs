@@ -43,6 +43,7 @@
 //! # Ok::<(), mdrr_math::MathError>(())
 //! ```
 
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

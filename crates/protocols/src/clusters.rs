@@ -840,10 +840,13 @@ mod tests {
         let protocol = RRClusters::with_keep_probability(schema(), ab_c_clustering(), 0.6).unwrap();
 
         let mut rng = StdRng::seed_from_u64(14);
-        let reports: Vec<Vec<u32>> = ds
-            .records()
-            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
-            .collect();
+        let view = ds.view();
+        let mut row = Vec::new();
+        let mut reports: Vec<Vec<u32>> = Vec::with_capacity(ds.n_records());
+        for i in 0..ds.n_records() {
+            view.read_record(i, &mut row).unwrap();
+            reports.push(protocol.encode_record(&row, &mut rng).unwrap());
+        }
 
         // Streaming collector: one count vector per cluster.
         let mut counts: Vec<Vec<u64>> = protocol

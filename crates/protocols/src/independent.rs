@@ -578,10 +578,13 @@ mod tests {
 
         // Client side: every record encodes into one report.
         let mut rng = StdRng::seed_from_u64(21);
-        let reports: Vec<Vec<u32>> = ds
-            .records()
-            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
-            .collect();
+        let view = ds.view();
+        let mut row = Vec::new();
+        let mut reports: Vec<Vec<u32>> = Vec::with_capacity(ds.n_records());
+        for i in 0..ds.n_records() {
+            view.read_record(i, &mut row).unwrap();
+            reports.push(protocol.encode_record(&row, &mut rng).unwrap());
+        }
 
         // Streaming collector: accumulate per-attribute counts only.
         let mut counts = vec![vec![0u64; 3], vec![0u64; 2]];

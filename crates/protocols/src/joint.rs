@@ -586,10 +586,13 @@ mod tests {
         let protocol = RRJoint::with_keep_probability(schema(), 0.6, None).unwrap();
 
         let mut rng = StdRng::seed_from_u64(10);
-        let reports: Vec<u32> = ds
-            .records()
-            .map(|r| protocol.encode_record(&r, &mut rng).unwrap())
-            .collect();
+        let view = ds.view();
+        let mut row = Vec::new();
+        let mut reports: Vec<u32> = Vec::with_capacity(ds.n_records());
+        for i in 0..ds.n_records() {
+            view.read_record(i, &mut row).unwrap();
+            reports.push(protocol.encode_record(&row, &mut rng).unwrap());
+        }
 
         let mut counts = vec![0u64; protocol.domain().size()];
         for &code in &reports {

@@ -74,6 +74,7 @@ pub fn crc64(bytes: &[u8]) -> u64 {
     });
     let mut crc = !0u64;
     for &b in bytes {
+        // lint:allow(no-panic-paths, reason = "index is masked to 0..256 by the & 0xFF, table has 256 slots")
         crc = table[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
@@ -126,29 +127,34 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        let available = self.bytes.len() - self.pos;
-        if n > available {
-            return Err(StoreError::Truncated {
-                offset: self.pos,
-                needed: n,
-                available,
-            });
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let available = self.bytes.len().saturating_sub(self.pos);
+        let end = self.pos.saturating_add(n);
+        let slice = self.bytes.get(self.pos..end).ok_or(StoreError::Truncated {
+            offset: self.pos,
+            needed: n,
+            available,
+        })?;
+        self.pos = end;
         Ok(slice)
     }
 
+    /// `take(N)` as a fixed-size array, with the length proven by
+    /// construction rather than by a panicking conversion.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(slice) {
+            *dst = *src;
+        }
+        Ok(out)
+    }
+
     fn take_u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn take_u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 }
 
@@ -157,11 +163,9 @@ impl<'a> Cursor<'a> {
 /// the checksum, then the header JSON and the counting invariants.
 pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
     let mut cursor = Cursor { bytes, pos: 0 };
-    let magic = cursor.take(8)?;
+    let magic: [u8; 8] = cursor.take_array()?;
     if magic != MAGIC {
-        return Err(StoreError::BadMagic {
-            found: magic.try_into().expect("8 bytes"),
-        });
+        return Err(StoreError::BadMagic { found: magic });
     }
     let version = cursor.take_u32()?;
     if version != FORMAT_VERSION {
@@ -183,7 +187,13 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         counts.push(
             block
                 .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .map(|c| {
+                    let mut word = [0u8; 8];
+                    for (dst, src) in word.iter_mut().zip(c) {
+                        *dst = *src;
+                    }
+                    u64::from_le_bytes(word)
+                })
                 .collect(),
         );
     }
@@ -195,7 +205,11 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
             bytes.len() - cursor.pos
         )));
     }
-    let computed = crc64(&bytes[..checksum_offset]);
+    // `cursor.pos` never exceeds `bytes.len()` (every advance is bounds-
+    // checked in `take`), so this slice is total; if that invariant ever
+    // broke, falling back to the full buffer makes the comparison below
+    // fail as a mismatch instead of panicking.
+    let computed = crc64(bytes.get(..checksum_offset).unwrap_or(bytes));
     if stored != computed {
         return Err(StoreError::ChecksumMismatch { stored, computed });
     }

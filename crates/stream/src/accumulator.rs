@@ -141,11 +141,13 @@ impl Accumulator {
         }
         // Validated above: every code is in range, so the counting loops
         // run branch-predictably start to finish.
+        // lint:region(no_alloc)
         for (codes, channel) in channels.iter().zip(self.counts.iter_mut()) {
             for &code in codes {
                 channel[code as usize] += 1;
             }
         }
+        // lint:endregion(no_alloc)
         self.n_reports += n as u64;
         Ok(())
     }

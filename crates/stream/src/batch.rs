@@ -199,7 +199,10 @@ mod tests {
 
         let mut rng = StdRng::seed_from_u64(9);
         let mut codes = Vec::new();
-        for (i, record) in ds.records().enumerate() {
+        let view = ds.view();
+        let mut record = Vec::new();
+        for i in 0..ds.n_records() {
+            view.read_record(i, &mut record).unwrap();
             let report = Report::encode(&*protocol, &record, &mut rng).unwrap();
             batch.read_report(i, &mut codes).unwrap();
             assert_eq!(codes, report.codes());

@@ -222,15 +222,16 @@ impl ShardedCollector {
             .map(SnapshotReader::read)
             .collect::<Result<Vec<_>, _>>()
             .map_err(MdrrError::from)?;
-        let first = &snapshots[0];
-        for (k, snapshot) in snapshots.iter().enumerate().skip(1) {
+        let first = snapshots.first().ok_or_else(|| {
+            MdrrError::config("manifest lists no shard files; the checkpoint is empty")
+        })?;
+        for (snapshot, name) in snapshots.iter().zip(&manifest.shard_files).skip(1) {
             if snapshot.schema() != first.schema()
                 || snapshot.spec() != first.spec()
                 || snapshot.channel_sizes() != first.channel_sizes()
             {
                 return Err(MdrrError::config(format!(
-                    "shard file {} disagrees with shard 0 on spec, schema or channel layout",
-                    manifest.shard_files[k]
+                    "shard file {name} disagrees with shard 0 on spec, schema or channel layout"
                 )));
             }
         }

@@ -58,6 +58,7 @@
 //! For multi-attribute releases see [`protocols::RRIndependent`],
 //! [`protocols::RRClusters`] and the runnable programs in `examples/`.
 
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
