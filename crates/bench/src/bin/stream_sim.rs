@@ -39,6 +39,15 @@
 //! runs or machines into one exact merged estimate, and `--merged-out
 //! PATH` writes the pooled snapshot itself.
 //!
+//! Observability: `--metrics-out PATH` attaches the `mdrr-obs`
+//! instrumentation (per-shard report/batch counters, ingest latency
+//! histograms, checkpoint/restore durations and byte counts, an imbalance
+//! gauge and a bounded event journal) and writes the full metrics + event
+//! JSON at exit; each round then also prints ingest latency percentiles.
+//! Without the flag the collector runs uninstrumented — the exact code
+//! path the overhead numbers in BENCH_stream.json compare against.  All
+//! wall-clock reads go through one injected monotonic clock.
+//!
 //! The binary counts heap allocations through a wrapping global allocator
 //! and reports allocations **per ingested report** for the timed ingestion
 //! section — the headline number of the zero-allocation batch pipeline
@@ -50,9 +59,10 @@
 
 use mdrr_bench::maybe_write_json;
 use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer, Schema};
+use mdrr_obs::{Clock, HistogramSnapshot, MonotonicClock};
 use mdrr_protocols::{Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel};
 use mdrr_store::{merge_snapshots, Snapshot, SnapshotReader, SnapshotWriter};
-use mdrr_stream::{CheckpointManifest, ShardedCollector, MANIFEST_FILE};
+use mdrr_stream::{CheckpointManifest, ShardedCollector, StreamObs, MANIFEST_FILE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -60,7 +70,6 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Counts every heap allocation (alloc + realloc) made by the process, so
 /// the simulator can report allocations per ingested report for the timed
@@ -142,6 +151,7 @@ struct Options {
     kill_after: Option<usize>,
     merge: Vec<PathBuf>,
     merged_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -160,6 +170,7 @@ impl Options {
             kill_after: None,
             merge: Vec::new(),
             merged_out: None,
+            metrics_out: None,
         };
         let mut quick = false;
         let mut iter = args.into_iter();
@@ -182,6 +193,7 @@ impl Options {
                 "--kill-after" => options.kill_after = Some(parse(&flag, value(&flag)?)?),
                 "--merge" => options.merge.push(PathBuf::from(value(&flag)?)),
                 "--merged-out" => options.merged_out = Some(PathBuf::from(value(&flag)?)),
+                "--metrics-out" => options.metrics_out = Some(PathBuf::from(value(&flag)?)),
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -263,6 +275,10 @@ struct SimulationResult {
     mean_ingest_reports_per_sec: f64,
     /// Mean allocations per report during ingestion.
     mean_allocations_per_report: f64,
+    /// Reports held by each shard at the end of the run — the ground truth
+    /// the `--metrics-out` per-shard counters must equal exactly (the CI
+    /// smoke test asserts it).
+    shard_reports: Vec<u64>,
 }
 
 /// The simulator's own resume state, persisted as the opaque `app_state`
@@ -359,9 +375,16 @@ fn build_spec(options: &Options) -> Result<(ProtocolSpec, Schema), String> {
 /// manifest's report total, so a torn checkpoint (shard files newer than
 /// the manifest) is rejected here exactly as `restore` would reject it —
 /// and a plain file contributes itself.
-fn merge_operand_snapshots(path: &Path) -> Result<Vec<Snapshot>, String> {
+fn merge_operand_snapshots(
+    path: &Path,
+    obs: Option<&mdrr_store::StoreObs>,
+) -> Result<Vec<Snapshot>, String> {
     let read = |p: &Path| {
-        SnapshotReader::read(p).map_err(|e| format!("cannot read snapshot {}: {e}", p.display()))
+        match obs {
+            Some(o) => SnapshotReader::read_observed(p, o),
+            None => SnapshotReader::read(p),
+        }
+        .map_err(|e| format!("cannot read snapshot {}: {e}", p.display()))
     };
     if path.is_dir() {
         let manifest_path = path.join(MANIFEST_FILE);
@@ -410,12 +433,23 @@ struct MergeReport {
 /// compatibility, sum counts exactly, and estimate from the pooled
 /// sufficient statistics.
 fn run_merge(options: &Options) {
+    // `--metrics-out` in merge mode observes the store paths: snapshot
+    // reads (durations, bytes, CRC time) and the merge itself.
+    let obs = options.metrics_out.as_ref().map(|_| {
+        let registry = mdrr_obs::Registry::new();
+        let store = mdrr_store::StoreObs::new(Arc::new(MonotonicClock::new()), &registry);
+        (registry, store)
+    });
+    let store_obs = obs.as_ref().map(|(_, store)| store);
     let mut snapshots = Vec::new();
     for operand in &options.merge {
-        snapshots.extend(merge_operand_snapshots(operand).unwrap_or_else(|e| die(e)));
+        snapshots.extend(merge_operand_snapshots(operand, store_obs).unwrap_or_else(|e| die(e)));
     }
-    let merged = merge_snapshots(&snapshots)
-        .unwrap_or_else(|e| die(format!("merging {} snapshots: {e}", snapshots.len())));
+    let merged = match store_obs {
+        Some(o) => mdrr_store::merge_snapshots_observed(&snapshots, o),
+        None => merge_snapshots(&snapshots),
+    }
+    .unwrap_or_else(|e| die(format!("merging {} snapshots: {e}", snapshots.len())));
     println!("{}", "=".repeat(72));
     println!(
         "stream_sim --merge: pooled {} snapshot files from {} operands",
@@ -475,6 +509,11 @@ fn run_merge(options: &Options) {
         merged_out: options.merged_out.as_ref().map(|p| p.display().to_string()),
         marginals,
     };
+    if let (Some(path), Some((registry, _))) = (&options.metrics_out, &obs) {
+        std::fs::write(path, mdrr_obs::to_json(&registry.snapshot(), &[]))
+            .unwrap_or_else(|e| die(format!("cannot write {}: {e}", path.display())));
+        println!("metrics written to {}", path.display());
+    }
     let cli = mdrr_bench::CliOptions {
         output: options.output.clone(),
         ..Default::default()
@@ -489,7 +528,7 @@ fn main() {
             "usage: [--clients N] [--shards K] [--rounds R] \
              [--protocol independent|joint|clusters] [--spec PATH] [--path batch|per-record] \
              [--seed N] [--quick] [--out PATH] [--checkpoint-dir DIR] [--resume DIR] \
-             [--kill-after N] [--merge PATH]... [--merged-out PATH]"
+             [--kill-after N] [--merge PATH]... [--merged-out PATH] [--metrics-out PATH]"
         );
         std::process::exit(2);
     });
@@ -498,19 +537,32 @@ fn main() {
         return;
     }
 
+    // The one clock of the whole run: every wall-clock read below — round
+    // timing, totals and (when `--metrics-out` is given) the collector's
+    // own instrumentation — goes through this injected monotonic source.
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+
     // Assemble the run: fresh, or restored from a checkpoint directory.
     // On resume, the run's targets (clients, rounds, seed, protocol,
     // ingestion path) come from the persisted state — the original
     // invocation's contract — not from this invocation's flags.
-    let (spec, protocol, mut collector, mut state): (
+    let (spec, protocol, mut collector, obs, mut state): (
         ProtocolSpec,
         Arc<dyn Protocol>,
         ShardedCollector,
+        Option<Arc<StreamObs>>,
         ResumeState,
     ) = match options.resume.clone() {
         Some(dir) => {
-            let restored = ShardedCollector::restore(&dir)
-                .unwrap_or_else(|e| die(format!("cannot resume from {}: {e}", dir.display())));
+            let (restored, obs) = if options.metrics_out.is_some() {
+                let (restored, obs) = ShardedCollector::restore_observed(&dir, Arc::clone(&clock))
+                    .unwrap_or_else(|e| die(format!("cannot resume from {}: {e}", dir.display())));
+                (restored, Some(obs))
+            } else {
+                let restored = ShardedCollector::restore(&dir)
+                    .unwrap_or_else(|e| die(format!("cannot resume from {}: {e}", dir.display())));
+                (restored, None)
+            };
             let app = restored.app_state.unwrap_or_else(|| {
                 die(format!(
                     "{} carries no stream_sim resume state (was it written by a library \
@@ -540,13 +592,20 @@ fn main() {
                 state.clients
             );
             let protocol = restored.collector.protocol().clone();
-            (restored.spec, protocol, restored.collector, state)
+            (restored.spec, protocol, restored.collector, obs, state)
         }
         None => {
             let (spec, schema) = build_spec(&options).unwrap_or_else(|e| die(e));
             let protocol = spec.build_arc(&schema).unwrap_or_else(|e| die(e));
-            let collector =
+            let mut collector =
                 ShardedCollector::new(protocol.clone(), options.shards).unwrap_or_else(|e| die(e));
+            let obs = options.metrics_out.is_some().then(|| {
+                let obs = StreamObs::new(Arc::clone(&clock), options.shards);
+                collector
+                    .instrument(Arc::clone(&obs))
+                    .unwrap_or_else(|e| die(format!("cannot instrument collector: {e}")));
+                obs
+            });
             let state = ResumeState {
                 seed: options.seed,
                 clients: options.clients,
@@ -563,7 +622,7 @@ fn main() {
                     .map(|&c| vec![0u64; c])
                     .collect(),
             };
-            (spec, protocol, collector, state)
+            (spec, protocol, collector, obs, state)
         }
     };
     if state.rounds_done >= options.rounds {
@@ -606,7 +665,7 @@ fn main() {
     // allocation in the timed section) and row-major on the reference
     // path.
     let mut columnar = RecordsBuffer::new(record_arity).expect("schema is non-empty");
-    let started = Instant::now();
+    let started = clock.now_nanos();
 
     for round in first_round..=options.rounds {
         // Clients of this round (the last round absorbs the remainder).
@@ -634,13 +693,13 @@ fn main() {
         // not the simulator's record generation above.
         let seed = options.seed.wrapping_add(round as u64);
         let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
-        let round_start = Instant::now();
+        let round_start = clock.now_nanos();
         match options.path {
             IngestPath::Batch => collector.ingest_view(&columnar.view(), seed),
             IngestPath::PerRecord => collector.ingest_records_per_record(&rows, seed),
         }
         .expect("ingestion failed");
-        let round_secs = round_start.elapsed().as_secs_f64();
+        let round_secs = clock.now_nanos().saturating_sub(round_start) as f64 / 1e9;
         let ingest_allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
 
         let snapshot = collector.snapshot().expect("snapshot failed");
@@ -665,6 +724,9 @@ fn main() {
             "round {round:>3}: {total:>9} reports total | {reports_per_sec:>12.0} reports/s \
              | {allocations_per_report:>7.4} allocs/report | max marginal error {max_error:.5}"
         );
+        if let Some(obs) = &obs {
+            print_progress(obs);
+        }
         rounds.push(RoundReport {
             round,
             total_reports: total,
@@ -691,12 +753,18 @@ fn main() {
                      (resume with --resume)",
                     dir.display()
                 );
+                // The simulated crash happens *after* the checkpoint
+                // committed, so the metrics of the killed process are
+                // still worth inspecting — flush them before dying.
+                if let (Some(path), Some(obs)) = (&options.metrics_out, &obs) {
+                    write_metrics(path, obs);
+                }
                 return;
             }
         }
     }
 
-    let total_secs = started.elapsed().as_secs_f64();
+    let total_secs = clock.now_nanos().saturating_sub(started) as f64 / 1e9;
     let mean = |f: fn(&RoundReport) -> f64| -> f64 {
         rounds.iter().map(f).sum::<f64>() / rounds.len() as f64
     };
@@ -710,6 +778,7 @@ fn main() {
         overall_reports_per_sec: clients_this_process as f64 / total_secs,
         mean_ingest_reports_per_sec: mean(|r| r.reports_per_sec),
         mean_allocations_per_report: mean(|r| r.allocations_per_report),
+        shard_reports: collector.shards().iter().map(|s| s.n_reports()).collect(),
         rounds,
     };
     println!("{}", "-".repeat(72));
@@ -732,9 +801,65 @@ fn main() {
             .unwrap_or(f64::NAN)
     );
 
+    if let (Some(path), Some(obs)) = (&options.metrics_out, &obs) {
+        write_metrics(path, obs);
+    }
+
     let cli = mdrr_bench::CliOptions {
         output: options.output.clone(),
         ..Default::default()
     };
     maybe_write_json(&cli, &result);
+}
+
+/// Writes the full metrics + journal JSON of an instrumented run.
+fn write_metrics(path: &Path, obs: &StreamObs) {
+    let json = mdrr_obs::to_json(&obs.registry().snapshot(), &obs.journal().events());
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| die(format!("cannot write {}: {e}", path.display())));
+    println!(
+        "metrics written to {} ({} journal events, {} dropped)",
+        path.display(),
+        obs.journal().len(),
+        obs.journal().dropped()
+    );
+}
+
+/// One per-round observability line: ingest latency percentiles pooled
+/// across the shards (exact histogram merge), the shard imbalance gauge
+/// and the journal depth.
+fn print_progress(obs: &StreamObs) {
+    let snapshot = obs.registry().snapshot();
+    let mut ingest = HistogramSnapshot::default();
+    for k in 0..obs.n_shards() {
+        let shard = k.to_string();
+        if let Some(h) =
+            snapshot.histogram_snapshot("stream_shard_ingest_nanos", &[("shard", &shard)])
+        {
+            ingest.merge(h);
+        }
+    }
+    let imbalance = snapshot
+        .gauge_value("stream_shard_imbalance_permille", &[])
+        .unwrap_or(0);
+    println!(
+        "       obs: ingest p50 {} | p99 {} | imbalance {imbalance}\u{2030} | {} journal events",
+        fmt_nanos(ingest.p50()),
+        fmt_nanos(ingest.p99()),
+        obs.journal().len()
+    );
+}
+
+/// Renders a nanosecond latency with a readable unit (histogram bucket
+/// edges are powers of two, so sub-millisecond precision is all we have).
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
 }

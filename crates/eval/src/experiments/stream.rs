@@ -15,6 +15,8 @@
 //! broken.
 
 use super::ExperimentConfig;
+use crate::obs::{ObservedEstimator, QueryObs};
+use mdrr_obs::{Clock, MonotonicClock, Registry};
 use mdrr_protocols::{
     Clustering, FrequencyEstimator, Protocol, ProtocolError, ProtocolSpec, RandomizationLevel,
 };
@@ -55,6 +57,10 @@ pub struct ProtocolEquivalence {
     /// Ingestion throughput of the streaming path, in reports per second
     /// (wall clock, encoding included).
     pub reports_per_sec: f64,
+    /// Queries answered by the streamed snapshot, as counted by the
+    /// query-path instrumentation (must equal `queries`; a mismatch means
+    /// the observability wrapper dropped or double-counted calls).
+    pub estimates_served: u64,
 }
 
 /// Result of the streamed-vs-batch equivalence experiment.
@@ -137,14 +143,17 @@ fn run_protocol(
     let n_reports: usize = batches.iter().map(ReportBatch::n_reports).sum();
 
     // Streaming path: route the pre-encoded report batches across the
-    // shards (bulk counting, no per-report work).
-    let start = std::time::Instant::now();
+    // shards (bulk counting, no per-report work).  All wall-clock reads go
+    // through the injected monotonic clock — the one ambient clock of the
+    // workspace lives in `mdrr_obs`, never here.
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+    let start = clock.now_nanos();
     let mut collector = ShardedCollector::new(Arc::clone(protocol), STREAM_SHARDS)?;
     for (i, batch) in batches.iter().enumerate() {
         collector.ingest_batch(i % STREAM_SHARDS, batch)?;
     }
     let snapshot = collector.snapshot()?;
-    let elapsed = start.elapsed().as_secs_f64();
+    let elapsed = clock.now_nanos().saturating_sub(start) as f64 / 1e9;
 
     // Batch path: the same reports decoded into the pooled randomized
     // data set and estimated through the batch constructor.
@@ -161,7 +170,12 @@ fn run_protocol(
     }
     let batch = protocol.release_from_randomized(randomized)?;
 
-    // Compare over every single- and pair-marginal assignment.
+    // Compare over every single- and pair-marginal assignment.  The
+    // streamed side is queried through the observed estimator, so the
+    // query-path instrumentation counts exactly one estimate per query.
+    let registry = Registry::new();
+    let query_obs = QueryObs::new(Arc::clone(&clock), &registry);
+    let snapshot = ObservedEstimator::new(snapshot, query_obs.clone());
     let cards = protocol.schema().cardinalities();
     let mut max_abs_deviation = 0.0f64;
     let mut queries = 0usize;
@@ -194,6 +208,7 @@ fn run_protocol(
         } else {
             f64::INFINITY
         },
+        estimates_served: query_obs.estimates_served(),
     })
 }
 
@@ -215,6 +230,7 @@ mod tests {
             assert_eq!(entry.reports, 2_000);
             assert_eq!(entry.shards, STREAM_SHARDS);
             assert!(entry.queries > 0);
+            assert_eq!(entry.estimates_served, entry.queries as u64);
             assert!(
                 entry.max_abs_deviation < 1e-12,
                 "{}: deviation {}",

@@ -7,6 +7,9 @@
 //!   and the median-over-runs summaries the paper reports;
 //! * [`report`] — serializable series/table containers plus plain-text
 //!   rendering used by the experiment binaries and EXPERIMENTS.md;
+//! * [`obs`] — opt-in query-path instrumentation: [`ObservedEstimator`]
+//!   wraps any estimator to count estimates served and time each query
+//!   through an injected `mdrr_obs` clock, without changing any answer;
 //! * [`experiments`] — one driver per table and figure of the paper
 //!   (Figure 1, Figure 2, Table 1, Figure 3, Table 2), plus the Section 3.3
 //!   analytic accuracy comparison and the Proposition 1 covariance
@@ -42,6 +45,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod queries;
 pub mod report;
 
@@ -49,5 +53,6 @@ pub use experiments::{
     build_clustering, evaluate_method, run_method_once, ExperimentConfig, MethodSpec,
 };
 pub use metrics::{absolute_error, median, quantile, relative_error, ErrorSummary};
+pub use obs::{ObservedEstimator, QueryObs};
 pub use queries::CountQuery;
 pub use report::{render_panel, render_table, FigurePanel, Series, TableResult};

@@ -1,0 +1,217 @@
+//! Optional query-path instrumentation: how many estimates a release
+//! served and how long each took.
+//!
+//! [`QueryObs`] bundles the injected [`Clock`] with the query-side
+//! instruments, registered into a caller-supplied
+//! [`Registry`] so the collector's and the query
+//! path's metrics live in one registry and export together.
+//! [`ObservedEstimator`] wraps any [`FrequencyEstimator`] and forwards
+//! every call unchanged, counting and timing it on the way through —
+//! the wrapped estimator's answers are bit-identical to the unwrapped
+//! ones, and under a [`NullClock`](mdrr_obs::NullClock) the wrapper does
+//! no timing work at all.
+//!
+//! Metric catalog (registered on construction):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `eval_estimates_served_total` | counter | frequency/count queries answered |
+//! | `eval_estimate_nanos` | histogram | per-query wall time |
+
+use mdrr_obs::{Clock, Counter, Histogram, Registry};
+use mdrr_protocols::{Assignment, FrequencyEstimator, ProtocolError};
+use std::sync::Arc;
+
+/// The query path's instruments plus the clock that times them.
+///
+/// ```
+/// use mdrr_eval::QueryObs;
+/// use mdrr_obs::{MonotonicClock, Registry};
+/// use std::sync::Arc;
+///
+/// let registry = Registry::new();
+/// let obs = QueryObs::new(Arc::new(MonotonicClock::new()), &registry);
+/// assert!(obs.clock().enabled());
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counter_value("eval_estimates_served_total", &[]), Some(0));
+/// assert!(snapshot.histogram_snapshot("eval_estimate_nanos", &[]).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryObs {
+    clock: Arc<dyn Clock>,
+    estimates_served: Arc<Counter>,
+    estimate_nanos: Arc<Histogram>,
+}
+
+impl QueryObs {
+    /// Registers the query-path instruments in `registry` and binds them
+    /// to `clock`.
+    pub fn new(clock: Arc<dyn Clock>, registry: &Registry) -> Self {
+        QueryObs {
+            clock,
+            estimates_served: registry.counter("eval_estimates_served_total"),
+            estimate_nanos: registry.histogram("eval_estimate_nanos"),
+        }
+    }
+
+    /// The clock the observed query path reads.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Number of estimates served so far through estimators observed by
+    /// this instance (or any sharing the same registry entry).
+    pub fn estimates_served(&self) -> u64 {
+        self.estimates_served.get()
+    }
+}
+
+/// A [`FrequencyEstimator`] that forwards to an inner estimator while
+/// counting and timing every query.
+///
+/// ```
+/// use mdrr_data::{Attribute, Schema};
+/// use mdrr_eval::{ObservedEstimator, QueryObs};
+/// use mdrr_obs::{MonotonicClock, Registry};
+/// use mdrr_protocols::{FrequencyEstimator, ProtocolSpec, RandomizationLevel};
+/// use std::sync::Arc;
+///
+/// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+/// let protocol = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7))
+///     .build_arc(&schema)?;
+/// let records: Vec<Vec<u32>> = (0..100).map(|i| vec![i % 2]).collect();
+/// let dataset = mdrr_data::Dataset::from_records(schema, &records)?;
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let release = protocol.run(&dataset, &mut rng)?;
+///
+/// let registry = Registry::new();
+/// let obs = QueryObs::new(Arc::new(MonotonicClock::new()), &registry);
+/// let observed = ObservedEstimator::new(&release, obs.clone());
+///
+/// let f = observed.frequency(&[(0, 0)])?;
+/// assert_eq!(f, release.frequency(&[(0, 0)])?); // answers are unchanged
+/// assert_eq!(obs.estimates_served(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ObservedEstimator<E> {
+    inner: E,
+    obs: QueryObs,
+}
+
+impl<E: FrequencyEstimator> ObservedEstimator<E> {
+    /// Wraps `inner` so every query is counted and timed through `obs`.
+    pub fn new(inner: E, obs: QueryObs) -> Self {
+        ObservedEstimator { inner, obs }
+    }
+
+    /// The wrapped estimator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner estimator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: FrequencyEstimator> FrequencyEstimator for ObservedEstimator<E> {
+    fn frequency(&self, assignment: &Assignment) -> Result<f64, ProtocolError> {
+        let clock = self.obs.clock();
+        let start = clock.enabled().then(|| clock.now_nanos());
+        let result = self.inner.frequency(assignment);
+        if let Some(start) = start {
+            self.obs
+                .estimate_nanos
+                .record(clock.now_nanos().saturating_sub(start));
+        }
+        self.obs.estimates_served.inc();
+        result
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_obs::{ManualClock, NullClock};
+
+    /// A fixed-answer estimator for wrapper tests.
+    #[derive(Debug)]
+    struct Fixed(f64, usize);
+
+    impl FrequencyEstimator for Fixed {
+        fn frequency(&self, _assignment: &Assignment) -> Result<f64, ProtocolError> {
+            Ok(self.0)
+        }
+
+        fn record_count(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn wrapper_counts_and_times_without_changing_answers() {
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::new());
+        let obs = QueryObs::new(clock, &registry);
+        let estimator = ObservedEstimator::new(Fixed(0.25, 80), obs.clone());
+
+        assert_eq!(estimator.frequency(&[]).unwrap(), 0.25);
+        assert_eq!(estimator.count(&[]).unwrap(), 20.0);
+        assert_eq!(estimator.record_count(), 80);
+
+        // frequency() once directly + once through count() = 2 estimates.
+        assert_eq!(obs.estimates_served(), 2);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counter_value("eval_estimates_served_total", &[]),
+            Some(2)
+        );
+        let hist = snapshot
+            .histogram_snapshot("eval_estimate_nanos", &[])
+            .unwrap();
+        assert_eq!(hist.count, 2);
+    }
+
+    #[test]
+    fn null_clock_counts_but_skips_timing() {
+        let registry = Registry::new();
+        let obs = QueryObs::new(Arc::new(NullClock), &registry);
+        let estimator = ObservedEstimator::new(Fixed(0.5, 10), obs.clone());
+        for _ in 0..5 {
+            estimator.frequency(&[]).unwrap();
+        }
+        assert_eq!(obs.estimates_served(), 5);
+        let snapshot = registry.snapshot();
+        let hist = snapshot
+            .histogram_snapshot("eval_estimate_nanos", &[])
+            .unwrap();
+        assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn errors_still_count_as_served_queries() {
+        #[derive(Debug)]
+        struct Failing;
+        impl FrequencyEstimator for Failing {
+            fn frequency(&self, _assignment: &Assignment) -> Result<f64, ProtocolError> {
+                Err(ProtocolError::unsupported("always fails"))
+            }
+            fn record_count(&self) -> usize {
+                0
+            }
+        }
+
+        let registry = Registry::new();
+        let obs = QueryObs::new(Arc::new(NullClock), &registry);
+        let estimator = ObservedEstimator::new(Failing, obs.clone());
+        assert!(estimator.frequency(&[]).is_err());
+        assert_eq!(obs.estimates_served(), 1);
+    }
+}

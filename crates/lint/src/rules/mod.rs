@@ -12,6 +12,7 @@ use crate::workspace::Workspace;
 
 pub mod crate_hygiene;
 pub mod no_alloc_in_hot_loop;
+pub mod no_ambient_clock;
 pub mod no_deprecated_ingest;
 pub mod no_float_in_kernel;
 pub mod no_panic_paths;
@@ -36,6 +37,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(no_float_in_kernel::NoFloatInKernel),
         Box::new(no_alloc_in_hot_loop::NoAllocInHotLoop),
         Box::new(seeded_rng_only::SeededRngOnly),
+        Box::new(no_ambient_clock::NoAmbientClockInLib),
         Box::new(spec_sync::SpecSync),
         Box::new(safety_comments::SafetyComments),
         Box::new(crate_hygiene::CrateHygiene),

@@ -1,0 +1,72 @@
+//! **no-ambient-clock-in-lib** — instrumented code must stay
+//! deterministic and testable: every duration the observability layer
+//! records flows through the injectable `mdrr_obs::Clock` trait, so a
+//! `NullClock` makes instrumentation free and a `ManualClock` makes
+//! latency tests exact.  That only holds if library code never reads the
+//! ambient clock itself.  This rule forbids `Instant` and `SystemTime`
+//! in the library sources of every workspace crate except `mdrr-obs` —
+//! the single reasoned boundary, where `MonotonicClock` performs the one
+//! ambient read behind the trait (tests excluded everywhere).
+
+use super::{suppress_help, Rule};
+use crate::diag::Diagnostic;
+use crate::source::FileKind;
+use crate::workspace::Workspace;
+
+/// The one crate allowed to touch `std::time`: it owns the `Clock` trait
+/// and wraps the ambient monotonic source behind it.
+const BOUNDARY_CRATE: &str = "mdrr-obs";
+
+/// Ambient clock types that bypass the injected `Clock`.
+const FORBIDDEN: [(&str, &str); 2] = [
+    ("Instant", "reads the ambient monotonic clock"),
+    ("SystemTime", "reads the ambient wall clock"),
+];
+
+/// See the module docs.
+pub struct NoAmbientClockInLib;
+
+impl Rule for NoAmbientClockInLib {
+    fn id(&self) -> &'static str {
+        "no-ambient-clock-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code takes time from an injected mdrr_obs::Clock, never from std::time directly"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws
+            .files
+            .iter()
+            .filter(|f| f.kind == FileKind::LibSrc && f.crate_name != BOUNDARY_CRATE)
+        {
+            for &ti in &file.sig {
+                let Some(tok) = file.tokens.get(ti) else {
+                    continue;
+                };
+                if file.in_test_code(tok.start) {
+                    continue;
+                }
+                let text = tok.text(&file.text);
+                if let Some((name, why)) = FORBIDDEN.iter().find(|(n, _)| *n == text) {
+                    out.push(
+                        file.diag_at(
+                            self.id(),
+                            tok,
+                            format!(
+                                "`{name}` {why} — library code must take time from an \
+                                 injected `mdrr_obs::Clock`"
+                            ),
+                        )
+                        .with_help(format!(
+                            "accept an `Arc<dyn Clock>` (or `MonotonicClock` at the top-level \
+                             call site) and read `now_nanos()` from it, {}",
+                            suppress_help(self.id())
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}

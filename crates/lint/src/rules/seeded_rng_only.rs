@@ -2,11 +2,12 @@
 //! killed+resumed run against an uninterrupted one) only holds if *every*
 //! draw on the deterministic-resume path flows from an explicit seed:
 //! shard RNGs derive from `offset_base_seed`, the generator RNG persists
-//! its xoshiro state in `app_state`.  One ambient-entropy or wall-clock
-//! source anywhere in `mdrr-core`, `mdrr-protocols`, `mdrr-store` or
-//! `mdrr-stream` library code breaks the contract invisibly.  This rule
-//! forbids `thread_rng`, `from_entropy`, `random`, `SystemTime` and
-//! `Instant` there (tests excluded).
+//! its xoshiro state in `app_state`.  One ambient-entropy source anywhere
+//! in `mdrr-core`, `mdrr-protocols`, `mdrr-store` or `mdrr-stream`
+//! library code breaks the contract invisibly.  This rule forbids
+//! `thread_rng`, `from_entropy` and `random` there (tests excluded).
+//! Ambient *clock* reads are the workspace-wide concern of the companion
+//! rule `no-ambient-clock-in-lib`.
 
 use super::{suppress_help, Rule};
 use crate::diag::Diagnostic;
@@ -16,13 +17,11 @@ use crate::workspace::Workspace;
 /// Crates whose library code sits on the deterministic-resume path.
 const SCOPED_CRATES: [&str; 4] = ["mdrr-core", "mdrr-protocols", "mdrr-store", "mdrr-stream"];
 
-/// Identifiers that smuggle in ambient entropy or wall-clock state.
-const FORBIDDEN: [(&str, &str); 5] = [
+/// Identifiers that smuggle in ambient entropy.
+const FORBIDDEN: [(&str, &str); 3] = [
     ("thread_rng", "draws from ambient OS entropy"),
     ("from_entropy", "seeds from ambient OS entropy"),
     ("random", "draws from the ambient thread-local RNG"),
-    ("SystemTime", "reads the wall clock"),
-    ("Instant", "reads the monotonic clock"),
 ];
 
 /// See the module docs.
@@ -34,7 +33,7 @@ impl Rule for SeededRngOnly {
     }
 
     fn description(&self) -> &'static str {
-        "deterministic-resume crates must seed all randomness explicitly (no entropy, no clocks)"
+        "deterministic-resume crates must seed all randomness explicitly (no ambient entropy)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {

@@ -1,0 +1,18 @@
+//! Fixture: ambient clock reads in library code that should take an
+//! injected `mdrr_obs::Clock`.
+
+/// Times an ingest round off the ambient monotonic clock — a `NullClock`
+/// can never make this free, and a `ManualClock` can never test it.
+pub fn timed_ingest(reports: &[u64]) -> (u64, f64) {
+    let start = Instant::now();
+    let total = reports.iter().sum();
+    (total, start.elapsed().as_secs_f64())
+}
+
+/// Stamps an event with the ambient wall clock.
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

@@ -1,5 +1,5 @@
-//! Fixture: ambient entropy and wall-clock reads on the
-//! deterministic-resume path.
+//! Fixture: ambient entropy on the deterministic-resume path (ambient
+//! *clocks* are the no-ambient-clock-in-lib fixture's concern).
 
 /// Seeds shard RNGs from ambient OS entropy — resume can never reproduce.
 pub fn shard_rngs(n: usize) -> Vec<StdRng> {
@@ -10,12 +10,4 @@ pub fn shard_rngs(n: usize) -> Vec<StdRng> {
 pub fn route(n_shards: usize) -> usize {
     let mut rng = thread_rng();
     rng.next_u64() as usize % n_shards
-}
-
-/// Derives a "seed" from the wall clock.
-pub fn clock_seed() -> u64 {
-    let now = SystemTime::now();
-    let tick = Instant::now();
-    let _ = tick;
-    now.duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
 }

@@ -112,13 +112,13 @@ fn no_alloc_in_hot_loop_allows_hoisted_buffers() {
 }
 
 #[test]
-fn seeded_rng_only_fires_on_entropy_and_clocks() {
+fn seeded_rng_only_fires_on_ambient_entropy() {
     let (diags, _) = lint_one(
         "seeded-rng-only",
         "crates/core/src/fixture.rs",
         include_str!("fixtures/seeded_rng_only/violating.rs"),
     );
-    assert_eq!(diags.len(), 4, "unexpected: {diags:#?}");
+    assert_eq!(diags.len(), 2, "unexpected: {diags:#?}");
     let all = diags
         .iter()
         .map(|d| d.message.as_str())
@@ -126,8 +126,6 @@ fn seeded_rng_only_fires_on_entropy_and_clocks() {
         .join("\n");
     assert!(all.contains("thread_rng"));
     assert!(all.contains("from_entropy"));
-    assert!(all.contains("SystemTime"));
-    assert!(all.contains("Instant"));
 }
 
 #[test]
@@ -138,6 +136,56 @@ fn seeded_rng_only_allows_explicit_seeds_and_test_clocks() {
         include_str!("fixtures/seeded_rng_only/conforming.rs"),
     );
     assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
+fn no_ambient_clock_fires_on_both_clock_types() {
+    let (diags, _) = lint_one(
+        "no-ambient-clock-in-lib",
+        "crates/eval/src/fixture.rs",
+        include_str!("fixtures/no_ambient_clock/violating.rs"),
+    );
+    assert_eq!(diags.len(), 2, "unexpected: {diags:#?}");
+    let all = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(all.contains("Instant"));
+    assert!(all.contains("SystemTime"));
+}
+
+#[test]
+fn no_ambient_clock_accepts_injected_clocks_and_test_timing() {
+    let (diags, _) = lint_one(
+        "no-ambient-clock-in-lib",
+        "crates/eval/src/fixture.rs",
+        include_str!("fixtures/no_ambient_clock/conforming.rs"),
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
+fn no_ambient_clock_exempts_the_obs_boundary_crate() {
+    let (diags, _) = lint_one(
+        "no-ambient-clock-in-lib",
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/no_ambient_clock/violating.rs"),
+    );
+    assert!(
+        diags.is_empty(),
+        "mdrr-obs owns the one ambient clock read: {diags:#?}"
+    );
+}
+
+#[test]
+fn no_ambient_clock_exempts_binaries() {
+    let (diags, _) = lint_one(
+        "no-ambient-clock-in-lib",
+        "crates/bench/src/bin/fixture.rs",
+        include_str!("fixtures/no_ambient_clock/violating.rs"),
+    );
+    assert!(diags.is_empty(), "bin sources are not lib code: {diags:#?}");
 }
 
 #[test]

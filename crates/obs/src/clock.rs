@@ -1,0 +1,165 @@
+//! The injectable monotonic clock boundary.
+//!
+//! Library crates on the deterministic-resume path must never read
+//! ambient time themselves (the `no-ambient-clock-in-lib` lint forbids
+//! `Instant`/`SystemTime` there): they accept a `&dyn Clock` /
+//! `Arc<dyn Clock>` from the caller instead.  This module is the single
+//! reasoned place in the workspace where `std::time::Instant` is read —
+//! behind [`MonotonicClock`] — so a grep for clock sources has exactly
+//! one hit, and swapping the time source (tests, simulation, `NullClock`
+//! production-off mode) is a constructor argument, not a code change.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// `now_nanos` values are only meaningful as differences; the epoch is
+/// arbitrary (for [`MonotonicClock`] it is the moment of construction).
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Nanoseconds since the clock's arbitrary epoch.  Monotone
+    /// non-decreasing for every real implementation; a [`NullClock`]
+    /// returns 0 forever.
+    fn now_nanos(&self) -> u64;
+
+    /// Whether this clock produces real readings.  Instrumented hot paths
+    /// consult this once per batch and skip timing work entirely when it
+    /// is `false`, so a [`NullClock`] costs nothing beyond the check.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The production clock: monotonic nanoseconds measured from the moment
+/// of construction via `std::time::Instant` — the workspace's one ambient
+/// clock read.
+///
+/// ```
+/// use mdrr_obs::{Clock, MonotonicClock};
+/// let clock = MonotonicClock::new();
+/// let a = clock.now_nanos();
+/// let b = clock.now_nanos();
+/// assert!(b >= a);
+/// assert!(clock.enabled());
+/// ```
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        // Saturates after ~584 years of process uptime; fine.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// The observability-off clock: always reads 0 and reports itself
+/// disabled, so instrumented library code skips every timing section and
+/// stays byte-identical to uninstrumented output.
+///
+/// ```
+/// use mdrr_obs::{Clock, NullClock};
+/// let clock = NullClock;
+/// assert_eq!(clock.now_nanos(), 0);
+/// assert!(!clock.enabled());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// the test says so.
+///
+/// ```
+/// use mdrr_obs::{Clock, ManualClock};
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now_nanos(), 0);
+/// clock.advance(250);
+/// assert_eq!(clock.now_nanos(), 250);
+/// clock.set(1_000);
+/// assert_eq!(clock.now_nanos(), 1_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0.
+    pub fn new() -> Self {
+        ManualClock {
+            nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Moves the clock forward by `delta` nanoseconds.
+    pub fn advance(&self, delta: u64) {
+        self.nanos.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute reading.  Setting the clock backwards is allowed
+    /// here (it is a test tool), unlike every production clock.
+    pub fn set(&self, nanos: u64) {
+        self.nanos.store(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::default();
+        let mut last = 0;
+        for _ in 0..100 {
+            let now = clock.now_nanos();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn clocks_are_object_safe_and_shareable() {
+        let clocks: Vec<Arc<dyn Clock>> = vec![
+            Arc::new(MonotonicClock::new()),
+            Arc::new(NullClock),
+            Arc::new(ManualClock::new()),
+        ];
+        assert!(clocks[0].enabled());
+        assert!(!clocks[1].enabled());
+        assert_eq!(clocks[2].now_nanos(), 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Exporters: a stable JSON report and Prometheus text exposition.
+//!
+//! Both exporters are pure functions over a [`MetricsSnapshot`] (plus the
+//! journal's events, for JSON) and are hand-rolled — `mdrr-obs` is
+//! dependency-free, and the formats are small enough that owning them
+//! keeps the output byte-stable across runs: iteration order is
+//! registration order, numbers are plain `u64`/shortest-float, and there
+//! is no map whose ordering could wobble.
+
+use crate::hist::{bucket_upper, HistogramSnapshot};
+use crate::journal::Event;
+use crate::registry::{MetricId, MetricsSnapshot};
+
+/// Renders a snapshot (and optional journal events) as a stable JSON
+/// document.
+///
+/// Layout: `{"counters": […], "gauges": […], "histograms": […],
+/// "events": […]}` where each metric entry carries `name`, `labels`
+/// (object) and its value(s); histograms add `count`, `sum`, `mean`,
+/// `p50`/`p90`/`p99`/`p999` and the non-empty `buckets` as
+/// `[upper_bound, count]` pairs.
+///
+/// ```
+/// use mdrr_obs::Registry;
+/// let registry = Registry::new();
+/// registry.counter_with("reports_total", &[("shard", "0")]).add(3);
+/// let json = mdrr_obs::to_json(&registry.snapshot(), &[]);
+/// assert!(json.contains("\"reports_total\""));
+/// assert!(json.contains("\"value\": 3"));
+/// ```
+pub fn to_json(snapshot: &MetricsSnapshot, events: &[Event]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"counters\": [");
+    for (i, sample) in snapshot.counters.iter().enumerate() {
+        push_sep(&mut out, i);
+        out.push('{');
+        push_id_json(&mut out, &sample.id);
+        out.push_str(&format!(", \"value\": {}}}", sample.value));
+    }
+    out.push_str("],\n  \"gauges\": [");
+    for (i, sample) in snapshot.gauges.iter().enumerate() {
+        push_sep(&mut out, i);
+        out.push('{');
+        push_id_json(&mut out, &sample.id);
+        out.push_str(&format!(", \"value\": {}}}", sample.value));
+    }
+    out.push_str("],\n  \"histograms\": [");
+    for (i, sample) in snapshot.histograms.iter().enumerate() {
+        push_sep(&mut out, i);
+        out.push('{');
+        push_id_json(&mut out, &sample.id);
+        push_hist_json(&mut out, &sample.hist);
+        out.push('}');
+    }
+    out.push_str("],\n  \"events\": [");
+    for (i, event) in events.iter().enumerate() {
+        push_sep(&mut out, i);
+        out.push_str(&format!(
+            "{{\"at_nanos\": {}, \"kind\": \"{}\", \"fields\": {{",
+            event.at_nanos,
+            event.kind.name()
+        ));
+        for (j, (field, value)) in event.kind.fields().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{field}\": {value}"));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+///
+/// Counter and gauge samples become one line each; histograms expand to
+/// cumulative `_bucket{le="…"}` lines (upper bounds of the non-empty
+/// log2 buckets plus `+Inf`), `_sum` and `_count`.  Metric names are
+/// sanitized to `[a-zA-Z0-9_:]`; label values are escaped per the
+/// exposition-format rules.
+///
+/// ```
+/// use mdrr_obs::Registry;
+/// let registry = Registry::new();
+/// registry.gauge_with("imbalance_permille", &[("path", "ingest")]).set(12);
+/// let text = mdrr_obs::to_prometheus(&registry.snapshot());
+/// assert_eq!(text, "imbalance_permille{path=\"ingest\"} 12\n");
+/// ```
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for sample in &snapshot.counters {
+        push_prom_line(&mut out, &sample.id, "", &[], sample.value);
+    }
+    for sample in &snapshot.gauges {
+        push_prom_line(&mut out, &sample.id, "", &[], sample.value);
+    }
+    for sample in &snapshot.histograms {
+        let hist = &sample.hist;
+        let mut cumulative = 0u64;
+        for (i, &n) in hist.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative = cumulative.saturating_add(n);
+            let le = bucket_upper(i).to_string();
+            push_prom_line(&mut out, &sample.id, "_bucket", &[("le", &le)], cumulative);
+        }
+        push_prom_line(
+            &mut out,
+            &sample.id,
+            "_bucket",
+            &[("le", "+Inf")],
+            hist.count,
+        );
+        push_prom_line(&mut out, &sample.id, "_sum", &[], hist.sum);
+        push_prom_line(&mut out, &sample.id, "_count", &[], hist.count);
+    }
+    out
+}
+
+fn push_sep(out: &mut String, i: usize) {
+    if i > 0 {
+        out.push_str(", ");
+    }
+}
+
+fn push_id_json(out: &mut String, id: &MetricId) {
+    out.push_str(&format!(
+        "\"name\": \"{}\", \"labels\": {{",
+        json_escape(&id.name)
+    ));
+    for (i, (k, v)) in id.labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push('}');
+}
+
+fn push_hist_json(out: &mut String, hist: &HistogramSnapshot) {
+    out.push_str(&format!(
+        ", \"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+        hist.count,
+        hist.sum,
+        fmt_f64(hist.mean()),
+        hist.p50(),
+        hist.p90(),
+        hist.p99(),
+        hist.p999(),
+    ));
+    let mut first = true;
+    for (i, &n) in hist.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("[{}, {}]", bucket_upper(i), n));
+    }
+    out.push(']');
+}
+
+fn push_prom_line(
+    out: &mut String,
+    id: &MetricId,
+    suffix: &str,
+    extra_labels: &[(&str, &str)],
+    value: u64,
+) {
+    out.push_str(&prom_name(&id.name));
+    out.push_str(suffix);
+    let n_labels = id.labels.len() + extra_labels.len();
+    if n_labels > 0 {
+        out.push('{');
+        let mut i = 0;
+        for (k, v) in &id.labels {
+            if i > 0 {
+                out.push(',');
+            }
+            i += 1;
+            out.push_str(&format!("{}=\"{}\"", prom_name(k), prom_escape(v)));
+        }
+        for (k, v) in extra_labels {
+            if i > 0 {
+                out.push(',');
+            }
+            i += 1;
+            out.push_str(&format!("{k}=\"{}\"", prom_escape(v)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(" {value}\n"));
+}
+
+/// Formats a finite `f64` as a JSON number (mean is NaN-free by
+/// construction, so no special-casing is needed).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a metric or label name onto the Prometheus-legal alphabet
+/// `[a-zA-Z0-9_:]`, replacing everything else with `_`.
+fn prom_name(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{EventKind, Journal};
+    use crate::registry::Registry;
+
+    #[test]
+    fn json_report_is_stable_and_parseable_shape() {
+        let registry = Registry::new();
+        registry
+            .counter_with("reports_total", &[("shard", "0")])
+            .add(10);
+        registry.gauge("imbalance_permille").set(42);
+        registry.histogram("ingest_nanos").record(100);
+        let journal = Journal::new(8);
+        journal.record(
+            5,
+            EventKind::BatchIngested {
+                shard: 0,
+                reports: 10,
+            },
+        );
+
+        let a = to_json(&registry.snapshot(), &journal.events());
+        let b = to_json(&registry.snapshot(), &journal.events());
+        assert_eq!(a, b, "export must be byte-stable");
+        for needle in [
+            "\"reports_total\"",
+            "\"shard\": \"0\"",
+            "\"value\": 10",
+            "\"imbalance_permille\"",
+            "\"ingest_nanos\"",
+            "\"p99\": 127",
+            "\"kind\": \"batch_ingested\"",
+            "\"fields\": {\"shard\": 0, \"reports\": 10}",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in {a}");
+        }
+    }
+
+    #[test]
+    fn prometheus_histogram_lines_are_cumulative() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        h.record(1); // bucket 1, upper 1
+        h.record(2); // bucket 2, upper 3
+        h.record(3); // bucket 2, upper 3
+        let text = to_prometheus(&registry.snapshot());
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 6\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn names_and_labels_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter_with("weird name", &[("path", "a\"b\\c")])
+            .inc();
+        let json = to_json(&registry.snapshot(), &[]);
+        assert!(json.contains("a\\\"b\\\\c"));
+        let prom = to_prometheus(&registry.snapshot());
+        assert!(prom.starts_with("weird_name{path=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

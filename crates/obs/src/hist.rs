@@ -1,0 +1,279 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`Histogram`] has exactly [`N_BUCKETS`] = 65 buckets covering all of
+//! `u64`: bucket 0 holds the value 0, and bucket `i ≥ 1` holds the values
+//! with `i` significant bits, i.e. the range `[2^(i-1), 2^i − 1]`.  The
+//! layout buys three properties the hot path needs:
+//!
+//! * **Recording is lock-free and allocation-free** — one `leading_zeros`
+//!   and three relaxed `fetch_add`s, no matter the value.
+//! * **Merging is exact and order-independent** — bucket counts are plain
+//!   sums, so merged snapshots equal the histogram of the concatenated
+//!   samples, in any merge order (proptest-pinned).
+//! * **Quantiles are conservatively bounded** — [`HistogramSnapshot::quantile`]
+//!   returns the *upper edge* of the bucket holding the rank, so for a
+//!   true quantile `t ≥ 1` the reported value `p` satisfies
+//!   `t ≤ p ≤ 2t − 1`: never an underestimate, never more than the 2×
+//!   log2 bucket width away (also proptest-pinned).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: the value 0, plus one bucket per possible bit
+/// length of a non-zero `u64` (1..=64).
+pub const N_BUCKETS: usize = 65;
+
+/// The bucket a value falls into: its bit length (0 for 0).
+///
+/// ```
+/// assert_eq!(mdrr_obs::bucket_index(0), 0);
+/// assert_eq!(mdrr_obs::bucket_index(1), 1);
+/// assert_eq!(mdrr_obs::bucket_index(3), 2);
+/// assert_eq!(mdrr_obs::bucket_index(1024), 11);
+/// assert_eq!(mdrr_obs::bucket_index(u64::MAX), 64);
+/// ```
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` holds: 0 for bucket 0, `2^i − 1`
+/// otherwise (saturating at `u64::MAX` for bucket 64).
+///
+/// ```
+/// assert_eq!(mdrr_obs::bucket_upper(0), 0);
+/// assert_eq!(mdrr_obs::bucket_upper(1), 1);
+/// assert_eq!(mdrr_obs::bucket_upper(11), 2047);
+/// assert_eq!(mdrr_obs::bucket_upper(64), u64::MAX);
+/// ```
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A concurrent log2 histogram: 65 relaxed-atomic buckets plus a running
+/// count and sum.
+///
+/// ```
+/// let h = mdrr_obs::Histogram::new();
+/// for v in [3u64, 90, 1500, 1500] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.sum, 3093);
+/// assert!(snap.p50() >= 90);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.  Lock-free: three relaxed atomic adds.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // bucket_index is always < N_BUCKETS by construction.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.  Under concurrent
+    /// recording the copy may straddle an in-flight `record` (count and
+    /// bucket loads are independent); after the writers have been joined
+    /// it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A plain-value copy of a [`Histogram`]: mergeable, comparable,
+/// exportable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values (modulo 2^64; overflowing a u64 of
+    /// nanoseconds takes ~584 years of accumulated latency).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one — exact: bucket counts add,
+    /// so the result equals the histogram of the concatenated samples,
+    /// independent of merge order.  Sums add wrapping, matching the
+    /// wrapping `fetch_add` of [`Histogram::record`] — wrapping addition
+    /// is commutative *and* associative, so even a (physically
+    /// implausible) overflowed sum merges identically in any order.
+    ///
+    /// ```
+    /// use mdrr_obs::Histogram;
+    /// let (a, b) = (Histogram::new(), Histogram::new());
+    /// a.record(5);
+    /// b.record(500);
+    /// let mut merged = a.snapshot();
+    /// merged.merge(&b.snapshot());
+    /// assert_eq!(merged.count, 2);
+    /// assert_eq!(merged.sum, 505);
+    /// ```
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+    }
+
+    /// The conservative `q`-quantile: the upper edge of the bucket that
+    /// holds the `⌈q·count⌉`-th smallest observation.  Returns 0 for an
+    /// empty histogram.  For a true quantile `t`, the result `p`
+    /// satisfies `t ≤ p` always, and `p ≤ 2t − 1` whenever `t ≥ 1`.
+    ///
+    /// ```
+    /// let h = mdrr_obs::Histogram::new();
+    /// for v in 1..=1000u64 {
+    ///     h.record(v);
+    /// }
+    /// let snap = h.snapshot();
+    /// let p99 = snap.quantile(0.99);
+    /// assert!((990..1980).contains(&p99));
+    /// ```
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        // Unreachable when the bucket counts sum to `count`; fall back to
+        // the largest edge rather than panicking on a torn snapshot.
+        u64::MAX
+    }
+
+    /// The median bound (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The exact mean of the recorded values (`NaN`-free: 0.0 when
+    /// empty).  Unlike the quantiles this is not bucketed — `sum` is kept
+    /// exactly.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_tile_u64() {
+        // Every value lands in exactly one bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} above its bucket");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} fits a smaller bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_upper_edges() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, upper 15
+        }
+        h.record(1_000_000); // bucket 20, upper 2^20 - 1
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 15);
+        assert_eq!(snap.p90(), 15);
+        assert_eq!(snap.quantile(1.0), (1 << 20) - 1);
+        assert_eq!(HistogramSnapshot::default().p99(), 0);
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let all = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7u64, 7, 9_000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, all.snapshot());
+        assert_eq!(ba, all.snapshot());
+    }
+}

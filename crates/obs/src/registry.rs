@@ -1,0 +1,266 @@
+//! The metric registry: named, labelled instruments with stable order.
+//!
+//! A [`Registry`] hands out `Arc`s to [`Counter`]s, [`Gauge`]s and
+//! [`Histogram`]s keyed by `(name, labels)`.  Registration is
+//! get-or-create — asking twice for the same id returns the same
+//! instrument — and the registration order is preserved, so exports are
+//! deterministic run to run.  Registration takes a `Mutex` (it happens
+//! once per metric at setup); updates through the returned `Arc`s are the
+//! lock-free relaxed-atomic paths of the instruments themselves.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+
+/// The identity of a metric: a name plus ordered `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricId {
+    /// Metric name, e.g. `stream_shard_reports_total`.
+    pub name: String,
+    /// Ordered label pairs, e.g. `[("shard", "3")]`.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id from borrowed parts.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricId {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: Vec<(MetricId, Arc<Counter>)>,
+    gauges: Vec<(MetricId, Arc<Gauge>)>,
+    histograms: Vec<(MetricId, Arc<Histogram>)>,
+}
+
+/// A registry of named instruments.
+///
+/// ```
+/// use mdrr_obs::Registry;
+/// let registry = Registry::new();
+/// let a = registry.counter("checkpoints_total");
+/// let b = registry.counter("checkpoints_total"); // same instrument
+/// a.inc();
+/// b.inc();
+/// assert_eq!(registry.snapshot().counters[0].value, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or registers an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Gets or registers a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, c)) = inner.counters.iter().find(|(i, _)| *i == id) {
+            return Arc::clone(c);
+        }
+        let counter = Arc::new(Counter::new());
+        inner.counters.push((id, Arc::clone(&counter)));
+        counter
+    }
+
+    /// Gets or registers an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or registers a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, g)) = inner.gauges.iter().find(|(i, _)| *i == id) {
+            return Arc::clone(g);
+        }
+        let gauge = Arc::new(Gauge::new());
+        inner.gauges.push((id, Arc::clone(&gauge)));
+        gauge
+    }
+
+    /// Gets or registers an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Gets or registers a labelled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, h)) = inner.histograms.iter().find(|(i, _)| *i == id) {
+            return Arc::clone(h);
+        }
+        let histogram = Arc::new(Histogram::new());
+        inner.histograms.push((id, Arc::clone(&histogram)));
+        histogram
+    }
+
+    /// A plain-value snapshot of every registered instrument, in
+    /// registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, c)| CounterSample {
+                    id: id.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, g)| GaugeSample {
+                    id: id.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| HistogramSample {
+                    id: id.clone(),
+                    hist: h.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Instruments> {
+        // Registration never leaves the vectors half-updated across a
+        // panic point, so a poisoned lock is still structurally sound.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A counter's id and value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Which counter.
+    pub id: MetricId,
+    /// Its value.
+    pub value: u64,
+}
+
+/// A gauge's id and value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Which gauge.
+    pub id: MetricId,
+    /// Its value.
+    pub value: u64,
+}
+
+/// A histogram's id and bucket snapshot at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Which histogram.
+    pub id: MetricId,
+    /// Its buckets, count and sum.
+    pub hist: HistogramSnapshot,
+}
+
+/// Every instrument's plain value at one point in time, in registration
+/// order — the input to both exporters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the counter with the given name and labels, if
+    /// registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.counters.iter().find(|s| s.id == id).map(|s| s.value)
+    }
+
+    /// The value of the gauge with the given name and labels, if
+    /// registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = MetricId::new(name, labels);
+        self.gauges.iter().find(|s| s.id == id).map(|s| s.value)
+    }
+
+    /// The snapshot of the histogram with the given name and labels, if
+    /// registered.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        let id = MetricId::new(name, labels);
+        self.histograms.iter().find(|s| s.id == id).map(|s| &s.hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_dedups_by_name_and_labels() {
+        let registry = Registry::new();
+        let a = registry.counter_with("reports", &[("shard", "0")]);
+        let b = registry.counter_with("reports", &[("shard", "0")]);
+        let c = registry.counter_with("reports", &[("shard", "1")]);
+        a.add(5);
+        b.add(5);
+        c.add(1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.counter_value("reports", &[("shard", "0")]), Some(10));
+        assert_eq!(snap.counter_value("reports", &[("shard", "1")]), Some(1));
+        assert_eq!(snap.counter_value("reports", &[("shard", "9")]), None);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let registry = Registry::new();
+        registry.gauge("z_last");
+        registry.gauge("a_first_registered_second");
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges[0].id.name, "z_last");
+        assert_eq!(snap.gauges[1].id.name, "a_first_registered_second");
+    }
+
+    #[test]
+    fn histogram_lookup_by_id() {
+        let registry = Registry::new();
+        registry
+            .histogram_with("lat", &[("path", "ingest")])
+            .record(7);
+        let snap = registry.snapshot();
+        let hist = snap
+            .histogram_snapshot("lat", &[("path", "ingest")])
+            .expect("registered");
+        assert_eq!(hist.count, 1);
+        assert!(snap.histogram_snapshot("lat", &[]).is_none());
+    }
+}

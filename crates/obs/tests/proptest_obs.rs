@@ -1,0 +1,124 @@
+//! Property tests of the histogram algebra.
+//!
+//! The load-bearing claims: (1) merging snapshots is *exact* — the merge
+//! of any partition of a sample set equals the histogram of the
+//! concatenated samples, in any merge order; (2) the reported quantile
+//! always bounds the true sample quantile from above and stays within
+//! the log2 bucket width (`t ≤ p ≤ 2t − 1` for `t ≥ 1`, `p == 0` iff
+//! `t == 0`); (3) count and sum are exact, not bucketed.
+
+use mdrr_obs::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, N_BUCKETS};
+use proptest::prelude::*;
+
+/// The true `q`-quantile of a sample set, by sort-and-rank (the same
+/// `⌈q·n⌉` rank convention the histogram uses).
+fn true_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Records every value into a fresh histogram and snapshots it.
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spread over many buckets: small latencies, mid-range, and
+/// full-width u64 outliers.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u64..=u64::MAX).prop_map(|raw| {
+        // Skew toward small magnitudes so low buckets are exercised too:
+        // use the low bits of `raw` to pick a bit width, then mask.
+        let width = (raw % 65) as u32;
+        if width == 0 {
+            0
+        } else if width == 64 {
+            raw | (1 << 63)
+        } else {
+            (raw >> 1) % (1u64 << width)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging any 3-way partition equals the histogram of the
+    /// concatenation, in either association order.
+    #[test]
+    fn merge_is_exact_and_order_independent(
+        a in prop::collection::vec(value_strategy(), 0..50),
+        b in prop::collection::vec(value_strategy(), 0..50),
+        c in prop::collection::vec(value_strategy(), 0..50),
+    ) {
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let whole = hist_of(&all);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // c ⊕ (b ⊕ a)
+        let mut right = hist_of(&c);
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        right.merge(&ba);
+
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+    }
+
+    /// The reported quantile bounds the true quantile from above within
+    /// the 2× log2 bucket width, and is 0 exactly when the true quantile
+    /// is 0.
+    #[test]
+    fn quantile_bounds_true_quantile(
+        values in prop::collection::vec(value_strategy(), 1..200),
+        qi in 0usize..5,
+    ) {
+        let q = [0.5, 0.9, 0.99, 0.999, 1.0][qi];
+        let snap = hist_of(&values);
+        let est = snap.quantile(q);
+        let truth = true_quantile(&values, q);
+        prop_assert!(est >= truth, "quantile under-reported: est={est} truth={truth}");
+        if truth == 0 {
+            prop_assert_eq!(est, 0);
+        } else {
+            // est is the upper edge of truth's bucket: est ≤ 2·truth − 1.
+            // Compare in u128 so truth near u64::MAX cannot overflow.
+            prop_assert!(
+                (est as u128) < 2 * (truth as u128),
+                "quantile too loose: est={est} truth={truth}"
+            );
+        }
+    }
+
+    /// Count and sum are exact (sum modulo 2^64), independent of bucketing.
+    #[test]
+    fn count_and_sum_are_exact(
+        values in prop::collection::vec(0u64..1 << 40, 0..100),
+    ) {
+        let snap = hist_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    /// Every value lands in the one bucket whose range contains it.
+    #[test]
+    fn buckets_partition_u64(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(v <= bucket_upper(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper(i - 1));
+        }
+    }
+}

@@ -162,6 +162,17 @@ impl<'a> Cursor<'a> {
 /// magic and version first, then a bounds-checked structural walk, then
 /// the checksum, then the header JSON and the counting invariants.
 pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    decode_timed(bytes, None).map(|(snapshot, _)| snapshot)
+}
+
+/// [`decode`], additionally reporting how long the CRC-64 verification
+/// took (in nanoseconds of `clock`; 0 when `clock` is `None` or
+/// disabled).  The observed read path uses this so checksum cost is
+/// measured where it is paid instead of re-hashing the buffer.
+pub(crate) fn decode_timed(
+    bytes: &[u8],
+    clock: Option<&dyn mdrr_obs::Clock>,
+) -> Result<(Snapshot, u64), StoreError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic: [u8; 8] = cursor.take_array()?;
     if magic != MAGIC {
@@ -209,7 +220,13 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
     // checked in `take`), so this slice is total; if that invariant ever
     // broke, falling back to the full buffer makes the comparison below
     // fail as a mismatch instead of panicking.
+    let timing = clock.filter(|c| c.enabled());
+    let crc_start = timing.map(|c| c.now_nanos());
     let computed = crc64(bytes.get(..checksum_offset).unwrap_or(bytes));
+    let crc_nanos = match (timing, crc_start) {
+        (Some(c), Some(start)) => c.now_nanos().saturating_sub(start),
+        _ => 0,
+    };
     if stored != computed {
         return Err(StoreError::ChecksumMismatch { stored, computed });
     }
@@ -220,7 +237,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         .map_err(|e| StoreError::header(format!("header JSON does not parse: {e}")))?;
     let mut snapshot = Snapshot::new(header.schema, header.spec, counts, n_reports)?;
     snapshot.set_app_state(header.app_state);
-    Ok(snapshot)
+    Ok((snapshot, crc_nanos))
 }
 
 #[cfg(test)]

@@ -147,6 +147,52 @@ impl SnapshotWriter {
     pub fn write(&self, snapshot: &Snapshot) -> Result<(), StoreError> {
         atomic_write(&self.path, &snapshot.to_bytes()?)
     }
+
+    /// [`SnapshotWriter::write`], instrumented: records the write count,
+    /// serialized byte count and wall time in `obs`, and returns the
+    /// number of bytes written.  Identical filesystem behavior; under a
+    /// disabled clock only the counters move.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::{Snapshot, SnapshotWriter, StoreObs};
+    /// # use mdrr_obs::{MonotonicClock, Registry};
+    /// # use std::sync::Arc;
+    /// # let dir = std::env::temp_dir().join(format!("mdrr-doc-wo-{}", std::process::id()));
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// let registry = Registry::new();
+    /// let obs = StoreObs::new(Arc::new(MonotonicClock::new()), &registry);
+    /// let writer = SnapshotWriter::new(dir.join("obs.mdrrsnap"));
+    /// let bytes = writer.write_observed(&Snapshot::new(schema, spec, vec![vec![1, 0]], 1)?, &obs)?;
+    /// let snap = registry.snapshot();
+    /// assert_eq!(snap.counter_value("store_snapshot_writes_total", &[]), Some(1));
+    /// assert_eq!(snap.counter_value("store_bytes_written_total", &[]), Some(bytes));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Same as [`SnapshotWriter::write`].
+    pub fn write_observed(
+        &self,
+        snapshot: &Snapshot,
+        obs: &crate::StoreObs,
+    ) -> Result<u64, StoreError> {
+        let clock = obs.clock();
+        let start = clock.enabled().then(|| clock.now_nanos());
+        let bytes = snapshot.to_bytes()?;
+        atomic_write(&self.path, &bytes)?;
+        if let Some(start) = start {
+            obs.write_nanos
+                .record(clock.now_nanos().saturating_sub(start));
+        }
+        obs.writes.inc();
+        let n = bytes.len() as u64;
+        obs.bytes_written.add(n);
+        Ok(n)
+    }
 }
 
 /// Reads and fully validates snapshot files (magic, version, structure,
@@ -193,6 +239,55 @@ impl SnapshotReader {
         let bytes = fs::read(path)
             .map_err(|e| StoreError::io(format!("read snapshot {}", path.display()), e))?;
         Snapshot::from_bytes(&bytes)
+    }
+
+    /// [`SnapshotReader::read`], instrumented: records the read count,
+    /// file byte count, wall time and — separately — the CRC-64
+    /// verification time in `obs`.  The checksum is hashed once (inside
+    /// decoding), not re-hashed for measurement.
+    ///
+    /// ```
+    /// # use mdrr_data::{Attribute, Schema};
+    /// # use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// # use mdrr_store::{Snapshot, SnapshotReader, SnapshotWriter, StoreObs};
+    /// # use mdrr_obs::{MonotonicClock, Registry};
+    /// # use std::sync::Arc;
+    /// # let dir = std::env::temp_dir().join(format!("mdrr-doc-ro-{}", std::process::id()));
+    /// # let path = dir.join("obs.mdrrsnap");
+    /// # let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// # let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+    /// # let snapshot = Snapshot::new(schema, spec, vec![vec![2, 2]], 4)?;
+    /// SnapshotWriter::new(&path).write(&snapshot)?;
+    /// let registry = Registry::new();
+    /// let obs = StoreObs::new(Arc::new(MonotonicClock::new()), &registry);
+    /// assert_eq!(SnapshotReader::read_observed(&path, &obs)?, snapshot);
+    /// let snap = registry.snapshot();
+    /// assert_eq!(snap.counter_value("store_snapshot_reads_total", &[]), Some(1));
+    /// assert_eq!(snap.histogram_snapshot("store_crc_nanos", &[]).unwrap().count, 1);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Same as [`SnapshotReader::read`].
+    pub fn read_observed(
+        path: impl AsRef<Path>,
+        obs: &crate::StoreObs,
+    ) -> Result<Snapshot, StoreError> {
+        let path = path.as_ref();
+        let clock = obs.clock();
+        let start = clock.enabled().then(|| clock.now_nanos());
+        let bytes = fs::read(path)
+            .map_err(|e| StoreError::io(format!("read snapshot {}", path.display()), e))?;
+        let (snapshot, crc_nanos) = crate::format::decode_timed(&bytes, Some(clock.as_ref()))?;
+        if let Some(start) = start {
+            obs.read_nanos
+                .record(clock.now_nanos().saturating_sub(start));
+            obs.crc_nanos.record(crc_nanos);
+        }
+        obs.reads.inc();
+        obs.bytes_read.add(bytes.len() as u64);
+        Ok(snapshot)
     }
 }
 

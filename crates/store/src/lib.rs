@@ -16,6 +16,11 @@
 //!   leave a torn snapshot, and any corruption (truncation, flipped
 //!   bytes, foreign files) surfaces as a typed [`StoreError`], never a
 //!   panic.
+//! * [`StoreObs`] — optional instrumentation: `write_observed` /
+//!   `read_observed` / [`merge_snapshots_observed`] siblings that record
+//!   durations, byte counts and CRC verification time into an injected
+//!   `mdrr_obs` registry, timed by an injected clock (never an ambient
+//!   one), with the unobserved paths left untouched.
 //! * [`merge_snapshots`] / [`merge_snapshot_files`] — exact pooling of the
 //!   shards of any number of collector processes: spec compatibility is
 //!   verified, counts are summed with overflow checks, and the merged
@@ -62,10 +67,12 @@ pub mod error;
 pub mod format;
 pub mod io;
 pub mod merge;
+pub mod obs;
 pub mod snapshot;
 
 pub use error::StoreError;
 pub use format::{crc64, FORMAT_VERSION, MAGIC};
 pub use io::{atomic_write, SnapshotReader, SnapshotWriter};
-pub use merge::{merge_snapshot_files, merge_snapshots};
+pub use merge::{merge_snapshot_files, merge_snapshots, merge_snapshots_observed};
+pub use obs::StoreObs;
 pub use snapshot::Snapshot;

@@ -129,6 +129,50 @@ pub fn merge_snapshot_files<P: AsRef<Path>>(paths: &[P]) -> Result<Snapshot, Sto
     merge_snapshots(&snapshots)
 }
 
+/// [`merge_snapshots`], instrumented: records the merge count and wall
+/// time in `obs`.  The merge itself is byte-identical to the unobserved
+/// path.
+///
+/// ```
+/// use mdrr_data::{Attribute, Schema};
+/// use mdrr_obs::{MonotonicClock, Registry};
+/// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+/// use mdrr_store::{merge_snapshots, merge_snapshots_observed, Snapshot, StoreObs};
+/// use std::sync::Arc;
+///
+/// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+/// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.7));
+/// let a = Snapshot::new(schema.clone(), spec.clone(), vec![vec![3, 1]], 4)?;
+/// let b = Snapshot::new(schema, spec, vec![vec![2, 4]], 6)?;
+///
+/// let registry = Registry::new();
+/// let obs = StoreObs::new(Arc::new(MonotonicClock::new()), &registry);
+/// let pooled = merge_snapshots_observed([&a, &b], &obs)?;
+/// assert_eq!(pooled, merge_snapshots([&a, &b])?);
+/// assert_eq!(registry.snapshot().counter_value("store_merges_total", &[]), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Same as [`merge_snapshots`].
+pub fn merge_snapshots_observed<'a, I>(
+    snapshots: I,
+    obs: &crate::StoreObs,
+) -> Result<Snapshot, StoreError>
+where
+    I: IntoIterator<Item = &'a Snapshot>,
+{
+    let clock = obs.clock();
+    let start = clock.enabled().then(|| clock.now_nanos());
+    let merged = merge_snapshots(snapshots)?;
+    if let Some(start) = start {
+        obs.merge_nanos
+            .record(clock.now_nanos().saturating_sub(start));
+    }
+    obs.merges.inc();
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

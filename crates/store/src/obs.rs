@@ -1,0 +1,81 @@
+//! Optional store instrumentation: durations, byte counts and CRC
+//! verification time for snapshot I/O and merging.
+//!
+//! [`StoreObs`] bundles the injected [`Clock`] with the store's
+//! instruments, registered into a caller-supplied
+//! [`Registry`] so one registry can hold the whole
+//! pipeline's metrics.  Every observed entry point is a sibling of an
+//! unobserved one (`write` / `write_observed`, …): the unobserved paths
+//! are untouched, and an observed path under a
+//! [`NullClock`](mdrr_obs::NullClock) skips all timing work.
+//!
+//! Metric catalog (all registered on construction, so exports always show
+//! the full set even before the first write):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `store_snapshot_writes_total` | counter | snapshot files written |
+//! | `store_write_nanos` | histogram | per-write wall time |
+//! | `store_bytes_written_total` | counter | serialized bytes written |
+//! | `store_snapshot_reads_total` | counter | snapshot files read |
+//! | `store_read_nanos` | histogram | per-read wall time |
+//! | `store_bytes_read_total` | counter | file bytes read |
+//! | `store_crc_nanos` | histogram | CRC-64 verification time per read |
+//! | `store_merges_total` | counter | merge operations |
+//! | `store_merge_nanos` | histogram | per-merge wall time |
+
+use mdrr_obs::{Clock, Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// The store's instruments plus the clock that times them.
+///
+/// ```
+/// use mdrr_obs::{MonotonicClock, Registry};
+/// use mdrr_store::StoreObs;
+/// use std::sync::Arc;
+///
+/// let registry = Registry::new();
+/// let obs = StoreObs::new(Arc::new(MonotonicClock::new()), &registry);
+/// assert!(obs.clock().enabled());
+/// // All store metrics exist from construction.
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counter_value("store_snapshot_writes_total", &[]), Some(0));
+/// assert!(snapshot.histogram_snapshot("store_crc_nanos", &[]).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreObs {
+    clock: Arc<dyn Clock>,
+    pub(crate) writes: Arc<Counter>,
+    pub(crate) write_nanos: Arc<Histogram>,
+    pub(crate) bytes_written: Arc<Counter>,
+    pub(crate) reads: Arc<Counter>,
+    pub(crate) read_nanos: Arc<Histogram>,
+    pub(crate) bytes_read: Arc<Counter>,
+    pub(crate) crc_nanos: Arc<Histogram>,
+    pub(crate) merges: Arc<Counter>,
+    pub(crate) merge_nanos: Arc<Histogram>,
+}
+
+impl StoreObs {
+    /// Registers the store's instruments in `registry` and binds them to
+    /// `clock`.
+    pub fn new(clock: Arc<dyn Clock>, registry: &Registry) -> Self {
+        StoreObs {
+            clock,
+            writes: registry.counter("store_snapshot_writes_total"),
+            write_nanos: registry.histogram("store_write_nanos"),
+            bytes_written: registry.counter("store_bytes_written_total"),
+            reads: registry.counter("store_snapshot_reads_total"),
+            read_nanos: registry.histogram("store_read_nanos"),
+            bytes_read: registry.counter("store_bytes_read_total"),
+            crc_nanos: registry.histogram("store_crc_nanos"),
+            merges: registry.counter("store_merges_total"),
+            merge_nanos: registry.histogram("store_merge_nanos"),
+        }
+    }
+
+    /// The clock the observed store paths read.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}

@@ -15,6 +15,8 @@
 use crate::accumulator::Accumulator;
 use crate::collector::ShardedCollector;
 use crate::error::MdrrError;
+use crate::instrument::StreamObs;
+use mdrr_obs::{Clock, EventKind};
 use mdrr_protocols::{Protocol, ProtocolSpec};
 use mdrr_store::{atomic_write, Snapshot, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
@@ -130,7 +132,17 @@ impl ShardedCollector {
                 self.protocol().channel_sizes()
             )));
         }
+        let obs = self.instrumentation().map(Arc::as_ref);
+        let start = obs
+            .filter(|o| o.clock().enabled())
+            .map(|o| o.clock().now_nanos());
+        if let Some(o) = obs {
+            o.record_event(EventKind::CheckpointBegin {
+                shards: self.n_shards() as u64,
+            });
+        }
         let mut shard_files = Vec::with_capacity(self.n_shards());
+        let mut bytes_written = 0u64;
         for (k, shard) in self.shards().iter().enumerate() {
             let name = shard_file_name(k);
             let snapshot = Snapshot::new(
@@ -139,7 +151,14 @@ impl ShardedCollector {
                 shard.counts().to_vec(),
                 shard.n_reports(),
             )?;
-            SnapshotWriter::new(dir.join(&name)).write(&snapshot)?;
+            let writer = SnapshotWriter::new(dir.join(&name));
+            match obs {
+                Some(o) => {
+                    bytes_written =
+                        bytes_written.saturating_add(writer.write_observed(&snapshot, o.store())?);
+                }
+                None => writer.write(&snapshot)?,
+            }
             shard_files.push(name);
         }
         let manifest = CheckpointManifest {
@@ -152,6 +171,23 @@ impl ShardedCollector {
         let json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| MdrrError::config(format!("manifest does not serialize: {e}")))?;
         atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        if let Some(o) = obs {
+            bytes_written = bytes_written.saturating_add(json.len() as u64);
+            let nanos = start
+                .map(|s| o.clock().now_nanos().saturating_sub(s))
+                .unwrap_or(0);
+            o.checkpoints_total.inc();
+            o.checkpoint_bytes.add(bytes_written);
+            if start.is_some() {
+                o.checkpoint_nanos.record(nanos);
+            }
+            o.record_event(EventKind::CheckpointCommit {
+                shards: manifest.n_shards as u64,
+                total_reports: manifest.total_reports,
+                bytes: bytes_written,
+                nanos,
+            });
+        }
         Ok(manifest)
     }
 
@@ -190,6 +226,70 @@ impl ShardedCollector {
     /// and wrapped [`mdrr_store::StoreError`]s for unreadable or corrupt
     /// shard files.
     pub fn restore(dir: &Path) -> Result<RestoredCheckpoint, MdrrError> {
+        let manifest = Self::read_manifest(dir)?;
+        Self::restore_from_manifest(dir, manifest, None)
+    }
+
+    /// [`ShardedCollector::restore`], instrumented: builds a
+    /// [`StreamObs`] sized for the checkpoint's shard count on `clock`,
+    /// reads every shard file through the observed store path (so read
+    /// durations, byte counts and CRC time are recorded), attaches the
+    /// instrumentation to the restored collector, and journals a
+    /// `Restore` event with the total restore wall time.
+    ///
+    /// ```
+    /// use mdrr_data::{Attribute, Schema};
+    /// use mdrr_obs::MonotonicClock;
+    /// use mdrr_protocols::{ProtocolSpec, RandomizationLevel};
+    /// use mdrr_stream::ShardedCollector;
+    /// use std::sync::Arc;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("mdrr-restobs-doc-{}", std::process::id()));
+    /// let schema = Schema::new(vec![Attribute::indexed("A", 2)?])?;
+    /// let spec = ProtocolSpec::independent(RandomizationLevel::KeepProbability(0.6));
+    /// let mut collector = ShardedCollector::new(spec.build_arc(&schema)?, 2)?;
+    /// collector.ingest_records(&[vec![0], vec![1]], 9)?;
+    /// collector.checkpoint(&spec, &dir, None)?;
+    ///
+    /// let (restored, obs) =
+    ///     ShardedCollector::restore_observed(&dir, Arc::new(MonotonicClock::new()))?;
+    /// assert_eq!(restored.collector.total_reports(), 2);
+    /// let snapshot = obs.registry().snapshot();
+    /// assert_eq!(snapshot.counter_value("store_restores_total", &[]), Some(1));
+    /// assert_eq!(snapshot.counter_value("store_snapshot_reads_total", &[]), Some(2));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedCollector::restore`].
+    pub fn restore_observed(
+        dir: &Path,
+        clock: Arc<dyn Clock>,
+    ) -> Result<(RestoredCheckpoint, Arc<StreamObs>), MdrrError> {
+        let start = clock.enabled().then(|| clock.now_nanos());
+        let manifest = Self::read_manifest(dir)?;
+        let obs = StreamObs::new(Arc::clone(&clock), manifest.n_shards);
+        let mut restored = Self::restore_from_manifest(dir, manifest, Some(&obs))?;
+        restored.collector.instrument(Arc::clone(&obs))?;
+        let nanos = start
+            .map(|s| clock.now_nanos().saturating_sub(s))
+            .unwrap_or(0);
+        obs.restores_total.inc();
+        if start.is_some() {
+            obs.restore_nanos.record(nanos);
+        }
+        obs.record_event(EventKind::Restore {
+            shards: restored.collector.n_shards() as u64,
+            total_reports: restored.collector.total_reports(),
+            nanos,
+        });
+        Ok((restored, obs))
+    }
+
+    /// Reads and structurally validates the manifest of a checkpoint
+    /// directory.
+    fn read_manifest(dir: &Path) -> Result<CheckpointManifest, MdrrError> {
         let manifest_path = dir.join(MANIFEST_FILE);
         let json = std::fs::read_to_string(&manifest_path).map_err(|e| {
             MdrrError::config(format!(
@@ -203,6 +303,18 @@ impl ShardedCollector {
                 manifest_path.display()
             ))
         })?;
+        Ok(manifest)
+    }
+
+    /// The shared body of [`ShardedCollector::restore`] and
+    /// [`ShardedCollector::restore_observed`]: validates the manifest,
+    /// reads the shard files (through the observed store path when `obs`
+    /// is given) and reassembles the collector.
+    fn restore_from_manifest(
+        dir: &Path,
+        manifest: CheckpointManifest,
+        obs: Option<&StreamObs>,
+    ) -> Result<RestoredCheckpoint, MdrrError> {
         if manifest.manifest_version != MANIFEST_VERSION {
             return Err(MdrrError::config(format!(
                 "unsupported checkpoint manifest version {} (this reader implements {})",
@@ -219,7 +331,10 @@ impl ShardedCollector {
         let paths: Vec<PathBuf> = manifest.shard_files.iter().map(|f| dir.join(f)).collect();
         let snapshots = paths
             .iter()
-            .map(SnapshotReader::read)
+            .map(|path| match obs {
+                Some(o) => SnapshotReader::read_observed(path, o.store()),
+                None => SnapshotReader::read(path),
+            })
             .collect::<Result<Vec<_>, _>>()
             .map_err(MdrrError::from)?;
         let first = snapshots.first().ok_or_else(|| {

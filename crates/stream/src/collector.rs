@@ -17,8 +17,10 @@
 use crate::accumulator::Accumulator;
 use crate::batch::ReportBatch;
 use crate::error::MdrrError;
+use crate::instrument::{StreamObs, WorkerObs};
 use crate::report::Report;
 use mdrr_data::{RecordsBuffer, RecordsView};
+use mdrr_obs::EventKind;
 use mdrr_protocols::{Protocol, Release};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,10 +43,16 @@ pub type StreamSnapshot = Box<dyn Release>;
 
 /// A collector ingesting randomized reports through `N` sharded
 /// accumulators, for any `dyn Protocol`.
+///
+/// Instrumentation is opt-in via [`ShardedCollector::instrument`]; an
+/// uninstrumented collector pays a single pointer check per bulk call.
+/// Clones share the attached instrumentation (it is a view onto the same
+/// registry), so cloning never forks metric state.
 #[derive(Debug, Clone)]
 pub struct ShardedCollector {
     protocol: Arc<dyn Protocol>,
     shards: Vec<Accumulator>,
+    obs: Option<Arc<StreamObs>>,
 }
 
 impl ShardedCollector {
@@ -61,6 +69,7 @@ impl ShardedCollector {
         Ok(ShardedCollector {
             protocol,
             shards: vec![shard; n_shards],
+            obs: None,
         })
     }
 
@@ -81,7 +90,37 @@ impl ShardedCollector {
     /// matches the protocol's channel layout.
     pub(crate) fn from_parts(protocol: Arc<dyn Protocol>, shards: Vec<Accumulator>) -> Self {
         debug_assert!(!shards.is_empty());
-        ShardedCollector { protocol, shards }
+        ShardedCollector {
+            protocol,
+            shards,
+            obs: None,
+        }
+    }
+
+    /// Attaches instrumentation: from here on, every ingest path bumps
+    /// per-shard counters, the bulk paths record per-chunk latency
+    /// histograms (when `obs`'s clock is enabled), and snapshots and
+    /// checkpoints land in the journal.  Attaching never changes ingest
+    /// output — the RNG schedule, shard layout and counts are untouched.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] when `obs` was laid
+    /// out for a different shard count.
+    pub fn instrument(&mut self, obs: Arc<StreamObs>) -> Result<(), MdrrError> {
+        if obs.n_shards() != self.shards.len() {
+            return Err(MdrrError::config(format!(
+                "instrumentation is laid out for {} shards but the collector has {}",
+                obs.n_shards(),
+                self.shards.len()
+            )));
+        }
+        self.obs = Some(obs);
+        Ok(())
+    }
+
+    /// The attached instrumentation, if any.
+    pub fn instrumentation(&self) -> Option<&Arc<StreamObs>> {
+        self.obs.as_ref()
     }
 
     /// The protocol the collector ingests reports for.
@@ -120,7 +159,13 @@ impl ShardedCollector {
                     "shard index {shard} out of range ({n_shards} shards)"
                 ))
             })?
-            .ingest(report)
+            .ingest(report)?;
+        if let Some(obs) = self.obs.as_ref() {
+            if let Some(shard_obs) = obs.shards.get(shard) {
+                shard_obs.reports.inc();
+            }
+        }
+        Ok(())
     }
 
     /// Ingests a whole columnar [`ReportBatch`] into a specific shard (the
@@ -133,6 +178,8 @@ impl ShardedCollector {
     /// or a batch that does not match the protocol's channels.
     pub fn ingest_batch(&mut self, shard: usize, batch: &ReportBatch) -> Result<u64, MdrrError> {
         let n_shards = self.shards.len();
+        let worker = WorkerObs::for_shard(self.obs.as_deref(), shard);
+        let start = worker.chunk_start();
         self.shards
             .get_mut(shard)
             .ok_or_else(|| {
@@ -141,7 +188,10 @@ impl ShardedCollector {
                 ))
             })?
             .ingest_batch(batch)?;
-        Ok(batch.n_reports() as u64)
+        let n = batch.n_reports() as u64;
+        worker.chunk_done(start);
+        worker.run_done(n);
+        Ok(n)
     }
 
     /// Simulates `records.n_records()` clients from a zero-copy columnar
@@ -180,6 +230,7 @@ impl ShardedCollector {
         let channel_sizes = self.protocol.channel_sizes();
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
+        let obs = self.obs.as_deref();
         let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -191,6 +242,7 @@ impl ShardedCollector {
                         .slice(k * chunk_size..((k + 1) * chunk_size).min(n))
                         .expect("shard ranges are in bounds by construction");
                     scope.spawn(move || {
+                        let worker = WorkerObs::for_shard(obs, k);
                         let mut rng = shard_rng(base_seed, k);
                         let mut tallies: Vec<Vec<u64>> =
                             channel_sizes.iter().map(|&s| vec![0u64; s]).collect();
@@ -198,10 +250,13 @@ impl ShardedCollector {
                         while start < range.n_records() {
                             let end = (start + ENCODE_BATCH).min(range.n_records());
                             let chunk = range.slice(start..end)?;
+                            let t0 = worker.chunk_start();
                             protocol.encode_tally(&chunk, &mut rng, &mut tallies)?;
+                            worker.chunk_done(t0);
                             start = end;
                         }
                         shard.absorb_counts(&tallies, range.n_records() as u64)?;
+                        worker.run_done(range.n_records() as u64);
                         Ok(())
                     })
                 })
@@ -214,6 +269,7 @@ impl ShardedCollector {
         for result in results {
             result?;
         }
+        self.update_imbalance();
         Ok(n as u64)
     }
 
@@ -242,6 +298,7 @@ impl ShardedCollector {
         let channel_sizes = self.protocol.channel_sizes();
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
+        let obs = self.obs.as_deref();
         let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -250,6 +307,7 @@ impl ShardedCollector {
                 .enumerate()
                 .map(|(k, (shard, chunk))| {
                     scope.spawn(move || {
+                        let worker = WorkerObs::for_shard(obs, k);
                         let mut rng = shard_rng(base_seed, k);
                         let mut buffer = RecordsBuffer::new(arity)?;
                         let mut tallies: Vec<Vec<u64>> =
@@ -259,9 +317,12 @@ impl ShardedCollector {
                             for record in sub {
                                 buffer.push_record(record)?;
                             }
+                            let t0 = worker.chunk_start();
                             protocol.encode_tally(&buffer.view(), &mut rng, &mut tallies)?;
+                            worker.chunk_done(t0);
                         }
                         shard.absorb_counts(&tallies, chunk.len() as u64)?;
+                        worker.run_done(chunk.len() as u64);
                         Ok(())
                     })
                 })
@@ -274,6 +335,7 @@ impl ShardedCollector {
         for result in results {
             result?;
         }
+        self.update_imbalance();
         Ok(records.len() as u64)
     }
 
@@ -299,6 +361,7 @@ impl ShardedCollector {
         }
         let chunk_size = records.len().div_ceil(self.shards.len());
         let protocol: &dyn Protocol = &*self.protocol;
+        let obs = self.obs.as_deref();
         let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -307,11 +370,19 @@ impl ShardedCollector {
                 .enumerate()
                 .map(|(k, (shard, chunk))| {
                     scope.spawn(move || {
+                        // The scalar path is timed per worker run (one
+                        // "chunk"), not per report — per-report clock
+                        // reads would distort the baseline it exists to
+                        // provide.
+                        let worker = WorkerObs::for_shard(obs, k);
+                        let t0 = worker.chunk_start();
                         let mut rng = shard_rng(base_seed, k);
                         for record in chunk {
                             let report = Report::encode(protocol, record, &mut rng)?;
                             shard.ingest(&report)?;
                         }
+                        worker.chunk_done(t0);
+                        worker.run_done(chunk.len() as u64);
                         Ok(())
                     })
                 })
@@ -324,6 +395,7 @@ impl ShardedCollector {
         for result in results {
             result?;
         }
+        self.update_imbalance();
         Ok(records.len() as u64)
     }
 
@@ -365,6 +437,7 @@ impl ShardedCollector {
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
         let generator = &generator;
+        let obs = self.obs.as_deref();
         let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -374,6 +447,7 @@ impl ShardedCollector {
                 .filter(|(_, (_, &clients))| clients > 0)
                 .map(|(k, (shard, &clients))| {
                     scope.spawn(move || {
+                        let worker = WorkerObs::for_shard(obs, k);
                         let mut rng = shard_rng(base_seed, k);
                         let mut buffer = RecordsBuffer::new(arity)?;
                         let mut tallies: Vec<Vec<u64>> =
@@ -386,10 +460,13 @@ impl ShardedCollector {
                                 let record = generator(&mut rng);
                                 buffer.push_record(&record)?;
                             }
+                            let t0 = worker.chunk_start();
                             protocol.encode_tally(&buffer.view(), &mut rng, &mut tallies)?;
+                            worker.chunk_done(t0);
                             remaining -= take;
                         }
                         shard.absorb_counts(&tallies, clients as u64)?;
+                        worker.run_done(clients as u64);
                         Ok(())
                     })
                 })
@@ -402,6 +479,7 @@ impl ShardedCollector {
         for result in results {
             result?;
         }
+        self.update_imbalance();
         Ok(clients_per_shard.iter().map(|&c| c as u64).sum())
     }
 
@@ -428,14 +506,40 @@ impl ShardedCollector {
     /// Returns [`MdrrError::InvalidConfiguration`] when no report has
     /// been ingested yet.
     pub fn snapshot(&self) -> Result<StreamSnapshot, MdrrError> {
+        let timing = self
+            .obs
+            .as_deref()
+            .filter(|o| o.clock().enabled())
+            .map(|o| (o, o.clock().now_nanos()));
         let merged = self.merged()?;
         if merged.is_empty() {
             return Err(MdrrError::config(
                 "cannot snapshot a collector before any report has been ingested",
             ));
         }
-        self.protocol
-            .release_from_counts(merged.counts(), merged.n_reports() as usize)
+        let release = self
+            .protocol
+            .release_from_counts(merged.counts(), merged.n_reports() as usize)?;
+        if let Some((obs, start)) = timing {
+            obs.snapshot_nanos
+                .record(obs.clock().now_nanos().saturating_sub(start));
+        }
+        if let Some(obs) = self.obs.as_deref() {
+            obs.snapshots_total.inc();
+            obs.update_imbalance(&self.shards);
+            obs.record_event(EventKind::ShardSnapshot {
+                shards: self.shards.len() as u64,
+                total_reports: merged.n_reports(),
+            });
+        }
+        Ok(release)
+    }
+
+    /// Refreshes the shard-imbalance gauge, when instrumented.
+    fn update_imbalance(&self) {
+        if let Some(obs) = self.obs.as_deref() {
+            obs.update_imbalance(&self.shards);
+        }
     }
 }
 

@@ -29,7 +29,13 @@
 //!   one self-describing, checksummed snapshot file per shard plus an
 //!   atomically committed manifest, so a crash loses nothing and shard
 //!   files from independent machines pool exactly via
-//!   [`mdrr_store::merge_snapshot_files`].
+//!   [`mdrr_store::merge_snapshot_files`];
+//! * [`instrument`] — opt-in observability: attaching a [`StreamObs`]
+//!   (per-shard report/batch counters, ingest latency histograms, an
+//!   imbalance gauge and a bounded event journal, all timed by an
+//!   injected `mdrr_obs` clock) makes the collector record what it does
+//!   without changing what it does — with the default `None` the
+//!   ingestion loops are byte-identical to an uninstrumented build.
 //!
 //! ## Example
 //!
@@ -72,6 +78,7 @@ pub mod batch;
 pub mod checkpoint;
 pub mod collector;
 pub mod error;
+pub mod instrument;
 pub mod report;
 
 pub use accumulator::Accumulator;
@@ -79,4 +86,5 @@ pub use batch::ReportBatch;
 pub use checkpoint::{CheckpointManifest, RestoredCheckpoint, MANIFEST_FILE};
 pub use collector::{offset_base_seed, ShardedCollector, StreamSnapshot, ENCODE_BATCH};
 pub use error::{MdrrError, StreamError};
+pub use instrument::{StreamObs, DEFAULT_JOURNAL_CAPACITY};
 pub use report::Report;
