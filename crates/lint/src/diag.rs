@@ -119,14 +119,38 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serializes findings as the JSON report uploaded from CI.  Hand-rolled:
-/// the linter is deliberately dependency-free.
-pub fn report_json(diagnostics: &[Diagnostic], files_scanned: usize, suppressed: usize) -> String {
+/// The report format version: bump when the JSON shape changes, so CI
+/// consumers can diff reports across runs meaningfully.
+pub const REPORT_VERSION: u32 = 1;
+
+/// Serializes a run as the JSON report uploaded from CI.  Hand-rolled:
+/// the linter is deliberately dependency-free.  The report is
+/// deterministic given identical findings and timings: findings arrive
+/// pre-sorted by (file, line, col, rule) from the engine, and rule
+/// times are emitted in registry order.
+pub fn report_json(outcome: &crate::engine::Outcome) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
-    let _ = writeln!(out, "  \"suppressed\": {suppressed},");
+    let _ = writeln!(out, "  \"report_version\": {REPORT_VERSION},");
+    let _ = writeln!(out, "  \"files_scanned\": {},", outcome.files_scanned);
+    let _ = writeln!(out, "  \"suppressed\": {},", outcome.suppressed);
+    let _ = writeln!(out, "  \"total_nanos\": {},", outcome.total_nanos);
+    let _ = writeln!(out, "  \"rule_times\": [");
+    for (i, (rule, nanos)) in outcome.rule_times.iter().enumerate() {
+        let comma = if i + 1 == outcome.rule_times.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"nanos\": {nanos}}}{comma}",
+            json_escape(rule),
+        );
+    }
+    out.push_str("  ],\n");
     let _ = writeln!(out, "  \"findings\": [");
+    let diagnostics = &outcome.diagnostics;
     for (i, d) in diagnostics.iter().enumerate() {
         let comma = if i + 1 == diagnostics.len() { "" } else { "," };
         let _ = writeln!(
@@ -170,10 +194,32 @@ mod tests {
     }
 
     #[test]
-    fn report_json_is_valid_enough_to_round_trip_quotes() {
+    fn report_json_is_versioned_timed_and_round_trips_quotes() {
         let d = Diagnostic::file_level("spec-sync", "docs/FORMAT.md", "magic \"drift\"".into());
-        let json = report_json(&[d], 3, 1);
+        let outcome = crate::engine::Outcome {
+            diagnostics: vec![d],
+            suppressed: 1,
+            files_scanned: 3,
+            rule_times: vec![("spec-sync".into(), 1234)],
+            total_nanos: 5678,
+        };
+        let json = report_json(&outcome);
+        assert!(json.contains("\"report_version\": 1"));
         assert!(json.contains("\\\"drift\\\""));
         assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("{\"rule\": \"spec-sync\", \"nanos\": 1234}"));
+        assert!(json.contains("\"total_nanos\": 5678"));
+    }
+
+    #[test]
+    fn report_json_is_deterministic_for_identical_outcomes() {
+        let make = || crate::engine::Outcome {
+            diagnostics: vec![Diagnostic::file_level("a-rule", "b.rs", "msg".into())],
+            suppressed: 0,
+            files_scanned: 1,
+            rule_times: vec![("a-rule".into(), 7)],
+            total_nanos: 9,
+        };
+        assert_eq!(report_json(&make()), report_json(&make()));
     }
 }

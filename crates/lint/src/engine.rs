@@ -15,6 +15,11 @@ pub struct Outcome {
     pub suppressed: usize,
     /// How many source files were scanned.
     pub files_scanned: usize,
+    /// Wall-time per rule that ran, in nanos, in registry order.  All
+    /// zeros unless the caller passed a real clock to [`run_timed`].
+    pub rule_times: Vec<(String, u64)>,
+    /// Total wall-time of the run in nanos (same caveat).
+    pub total_nanos: u64,
 }
 
 impl Outcome {
@@ -43,14 +48,31 @@ pub fn run(ws: &Workspace) -> Outcome {
 /// apply to the rule they name; a suppression that suppresses nothing is
 /// itself reported so stale allows cannot accumulate.
 pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[String]>) -> Outcome {
+    run_timed(ws, rules, only, &|| 0)
+}
+
+/// [`run_filtered`] with a caller-supplied monotonic-nanos clock, so the
+/// report can carry per-rule wall-times.  The clock is injected (only
+/// `main.rs` constructs one from `Instant`) to honour the
+/// `no-ambient-clock-in-lib` contract this crate itself enforces.
+pub fn run_timed(
+    ws: &Workspace,
+    rules: &[Box<dyn Rule>],
+    only: Option<&[String]>,
+    now: &dyn Fn() -> u64,
+) -> Outcome {
+    let run_start = now();
     let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut rule_times: Vec<(String, u64)> = Vec::new();
     for rule in rules {
         if let Some(only) = only {
             if !only.iter().any(|id| id == rule.id()) {
                 continue;
             }
         }
+        let start = now();
         rule.check(ws, &mut raw);
+        rule_times.push((rule.id().to_string(), now().saturating_sub(start)));
     }
 
     // Apply suppressions: a finding is suppressed when its file carries a
@@ -77,8 +99,34 @@ pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[Stri
     for file in &ws.files {
         diagnostics.extend(file.directive_errors.iter().cloned());
         for sup in file.suppressions.iter().filter(|s| !s.used.get()) {
-            // Only flag suppressions naming rules that actually ran, so a
-            // single-rule run doesn't call every other allow stale.
+            // An allow naming a rule absent from the registry is a hard
+            // error regardless of any `--rule` filter — the directive
+            // can never suppress anything, so a filtered run must not
+            // hide the typo (it used to, when this check sat behind the
+            // rule-ran gate below).
+            let known = rules.iter().any(|r| r.id() == sup.rule);
+            if !known {
+                diagnostics.push(Diagnostic {
+                    rule: "lint-directive".to_string(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: sup.line,
+                    col: 1,
+                    message: format!(
+                        "`lint:allow({})` names an unknown rule (see `mdrr-lint --list-rules`)",
+                        sup.rule
+                    ),
+                    snippet: file.line_text(sup.line).map(str::to_string),
+                    span_chars: 1,
+                    help: Some(
+                        "delete the directive; suppressions must not outlive their rule".into(),
+                    ),
+                });
+                continue;
+            }
+            // Known rules: only flag suppressions naming rules that
+            // actually ran, so a single-rule run doesn't call every
+            // other allow stale.
             let rule_ran = match only {
                 Some(only) => only.contains(&sup.rule),
                 None => true,
@@ -86,7 +134,7 @@ pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[Stri
             if !rule_ran {
                 continue;
             }
-            let mut d = Diagnostic {
+            diagnostics.push(Diagnostic {
                 rule: "lint-directive".to_string(),
                 severity: Severity::Warning,
                 file: file.rel.clone(),
@@ -101,15 +149,7 @@ pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[Stri
                 help: Some(
                     "delete the directive; suppressions must not outlive their finding".into(),
                 ),
-            };
-            if !crate::rules::all_rules().iter().any(|r| r.id() == sup.rule) {
-                d.severity = Severity::Error;
-                d.message = format!(
-                    "`lint:allow({})` names an unknown rule (see `mdrr-lint --list-rules`)",
-                    sup.rule
-                );
-            }
-            diagnostics.push(d);
+            });
         }
     }
 
@@ -119,6 +159,8 @@ pub fn run_filtered(ws: &Workspace, rules: &[Box<dyn Rule>], only: Option<&[Stri
         diagnostics,
         suppressed,
         files_scanned: ws.files.len(),
+        rule_times,
+        total_nanos: now().saturating_sub(run_start),
     }
 }
 
@@ -175,5 +217,43 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.severity == Severity::Error && d.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_fires_even_under_a_rule_filter() {
+        // Regression: the unknown-rule escalation used to sit behind the
+        // "did this rule run" gate, so `--rule spec-sync` runs silently
+        // skipped allows naming rules that don't exist at all.
+        let ws = Workspace::in_memory(
+            vec![(
+                "crates/store/src/x.rs",
+                "// lint:allow(no-such-rule, reason = \"typo\")\npub fn f() {}\n",
+            )],
+            vec![],
+        );
+        let out = run_filtered(&ws, &all_rules(), Some(&["spec-sync".to_string()]));
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error && d.message.contains("unknown rule")),
+            "filtered run must still surface unknown-rule allows: {:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn run_timed_records_per_rule_and_total_wall_time() {
+        let ws = Workspace::in_memory(vec![("crates/store/src/x.rs", "pub fn f() {}\n")], vec![]);
+        // A deterministic fake clock: advances 5 ns per reading.
+        let ticks = std::cell::Cell::new(0u64);
+        let clock = move || {
+            let t = ticks.get();
+            ticks.set(t + 5);
+            t
+        };
+        let out = run_timed(&ws, &all_rules(), None, &clock);
+        assert_eq!(out.rule_times.len(), all_rules().len());
+        assert!(out.rule_times.iter().all(|(_, ns)| *ns == 5));
+        assert!(out.total_nanos >= 5 * all_rules().len() as u64);
     }
 }

@@ -17,9 +17,11 @@
 //! see *significant* tokens; a directive layer ([`source`]) for
 //! `// lint:region(…)` scoping and `// lint:allow(rule, reason = "…")`
 //! suppressions (the reason is mandatory, and stale suppressions are
-//! themselves findings); workspace discovery ([`workspace`]); the rule
-//! set ([`rules`]); and the engine ([`engine`]) that ties them together
-//! under rustc-style diagnostics ([`diag`]).
+//! themselves findings); workspace discovery ([`workspace`]); a semantic
+//! layer ([`sem`]) — item parser, symbol table, call graph — feeding the
+//! interprocedural privacy-taint / panic-reachability / determinism
+//! analyses; the rule set ([`rules`]); and the engine ([`engine`]) that
+//! ties them together under rustc-style diagnostics ([`diag`]).
 //!
 //! Run it as CI does:
 //!
@@ -34,9 +36,11 @@ pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
+pub mod sem;
 pub mod source;
 pub mod workspace;
 
 pub use diag::{Diagnostic, Severity};
-pub use engine::{run, run_filtered, Outcome};
+pub use engine::{run, run_filtered, run_timed, Outcome};
+pub use sem::SemModel;
 pub use workspace::Workspace;

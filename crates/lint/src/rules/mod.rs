@@ -11,11 +11,14 @@ use crate::source::SourceFile;
 use crate::workspace::Workspace;
 
 pub mod crate_hygiene;
+pub mod determinism;
 pub mod no_alloc_in_hot_loop;
 pub mod no_ambient_clock;
 pub mod no_deprecated_ingest;
 pub mod no_float_in_kernel;
 pub mod no_panic_paths;
+pub mod panic_reachability;
+pub mod privacy_taint;
 pub mod safety_comments;
 pub mod seeded_rng_only;
 pub mod spec_sync;
@@ -42,6 +45,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(safety_comments::SafetyComments),
         Box::new(crate_hygiene::CrateHygiene),
         Box::new(no_deprecated_ingest::NoDeprecatedIngest),
+        Box::new(privacy_taint::PrivacyTaint),
+        Box::new(panic_reachability::PanicReachability),
+        Box::new(determinism::Determinism),
     ]
 }
 

@@ -1,0 +1,341 @@
+//! Call-site extraction and the workspace call graph.
+//!
+//! Each function body is scanned for the three call shapes the token
+//! stream can exhibit — `name(…)`, `path::name(…)`, `recv.name(…)` —
+//! and every site is resolved through the [`SymbolTable`] into zero or
+//! more candidate targets.  Unresolvable sites (std, vendored shims,
+//! constructors) contribute no edges; over-approximation is confined to
+//! method calls on untypeable receivers, where candidates are limited
+//! to crates the calling file imports.  On top of the edge sets the
+//! graph offers predecessor-tracking BFS so analyses can print the full
+//! call chain behind every finding.
+
+use super::items::match_paren;
+use super::symbols::{Callee, FnId, SymbolTable};
+use crate::workspace::Workspace;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The function whose body contains the call.
+    pub caller: FnId,
+    /// The callee name as written.
+    pub name: String,
+    /// How the call names its target.
+    pub callee: Callee,
+    /// Candidate target definitions (empty when external).
+    pub targets: Vec<FnId>,
+    /// Significant-token index of the callee name.
+    pub tok: usize,
+    /// Significant-token indices of the argument `(` and matching `)`.
+    pub args: (usize, usize),
+}
+
+/// The workspace call graph: every call site, plus forward and reverse
+/// edge sets over resolved targets.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every call site, in (file, token) order.
+    pub sites: Vec<CallSite>,
+    /// caller → resolved callees.
+    pub edges: BTreeMap<FnId, BTreeSet<FnId>>,
+    /// callee → callers.
+    pub redges: BTreeMap<FnId, BTreeSet<FnId>>,
+    /// caller → indices into `sites`.
+    pub sites_by_fn: BTreeMap<FnId, Vec<usize>>,
+}
+
+/// Keywords that can directly precede a parenthesis without being calls.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "as", "in", "move", "else", "fn", "let",
+    "mut", "ref", "await", "yield", "break", "continue", "true", "false", "where", "impl", "use",
+    "pub", "unsafe", "dyn",
+];
+
+impl CallGraph {
+    /// Builds the graph over every function in `st`.
+    pub fn build(ws: &Workspace, st: &SymbolTable) -> CallGraph {
+        let mut g = CallGraph::default();
+        for caller in 0..st.fns.len() {
+            let Some((b0, b1)) = st.def(caller).body else {
+                continue;
+            };
+            let mut i = b0 + 1;
+            while i < b1 {
+                let Some(site) = site_at(ws, st, caller, i) else {
+                    i += 1;
+                    continue;
+                };
+                for &t in &site.targets {
+                    g.edges.entry(caller).or_default().insert(t);
+                    g.redges.entry(t).or_default().insert(caller);
+                }
+                g.sites_by_fn.entry(caller).or_default().push(g.sites.len());
+                g.sites.push(site);
+                i += 1;
+            }
+        }
+        g
+    }
+
+    /// Call sites inside `caller`'s body.
+    pub fn sites_of(&self, caller: FnId) -> impl Iterator<Item = &CallSite> + '_ {
+        self.sites_by_fn
+            .get(&caller)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&s| &self.sites[s])
+    }
+
+    /// BFS over forward edges from `roots`; the map sends every reached
+    /// function to its BFS predecessor (roots map to themselves), which
+    /// [`CallGraph::chain`] unwinds into a root→target call chain.
+    pub fn reach(&self, roots: impl IntoIterator<Item = FnId>) -> BTreeMap<FnId, FnId> {
+        let mut preds = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for r in roots {
+            if let Entry::Vacant(e) = preds.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            if let Some(nexts) = self.edges.get(&f) {
+                for &n in nexts {
+                    if let Entry::Vacant(e) = preds.entry(n) {
+                        e.insert(f);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    /// Unwinds `reach` predecessors into the root→…→target chain.
+    pub fn chain(&self, preds: &BTreeMap<FnId, FnId>, target: FnId) -> Vec<FnId> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(&p) = preds.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Formats a chain as `a → b → c` with qualified names.
+    pub fn chain_text(&self, st: &SymbolTable, chain: &[FnId]) -> String {
+        chain
+            .iter()
+            .map(|&f| st.def(f).qualified())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Recognizes the call site whose callee *name* sits at significant
+/// token `i` of `caller`'s file, if any.
+fn site_at(ws: &Workspace, st: &SymbolTable, caller: FnId, i: usize) -> Option<CallSite> {
+    let def = st.def(caller);
+    let file = &ws.files[def.file];
+    if file.sig_text(i + 1) != "(" {
+        return None;
+    }
+    let name = file.sig_text(i).to_string();
+    let tok = file.sig_token(i)?;
+    if !matches!(
+        tok.kind,
+        crate::lexer::TokenKind::Ident | crate::lexer::TokenKind::RawIdent
+    ) || NON_CALL_WORDS.contains(&name.as_str())
+    {
+        return None;
+    }
+    // Uppercase-initial callees are tuple-struct / enum-variant
+    // constructors, never functions in this workspace's naming scheme.
+    if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return None;
+    }
+    let close = match_paren(file, i + 1);
+    let args = (i + 1, close);
+
+    // Method call: `.name(` — unless the dot ends a path (impossible)
+    // or the "receiver" is a float literal's fraction (lexer emits
+    // floats as single tokens, so no).
+    if i >= 2 && file.sig_text(i - 1) == "." {
+        let recv_type = infer_receiver(ws, st, caller, i);
+        let callee = Callee::Method {
+            name: name.clone(),
+            recv_type,
+        };
+        let targets = st.resolve(caller, &callee);
+        return Some(CallSite {
+            caller,
+            name,
+            callee,
+            targets,
+            tok: i,
+            args,
+        });
+    }
+
+    // Qualified call: `seg :: seg :: name(` — collect the leading path.
+    if i >= 3 && file.sig_text(i - 1) == ":" && file.sig_text(i - 2) == ":" {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = i;
+        while j >= 3 && file.sig_text(j - 1) == ":" && file.sig_text(j - 2) == ":" {
+            let seg = file.sig_text(j - 3).to_string();
+            let is_seg = file
+                .sig_token(j - 3)
+                .is_some_and(|t| matches!(t.kind, crate::lexer::TokenKind::Ident))
+                || seg == "crate";
+            if !is_seg {
+                break;
+            }
+            segs.push(seg);
+            j -= 3;
+        }
+        segs.reverse();
+        if segs.is_empty() {
+            return None;
+        }
+        // `Self::helper(…)` names the surrounding impl type.
+        for s in segs.iter_mut() {
+            if s == "Self" {
+                *s = def.self_type.clone().unwrap_or_else(|| "Self".to_string());
+            }
+        }
+        let callee = Callee::Qualified(segs, name.clone());
+        let targets = st.resolve(caller, &callee);
+        return Some(CallSite {
+            caller,
+            name,
+            callee,
+            targets,
+            tok: i,
+            args,
+        });
+    }
+
+    // Plain call — but not a definition (`fn name(`).
+    if i >= 1 && file.sig_text(i - 1) == "fn" {
+        return None;
+    }
+    let callee = Callee::Plain(name.clone());
+    let targets = st.resolve(caller, &callee);
+    Some(CallSite {
+        caller,
+        name,
+        callee,
+        targets,
+        tok: i,
+        args,
+    })
+}
+
+/// Infers the receiver type of the method call at `i` (`recv.name(`):
+/// a simple identifier receiver goes through
+/// [`SymbolTable::receiver_type`]; chained calls and field accesses
+/// stay untyped.
+fn infer_receiver(ws: &Workspace, st: &SymbolTable, caller: FnId, i: usize) -> Option<String> {
+    let def = st.def(caller);
+    let file = &ws.files[def.file];
+    let recv = file.sig_text(i - 2);
+    let recv_tok = file.sig_token(i - 2)?;
+    if !matches!(recv_tok.kind, crate::lexer::TokenKind::Ident) {
+        return None;
+    }
+    // `a.b.name(` — the receiver is a field, not the identifier `b`.
+    if i >= 4 && file.sig_text(i - 3) == "." {
+        return None;
+    }
+    st.receiver_type(caller, file, recv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: Vec<(&str, &str)>) -> (SymbolTable, CallGraph) {
+        let ws = Workspace::in_memory(files, vec![]);
+        let st = SymbolTable::build(&ws);
+        let g = CallGraph::build(&ws, &st);
+        (st, g)
+    }
+
+    fn id(st: &SymbolTable, name: &str) -> FnId {
+        st.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn three_call_shapes_produce_edges() {
+        let (st, g) = graph(vec![(
+            "crates/a/src/lib.rs",
+            "pub struct T;\nimpl T { pub fn m(&self) {} }\n\
+                 pub fn free() {}\n\
+                 pub fn caller(t: &T) { free(); crate::free(); t.m(); }\n",
+        )]);
+        let caller = id(&st, "caller");
+        let callees = g.edges.get(&caller).unwrap();
+        assert!(callees.contains(&id(&st, "free")));
+        assert!(callees.contains(&id(&st, "m")));
+        // `free` is reached by two sites but is one edge.
+        assert_eq!(g.sites_of(caller).count(), 3);
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let (st, g) = graph(vec![(
+            "crates/a/src/lib.rs",
+            "pub struct T;\nimpl T {\n\
+             fn helper(&self) {}\n\
+             fn assoc() {}\n\
+             pub fn go(&self) { self.helper(); Self::assoc(); }\n}\n",
+        )]);
+        let go = id(&st, "go");
+        let callees = g.edges.get(&go).unwrap();
+        assert!(callees.contains(&id(&st, "helper")));
+        assert!(callees.contains(&id(&st, "assoc")));
+    }
+
+    #[test]
+    fn constructors_and_externals_make_no_edges() {
+        let (st, g) = graph(vec![(
+            "crates/a/src/lib.rs",
+            "pub fn f() -> Option<u32> { Some(std::mem::take(&mut 0)); Vec::new(); None }\n",
+        )]);
+        let f = id(&st, "f");
+        assert!(!g.edges.contains_key(&f));
+    }
+
+    #[test]
+    fn reach_reports_predecessor_chains_through_diamonds_and_cycles() {
+        let (st, g) = graph(vec![(
+            "crates/a/src/lib.rs",
+            "pub fn root() { left(); right(); }\n\
+             fn left() { join() }\n\
+             fn right() { join() }\n\
+             fn join() { looper() }\n\
+             fn looper() { looper() }\n",
+        )]);
+        let root = id(&st, "root");
+        let join = id(&st, "join");
+        let looper = id(&st, "looper");
+        let preds = g.reach([root]);
+        assert!(preds.contains_key(&join));
+        assert!(preds.contains_key(&looper), "cycle does not diverge");
+        let chain = g.chain(&preds, looper);
+        assert_eq!(chain.first(), Some(&root));
+        assert_eq!(chain.last(), Some(&looper));
+        assert_eq!(chain.len(), 4, "root -> left|right -> join -> looper");
+        let text = g.chain_text(&st, &chain);
+        assert!(text.starts_with("mdrr_a::root -> "));
+        assert!(text.ends_with(" -> mdrr_a::join -> mdrr_a::looper"));
+    }
+}

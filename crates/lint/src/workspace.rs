@@ -2,7 +2,9 @@
 //! root `Cargo.toml`, and load every Rust source file (plus the auxiliary
 //! documents cross-checked by spec-sync) into lexed [`SourceFile`]s.
 
+use crate::sem::SemModel;
 use crate::source::{FileKind, SourceFile};
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -32,6 +34,9 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Auxiliary text documents by workspace-relative path.
     pub aux: BTreeMap<String, String>,
+    /// Lazily built semantic model (symbol table + call graph), shared
+    /// by the interprocedural rules so the tree is parsed once.
+    sem: OnceCell<SemModel>,
 }
 
 impl Workspace {
@@ -84,6 +89,7 @@ impl Workspace {
             crates,
             files: Vec::new(),
             aux: BTreeMap::new(),
+            sem: OnceCell::new(),
         };
         let crate_list = ws.crates.clone();
         for info in &crate_list {
@@ -144,7 +150,28 @@ impl Workspace {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
+            sem: OnceCell::new(),
         }
+    }
+
+    /// The semantic model, built on first use and cached.
+    pub fn sem(&self) -> &SemModel {
+        self.sem.get_or_init(|| SemModel::build(self))
+    }
+
+    /// Appends a synthetic in-memory file to an already-built workspace
+    /// and drops the cached semantic model — the seeded-violation tests
+    /// use this to inject a leaking call chain into the real tree.
+    pub fn push_file(&mut self, rel: &str, text: &str) {
+        let (crate_name, _) = infer_crate(rel);
+        self.files.push(SourceFile::parse(
+            rel,
+            &crate_name,
+            infer_kind(rel),
+            text.to_string(),
+        ));
+        self.files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        self.sem = OnceCell::new();
     }
 
     /// Recursively loads `.rs` files under `dir` as `kind` files of

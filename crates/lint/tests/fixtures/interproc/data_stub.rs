@@ -1,0 +1,25 @@
+// Mini mdrr-data stub (loaded in-memory as crates/data/src/lib.rs).
+// Fixtures are lexed, never compiled, so the bodies are skeletal.
+pub struct Dataset {
+    cols: Vec<Vec<u32>>,
+}
+
+pub struct RecordsView;
+
+impl Dataset {
+    pub fn view(&self) -> RecordsView {
+        RecordsView
+    }
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+impl RecordsView {
+    pub fn as_slice(&self) -> &[u32] {
+        &[]
+    }
+    pub fn read_record(&self, i: usize, row: &mut Vec<u32>) {
+        let _ = (i, row);
+    }
+}

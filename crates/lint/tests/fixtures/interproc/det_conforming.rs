@@ -1,0 +1,11 @@
+// Conforming helper (loaded as crates/core/src/norm.rs): ordered
+// collections, no ambient entropy — deterministic releases.
+use std::collections::BTreeMap;
+
+pub fn normalize(counts: &[u64]) -> Vec<f64> {
+    let mut seen = BTreeMap::new();
+    for (i, &c) in counts.iter().enumerate() {
+        seen.insert(i, c);
+    }
+    seen.values().map(|&c| c as f64).collect()
+}

@@ -1,0 +1,8 @@
+// A release-computation root (loaded as crates/protocols/src/release.rs):
+// `release_from_counts` is in the determinism root catalog; everything
+// it reaches must be deterministic.
+use mdrr_core::normalize;
+
+pub fn release_from_counts(counts: &[u64]) -> Vec<f64> {
+    normalize(counts)
+}

@@ -1,0 +1,13 @@
+// Helper reachable from a release-computation root (loaded as
+// crates/core/src/norm.rs): a `HashMap` and an unseeded RNG both feed
+// the release — two findings with the connecting chain.
+use std::collections::HashMap;
+
+pub fn normalize(counts: &[u64]) -> Vec<f64> {
+    let mut seen = HashMap::new();
+    for (i, &c) in counts.iter().enumerate() {
+        seen.insert(i, c);
+    }
+    let jitter = thread_rng().gen::<f64>();
+    seen.values().map(|&c| c as f64 + jitter).collect()
+}

@@ -1,0 +1,11 @@
+// Binary output sink (crates/stream/src/bin/stream_sim.rs): printing a
+// raw record to stdout is an export like any other.  The metadata-only
+// print is clean; the record print is a finding.  The local is bound
+// from a `Dataset::` constructor — the let-tracking must type it raw.
+use mdrr_data::Dataset;
+
+fn main() {
+    let ds = Dataset::load();
+    println!("records: {}", ds.len());
+    println!("first: {:?}", ds.view());
+}

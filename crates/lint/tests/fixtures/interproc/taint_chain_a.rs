@@ -1,0 +1,8 @@
+// Link 1 of the violating 3-file chain (crates/eval/src/collect.rs):
+// takes raw microdata and forwards a raw view across crates.
+use mdrr_data::Dataset;
+use mdrr_stream::forward_records;
+
+pub fn collect_counts(ds: &Dataset) -> u64 {
+    forward_records(ds.view())
+}

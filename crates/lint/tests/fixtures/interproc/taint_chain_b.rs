@@ -1,0 +1,8 @@
+// Link 2 of the violating chain (crates/stream/src/forward.rs): a pure
+// pass-through — the raw view goes in one parameter and out one call.
+use mdrr_data::RecordsView;
+use mdrr_store::persist_view;
+
+pub fn forward_records(v: RecordsView) -> u64 {
+    persist_view(v)
+}

@@ -1,0 +1,10 @@
+// Link 3 of the violating chain (crates/store/src/persist.rs): the raw
+// view lands in a snapshot constructor — the sink.  The one finding of
+// the chain anchors here and names all three links.
+use crate::Snapshot;
+use mdrr_data::RecordsView;
+
+pub fn persist_view(v: RecordsView) -> u64 {
+    let snap = Snapshot::new(v.as_slice());
+    snap.to_bytes().len() as u64
+}

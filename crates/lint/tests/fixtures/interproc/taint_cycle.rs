@@ -1,0 +1,15 @@
+// Mutually recursive raw-forwarding cycle (crates/stream/src/cycle.rs):
+// the fixpoint must terminate and still report the single sink call.
+use mdrr_data::RecordsView;
+use mdrr_store::Snapshot;
+
+pub fn ping(v: RecordsView, depth: u32) {
+    if depth > 0 {
+        pong(v, depth - 1)
+    }
+}
+
+fn pong(v: RecordsView, depth: u32) {
+    ping(v, depth);
+    Snapshot::new(v.as_slice());
+}

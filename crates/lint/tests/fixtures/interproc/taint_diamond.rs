@@ -1,0 +1,22 @@
+// Diamond call graph (crates/stream/src/diamond.rs): two raw-forwarding
+// paths converge on one sink call.  The analysis must report exactly
+// one finding — the sink site — not one per path.
+use mdrr_data::{Dataset, RecordsView};
+use mdrr_store::Snapshot;
+
+pub fn root(ds: &Dataset) {
+    left(ds.view());
+    right(ds.view());
+}
+
+fn left(v: RecordsView) {
+    join(v)
+}
+
+fn right(v: RecordsView) {
+    join(v)
+}
+
+fn join(v: RecordsView) {
+    Snapshot::new(v.as_slice());
+}

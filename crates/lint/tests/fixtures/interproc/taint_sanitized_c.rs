@@ -1,0 +1,13 @@
+// Conforming variant of link 3 (crates/store/src/persist.rs): the raw
+// view passes through the sanctioned `encode_batch` randomizer before
+// anything reaches the snapshot — the whole chain is clean.
+use crate::Snapshot;
+use mdrr_data::RecordsView;
+use mdrr_protocols::Proto;
+
+pub fn persist_view(v: RecordsView) -> u64 {
+    let proto = Proto;
+    let counts = proto.encode_batch(&v);
+    let snap = Snapshot::new(&counts);
+    snap.to_bytes().len() as u64
+}

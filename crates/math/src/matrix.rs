@@ -26,6 +26,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        // lint:allow(panic-reachability, reason = "documented overflow guard; dimensions reaching this from the release path are validated channel sizes whose square fits a Vec long before rows*cols can overflow usize")
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
         Matrix {
             rows,
