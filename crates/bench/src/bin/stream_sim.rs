@@ -17,6 +17,8 @@
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --resume /tmp/ckpt
 //! # pool the persisted shards of any number of runs/machines
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --merge /tmp/ckptA --merge /tmp/ckptB
+//! # chaos soak: scripted shard panics + faulted checkpoints, zero loss
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --chaos --quick --out BENCH_chaos.json
 //! ```
 //!
 //! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
@@ -39,6 +41,19 @@
 //! runs or machines into one exact merged estimate, and `--merged-out
 //! PATH` writes the pooled snapshot itself.
 //!
+//! Chaos flags: `--chaos` turns the run into a fault-injection soak —
+//! every third round arms a scripted shard-worker panic (contained as a
+//! typed `ShardFailed`, recovered by deterministic re-collection of the
+//! lost range, rehabilitated), and every round's checkpoint runs through
+//! a seeded `FaultyBackend` with a random fault plan (transients are
+//! retried away; torn writes crash the checkpoint, after which the
+//! directory is salvaged and re-committed from the live collector).  The
+//! run records every recovery's latency and ends with a zero-report-loss
+//! assertion: live, restored-from-disk and expected report counts must
+//! agree exactly, and the restored shards must equal the live shards
+//! bit-for-bit.  `--out BENCH_chaos.json` persists the evidence (the CI
+//! chaos job asserts `report_loss == 0` from it).
+//!
 //! Observability: `--metrics-out PATH` attaches the `mdrr-obs`
 //! instrumentation (per-shard report/batch counters, ingest latency
 //! histograms, checkpoint/restore durations and byte counts, an imbalance
@@ -58,17 +73,24 @@
 //! streamed-vs-batch experiment.
 
 use mdrr_bench::maybe_write_json;
-use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer, Schema};
+use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer, RecordsView, Schema};
 use mdrr_obs::{Clock, HistogramSnapshot, MonotonicClock};
-use mdrr_protocols::{Clustering, FrequencyEstimator, Protocol, ProtocolSpec, RandomizationLevel};
-use mdrr_store::{merge_snapshots, Snapshot, SnapshotReader, SnapshotWriter};
-use mdrr_stream::{CheckpointManifest, ShardedCollector, StreamObs, MANIFEST_FILE};
+use mdrr_protocols::{
+    Clustering, FrequencyEstimator, MdrrError, Protocol, ProtocolSpec, RandomizationLevel, Release,
+};
+use mdrr_store::{
+    merge_snapshots, salvage_checkpoint, FaultPlan, FaultyBackend, RetryPolicy, Snapshot,
+    SnapshotReader, SnapshotWriter, Storage, StorageBackend,
+};
+use mdrr_stream::{
+    offset_base_seed, CheckpointManifest, ShardedCollector, StreamObs, MANIFEST_FILE,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counts every heap allocation (alloc + realloc) made by the process, so
@@ -152,6 +174,7 @@ struct Options {
     merge: Vec<PathBuf>,
     merged_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    chaos: bool,
 }
 
 impl Options {
@@ -171,6 +194,7 @@ impl Options {
             merge: Vec::new(),
             merged_out: None,
             metrics_out: None,
+            chaos: false,
         };
         let mut quick = false;
         let mut iter = args.into_iter();
@@ -194,6 +218,7 @@ impl Options {
                 "--merge" => options.merge.push(PathBuf::from(value(&flag)?)),
                 "--merged-out" => options.merged_out = Some(PathBuf::from(value(&flag)?)),
                 "--metrics-out" => options.metrics_out = Some(PathBuf::from(value(&flag)?)),
+                "--chaos" => options.chaos = true,
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -207,7 +232,17 @@ impl Options {
             if options.resume.is_some() || options.checkpoint_dir.is_some() {
                 return Err("--merge is a standalone mode; drop --resume/--checkpoint-dir".into());
             }
+            if options.chaos {
+                return Err("--chaos is a standalone mode; drop --merge".into());
+            }
             return Ok(options);
+        }
+        if options.chaos
+            && (options.resume.is_some() || options.kill_after.is_some() || options.spec.is_some())
+        {
+            return Err(
+                "--chaos injects its own failures; drop --resume/--kill-after/--spec".into(),
+            );
         }
         if options.clients == 0 || options.shards == 0 || options.rounds == 0 {
             return Err("--clients, --shards and --rounds must be positive".to_string());
@@ -521,6 +556,418 @@ fn run_merge(options: &Options) {
     maybe_write_json(&cli, &report);
 }
 
+/// A delegating protocol wrapper that panics inside one shard worker
+/// when an armed countdown of `encode_tally` calls reaches zero — the
+/// chaos mode's deterministic stand-in for a worker dying mid-ingest
+/// (OOM, corrupted input, a bug in a protocol backend).  Bit-identical
+/// to the inner protocol on every non-panicking call, so recovered runs
+/// can be compared against uninterrupted ones exactly.
+#[derive(Debug)]
+struct ChaosProtocol {
+    inner: Arc<dyn Protocol>,
+    countdown: AtomicI64,
+}
+
+impl ChaosProtocol {
+    fn new(inner: Arc<dyn Protocol>) -> Self {
+        // Disarmed: decrementing from 0 never passes through the trigger
+        // value of 1.
+        ChaosProtocol {
+            inner,
+            countdown: AtomicI64::new(0),
+        }
+    }
+
+    /// Arms the next worker death: the `calls`-th `encode_tally` call
+    /// from now panics (exactly once — the countdown keeps falling).
+    fn arm(&self, calls: i64) {
+        self.countdown.store(calls, Ordering::SeqCst);
+    }
+}
+
+impl Protocol for ChaosProtocol {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+    fn channel_sizes(&self) -> Vec<usize> {
+        self.inner.channel_sizes()
+    }
+    fn encode_record(&self, record: &[u32], rng: &mut dyn RngCore) -> Result<Vec<u32>, MdrrError> {
+        self.inner.encode_record(record, rng)
+    }
+    fn encode_batch(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut [Vec<u32>],
+    ) -> Result<(), MdrrError> {
+        self.inner.encode_batch(records, rng, out)
+    }
+    fn encode_tally(
+        &self,
+        records: &RecordsView<'_>,
+        rng: &mut dyn RngCore,
+        tallies: &mut [Vec<u64>],
+    ) -> Result<(), MdrrError> {
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+            panic!("chaos-injected shard worker failure");
+        }
+        self.inner.encode_tally(records, rng, tallies)
+    }
+    fn decode_report(&self, codes: &[u32]) -> Result<Vec<u32>, MdrrError> {
+        self.inner.decode_report(codes)
+    }
+    fn release_from_counts(
+        &self,
+        counts: &[Vec<u64>],
+        n_records: usize,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        self.inner.release_from_counts(counts, n_records)
+    }
+    fn release_from_randomized(
+        &self,
+        randomized: mdrr_data::Dataset,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        self.inner.release_from_randomized(randomized)
+    }
+    fn run(
+        &self,
+        dataset: &mdrr_data::Dataset,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn Release>, MdrrError> {
+        self.inner.run(dataset, rng)
+    }
+    fn epsilons(&self) -> Vec<f64> {
+        self.inner.epsilons()
+    }
+}
+
+/// Order statistics of the chaos run's recovery latencies (shard
+/// re-collections and checkpoint salvage/re-commit cycles pooled).
+#[derive(Debug, Clone, Serialize)]
+struct LatencySummary {
+    count: usize,
+    p50_secs: f64,
+    p95_secs: f64,
+    max_secs: f64,
+}
+
+impl LatencySummary {
+    fn from_sorted(latencies: &mut [f64]) -> Self {
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| match latencies.is_empty() {
+            true => 0.0,
+            false => latencies[((latencies.len() - 1) as f64 * q).round() as usize],
+        };
+        LatencySummary {
+            count: latencies.len(),
+            p50_secs: pick(0.5),
+            p95_secs: pick(0.95),
+            max_secs: latencies.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The chaos-mode result written by `--out` (`BENCH_chaos.json` in CI).
+#[derive(Debug, Clone, Serialize)]
+struct ChaosReport {
+    protocol: String,
+    clients: usize,
+    shards: usize,
+    rounds: usize,
+    /// Scripted shard-worker panics that fired (each one quarantined,
+    /// re-collected and rehabilitated).
+    shard_panics: usize,
+    /// Backend faults the per-round random plans actually injected.
+    checkpoint_faults_injected: u64,
+    /// Checkpoint attempts that failed and went through crash recovery.
+    checkpoint_failures: usize,
+    /// Recoveries that needed `salvage_checkpoint` (restore alone failed).
+    salvages: usize,
+    recovery_latency: LatencySummary,
+    /// Clients generated — every one of them must be counted at the end.
+    expected_reports: u64,
+    /// Reports held by the live collector after the last round.
+    final_reports: u64,
+    /// Reports held by the checkpoint directory, restored from disk.
+    restored_reports: u64,
+    /// `expected - restored` — the headline number; the run dies unless 0.
+    report_loss: u64,
+    /// Max absolute deviation of the final snapshot's marginals from the
+    /// generated ground truth (sanity: chaos must not distort estimates).
+    final_max_marginal_abs_error: f64,
+}
+
+/// `--chaos` mode: the same generate→ingest→checkpoint loop as a normal
+/// run, but every third round a shard worker is scripted to die and every
+/// checkpoint runs through a seeded `FaultyBackend` with a random fault
+/// plan.  Every failure is recovered on the spot — quarantine +
+/// deterministic re-collection for dead shards, salvage + re-commit for
+/// crashed checkpoints — and the run ends by proving zero report loss.
+fn run_chaos(options: &Options) {
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+    let (spec, schema) = build_spec(options).unwrap_or_else(|e| die(e));
+    let inner = spec.build_arc(&schema).unwrap_or_else(|e| die(e));
+    let chaos = Arc::new(ChaosProtocol::new(Arc::clone(&inner)));
+    let mut collector =
+        ShardedCollector::new(Arc::clone(&chaos) as Arc<dyn Protocol>, options.shards)
+            .unwrap_or_else(|e| die(e));
+    let obs = options.metrics_out.is_some().then(|| {
+        let obs = StreamObs::new(Arc::clone(&clock), options.shards);
+        collector
+            .instrument(Arc::clone(&obs))
+            .unwrap_or_else(|e| die(format!("cannot instrument collector: {e}")));
+        obs
+    });
+    // The soak's durability target: the given directory, or a scratch one.
+    let (dir, scratch) = match &options.checkpoint_dir {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("mdrr-chaos-{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+
+    let synthesizer = AdultSynthesizer::paper_sized();
+    let record_arity = schema.len();
+    let mut generator_rng = StdRng::seed_from_u64(options.seed);
+    let mut true_counts: Vec<Vec<u64>> = schema
+        .cardinalities()
+        .iter()
+        .map(|&c| vec![0u64; c])
+        .collect();
+
+    println!("{}", "=".repeat(72));
+    println!(
+        "stream_sim --chaos — {} clients through {} shards ({} rounds, {}, scripted \
+         worker panics + faulted checkpoints)",
+        options.clients,
+        options.shards,
+        options.rounds,
+        inner.name()
+    );
+    println!("{}", "=".repeat(72));
+
+    let mut recoveries: Vec<f64> = Vec::new();
+    let mut shard_panics = 0usize;
+    let mut checkpoint_failures = 0usize;
+    let mut salvages = 0usize;
+    let mut faults_injected = 0u64;
+    let mut expected = 0u64;
+
+    // One faulty backend per "disk epoch": it persists across rounds (a
+    // lying sync in round N can surface as lost data at round N+2's
+    // crash, exactly like a real fsync lie) and is replaced by a fresh
+    // one after each simulated power cut — the reboot onto a new disk
+    // view.
+    let make_backend = |epoch: u64| {
+        let plan_seed = options
+            .seed
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Arc::new(FaultyBackend::new(FaultPlan::random(plan_seed, 64, 3)))
+    };
+    let mut epoch = 0u64;
+    let mut backend = make_backend(epoch);
+
+    for round in 1..=options.rounds {
+        let clients = if round == options.rounds {
+            options.clients - options.clients / options.rounds * (options.rounds - 1)
+        } else {
+            options.clients / options.rounds
+        };
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(clients);
+        for _ in 0..clients {
+            let mut record = synthesizer.sample_record(&mut generator_rng);
+            record.truncate(record_arity);
+            for (j, &v) in record.iter().enumerate() {
+                true_counts[j][v as usize] += 1;
+            }
+            rows.push(record);
+        }
+        let seed = options.seed.wrapping_add(round as u64);
+
+        // Every third round, the next encode_tally call dies: one shard
+        // worker panics mid-ingest.  The shard ranges are captured first —
+        // they are the recovery's work order.
+        if round % 3 == 2 {
+            chaos.arm(1);
+        }
+        let ranges = collector.shard_ranges(rows.len());
+        match collector.ingest_records(&rows, seed) {
+            Ok(_) => {}
+            Err(MdrrError::ShardFailed { shard, .. }) => {
+                shard_panics += 1;
+                let t0 = clock.now_nanos();
+                // Deterministic re-collection: the lost range under the
+                // shard's original derived seed, merged into its
+                // pre-failure state, then rehabilitation.
+                let lost = ranges
+                    .iter()
+                    .find(|(k, _)| *k == shard)
+                    .map(|(_, r)| r.clone())
+                    .unwrap_or(0..0);
+                let lost_len = lost.len();
+                let mut rerun =
+                    ShardedCollector::new(Arc::clone(&inner), 1).unwrap_or_else(|e| die(e));
+                rerun
+                    .ingest_records(&rows[lost], offset_base_seed(seed, shard))
+                    .unwrap_or_else(|e| die(format!("re-collection failed: {e}")));
+                let mut replacement = collector.shards()[shard].clone();
+                replacement
+                    .merge(&rerun.shards()[0])
+                    .unwrap_or_else(|e| die(format!("re-collection merge failed: {e}")));
+                collector
+                    .rehabilitate(shard, replacement)
+                    .unwrap_or_else(|e| die(format!("rehabilitation failed: {e}")));
+                let secs = clock.now_nanos().saturating_sub(t0) as f64 / 1e9;
+                recoveries.push(secs);
+                println!(
+                    "round {round:>3}: shard {shard} worker died — re-collected its \
+                     {lost_len} lost reports and rehabilitated in {secs:.4}s"
+                );
+            }
+            Err(e) => die(format!("chaos ingest failed unrecoverably: {e}")),
+        }
+        expected += clients as u64;
+
+        // Checkpoint through the epoch's faulty backend: transients are
+        // retried away; a torn write crashes the attempt and every later
+        // operation, leaving a possibly-torn directory (possibly missing
+        // files an earlier round's lying sync never made durable).
+        let storage = Storage::new(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>,
+            RetryPolicy::default(),
+            Arc::clone(&clock),
+        );
+        let app = format!("chaos round {round}");
+        let result = collector.checkpoint_with(&spec, &dir, Some(&app), &storage);
+        if let Err(e) = result {
+            checkpoint_failures += 1;
+            // Finish the crash: whatever the backend never durably synced
+            // is gone, exactly as after a real power cut.
+            backend.power_cut();
+            faults_injected += backend.injected();
+            epoch += 1;
+            backend = make_backend(epoch);
+            let t0 = clock.now_nanos();
+            if ShardedCollector::restore(&dir).is_err() {
+                match salvage_checkpoint(&dir, &Storage::os()) {
+                    Ok(report) => {
+                        salvages += 1;
+                        println!(
+                            "round {round:>3}: torn checkpoint salvaged — {} shard(s) \
+                             recovered, {} dropped",
+                            report.recovered.len(),
+                            report.dropped.len()
+                        );
+                    }
+                    Err(salvage_err) => println!(
+                        "round {round:>3}: nothing salvageable ({salvage_err}); rebuilding \
+                         from the live collector"
+                    ),
+                }
+            }
+            // The live collector is authoritative: re-commit cleanly.
+            collector
+                .checkpoint(&spec, &dir, Some(&app))
+                .unwrap_or_else(|e2| die(format!("clean re-checkpoint failed: {e2}")));
+            let secs = clock.now_nanos().saturating_sub(t0) as f64 / 1e9;
+            recoveries.push(secs);
+            println!(
+                "round {round:>3}: checkpoint crashed ({e}); durability recovered in {secs:.4}s"
+            );
+        }
+        println!(
+            "round {round:>3}: {:>9} reports total | {} backend fault(s) injected so far",
+            collector.total_reports(),
+            faults_injected + backend.injected()
+        );
+    }
+    faults_injected += backend.injected();
+
+    // The estimates survived the chaos: compare the final snapshot's
+    // marginals against the generated ground truth, as a normal run does.
+    let snapshot = collector.snapshot().unwrap_or_else(|e| die(e));
+    let total = collector.total_reports();
+    let mut max_error = 0.0f64;
+    for (j, channel) in true_counts.iter().enumerate() {
+        for (code, &count) in channel.iter().enumerate() {
+            let truth = count as f64 / total as f64;
+            let estimated = snapshot
+                .frequency(&[(j, code as u32)])
+                .unwrap_or_else(|e| die(format!("marginal query failed: {e}")));
+            max_error = max_error.max((estimated - truth).abs());
+        }
+    }
+
+    // The zero-loss verdict: live, restored and expected counts agree,
+    // and the on-disk shards equal the live shards bit-for-bit.
+    let restored = ShardedCollector::restore(&dir)
+        .unwrap_or_else(|e| die(format!("final restore from {} failed: {e}", dir.display())));
+    let restored_reports = restored.collector.total_reports();
+    if restored.collector.shards() != collector.shards() {
+        die("chaos run lost data: restored shards diverge from the live collector");
+    }
+    let report_loss = expected
+        .saturating_sub(total)
+        .max(expected.saturating_sub(restored_reports));
+    if report_loss != 0 || total != expected || restored_reports != expected {
+        die(format!(
+            "chaos run lost reports: expected {expected}, live {total}, restored \
+             {restored_reports}"
+        ));
+    }
+
+    let mut sorted = recoveries;
+    let report = ChaosReport {
+        protocol: inner.name(),
+        clients: options.clients,
+        shards: options.shards,
+        rounds: options.rounds,
+        shard_panics,
+        checkpoint_faults_injected: faults_injected,
+        checkpoint_failures,
+        salvages,
+        recovery_latency: LatencySummary::from_sorted(&mut sorted),
+        expected_reports: expected,
+        final_reports: total,
+        restored_reports,
+        report_loss,
+        final_max_marginal_abs_error: max_error,
+    };
+    println!("{}", "-".repeat(72));
+    println!(
+        "chaos soak survived: {} shard panic(s), {} checkpoint crash(es) ({} salvaged), \
+         {} backend fault(s) injected — 0 of {} reports lost; recovery p50 {:.4}s / max {:.4}s",
+        report.shard_panics,
+        report.checkpoint_failures,
+        report.salvages,
+        report.checkpoint_faults_injected,
+        report.expected_reports,
+        report.recovery_latency.p50_secs,
+        report.recovery_latency.max_secs
+    );
+    println!(
+        "final max marginal error: {:.5} (chaos snapshot vs generated ground truth)",
+        report.final_max_marginal_abs_error
+    );
+    if let (Some(path), Some(obs)) = (&options.metrics_out, &obs) {
+        write_metrics(path, obs);
+    }
+    if scratch {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let cli = mdrr_bench::CliOptions {
+        output: options.output.clone(),
+        ..Default::default()
+    };
+    maybe_write_json(&cli, &report);
+}
+
 fn main() {
     let mut options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
         eprintln!("{message}");
@@ -528,12 +975,17 @@ fn main() {
             "usage: [--clients N] [--shards K] [--rounds R] \
              [--protocol independent|joint|clusters] [--spec PATH] [--path batch|per-record] \
              [--seed N] [--quick] [--out PATH] [--checkpoint-dir DIR] [--resume DIR] \
-             [--kill-after N] [--merge PATH]... [--merged-out PATH] [--metrics-out PATH]"
+             [--kill-after N] [--merge PATH]... [--merged-out PATH] [--metrics-out PATH] \
+             [--chaos]"
         );
         std::process::exit(2);
     });
     if !options.merge.is_empty() {
         run_merge(&options);
+        return;
+    }
+    if options.chaos {
+        run_chaos(&options);
         return;
     }
 

@@ -22,11 +22,15 @@ const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 pub struct NoPanicPaths;
 
 /// Whether this file carries the no-panic contract: all `mdrr-store`
-/// library code (parse, merge, snapshot, I/O) plus the `mdrr-stream`
-/// checkpoint/restore module.
+/// library code (parse, merge, snapshot, I/O — including the fault
+/// backends, retry loop and salvage), the `mdrr-stream`
+/// checkpoint/restore module, and the degraded-mode collector (a shard
+/// worker's panic must be contained and typed, and the containment code
+/// itself must not panic).
 fn in_scope(file: &SourceFile) -> bool {
     (file.crate_name == "mdrr-store" && file.kind == FileKind::LibSrc)
         || file.rel == "crates/stream/src/checkpoint.rs"
+        || file.rel == "crates/stream/src/collector.rs"
 }
 
 impl Rule for NoPanicPaths {

@@ -28,6 +28,31 @@ pub trait Clock: std::fmt::Debug + Send + Sync {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Blocks (in this clock's notion of time) until `now_nanos()` has
+    /// reached `deadline_nanos`.  This is the waiting primitive behind
+    /// retry backoff: library code never sleeps on ambient time, it asks
+    /// its injected clock to wait.
+    ///
+    /// Semantics per implementation:
+    ///
+    /// * a disabled clock (`!enabled()`) returns immediately — its time
+    ///   never advances, so waiting on it would never end and backoff
+    ///   under a [`NullClock`] degenerates to immediate retries;
+    /// * [`ManualClock`] jumps itself forward to the deadline, so tests
+    ///   observe exactly the waits the retry policy requested;
+    /// * [`MonotonicClock`] sleeps the calling thread for the remainder.
+    ///
+    /// The provided default covers the first case and otherwise yields
+    /// the thread between polls; real clocks override it.
+    fn sleep_until(&self, deadline_nanos: u64) {
+        if !self.enabled() {
+            return;
+        }
+        while self.now_nanos() < deadline_nanos {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// The production clock: monotonic nanoseconds measured from the moment
@@ -66,6 +91,15 @@ impl Clock for MonotonicClock {
     fn now_nanos(&self) -> u64 {
         // Saturates after ~584 years of process uptime; fine.
         self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn sleep_until(&self, deadline_nanos: u64) {
+        let now = self.now_nanos();
+        if let Some(remaining) = deadline_nanos.checked_sub(now) {
+            if remaining > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(remaining));
+            }
+        }
     }
 }
 
@@ -133,6 +167,12 @@ impl Clock for ManualClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::Relaxed)
     }
+
+    fn sleep_until(&self, deadline_nanos: u64) {
+        // Jump straight to the deadline (never backwards): the test clock
+        // "waits" by making the wait observable in its reading.
+        self.nanos.fetch_max(deadline_nanos, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +189,31 @@ mod tests {
             assert!(now >= last);
             last = now;
         }
+    }
+
+    #[test]
+    fn sleep_until_advances_manual_and_skips_null() {
+        let clock = ManualClock::new();
+        clock.set(100);
+        clock.sleep_until(1_000);
+        assert_eq!(clock.now_nanos(), 1_000);
+        // Never backwards.
+        clock.sleep_until(500);
+        assert_eq!(clock.now_nanos(), 1_000);
+        // A disabled clock returns immediately instead of spinning on a
+        // reading that never advances.
+        NullClock.sleep_until(u64::MAX);
+        assert_eq!(NullClock.now_nanos(), 0);
+    }
+
+    #[test]
+    fn monotonic_sleep_until_reaches_deadline() {
+        let clock = MonotonicClock::new();
+        let deadline = clock.now_nanos() + 2_000_000; // 2ms
+        clock.sleep_until(deadline);
+        assert!(clock.now_nanos() >= deadline);
+        // A deadline in the past returns without sleeping.
+        clock.sleep_until(0);
     }
 
     #[test]

@@ -69,6 +69,26 @@ pub enum EventKind {
         /// Estimates answered.
         queries: u64,
     },
+    /// A shard worker died mid-ingest and its shard was quarantined; the
+    /// collector keeps running degraded on the remaining shards.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: u64,
+    },
+    /// A storage operation kept failing transiently until the retry
+    /// policy's attempt bound was exhausted; the error became permanent.
+    RetryExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u64,
+    },
+    /// A torn checkpoint directory was salvaged: every CRC-valid shard
+    /// snapshot was recovered and a fresh manifest committed.
+    SalvageCompleted {
+        /// Shard snapshots recovered into the rebuilt manifest.
+        recovered: u64,
+        /// Shard slots whose snapshots were unreadable and dropped.
+        dropped: u64,
+    },
 }
 
 impl EventKind {
@@ -82,6 +102,9 @@ impl EventKind {
             EventKind::Restore { .. } => "restore",
             EventKind::Merge { .. } => "merge",
             EventKind::EstimateServed { .. } => "estimate_served",
+            EventKind::ShardFailed { .. } => "shard_failed",
+            EventKind::RetryExhausted { .. } => "retry_exhausted",
+            EventKind::SalvageCompleted { .. } => "salvage_completed",
         }
     }
 
@@ -122,6 +145,11 @@ impl EventKind {
                 total_reports,
             } => vec![("snapshots", snapshots), ("total_reports", total_reports)],
             EventKind::EstimateServed { queries } => vec![("queries", queries)],
+            EventKind::ShardFailed { shard } => vec![("shard", shard)],
+            EventKind::RetryExhausted { attempts } => vec![("attempts", attempts)],
+            EventKind::SalvageCompleted { recovered, dropped } => {
+                vec![("recovered", recovered), ("dropped", dropped)]
+            }
         }
     }
 }
@@ -271,6 +299,12 @@ mod tests {
                 total_reports: 14,
             },
             EventKind::EstimateServed { queries: 15 },
+            EventKind::ShardFailed { shard: 16 },
+            EventKind::RetryExhausted { attempts: 17 },
+            EventKind::SalvageCompleted {
+                recovered: 18,
+                dropped: 19,
+            },
         ];
         for kind in kinds {
             assert!(!kind.name().is_empty());

@@ -38,6 +38,16 @@ pub enum MdrrError {
         /// Description of the problem.
         message: String,
     },
+    /// A shard worker died (its thread panicked) or a quarantined shard
+    /// was asked to ingest.  The collector survives: the failed shard is
+    /// quarantined and the rest keep working — callers decide whether to
+    /// re-run the lost range or continue degraded.
+    ShardFailed {
+        /// Index of the shard whose worker failed.
+        shard: usize,
+        /// The panic payload (or quarantine reason), as text.
+        message: String,
+    },
 }
 
 /// Compatibility alias: the protocol layer's historical error name.
@@ -54,6 +64,9 @@ impl fmt::Display for MdrrError {
             }
             MdrrError::UnsupportedQuery { message } => {
                 write!(f, "unsupported query: {message}")
+            }
+            MdrrError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
             }
         }
     }
@@ -102,6 +115,14 @@ impl MdrrError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for [`MdrrError::ShardFailed`].
+    pub fn shard_failed(shard: usize, message: impl Into<String>) -> Self {
+        MdrrError::ShardFailed {
+            shard,
+            message: message.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +143,8 @@ mod tests {
         assert!(MdrrError::unsupported("attribute 9")
             .to_string()
             .contains("attribute 9"));
+        let s = MdrrError::shard_failed(3, "worker panicked: boom");
+        assert_eq!(s.to_string(), "shard 3 failed: worker panicked: boom");
     }
 
     #[test]

@@ -10,6 +10,45 @@ use mdrr_protocols::MdrrError;
 use std::fmt;
 use std::io;
 
+/// Whether an I/O failure is worth retrying.
+///
+/// The store's retry layer ([`crate::RetryPolicy`]) retries
+/// [`IoClass::Transient`] failures with bounded exponential backoff and
+/// gives up immediately on [`IoClass::Permanent`] ones.  The class is
+/// derived from the OS error kind by default ([`IoClass::classify`]) and
+/// can be forced by fault-injecting backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// The operation may well succeed if simply re-executed (interrupted
+    /// syscall, timeout, resource temporarily unavailable).
+    Transient,
+    /// Retrying is pointless (missing file, permission denied, disk
+    /// full-style invariants, corruption).
+    Permanent,
+}
+
+impl IoClass {
+    /// The default class of an OS error: interrupted / would-block /
+    /// timed-out failures are transient, everything else permanent.
+    pub fn classify(kind: io::ErrorKind) -> IoClass {
+        match kind {
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                IoClass::Transient
+            }
+            _ => IoClass::Permanent,
+        }
+    }
+}
+
+impl fmt::Display for IoClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoClass::Transient => write!(f, "transient"),
+            IoClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
 /// Errors produced by the snapshot store.
 ///
 /// ```
@@ -28,6 +67,9 @@ pub enum StoreError {
     Io {
         /// What the store was doing when the failure happened.
         context: String,
+        /// Whether re-executing the operation could succeed — the retry
+        /// layer only retries [`IoClass::Transient`] failures.
+        class: IoClass,
         /// The underlying I/O error.
         source: io::Error,
     },
@@ -102,8 +144,57 @@ impl StoreError {
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         StoreError::Io {
             context: context.into(),
+            class: IoClass::classify(source.kind()),
             source,
         }
+    }
+
+    /// An I/O error forced to the transient class (retry-worthy),
+    /// regardless of what [`IoClass::classify`] would say.
+    ///
+    /// ```
+    /// let e = mdrr_store::StoreError::io_transient(
+    ///     "write shard file",
+    ///     std::io::Error::other("injected"),
+    /// );
+    /// assert!(e.is_transient());
+    /// ```
+    pub fn io_transient(context: impl Into<String>, source: io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            class: IoClass::Transient,
+            source,
+        }
+    }
+
+    /// An I/O error forced to the permanent class (never retried).
+    ///
+    /// ```
+    /// let e = mdrr_store::StoreError::io_permanent(
+    ///     "sync shard file",
+    ///     std::io::Error::new(std::io::ErrorKind::Interrupted, "injected"),
+    /// );
+    /// assert!(!e.is_transient());
+    /// ```
+    pub fn io_permanent(context: impl Into<String>, source: io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            class: IoClass::Permanent,
+            source,
+        }
+    }
+
+    /// Whether this error is a transient I/O failure, i.e. one the retry
+    /// layer is allowed to re-execute.  Every non-I/O store error
+    /// (corruption, layout, spec mismatch) is permanent by definition.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Io {
+                class: IoClass::Transient,
+                ..
+            }
+        )
     }
 
     /// Convenience constructor for [`StoreError::InvalidHeader`].
@@ -146,7 +237,11 @@ impl StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io { context, source } => write!(f, "i/o error ({context}): {source}"),
+            StoreError::Io {
+                context,
+                class,
+                source,
+            } => write!(f, "{class} i/o error ({context}): {source}"),
             StoreError::BadMagic { found } => {
                 write!(f, "not a snapshot: bad magic bytes {found:02x?}")
             }
@@ -255,6 +350,39 @@ mod tests {
         let e = StoreError::io("read", io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(StoreError::layout("y").source().is_none());
+    }
+
+    #[test]
+    fn io_class_is_derived_and_forceable() {
+        // Derived: interrupted syscalls retry, missing files do not.
+        assert_eq!(
+            IoClass::classify(io::ErrorKind::Interrupted),
+            IoClass::Transient
+        );
+        assert_eq!(
+            IoClass::classify(io::ErrorKind::TimedOut),
+            IoClass::Transient
+        );
+        assert_eq!(
+            IoClass::classify(io::ErrorKind::NotFound),
+            IoClass::Permanent
+        );
+        assert!(
+            StoreError::io("read", io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+                .is_transient()
+        );
+        assert!(!StoreError::io("read", io::Error::other("gone")).is_transient());
+        // Forced: a fault-injecting backend decides the class itself.
+        assert!(StoreError::io_transient("w", io::Error::other("x")).is_transient());
+        assert!(
+            !StoreError::io_permanent("w", io::Error::new(io::ErrorKind::Interrupted, "x"))
+                .is_transient()
+        );
+        // Non-I/O errors are never retried.
+        assert!(!StoreError::layout("bad").is_transient());
+        // Display names the class so logs distinguish the two.
+        let shown = StoreError::io_transient("w", io::Error::other("x")).to_string();
+        assert!(shown.contains("transient"), "{shown}");
     }
 
     #[test]

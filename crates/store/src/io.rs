@@ -7,15 +7,40 @@
 //! either the previous complete snapshot or the new complete snapshot,
 //! never a torn one — and [`SnapshotReader`] verifies the checksum anyway,
 //! so even out-of-band corruption surfaces as a typed error.
+//!
+//! Every file operation flows through a [`Storage`] handle: an injected
+//! [`StorageBackend`] (the OS, or a fault-injecting test double) wrapped
+//! with a [`RetryPolicy`] that re-executes transient failures under
+//! bounded exponential backoff, timed by an injected
+//! [`Clock`] — never ambient time.  The plain entry points
+//! ([`atomic_write`], [`SnapshotWriter::write`], …) run on
+//! [`Storage::os`], so existing callers keep today's behavior.
 
+use crate::backend::{OsBackend, StorageBackend};
 use crate::error::StoreError;
+use crate::retry::RetryPolicy;
 use crate::snapshot::Snapshot;
-use std::fs::{self, File};
-use std::io::Write;
+use mdrr_obs::{Clock, EventKind, Journal, NullClock};
+use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Extension of the sibling temp file an atomic write goes through.
 const TMP_SUFFIX: &str = "tmp";
+
+/// The sibling temp path an atomic write of `path` goes through
+/// (`x.mdrrsnap` → `x.mdrrsnap.tmp`).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    match path.extension() {
+        Some(ext) => {
+            let mut ext = ext.to_os_string();
+            ext.push(".");
+            ext.push(TMP_SUFFIX);
+            path.with_extension(ext)
+        }
+        None => path.with_extension(TMP_SUFFIX),
+    }
+}
 
 /// Atomically replaces `path` with `bytes`: write to a sibling `*.tmp`
 /// file, fsync, rename over the target, best-effort fsync the directory.
@@ -24,6 +49,9 @@ const TMP_SUFFIX: &str = "tmp";
 /// checkpoint manifests built on top of them); a crash at any point
 /// leaves either the old complete file or the new complete file at
 /// `path`, never a torn one.
+///
+/// Runs on [`Storage::os`]; inject a [`Storage`] yourself (fault
+/// backends, real backoff clocks) via [`Storage::atomic_write`].
 ///
 /// ```
 /// let dir = std::env::temp_dir().join(format!("mdrr-doc-aw-{}", std::process::id()));
@@ -39,40 +67,241 @@ const TMP_SUFFIX: &str = "tmp";
 /// Returns [`StoreError::Io`] naming the failing step (create, write,
 /// sync or rename).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::create_dir_all(parent)
-            .map_err(|e| StoreError::io(format!("create directory {}", parent.display()), e))?;
-    }
-    let tmp = match path.extension() {
-        Some(ext) => {
-            let mut ext = ext.to_os_string();
-            ext.push(".");
-            ext.push(TMP_SUFFIX);
-            path.with_extension(ext)
+    Storage::os().atomic_write(path, bytes)
+}
+
+/// A storage handle: a [`StorageBackend`] plus the [`RetryPolicy`] and
+/// injected [`Clock`] that govern transient-failure retries, and an
+/// optional [`Journal`] that records `retry_exhausted` events.
+///
+/// [`Storage::os`] is the production default (real filesystem, default
+/// retry bounds, no waiting clock — transient retries re-execute
+/// immediately); tests and the chaos harness inject a
+/// [`crate::FaultyBackend`] and a real or manual clock instead.
+///
+/// ```
+/// use mdrr_store::Storage;
+/// let dir = std::env::temp_dir().join(format!("mdrr-doc-storage-{}", std::process::id()));
+/// let storage = Storage::os();
+/// storage.atomic_write(&dir.join("a.txt"), b"payload")?;
+/// assert_eq!(storage.read(&dir.join("a.txt"))?, b"payload");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), mdrr_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Storage {
+    backend: Arc<dyn StorageBackend>,
+    retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    journal: Option<Arc<Journal>>,
+}
+
+impl Storage {
+    /// The production storage: [`OsBackend`], default [`RetryPolicy`],
+    /// and a disabled clock — transient failures are still retried up to
+    /// the attempt bound, just without waiting in between.  Callers that
+    /// want real backoff pacing inject a real clock via
+    /// [`Storage::new`].
+    pub fn os() -> Self {
+        Storage {
+            backend: Arc::new(OsBackend),
+            retry: RetryPolicy::default(),
+            clock: Arc::new(NullClock),
+            journal: None,
         }
-        None => path.with_extension(TMP_SUFFIX),
-    };
-    let mut file = File::create(&tmp)
-        .map_err(|e| StoreError::io(format!("create temp file {}", tmp.display()), e))?;
-    file.write_all(bytes)
-        .map_err(|e| StoreError::io(format!("write temp file {}", tmp.display()), e))?;
-    file.sync_all()
-        .map_err(|e| StoreError::io(format!("sync temp file {}", tmp.display()), e))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| {
-        StoreError::io(
-            format!("rename {} over {}", tmp.display(), path.display()),
-            e,
-        )
-    })?;
-    // Persist the rename itself; not all filesystems support fsync on a
-    // directory handle, so this is best-effort.
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
+    }
+
+    /// A storage handle over an explicit backend, retry policy and clock.
+    pub fn new(
+        backend: Arc<dyn StorageBackend>,
+        retry: RetryPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Storage {
+            backend,
+            retry,
+            clock,
+            journal: None,
         }
     }
-    Ok(())
+
+    /// Attaches a journal: every exhausted retry loop records a
+    /// `retry_exhausted` event with the attempts spent.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The backend operations execute against.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The retry policy governing transient failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The clock that paces retry backoff.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Records `kind` in the attached journal (a no-op without one).
+    pub(crate) fn record_event(&self, kind: EventKind) {
+        if let Some(journal) = &self.journal {
+            journal.record(self.clock.now_nanos(), kind);
+        }
+    }
+
+    /// Runs one backend operation under the retry policy, journalling a
+    /// `retry_exhausted` event when every attempt failed transiently.
+    fn attempt<T>(&self, op: impl FnMut() -> Result<T, StoreError>) -> Result<T, StoreError> {
+        let (result, attempts) = self.retry.run(self.clock.as_ref(), op);
+        if let Err(e) = &result {
+            if e.is_transient() {
+                self.record_event(EventKind::RetryExhausted {
+                    attempts: u64::from(attempts),
+                });
+            }
+        }
+        result
+    }
+
+    /// [`atomic_write`] through this handle's backend, retry policy and
+    /// clock: create the parent directory, write a sibling `*.tmp` file,
+    /// fsync it, rename it over `path`, fsync the directory.  Each step
+    /// retries transient failures under the policy.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] naming the failing step.
+    pub fn atomic_write(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            self.attempt(|| self.backend.create_dir_all(parent))?;
+        }
+        let tmp = tmp_sibling(path);
+        self.attempt(|| self.backend.write(&tmp, bytes))?;
+        self.attempt(|| self.backend.sync(&tmp))?;
+        self.attempt(|| self.backend.rename(&tmp, path))?;
+        // Persist the rename itself; the backend treats unsupported
+        // directory fsyncs as success, so this stays best-effort.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            self.attempt(|| self.backend.sync_dir(parent))?;
+        }
+        Ok(())
+    }
+
+    /// Reads the full contents of `path` (with transient-failure
+    /// retries).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file cannot be read.
+    pub fn read(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        self.attempt(|| self.backend.read(path))
+    }
+
+    /// Serializes `snapshot` and atomically writes it to `path`,
+    /// returning the serialized byte count.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] for filesystem failures and the
+    /// serialization errors of [`Snapshot::to_bytes`].
+    pub fn write_snapshot(&self, path: &Path, snapshot: &Snapshot) -> Result<u64, StoreError> {
+        let bytes = snapshot.to_bytes()?;
+        self.atomic_write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// [`Storage::write_snapshot`], instrumented like
+    /// [`SnapshotWriter::write_observed`]: records the write count,
+    /// serialized byte count and wall time in `obs`.
+    ///
+    /// # Errors
+    /// Same as [`Storage::write_snapshot`].
+    pub fn write_snapshot_observed(
+        &self,
+        path: &Path,
+        snapshot: &Snapshot,
+        obs: &crate::StoreObs,
+    ) -> Result<u64, StoreError> {
+        let clock = obs.clock();
+        let start = clock.enabled().then(|| clock.now_nanos());
+        let n = self.write_snapshot(path, snapshot)?;
+        if let Some(start) = start {
+            obs.write_nanos
+                .record(clock.now_nanos().saturating_sub(start));
+        }
+        obs.writes.inc();
+        obs.bytes_written.add(n);
+        Ok(n)
+    }
+
+    /// Reads and fully validates the snapshot at `path` through this
+    /// handle's backend.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] for filesystem failures and the typed
+    /// validation errors of [`Snapshot::from_bytes`].
+    pub fn read_snapshot(&self, path: &Path) -> Result<Snapshot, StoreError> {
+        let bytes = self.read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// Creates `path` and every missing ancestor directory (with
+    /// transient-failure retries).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when creation fails.
+    pub fn create_dir_all(&self, path: &Path) -> Result<(), StoreError> {
+        self.attempt(|| self.backend.create_dir_all(path))
+    }
+
+    /// The file names in `dir`, sorted; a missing directory lists as
+    /// empty.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the directory cannot be listed.
+    pub fn list_dir(&self, dir: &Path) -> Result<Vec<String>, StoreError> {
+        self.attempt(|| self.backend.list_dir(dir))
+    }
+
+    /// Removes the file at `path` (with transient-failure retries).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when removal fails.
+    pub fn remove_file(&self, path: &Path) -> Result<(), StoreError> {
+        self.attempt(|| self.backend.remove_file(path))
+    }
+
+    /// Whether a file or directory exists at `path`.
+    pub fn exists(&self, path: &Path) -> bool {
+        self.backend.exists(path)
+    }
+
+    /// Sweeps orphaned `*.tmp` debris from `dir` — the stranded siblings
+    /// of atomic writes that faulted between create and rename.  Only
+    /// names ending in `.tmp` are touched; committed snapshots and
+    /// manifests never match.  Best-effort by design (a sweep must never
+    /// fail the checkpoint that requested it): unreadable directories
+    /// sweep nothing, unremovable files are skipped.  Returns the number
+    /// of files removed.
+    pub fn sweep_tmp(&self, dir: &Path) -> usize {
+        let Ok(names) = self.list_dir(dir) else {
+            return 0;
+        };
+        let mut swept = 0;
+        for name in names {
+            if name.ends_with(".tmp") && self.remove_file(&dir.join(&name)).is_ok() {
+                swept += 1;
+            }
+        }
+        swept
+    }
 }
 
 /// Writes snapshots to a fixed path with atomic temp-file-and-rename

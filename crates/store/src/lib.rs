@@ -26,6 +26,16 @@
 //!   verified, counts are summed with overflow checks, and the merged
 //!   release is numerically identical to a single process having ingested
 //!   every report itself.
+//! * [`StorageBackend`] / [`Storage`] — every file operation goes through
+//!   an injectable backend seam: [`OsBackend`] is the real filesystem,
+//!   [`FaultyBackend`] executes scripted fault plans (torn writes, lying
+//!   fsyncs, transient errors) for the crash-consistency torture tests.
+//!   Transient failures ([`IoClass`]) are retried under a bounded
+//!   exponential-backoff [`RetryPolicy`] timed by an injected clock.
+//! * [`CheckpointManifest`] and the generation-named shard-file grammar
+//!   ([`shard_file_name`]) — the commit record of a checkpoint directory;
+//!   [`salvage_checkpoint`] rebuilds a usable manifest from whatever
+//!   shard snapshots survive out-of-band damage.
 //!
 //! The streaming layer (`mdrr-stream`) builds `ShardedCollector::
 //! {checkpoint, restore}` on top of this crate; `stream_sim` drives
@@ -63,16 +73,27 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod format;
 pub mod io;
+pub mod manifest;
 pub mod merge;
 pub mod obs;
+pub mod retry;
+pub mod salvage;
 pub mod snapshot;
 
-pub use error::StoreError;
+pub use backend::{Fault, FaultKind, FaultPlan, FaultyBackend, OsBackend, StorageBackend};
+pub use error::{IoClass, StoreError};
 pub use format::{crc64, FORMAT_VERSION, MAGIC};
-pub use io::{atomic_write, SnapshotReader, SnapshotWriter};
+pub use io::{atomic_write, SnapshotReader, SnapshotWriter, Storage};
+pub use manifest::{
+    next_generation, parse_shard_file_name, shard_file_name, CheckpointManifest, MANIFEST_FILE,
+    MANIFEST_VERSION,
+};
 pub use merge::{merge_snapshot_files, merge_snapshots, merge_snapshots_observed};
 pub use obs::StoreObs;
+pub use retry::RetryPolicy;
+pub use salvage::{salvage_checkpoint, SalvageReport};
 pub use snapshot::Snapshot;

@@ -1,0 +1,198 @@
+//! Bounded exponential-backoff retry for transient storage failures.
+//!
+//! Storage operations fail in two classes ([`crate::IoClass`]): permanent
+//! failures surface immediately, transient ones (interrupted syscalls,
+//! timeouts, injected test faults) are worth re-executing.  A
+//! [`RetryPolicy`] bounds how often and how patiently: attempt `a` waits
+//! `min(base · 2^(a−1), max)` nanoseconds before re-executing, and after
+//! `max_attempts` total attempts the last transient error is returned as
+//! the final answer (and the caller may journal a `retry_exhausted`
+//! event).  All waiting goes through the injected
+//! [`Clock::sleep_until`] — never ambient time — so tests drive backoff
+//! with a [`mdrr_obs::ManualClock`] and a `NullClock` degenerates to
+//! immediate bounded retries.
+
+use crate::error::StoreError;
+use mdrr_obs::Clock;
+
+/// How transient storage failures are retried.
+///
+/// ```
+/// use mdrr_store::RetryPolicy;
+/// let policy = RetryPolicy::default();
+/// assert_eq!(policy.max_attempts, 4);
+/// // Exponential, bounded: 1ms, 2ms, 4ms, … capped at 100ms.
+/// assert_eq!(policy.delay_nanos(0), 1_000_000);
+/// assert_eq!(policy.delay_nanos(1), 2_000_000);
+/// assert_eq!(policy.delay_nanos(60), 100_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included).  At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in nanoseconds.
+    pub base_delay_nanos: u64,
+    /// Upper bound on any single backoff, in nanoseconds.
+    pub max_delay_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 1 ms base delay, 100 ms cap — three retries
+    /// totalling at most 7 ms of backoff under the default curve.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_nanos: 1_000_000,
+            max_delay_nanos: 100_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure, transient or not, is final.
+    /// The torture harness uses this so each scripted fault is observed
+    /// exactly where it was injected.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_nanos: 0,
+            max_delay_nanos: 0,
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based):
+    /// `min(base · 2^retry, max)`.
+    pub fn delay_nanos(&self, retry: u32) -> u64 {
+        let factor = 1u64.checked_shl(retry).unwrap_or(u64::MAX);
+        self.base_delay_nanos
+            .saturating_mul(factor)
+            .min(self.max_delay_nanos)
+    }
+
+    /// Runs `op` under this policy: transient failures are retried (after
+    /// a `clock.sleep_until` backoff) until one attempt succeeds, a
+    /// permanent failure surfaces, or `max_attempts` attempts are spent.
+    /// Returns the final result and the number of attempts made.
+    ///
+    /// ```
+    /// use mdrr_obs::{Clock, ManualClock};
+    /// use mdrr_store::{RetryPolicy, StoreError};
+    ///
+    /// let clock = ManualClock::new();
+    /// let mut failures = 2;
+    /// let (result, attempts) = RetryPolicy::default().run(&clock, || {
+    ///     if failures > 0 {
+    ///         failures -= 1;
+    ///         Err(StoreError::io_transient("write", std::io::Error::other("flaky")))
+    ///     } else {
+    ///         Ok(42)
+    ///     }
+    /// });
+    /// assert_eq!(result.ok(), Some(42));
+    /// assert_eq!(attempts, 3);
+    /// // The manual clock observed exactly the scripted waits: 1ms + 2ms.
+    /// assert_eq!(clock.now_nanos(), 3_000_000);
+    /// ```
+    pub fn run<T>(
+        &self,
+        clock: &dyn Clock,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> (Result<T, StoreError>, u32) {
+        let max_attempts = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op() {
+                Ok(value) => return (Ok(value), attempt),
+                Err(e) if e.is_transient() && attempt < max_attempts => {
+                    clock.sleep_until(
+                        clock
+                            .now_nanos()
+                            .saturating_add(self.delay_nanos(attempt - 1)),
+                    );
+                }
+                Err(e) => return (Err(e), attempt),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdrr_obs::{ManualClock, NullClock};
+    use std::io;
+
+    fn transient() -> StoreError {
+        StoreError::io_transient("op", io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let mut calls = 0;
+        let (result, attempts) = RetryPolicy::default().run(&NullClock, || {
+            calls += 1;
+            Err::<(), _>(StoreError::io_permanent("op", io::Error::other("gone")))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transients_are_retried_up_to_the_bound() {
+        let clock = ManualClock::new();
+        let mut calls = 0;
+        let (result, attempts) = RetryPolicy::default().run(&clock, || {
+            calls += 1;
+            Err::<(), _>(transient())
+        });
+        assert!(matches!(result, Err(ref e) if e.is_transient()));
+        assert_eq!(attempts, 4);
+        assert_eq!(calls, 4);
+        // Backoff: 1ms + 2ms + 4ms, all through the injected clock.
+        assert_eq!(clock.now_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn null_clock_degenerates_to_immediate_retries() {
+        let mut calls = 0;
+        let (result, attempts) = RetryPolicy::default().run(&NullClock, || {
+            calls += 1;
+            if calls < 3 {
+                Err(transient())
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(result.ok(), Some("done"));
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn none_policy_gives_exactly_one_attempt() {
+        let mut calls = 0;
+        let (result, attempts) = RetryPolicy::none().run(&NullClock, || {
+            calls += 1;
+            Err::<(), _>(transient())
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn delay_curve_is_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay_nanos: 100,
+            max_delay_nanos: 1_000,
+        };
+        assert_eq!(policy.delay_nanos(0), 100);
+        assert_eq!(policy.delay_nanos(1), 200);
+        assert_eq!(policy.delay_nanos(3), 800);
+        assert_eq!(policy.delay_nanos(4), 1_000); // capped
+        assert_eq!(policy.delay_nanos(63), 1_000); // shift overflow capped
+        assert_eq!(policy.delay_nanos(64), 1_000); // out-of-range shift capped
+    }
+}

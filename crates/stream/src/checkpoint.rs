@@ -1,16 +1,29 @@
 //! Durable checkpoints of a [`ShardedCollector`].
 //!
-//! A checkpoint is a directory: one `mdrr-store` snapshot file per shard
-//! (`shard-00000.mdrrsnap`, `shard-00001.mdrrsnap`, …) plus a
-//! `MANIFEST.json` written *last* and atomically — the manifest is the
-//! commit point, so a crash mid-checkpoint leaves the previous manifest
-//! in charge of a previous consistent shard set.  Each shard file is
+//! A checkpoint is a directory: one *generation-named* `mdrr-store`
+//! snapshot file per shard (`shard-00000.g00000003.mdrrsnap` is shard 0
+//! of checkpoint generation 3) plus a `MANIFEST.json` written *last* and
+//! atomically — the manifest is the commit point.  Each checkpoint writes
+//! a complete new generation of shard files *beside* the committed one,
+//! commits the manifest naming the new files, and only then deletes the
+//! old generation — so a crash at any single file operation leaves either
+//! the old complete checkpoint or the new complete one, never a manifest
+//! pointing at half-replaced shard files (the crash-consistency torture
+//! suite sweeps every crash point to prove it).  Each shard file is
 //! self-describing (it embeds the schema and the declarative
 //! [`ProtocolSpec`]), so [`ShardedCollector::restore`] rebuilds the
 //! protocol and the accumulators from the directory alone, and shard
 //! files from different machines can be pooled with
 //! [`mdrr_store::merge_snapshot_files`] with no process alive that ever
 //! held the original collector.
+//!
+//! All file operations flow through an [`mdrr_store::Storage`] handle:
+//! [`ShardedCollector::checkpoint`] runs on the production OS backend,
+//! [`ShardedCollector::checkpoint_with`] accepts an injected storage
+//! (fault backends, retry clocks) for torture tests and the chaos
+//! harness.  If a torn directory ever does arise — out-of-band damage, a
+//! lying disk — [`mdrr_store::salvage_checkpoint`] rebuilds a manifest
+//! from the surviving shard files.
 
 use crate::accumulator::Accumulator;
 use crate::collector::ShardedCollector;
@@ -18,38 +31,14 @@ use crate::error::MdrrError;
 use crate::instrument::StreamObs;
 use mdrr_obs::{Clock, EventKind};
 use mdrr_protocols::{Protocol, ProtocolSpec};
-use mdrr_store::{atomic_write, Snapshot, SnapshotReader, SnapshotWriter};
-use serde::{Deserialize, Serialize};
+use mdrr_store::{
+    next_generation, parse_shard_file_name, shard_file_name, Snapshot, SnapshotReader, Storage,
+    MANIFEST_VERSION,
+};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// File name of the checkpoint manifest inside a checkpoint directory.
-pub const MANIFEST_FILE: &str = "MANIFEST.json";
-
-/// Version of the manifest JSON layout.
-const MANIFEST_VERSION: u32 = 1;
-
-/// The commit record of a checkpoint directory: which shard files form
-/// the consistent set, how many reports they cover in total, and the
-/// caller's opaque resume state.  Serialized as pretty JSON in
-/// [`MANIFEST_FILE`]; written last, atomically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CheckpointManifest {
-    /// Version of this manifest layout (currently 1).
-    pub manifest_version: u32,
-    /// Number of shards (equals `shard_files.len()`).
-    pub n_shards: usize,
-    /// Total reports across all shard snapshots at checkpoint time —
-    /// restore verifies the shard files still sum to this, which catches
-    /// a torn checkpoint (some shard files newer than the manifest).
-    pub total_reports: u64,
-    /// Shard snapshot file names relative to the checkpoint directory,
-    /// in shard order.
-    pub shard_files: Vec<String>,
-    /// Opaque application resume state (e.g. `stream_sim`'s RNG
-    /// position), or `None`.
-    pub app_state: Option<String>,
-}
+pub use mdrr_store::{CheckpointManifest, MANIFEST_FILE};
 
 /// Everything [`ShardedCollector::restore`] recovers from a checkpoint
 /// directory.
@@ -64,11 +53,6 @@ pub struct RestoredCheckpoint {
     pub app_state: Option<String>,
 }
 
-/// The shard snapshot file name of shard `k`.
-fn shard_file_name(k: usize) -> String {
-    format!("shard-{k:05}.mdrrsnap")
-}
-
 impl ShardedCollector {
     /// Persists every shard's accumulator into `dir` as `mdrr-store`
     /// snapshot files and commits the set with an atomically written
@@ -77,10 +61,14 @@ impl ShardedCollector {
     /// the checkpoint is self-describing); `app_state` is an opaque
     /// string stored in the manifest for the caller's own resume logic.
     ///
-    /// Checkpointing is crash-safe at two levels: each file write is
-    /// atomic (temp + rename), and the manifest is written last, so an
-    /// interrupted checkpoint leaves the previous manifest pointing at
-    /// the previous consistent state.
+    /// Checkpointing is crash-safe at three levels: each file write is
+    /// atomic (temp + rename), the new generation of shard files is
+    /// written *beside* the old one, and the manifest is written last —
+    /// so an interrupted checkpoint leaves the previous manifest pointing
+    /// at the previous, still-intact shard files.  The old generation is
+    /// deleted (best-effort) only after the new manifest has committed,
+    /// and stale `*.tmp` debris from earlier faulted attempts is swept on
+    /// entry.
     ///
     /// ```
     /// use mdrr_data::{Attribute, Schema};
@@ -115,6 +103,27 @@ impl ShardedCollector {
         dir: &Path,
         app_state: Option<&str>,
     ) -> Result<CheckpointManifest, MdrrError> {
+        self.checkpoint_with(spec, dir, app_state, &Storage::os())
+    }
+
+    /// [`ShardedCollector::checkpoint`] through an injected
+    /// [`Storage`] handle — the seam the crash-consistency torture suite
+    /// and the `stream_sim --chaos` harness drive fault plans through
+    /// (production callers use [`ShardedCollector::checkpoint`], which
+    /// runs on [`Storage::os`]).  Identical on-disk layout and commit
+    /// protocol; every file operation (tmp sweep, shard writes, manifest
+    /// commit, old-generation cleanup) executes against `storage`'s
+    /// backend under its retry policy and clock.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedCollector::checkpoint`].
+    pub fn checkpoint_with(
+        &self,
+        spec: &ProtocolSpec,
+        dir: &Path,
+        app_state: Option<&str>,
+        storage: &Storage,
+    ) -> Result<CheckpointManifest, MdrrError> {
         let schema = self.protocol().schema().clone();
         // The spec is about to be persisted as the authoritative
         // description of these counts: verify it actually rebuilds this
@@ -141,24 +150,29 @@ impl ShardedCollector {
                 shards: self.n_shards() as u64,
             });
         }
+        storage.create_dir_all(dir)?;
+        storage.sweep_tmp(dir);
+        // The committed files before this checkpoint: their highest
+        // generation decides ours, and after our manifest commits they
+        // are the old generation to clean up.
+        let existing = storage.list_dir(dir)?;
+        let generation = next_generation(existing.iter().cloned());
         let mut shard_files = Vec::with_capacity(self.n_shards());
         let mut bytes_written = 0u64;
         for (k, shard) in self.shards().iter().enumerate() {
-            let name = shard_file_name(k);
+            let name = shard_file_name(k, generation);
             let snapshot = Snapshot::new(
                 schema.clone(),
                 spec.clone(),
                 shard.counts().to_vec(),
                 shard.n_reports(),
             )?;
-            let writer = SnapshotWriter::new(dir.join(&name));
-            match obs {
-                Some(o) => {
-                    bytes_written =
-                        bytes_written.saturating_add(writer.write_observed(&snapshot, o.store())?);
-                }
-                None => writer.write(&snapshot)?,
-            }
+            let path = dir.join(&name);
+            let written = match obs {
+                Some(o) => storage.write_snapshot_observed(&path, &snapshot, o.store())?,
+                None => storage.write_snapshot(&path, &snapshot)?,
+            };
+            bytes_written = bytes_written.saturating_add(written);
             shard_files.push(name);
         }
         let manifest = CheckpointManifest {
@@ -168,9 +182,16 @@ impl ShardedCollector {
             shard_files,
             app_state: app_state.map(str::to_string),
         };
-        let json = serde_json::to_string_pretty(&manifest)
-            .map_err(|e| MdrrError::config(format!("manifest does not serialize: {e}")))?;
-        atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        let json = manifest.to_json().map_err(MdrrError::from)?;
+        storage.atomic_write(&dir.join(MANIFEST_FILE), json.as_bytes())?;
+        // The manifest has committed: retire the superseded shard files.
+        // Best-effort — a failed delete leaves harmless extra files that
+        // restore never reads and the next checkpoint retries.
+        for name in &existing {
+            if parse_shard_file_name(name).is_some_and(|(_, g)| g < generation) {
+                let _ = storage.remove_file(&dir.join(name));
+            }
+        }
         if let Some(o) = obs {
             bytes_written = bytes_written.saturating_add(json.len() as u64);
             let nanos = start
@@ -297,7 +318,7 @@ impl ShardedCollector {
                 manifest_path.display()
             ))
         })?;
-        let manifest: CheckpointManifest = serde_json::from_str(&json).map_err(|e| {
+        let manifest = CheckpointManifest::from_json(&json).map_err(|e| {
             MdrrError::config(format!(
                 "malformed checkpoint manifest {}: {e}",
                 manifest_path.display()
@@ -387,6 +408,7 @@ mod tests {
     use super::*;
     use mdrr_data::{Attribute, Schema};
     use mdrr_protocols::RandomizationLevel;
+    use mdrr_store::SnapshotWriter;
     use std::fs;
 
     fn schema() -> Schema {
@@ -462,9 +484,9 @@ mod tests {
         // No manifest at all.
         assert!(ShardedCollector::restore(&dir).is_err());
         let collector = loaded_collector(2);
-        collector.checkpoint(&spec(), &dir, None).unwrap();
-        // Simulate a torn checkpoint: one shard file advanced past the
-        // manifest (as if the process died between shard writes).
+        let manifest = collector.checkpoint(&spec(), &dir, None).unwrap();
+        // Simulate out-of-band damage: one committed shard file replaced
+        // with a newer state the manifest never blessed.
         let mut advanced = collector.clone();
         advanced.ingest_records(&vec![vec![1, 1]; 10], 9).unwrap();
         let snapshot = Snapshot::new(
@@ -474,7 +496,7 @@ mod tests {
             advanced.shards()[0].n_reports(),
         )
         .unwrap();
-        SnapshotWriter::new(dir.join(shard_file_name(0)))
+        SnapshotWriter::new(dir.join(&manifest.shard_files[0]))
             .write(&snapshot)
             .unwrap();
         let err = ShardedCollector::restore(&dir).unwrap_err();
@@ -486,9 +508,9 @@ mod tests {
     fn restore_rejects_corrupt_shard_files_and_bad_manifests() {
         let dir = scratch_dir("corrupt");
         let collector = loaded_collector(2);
-        collector.checkpoint(&spec(), &dir, None).unwrap();
+        let manifest = collector.checkpoint(&spec(), &dir, None).unwrap();
         // Flip one byte in the middle of a shard file.
-        let path = dir.join(shard_file_name(1));
+        let path = dir.join(&manifest.shard_files[1]);
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;

@@ -24,6 +24,8 @@ use mdrr_obs::EventKind;
 use mdrr_protocols::{Protocol, Release};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Multiplier used to derive well-separated per-shard seeds from a base
@@ -52,6 +54,14 @@ pub type StreamSnapshot = Box<dyn Release>;
 pub struct ShardedCollector {
     protocol: Arc<dyn Protocol>,
     shards: Vec<Accumulator>,
+    /// Degraded-mode flags, parallel to `shards`: a quarantined shard
+    /// stopped serving after its worker failed.  Its accumulator keeps
+    /// the reports it had absorbed before the failure (a worker that
+    /// dies mid-run never half-commits — tallies are absorbed only at
+    /// run end), the bulk paths route new records over the remaining
+    /// healthy shards, and [`ShardedCollector::rehabilitate`] brings the
+    /// shard back once its lost range has been re-collected.
+    quarantined: Vec<bool>,
     obs: Option<Arc<StreamObs>>,
 }
 
@@ -69,6 +79,7 @@ impl ShardedCollector {
         Ok(ShardedCollector {
             protocol,
             shards: vec![shard; n_shards],
+            quarantined: vec![false; n_shards],
             obs: None,
         })
     }
@@ -90,9 +101,11 @@ impl ShardedCollector {
     /// matches the protocol's channel layout.
     pub(crate) fn from_parts(protocol: Arc<dyn Protocol>, shards: Vec<Accumulator>) -> Self {
         debug_assert!(!shards.is_empty());
+        let quarantined = vec![false; shards.len()];
         ShardedCollector {
             protocol,
             shards,
+            quarantined,
             obs: None,
         }
     }
@@ -143,6 +156,138 @@ impl ShardedCollector {
         self.shards.iter().map(Accumulator::n_reports).sum()
     }
 
+    /// Whether shard `k` is quarantined (out-of-range indices read as
+    /// healthy).
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.quarantined.get(shard).copied().unwrap_or(false)
+    }
+
+    /// The quarantined shard indices, ascending — the shards whose lost
+    /// work must be re-collected and merged back (see
+    /// [`ShardedCollector::rehabilitate`]).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &q)| q.then_some(k))
+            .collect()
+    }
+
+    /// The healthy (non-quarantined) shard indices, ascending.
+    pub fn healthy_shards(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &q)| (!q).then_some(k))
+            .collect()
+    }
+
+    /// The record partition the bulk paths would use for `n` records
+    /// right now: `(shard, record_range)` pairs over the healthy shards,
+    /// in shard order, with empty trailing ranges omitted.  With no shard
+    /// quarantined this is exactly the historical contiguous-chunk
+    /// partition.  Callers that may need to re-collect a shard's work
+    /// after a failure capture this *before* ingesting — quarantining
+    /// changes the partition of subsequent calls.
+    pub fn shard_ranges(&self, n: usize) -> Vec<(usize, Range<usize>)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let healthy = self.healthy_shards();
+        if healthy.is_empty() {
+            return Vec::new();
+        }
+        let chunk_size = n.div_ceil(healthy.len());
+        healthy
+            .into_iter()
+            .enumerate()
+            .filter(|&(j, _)| j * chunk_size < n)
+            .map(|(j, k)| (k, j * chunk_size..((j + 1) * chunk_size).min(n)))
+            .collect()
+    }
+
+    /// Brings a quarantined shard back into service with a replacement
+    /// accumulator — typically the shard's pre-failure counts merged with
+    /// a deterministic re-collection of its lost range (worker `k`'s RNG
+    /// stream is reproduced by a one-shard collector under
+    /// [`offset_base_seed`]`(base_seed, k)`).  The replacement must match
+    /// the collector's channel layout.
+    ///
+    /// # Errors
+    /// Returns [`MdrrError::InvalidConfiguration`] for an out-of-range
+    /// shard index or a layout-mismatched accumulator.
+    pub fn rehabilitate(
+        &mut self,
+        shard: usize,
+        accumulator: Accumulator,
+    ) -> Result<(), MdrrError> {
+        let n_shards = self.shards.len();
+        let slot = self.shards.get_mut(shard).ok_or_else(|| {
+            MdrrError::config(format!(
+                "shard index {shard} out of range ({n_shards} shards)"
+            ))
+        })?;
+        let layout_matches = accumulator.counts().len() == slot.counts().len()
+            && accumulator
+                .counts()
+                .iter()
+                .zip(slot.counts())
+                .all(|(a, b)| a.len() == b.len());
+        if !layout_matches {
+            return Err(MdrrError::config(format!(
+                "replacement accumulator for shard {shard} does not match the collector's \
+                 channel layout"
+            )));
+        }
+        *slot = accumulator;
+        if let Some(flag) = self.quarantined.get_mut(shard) {
+            *flag = false;
+        }
+        if let Some(obs) = self.obs.as_deref() {
+            obs.set_shard_health(shard, true);
+        }
+        Ok(())
+    }
+
+    /// The number of healthy shards, as a typed error when every shard is
+    /// quarantined (a fully degraded collector cannot ingest).
+    fn healthy_count(&self) -> Result<usize, MdrrError> {
+        let count = self.quarantined.iter().filter(|&&q| !q).count();
+        if count == 0 {
+            return Err(MdrrError::config(
+                "every shard is quarantined; rehabilitate at least one before ingesting",
+            ));
+        }
+        Ok(count)
+    }
+
+    /// Quarantines every shard whose worker died, records the failures
+    /// (health gauge to 0, `stream_shard_failures_total`, a
+    /// `shard_failed` journal event each), and surfaces the first one as
+    /// the typed error.  The panicked shards' accumulators are untouched:
+    /// workers absorb their tallies only at run end, so a mid-run death
+    /// never half-commits.
+    fn quarantine_failures(&mut self, panicked: Vec<(usize, String)>) -> Result<(), MdrrError> {
+        let mut first: Option<(usize, String)> = None;
+        for (k, text) in panicked {
+            if let Some(flag) = self.quarantined.get_mut(k) {
+                *flag = true;
+            }
+            if let Some(obs) = self.obs.as_deref() {
+                obs.shard_failures_total.inc();
+                obs.set_shard_health(k, false);
+                obs.record_event(EventKind::ShardFailed { shard: k as u64 });
+            }
+            if first.is_none() {
+                first = Some((k, text));
+            }
+        }
+        match first {
+            None => Ok(()),
+            Some((k, text)) => Err(MdrrError::shard_failed(k, text)),
+        }
+    }
+
     /// Ingests one already-encoded report into a specific shard (the
     /// network path: reports arrive pre-randomized from the clients and are
     /// routed to a shard by any load-balancing rule).
@@ -152,6 +297,12 @@ impl ShardedCollector {
     /// or a report that does not match the protocol's channels.
     pub fn ingest_report(&mut self, shard: usize, report: &Report) -> Result<(), MdrrError> {
         let n_shards = self.shards.len();
+        if self.is_quarantined(shard) {
+            return Err(MdrrError::shard_failed(
+                shard,
+                "shard is quarantined; rehabilitate it before routing reports to it".to_string(),
+            ));
+        }
         self.shards
             .get_mut(shard)
             .ok_or_else(|| {
@@ -178,6 +329,12 @@ impl ShardedCollector {
     /// or a batch that does not match the protocol's channels.
     pub fn ingest_batch(&mut self, shard: usize, batch: &ReportBatch) -> Result<u64, MdrrError> {
         let n_shards = self.shards.len();
+        if self.is_quarantined(shard) {
+            return Err(MdrrError::shard_failed(
+                shard,
+                "shard is quarantined; rehabilitate it before routing batches to it".to_string(),
+            ));
+        }
         let worker = WorkerObs::for_shard(self.obs.as_deref(), shard);
         let start = worker.chunk_start();
         self.shards
@@ -216,7 +373,10 @@ impl ShardedCollector {
     /// Returns the first worker error (e.g. a record that does not fit the
     /// protocol's schema).  Shards that already counted earlier chunks of
     /// their range keep those reports, so a failed call should be treated
-    /// as poisoning the collector.
+    /// as poisoning the collector.  A worker that *panics* is contained:
+    /// its shard is quarantined (the panic never half-commits — tallies
+    /// absorb only at run end), the other shards' work survives, and the
+    /// panic surfaces as [`MdrrError::ShardFailed`].
     pub fn ingest_view(
         &mut self,
         records: &RecordsView<'_>,
@@ -226,23 +386,34 @@ impl ShardedCollector {
         if n == 0 {
             return Ok(0);
         }
-        let chunk_size = n.div_ceil(self.shards.len());
+        let chunk_size = n.div_ceil(self.healthy_count()?);
         let channel_sizes = self.protocol.channel_sizes();
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
         let obs = self.obs.as_deref();
-        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+        let quarantined = &self.quarantined;
+        let (results, panicked) = std::thread::scope(|scope| {
+            let mut ordinal = 0usize;
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
                 .enumerate()
-                .filter(|&(k, _)| k * chunk_size < n)
-                .map(|(k, shard)| {
-                    let range = records
-                        .slice(k * chunk_size..((k + 1) * chunk_size).min(n))
-                        .expect("shard ranges are in bounds by construction");
-                    scope.spawn(move || {
+                .filter_map(|(k, shard)| {
+                    if quarantined.get(k).copied().unwrap_or(false) {
+                        return None;
+                    }
+                    let j = ordinal;
+                    ordinal += 1;
+                    let start = j * chunk_size;
+                    if start >= n {
+                        return None;
+                    }
+                    Some((k, shard, start..((j + 1) * chunk_size).min(n)))
+                })
+                .map(|(k, shard, range)| {
+                    let handle = scope.spawn(move || {
                         let worker = WorkerObs::for_shard(obs, k);
+                        let range = records.slice(range)?;
                         let mut rng = shard_rng(base_seed, k);
                         let mut tallies: Vec<Vec<u64>> =
                             channel_sizes.iter().map(|&s| vec![0u64; s]).collect();
@@ -258,14 +429,13 @@ impl ShardedCollector {
                         shard.absorb_counts(&tallies, range.n_records() as u64)?;
                         worker.run_done(range.n_records() as u64);
                         Ok(())
-                    })
+                    });
+                    (k, handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+            join_workers(handles)
         });
+        self.quarantine_failures(panicked)?;
         for result in results {
             result?;
         }
@@ -293,20 +463,31 @@ impl ShardedCollector {
         if records.is_empty() {
             return Ok(0);
         }
-        let chunk_size = records.len().div_ceil(self.shards.len());
+        let chunk_size = records.len().div_ceil(self.healthy_count()?);
         let arity = self.protocol.schema().len();
         let channel_sizes = self.protocol.channel_sizes();
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
         let obs = self.obs.as_deref();
-        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+        let quarantined = &self.quarantined;
+        let (results, panicked) = std::thread::scope(|scope| {
+            let mut ordinal = 0usize;
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .zip(records.chunks(chunk_size))
                 .enumerate()
-                .map(|(k, (shard, chunk))| {
-                    scope.spawn(move || {
+                .filter_map(|(k, shard)| {
+                    if quarantined.get(k).copied().unwrap_or(false) {
+                        return None;
+                    }
+                    let j = ordinal;
+                    ordinal += 1;
+                    let start = j * chunk_size;
+                    let chunk = records.get(start..((j + 1) * chunk_size).min(records.len()))?;
+                    (!chunk.is_empty()).then_some((k, shard, chunk))
+                })
+                .map(|(k, shard, chunk)| {
+                    let handle = scope.spawn(move || {
                         let worker = WorkerObs::for_shard(obs, k);
                         let mut rng = shard_rng(base_seed, k);
                         let mut buffer = RecordsBuffer::new(arity)?;
@@ -324,14 +505,13 @@ impl ShardedCollector {
                         shard.absorb_counts(&tallies, chunk.len() as u64)?;
                         worker.run_done(chunk.len() as u64);
                         Ok(())
-                    })
+                    });
+                    (k, handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+            join_workers(handles)
         });
+        self.quarantine_failures(panicked)?;
         for result in results {
             result?;
         }
@@ -359,17 +539,28 @@ impl ShardedCollector {
         if records.is_empty() {
             return Ok(0);
         }
-        let chunk_size = records.len().div_ceil(self.shards.len());
+        let chunk_size = records.len().div_ceil(self.healthy_count()?);
         let protocol: &dyn Protocol = &*self.protocol;
         let obs = self.obs.as_deref();
-        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+        let quarantined = &self.quarantined;
+        let (results, panicked) = std::thread::scope(|scope| {
+            let mut ordinal = 0usize;
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .zip(records.chunks(chunk_size))
                 .enumerate()
-                .map(|(k, (shard, chunk))| {
-                    scope.spawn(move || {
+                .filter_map(|(k, shard)| {
+                    if quarantined.get(k).copied().unwrap_or(false) {
+                        return None;
+                    }
+                    let j = ordinal;
+                    ordinal += 1;
+                    let start = j * chunk_size;
+                    let chunk = records.get(start..((j + 1) * chunk_size).min(records.len()))?;
+                    (!chunk.is_empty()).then_some((k, shard, chunk))
+                })
+                .map(|(k, shard, chunk)| {
+                    let handle = scope.spawn(move || {
                         // The scalar path is timed per worker run (one
                         // "chunk"), not per report — per-report clock
                         // reads would distort the baseline it exists to
@@ -384,14 +575,13 @@ impl ShardedCollector {
                         worker.chunk_done(t0);
                         worker.run_done(chunk.len() as u64);
                         Ok(())
-                    })
+                    });
+                    (k, handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+            join_workers(handles)
         });
+        self.quarantine_failures(panicked)?;
         for result in results {
             result?;
         }
@@ -432,13 +622,23 @@ impl ShardedCollector {
                 self.shards.len()
             )));
         }
+        if let Some(k) = clients_per_shard
+            .iter()
+            .enumerate()
+            .find_map(|(k, &clients)| (clients > 0 && self.is_quarantined(k)).then_some(k))
+        {
+            return Err(MdrrError::shard_failed(
+                k,
+                "shard is quarantined; rehabilitate it before assigning clients to it".to_string(),
+            ));
+        }
         let arity = self.protocol.schema().len();
         let channel_sizes = self.protocol.channel_sizes();
         let channel_sizes = &channel_sizes;
         let protocol: &dyn Protocol = &*self.protocol;
         let generator = &generator;
         let obs = self.obs.as_deref();
-        let results: Vec<Result<(), MdrrError>> = std::thread::scope(|scope| {
+        let (results, panicked) = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
@@ -446,7 +646,7 @@ impl ShardedCollector {
                 .enumerate()
                 .filter(|(_, (_, &clients))| clients > 0)
                 .map(|(k, (shard, &clients))| {
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
                         let worker = WorkerObs::for_shard(obs, k);
                         let mut rng = shard_rng(base_seed, k);
                         let mut buffer = RecordsBuffer::new(arity)?;
@@ -468,14 +668,13 @@ impl ShardedCollector {
                         shard.absorb_counts(&tallies, clients as u64)?;
                         worker.run_done(clients as u64);
                         Ok(())
-                    })
+                    });
+                    (k, handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+            join_workers(handles)
         });
+        self.quarantine_failures(panicked)?;
         for result in results {
             result?;
         }
@@ -540,6 +739,42 @@ impl ShardedCollector {
         if let Some(obs) = self.obs.as_deref() {
             obs.update_imbalance(&self.shards);
         }
+    }
+}
+
+/// Worker panics collected at join time: `(shard ordinal, panic text)`.
+type PanickedWorkers = Vec<(usize, String)>;
+
+/// Joins a set of `(shard, handle)` worker pairs, separating ordinary
+/// results from panics: a panicked worker becomes a `(shard, panic text)`
+/// entry instead of re-raising, so the caller can quarantine the shard
+/// and keep the healthy workers' results.
+fn join_workers<'scope>(
+    handles: Vec<(
+        usize,
+        std::thread::ScopedJoinHandle<'scope, Result<(), MdrrError>>,
+    )>,
+) -> (Vec<Result<(), MdrrError>>, PanickedWorkers) {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut panicked = Vec::new();
+    for (k, handle) in handles {
+        match handle.join() {
+            Ok(result) => results.push(result),
+            Err(payload) => panicked.push((k, panic_text(payload))),
+        }
+    }
+    (results, panicked)
+}
+
+/// The human-readable text of a worker panic payload (panics raised with
+/// `panic!("…")` carry a `String` or `&str`; anything else is summarized).
+fn panic_text(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(text) => *text,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(text) => (*text).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
     }
 }
 

@@ -17,6 +17,8 @@
 //! | `stream_shard_reports_total{shard}` | counter | reports ingested per shard |
 //! | `stream_shard_batches_total{shard}` | counter | encode/ingest batches per shard |
 //! | `stream_shard_ingest_nanos{shard}` | histogram | per-batch ingest wall time |
+//! | `stream_shard_healthy{shard}` | gauge | 1 while the shard serves, 0 once quarantined |
+//! | `stream_shard_failures_total` | counter | shard-worker failures (panics) observed |
 //! | `stream_shard_imbalance_permille` | gauge | (max−min)/max shard load, ‰ |
 //! | `stream_snapshots_total` | counter | mid-stream snapshots taken |
 //! | `stream_snapshot_nanos` | histogram | per-snapshot wall time |
@@ -42,6 +44,7 @@ pub(crate) struct ShardObs {
     pub(crate) reports: Arc<Counter>,
     pub(crate) batches: Arc<Counter>,
     pub(crate) ingest_nanos: Arc<Histogram>,
+    pub(crate) healthy: Arc<Gauge>,
 }
 
 /// The streaming layer's instruments, clock, registry and journal.
@@ -68,6 +71,7 @@ pub struct StreamObs {
     journal: Arc<Journal>,
     store: StoreObs,
     pub(crate) shards: Vec<ShardObs>,
+    pub(crate) shard_failures_total: Arc<Counter>,
     pub(crate) snapshots_total: Arc<Counter>,
     pub(crate) snapshot_nanos: Arc<Histogram>,
     pub(crate) imbalance_permille: Arc<Gauge>,
@@ -98,14 +102,18 @@ impl StreamObs {
             .map(|k| {
                 let shard = k.to_string();
                 let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                let healthy = registry.gauge_with("stream_shard_healthy", labels);
+                healthy.set(1);
                 ShardObs {
                     reports: registry.counter_with("stream_shard_reports_total", labels),
                     batches: registry.counter_with("stream_shard_batches_total", labels),
                     ingest_nanos: registry.histogram_with("stream_shard_ingest_nanos", labels),
+                    healthy,
                 }
             })
             .collect();
         Arc::new(StreamObs {
+            shard_failures_total: registry.counter("stream_shard_failures_total"),
             snapshots_total: registry.counter("stream_snapshots_total"),
             snapshot_nanos: registry.histogram("stream_snapshot_nanos"),
             imbalance_permille: registry.gauge("stream_shard_imbalance_permille"),
@@ -177,6 +185,14 @@ impl StreamObs {
     /// shard order — the exact counters the run report cross-checks.
     pub fn shard_report_totals(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.reports.get()).collect()
+    }
+
+    /// Flips shard `k`'s health gauge (1 = serving, 0 = quarantined).
+    /// Out-of-range shards are ignored.
+    pub(crate) fn set_shard_health(&self, k: usize, healthy: bool) {
+        if let Some(shard) = self.shards.get(k) {
+            shard.healthy.set(u64::from(healthy));
+        }
     }
 }
 
