@@ -19,6 +19,9 @@
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --merge /tmp/ckptA --merge /tmp/ckptB
 //! # chaos soak: scripted shard panics + faulted checkpoints, zero loss
 //! cargo run -p mdrr-bench --release --bin stream_sim -- --chaos --quick --out BENCH_chaos.json
+//! # remote: simulated clients stream over real loopback TCP to mdrr-serve
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --remote --out BENCH_serve.json
+//! cargo run -p mdrr-bench --release --bin stream_sim -- --remote --quick --conns 2
 //! ```
 //!
 //! Flags: `--clients N` (default 1 000 000), `--shards K` (default 8),
@@ -54,6 +57,20 @@
 //! bit-for-bit.  `--out BENCH_chaos.json` persists the evidence (the CI
 //! chaos job asserts `report_loss == 0` from it).
 //!
+//! Remote flags: `--remote` turns the run into a network benchmark — an
+//! in-process `mdrr-serve` collector daemon is bound on an ephemeral
+//! loopback port and `--conns` (default 4) `WireClient` connections
+//! stream pre-randomized reports at it as length-framed batch frames
+//! (seq patched in place, zero re-encode in the timed section), each
+//! pipelining up to the server-advertised backpressure window.  Every
+//! connection makes `--rounds` passes over its pre-encoded frames, so
+//! `clients × rounds` reports cross the socket in total.  The run drains
+//! the server at the end and dies unless the drained collector holds
+//! exactly every acknowledged report (zero accepted-report loss), then
+//! writes throughput, wire volume and per-batch ack-latency percentiles
+//! (`--out BENCH_serve.json` in CI; the serve job asserts a throughput
+//! floor from it).
+//!
 //! Observability: `--metrics-out PATH` attaches the `mdrr-obs`
 //! instrumentation (per-shard report/batch counters, ingest latency
 //! histograms, checkpoint/restore durations and byte counts, an imbalance
@@ -74,16 +91,18 @@
 
 use mdrr_bench::maybe_write_json;
 use mdrr_data::{adult_schema, AdultSynthesizer, RecordsBuffer, RecordsView, Schema};
-use mdrr_obs::{Clock, HistogramSnapshot, MonotonicClock};
+use mdrr_obs::{Clock, Histogram, HistogramSnapshot, MonotonicClock};
 use mdrr_protocols::{
     Clustering, FrequencyEstimator, MdrrError, Protocol, ProtocolSpec, RandomizationLevel, Release,
 };
+use mdrr_serve::{CollectorServer, ServeConfig, ServeObs};
 use mdrr_store::{
     merge_snapshots, salvage_checkpoint, FaultPlan, FaultyBackend, RetryPolicy, Snapshot,
     SnapshotReader, SnapshotWriter, Storage, StorageBackend,
 };
 use mdrr_stream::{
-    offset_base_seed, CheckpointManifest, ShardedCollector, StreamObs, MANIFEST_FILE,
+    offset_base_seed, wire, CheckpointManifest, ClientConfig, FrameType, Report, ReportBatch,
+    ShardedCollector, StreamObs, WireClient, MANIFEST_FILE,
 };
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -175,6 +194,8 @@ struct Options {
     merged_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     chaos: bool,
+    remote: bool,
+    conns: usize,
 }
 
 impl Options {
@@ -195,6 +216,8 @@ impl Options {
             merged_out: None,
             metrics_out: None,
             chaos: false,
+            remote: false,
+            conns: 4,
         };
         let mut quick = false;
         let mut iter = args.into_iter();
@@ -219,6 +242,8 @@ impl Options {
                 "--merged-out" => options.merged_out = Some(PathBuf::from(value(&flag)?)),
                 "--metrics-out" => options.metrics_out = Some(PathBuf::from(value(&flag)?)),
                 "--chaos" => options.chaos = true,
+                "--remote" => options.remote = true,
+                "--conns" => options.conns = parse(&flag, value(&flag)?)?,
                 "--quick" => quick = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -227,15 +252,35 @@ impl Options {
             options.clients = options.clients.min(50_000);
             options.shards = options.shards.min(4);
             options.rounds = options.rounds.min(5);
+            options.conns = options.conns.min(2);
         }
         if !options.merge.is_empty() {
             if options.resume.is_some() || options.checkpoint_dir.is_some() {
                 return Err("--merge is a standalone mode; drop --resume/--checkpoint-dir".into());
             }
-            if options.chaos {
-                return Err("--chaos is a standalone mode; drop --merge".into());
+            if options.chaos || options.remote {
+                return Err("--chaos/--remote are standalone modes; drop --merge".into());
             }
             return Ok(options);
+        }
+        if options.remote {
+            if options.chaos
+                || options.resume.is_some()
+                || options.checkpoint_dir.is_some()
+                || options.kill_after.is_some()
+            {
+                return Err(
+                    "--remote is a standalone mode; drop --chaos/--resume/--checkpoint-dir/\
+                     --kill-after"
+                        .into(),
+                );
+            }
+            if options.path == IngestPath::PerRecord {
+                return Err("--remote always streams the columnar batch path; drop --path".into());
+            }
+            if options.conns == 0 {
+                return Err("--conns must be positive".into());
+            }
         }
         if options.chaos
             && (options.resume.is_some() || options.kill_after.is_some() || options.spec.is_some())
@@ -968,6 +1013,310 @@ fn run_chaos(options: &Options) {
     maybe_write_json(&cli, &report);
 }
 
+/// Reports per pre-encoded batch frame in `--remote` mode: large enough
+/// that framing overhead (28 bytes) vanishes against the payload, small
+/// enough that the window (frames in flight) still bounds buffering to a
+/// few megabytes.
+const REMOTE_BATCH_REPORTS: usize = 4096;
+
+/// Order statistics of the remote run's per-batch ack latency (send →
+/// acknowledgement, pooled across every connection's histogram).
+#[derive(Debug, Clone, Serialize)]
+struct AckLatency {
+    batches: u64,
+    mean_nanos: f64,
+    p50_nanos: u64,
+    p99_nanos: u64,
+    p999_nanos: u64,
+}
+
+/// The remote-mode result written by `--out` (`BENCH_serve.json` in CI).
+#[derive(Debug, Clone, Serialize)]
+struct RemoteReport {
+    protocol: String,
+    conns: usize,
+    shards: usize,
+    /// Passes each connection made over its pre-encoded frames.
+    passes: usize,
+    /// Reports per batch frame ([`REMOTE_BATCH_REPORTS`], short last frames aside).
+    batch_reports: usize,
+    /// Reports every connection together promised to deliver.
+    expected_reports: u64,
+    /// Reports the clients hold acknowledgements for.
+    acked_reports: u64,
+    /// Reports in the drained collector — the run dies unless all three
+    /// report counts agree exactly (zero accepted-report loss).
+    server_reports: u64,
+    /// Wall-clock of the timed section: first byte sent → every
+    /// connection flushed and closed.
+    total_secs: f64,
+    /// `expected_reports / total_secs` — the headline number (the CI
+    /// serve job asserts a floor on it).
+    reports_per_sec: f64,
+    frames_sent: u64,
+    bytes_sent: u64,
+    wire_bytes_per_report: f64,
+    ack_latency: AckLatency,
+    /// Max absolute deviation of the drained snapshot's marginals from
+    /// the generated ground truth (sanity: the socket must not distort
+    /// estimates).
+    final_max_marginal_abs_error: f64,
+}
+
+/// `--remote` mode: bind an in-process `mdrr-serve` daemon on loopback,
+/// pre-randomize and pre-encode every batch frame, then stream them from
+/// `--conns` concurrent `WireClient`s for `--rounds` passes — the timed
+/// section moves bytes and patches sequence numbers, nothing else.  Ends
+/// with a drain and a zero-accepted-loss verdict.
+fn run_remote(options: &Options) {
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+    let (spec, schema) = build_spec(options).unwrap_or_else(|e| die(e));
+    let protocol = spec.build_arc(&schema).unwrap_or_else(|e| die(e));
+    let sizes = protocol.channel_sizes();
+
+    let serve_config = ServeConfig {
+        n_shards: options.shards,
+        ..ServeConfig::default()
+    };
+    let obs = ServeObs::new(Arc::clone(&clock));
+    let server = CollectorServer::bind(
+        "127.0.0.1:0",
+        &schema,
+        &spec,
+        serve_config,
+        Arc::clone(&clock),
+        Some(Arc::clone(&obs)),
+    )
+    .unwrap_or_else(|e| die(format!("cannot bind collector daemon: {e}")));
+    let addr = server.local_addr();
+
+    println!("{}", "=".repeat(72));
+    println!(
+        "stream_sim --remote — {} clients × {} passes over loopback TCP to {addr} \
+         ({} connections, {} shards, {})",
+        options.clients,
+        options.rounds,
+        options.conns,
+        options.shards,
+        protocol.name()
+    );
+    println!("{}", "=".repeat(72));
+
+    // Pre-generate and pre-encode outside the timed section: each
+    // connection gets its share of the population, locally randomized
+    // (exactly what a real client device would send) and framed into
+    // ready-to-write batch frames.  Ground-truth counts of the generated
+    // records feed the final marginal-error sanity check.
+    let synthesizer = AdultSynthesizer::paper_sized();
+    let record_arity = schema.len();
+    let mut true_counts: Vec<Vec<u64>> = schema
+        .cardinalities()
+        .iter()
+        .map(|&c| vec![0u64; c])
+        .collect();
+    let mut conn_frames: Vec<Vec<(Vec<u8>, u64)>> = Vec::with_capacity(options.conns);
+    let per_conn = options.clients / options.conns;
+    for c in 0..options.conns {
+        let conn_clients = if c == options.conns - 1 {
+            options.clients - per_conn * (options.conns - 1)
+        } else {
+            per_conn
+        };
+        let mut rng = StdRng::seed_from_u64(offset_base_seed(options.seed, c));
+        let mut frames = Vec::new();
+        let mut done = 0usize;
+        while done < conn_clients {
+            let n = REMOTE_BATCH_REPORTS.min(conn_clients - done);
+            let mut batch = ReportBatch::new(sizes.len())
+                .unwrap_or_else(|e| die(format!("cannot build a batch: {e}")));
+            for _ in 0..n {
+                let mut record = synthesizer.sample_record(&mut rng);
+                record.truncate(record_arity);
+                for (j, &v) in record.iter().enumerate() {
+                    true_counts[j][v as usize] += 1;
+                }
+                let codes = protocol
+                    .encode_record(&record, &mut rng)
+                    .unwrap_or_else(|e| die(format!("client-side randomization failed: {e}")));
+                batch
+                    .push(&Report::new(codes))
+                    .unwrap_or_else(|e| die(format!("cannot buffer a report: {e}")));
+            }
+            // The shard hint spreads frames round-robin; the sequence
+            // number is patched per send.
+            let payload = wire::encode_batch_payload(0, frames.len() as u32, &batch)
+                .unwrap_or_else(|e| die(format!("cannot encode a batch payload: {e}")));
+            let frame = wire::encode_frame(FrameType::Batch, &payload)
+                .unwrap_or_else(|e| die(format!("cannot encode a batch frame: {e}")));
+            frames.push((frame, n as u64));
+            done += n;
+        }
+        conn_frames.push(frames);
+    }
+    let expected: u64 = options.clients as u64 * options.rounds as u64;
+    println!(
+        "pre-encoded {} frames ({} reports) per pass across {} connections",
+        conn_frames.iter().map(Vec::len).sum::<usize>(),
+        options.clients,
+        options.conns
+    );
+
+    // The timed section: every connection dials and handshakes first,
+    // then all start streaming together off a barrier.
+    let barrier = Arc::new(std::sync::Barrier::new(options.conns + 1));
+    let passes = options.rounds;
+    let workers: Vec<_> = conn_frames
+        .into_iter()
+        .enumerate()
+        .map(|(c, mut frames)| {
+            let schema = schema.clone();
+            let spec = spec.clone();
+            let clock = Arc::clone(&clock);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(
+                    addr,
+                    schema,
+                    spec,
+                    ClientConfig::default(),
+                    Arc::clone(&clock),
+                )
+                .unwrap_or_else(|e| die(format!("connection {c} cannot dial: {e}")));
+                let latency = Arc::new(Histogram::new());
+                client.set_ack_latency(Arc::clone(&latency));
+                let mut frames_sent = 0u64;
+                let mut bytes_sent = 0u64;
+                barrier.wait();
+                for _ in 0..passes {
+                    for (frame, reports) in &mut frames {
+                        client
+                            .send_raw_batch(frame, *reports)
+                            .unwrap_or_else(|e| die(format!("connection {c} send failed: {e}")));
+                        frames_sent += 1;
+                        bytes_sent += frame.len() as u64;
+                    }
+                }
+                client
+                    .flush()
+                    .unwrap_or_else(|e| die(format!("connection {c} flush failed: {e}")));
+                let acked = client.acked_reports();
+                client
+                    .close()
+                    .unwrap_or_else(|e| die(format!("connection {c} close failed: {e}")));
+                (acked, frames_sent, bytes_sent, latency.snapshot())
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = clock.now_nanos();
+    let mut acked = 0u64;
+    let mut frames_sent = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut latency = HistogramSnapshot::default();
+    for worker in workers {
+        let (a, f, b, h) = worker
+            .join()
+            .unwrap_or_else(|_| die("a connection thread panicked"));
+        acked += a;
+        frames_sent += f;
+        bytes_sent += b;
+        latency.merge(&h);
+    }
+    let total_secs = clock.now_nanos().saturating_sub(started) as f64 / 1e9;
+
+    // The zero-accepted-loss verdict: what the clients hold acks for,
+    // what the server metered, and what the drained collector actually
+    // contains must agree exactly.
+    let drained = server
+        .drain()
+        .unwrap_or_else(|e| die(format!("drain failed: {e}")));
+    let server_reports = drained.collector.total_reports();
+    if acked != expected || server_reports != expected || drained.acked_reports != expected {
+        die(format!(
+            "remote run lost reports: expected {expected}, clients hold acks for {acked}, \
+             server acked {}, drained collector holds {server_reports}",
+            drained.acked_reports
+        ));
+    }
+
+    // Sanity: estimates from socket-ingested counts still track the
+    // generated ground truth (every record was sent `passes` times, so
+    // the truth frequencies are unchanged).
+    let snapshot = drained
+        .collector
+        .snapshot()
+        .unwrap_or_else(|e| die(format!("snapshot failed: {e}")));
+    let mut max_error = 0.0f64;
+    for (j, channel) in true_counts.iter().enumerate() {
+        for (code, &count) in channel.iter().enumerate() {
+            let truth = (count * passes as u64) as f64 / expected as f64;
+            let estimated = snapshot
+                .frequency(&[(j, code as u32)])
+                .unwrap_or_else(|e| die(format!("marginal query failed: {e}")));
+            max_error = max_error.max((estimated - truth).abs());
+        }
+    }
+
+    let report = RemoteReport {
+        protocol: protocol.name(),
+        conns: options.conns,
+        shards: options.shards,
+        passes,
+        batch_reports: REMOTE_BATCH_REPORTS,
+        expected_reports: expected,
+        acked_reports: acked,
+        server_reports,
+        total_secs,
+        reports_per_sec: expected as f64 / total_secs,
+        frames_sent,
+        bytes_sent,
+        wire_bytes_per_report: bytes_sent as f64 / expected as f64,
+        ack_latency: AckLatency {
+            batches: latency.count,
+            mean_nanos: latency.mean(),
+            p50_nanos: latency.p50(),
+            p99_nanos: latency.p99(),
+            p999_nanos: latency.p999(),
+        },
+        final_max_marginal_abs_error: max_error,
+    };
+    println!("{}", "-".repeat(72));
+    println!(
+        "{} reports over the wire in {:.2}s — {:.0} reports/s ({} frames, {:.1} MiB, \
+         {:.1} bytes/report)",
+        report.expected_reports,
+        report.total_secs,
+        report.reports_per_sec,
+        report.frames_sent,
+        report.bytes_sent as f64 / (1024.0 * 1024.0),
+        report.wire_bytes_per_report
+    );
+    println!(
+        "ack latency: p50 {} | p99 {} | p999 {} over {} batches; zero accepted-report loss \
+         ({} reports drained)",
+        fmt_nanos(report.ack_latency.p50_nanos),
+        fmt_nanos(report.ack_latency.p99_nanos),
+        fmt_nanos(report.ack_latency.p999_nanos),
+        report.ack_latency.batches,
+        report.server_reports
+    );
+    println!(
+        "final max marginal error: {:.5} (socket-drained snapshot vs generated ground truth)",
+        report.final_max_marginal_abs_error
+    );
+    if let Some(path) = &options.metrics_out {
+        let json = mdrr_obs::to_json(&obs.registry().snapshot(), &obs.journal().events());
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| die(format!("cannot write {}: {e}", path.display())));
+        println!("serve metrics written to {}", path.display());
+    }
+    let cli = mdrr_bench::CliOptions {
+        output: options.output.clone(),
+        ..Default::default()
+    };
+    maybe_write_json(&cli, &report);
+}
+
 fn main() {
     let mut options = Options::parse(std::env::args().skip(1)).unwrap_or_else(|message| {
         eprintln!("{message}");
@@ -976,7 +1325,7 @@ fn main() {
              [--protocol independent|joint|clusters] [--spec PATH] [--path batch|per-record] \
              [--seed N] [--quick] [--out PATH] [--checkpoint-dir DIR] [--resume DIR] \
              [--kill-after N] [--merge PATH]... [--merged-out PATH] [--metrics-out PATH] \
-             [--chaos]"
+             [--chaos] [--remote] [--conns N]"
         );
         std::process::exit(2);
     });
@@ -986,6 +1335,10 @@ fn main() {
     }
     if options.chaos {
         run_chaos(&options);
+        return;
+    }
+    if options.remote {
+        run_remote(&options);
         return;
     }
 

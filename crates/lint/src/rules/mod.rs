@@ -95,7 +95,22 @@ pub(crate) fn is_index_expr(file: &SourceFile, i: usize) -> bool {
             )
         }) && !matches!(
             prev_text,
-            "as" | "in" | "return" | "for" | "if" | "else" | "match"
+            "as" | "in"
+                | "return"
+                | "for"
+                | "if"
+                | "else"
+                | "match"
+                | "let"
+                | "mut"
+                | "dyn"
+                | "impl"
+                | "ref"
+                | "move"
+                | "break"
+                | "while"
+                | "loop"
+                | "unsafe"
         ))
 }
 

@@ -2,10 +2,14 @@
 //! input" (every failure mode maps to a typed `StoreError`), and the
 //! checkpoint-restore path of `mdrr-stream` inherits that promise: a
 //! corrupt snapshot, manifest or shard set must surface as a typed error,
-//! never a panic.  This rule forbids the panic vocabulary — `.unwrap()`,
-//! `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` and
-//! bare slice indexing (`xs[i]` instead of `xs.get(i)`) — in the store's
-//! library code and the stream checkpoint module, outside `#[cfg(test)]`.
+//! never a panic.  The wire boundary makes the same promise against
+//! *hostile* input: every malformed frame a network peer can send must
+//! map to a typed `WireError`.  This rule forbids the panic vocabulary —
+//! `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!` and bare slice indexing (`xs[i]` instead of
+//! `xs.get(i)`) — in the store's library code, the stream
+//! checkpoint/collector/wire/client modules and all of `mdrr-serve`,
+//! outside `#[cfg(test)]`.
 
 use super::{is_index_expr, is_macro_call, is_method_call, suppress_help, Rule};
 use crate::diag::Diagnostic;
@@ -24,13 +28,18 @@ pub struct NoPanicPaths;
 /// Whether this file carries the no-panic contract: all `mdrr-store`
 /// library code (parse, merge, snapshot, I/O — including the fault
 /// backends, retry loop and salvage), the `mdrr-stream`
-/// checkpoint/restore module, and the degraded-mode collector (a shard
+/// checkpoint/restore module, the degraded-mode collector (a shard
 /// worker's panic must be contained and typed, and the containment code
-/// itself must not panic).
+/// itself must not panic), and the network boundary: the wire codec and
+/// client SDK in `mdrr-stream` plus the entire `mdrr-serve` daemon,
+/// which all face attacker-controlled bytes.
 fn in_scope(file: &SourceFile) -> bool {
-    (file.crate_name == "mdrr-store" && file.kind == FileKind::LibSrc)
+    ((file.crate_name == "mdrr-store" || file.crate_name == "mdrr-serve")
+        && file.kind == FileKind::LibSrc)
         || file.rel == "crates/stream/src/checkpoint.rs"
         || file.rel == "crates/stream/src/collector.rs"
+        || file.rel == "crates/stream/src/wire.rs"
+        || file.rel == "crates/stream/src/client.rs"
 }
 
 impl Rule for NoPanicPaths {

@@ -3,8 +3,10 @@
 //! draw on the deterministic-resume path flows from an explicit seed:
 //! shard RNGs derive from `offset_base_seed`, the generator RNG persists
 //! its xoshiro state in `app_state`.  One ambient-entropy source anywhere
-//! in `mdrr-core`, `mdrr-protocols`, `mdrr-store` or `mdrr-stream`
-//! library code breaks the contract invisibly.  This rule forbids
+//! in `mdrr-core`, `mdrr-protocols`, `mdrr-store`, `mdrr-stream` or
+//! `mdrr-serve` library code breaks the contract invisibly (the daemon
+//! sits on the same path: its collector state must be reproducible from
+//! the batches it ingests).  This rule forbids
 //! `thread_rng`, `from_entropy` and `random` there (tests excluded).
 //! Ambient *clock* reads are the workspace-wide concern of the companion
 //! rule `no-ambient-clock-in-lib`.
@@ -15,7 +17,13 @@ use crate::source::FileKind;
 use crate::workspace::Workspace;
 
 /// Crates whose library code sits on the deterministic-resume path.
-const SCOPED_CRATES: [&str; 4] = ["mdrr-core", "mdrr-protocols", "mdrr-store", "mdrr-stream"];
+const SCOPED_CRATES: [&str; 5] = [
+    "mdrr-core",
+    "mdrr-protocols",
+    "mdrr-store",
+    "mdrr-stream",
+    "mdrr-serve",
+];
 
 /// Identifiers that smuggle in ambient entropy.
 const FORBIDDEN: [(&str, &str); 3] = [

@@ -89,6 +89,26 @@ pub enum EventKind {
         /// Shard slots whose snapshots were unreadable and dropped.
         dropped: u64,
     },
+    /// A collector daemon accepted a client connection.
+    ConnectionOpened {
+        /// Server-assigned connection id (monotone per server).
+        conn: u64,
+    },
+    /// A collector daemon connection ended (cleanly or not).
+    ConnectionClosed {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Reports acknowledged over this connection's lifetime.
+        reports: u64,
+    },
+    /// A collector daemon finished draining: acceptor stopped, sessions
+    /// joined, collector handed off (typically to a checkpoint).
+    ServerDrained {
+        /// Connections served over the daemon's lifetime.
+        connections: u64,
+        /// Total reports acknowledged at drain time.
+        total_reports: u64,
+    },
 }
 
 impl EventKind {
@@ -105,6 +125,9 @@ impl EventKind {
             EventKind::ShardFailed { .. } => "shard_failed",
             EventKind::RetryExhausted { .. } => "retry_exhausted",
             EventKind::SalvageCompleted { .. } => "salvage_completed",
+            EventKind::ConnectionOpened { .. } => "connection_opened",
+            EventKind::ConnectionClosed { .. } => "connection_closed",
+            EventKind::ServerDrained { .. } => "server_drained",
         }
     }
 
@@ -150,6 +173,17 @@ impl EventKind {
             EventKind::SalvageCompleted { recovered, dropped } => {
                 vec![("recovered", recovered), ("dropped", dropped)]
             }
+            EventKind::ConnectionOpened { conn } => vec![("conn", conn)],
+            EventKind::ConnectionClosed { conn, reports } => {
+                vec![("conn", conn), ("reports", reports)]
+            }
+            EventKind::ServerDrained {
+                connections,
+                total_reports,
+            } => vec![
+                ("connections", connections),
+                ("total_reports", total_reports),
+            ],
         }
     }
 }
@@ -304,6 +338,15 @@ mod tests {
             EventKind::SalvageCompleted {
                 recovered: 18,
                 dropped: 19,
+            },
+            EventKind::ConnectionOpened { conn: 20 },
+            EventKind::ConnectionClosed {
+                conn: 21,
+                reports: 22,
+            },
+            EventKind::ServerDrained {
+                connections: 23,
+                total_reports: 24,
             },
         ];
         for kind in kinds {

@@ -1,0 +1,264 @@
+//! Fault-path tests: misbehaving clients and mid-traffic drains.
+//!
+//! Three scenarios, each asserting the two halves of the daemon's
+//! contract under faults: (1) *zero accepted-report loss* — every report
+//! that was acknowledged is present after the fault (and after a
+//! restore, for the drain case); (2) *typed failure* — the surviving
+//! peer sees a typed [`WireError`] / error frame, never a hang or a
+//! panic, and the server keeps serving other clients.
+
+mod common;
+
+use mdrr_obs::MonotonicClock;
+use mdrr_serve::ServeConfig;
+use mdrr_stream::wire::{self, error_code, Hello};
+use mdrr_stream::{ClientConfig, FrameType, ShardedCollector, WireClient, WireError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Performs a raw (non-SDK) handshake on `stream`.
+fn raw_handshake(stream: &mut TcpStream, hello: &Hello) {
+    let payload = wire::encode_json("hello", hello).unwrap();
+    wire::write_frame(stream, FrameType::Hello, &payload).unwrap();
+    let mut buf = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let mut polls = 0u32;
+    let mut wait = move |_: usize| -> Result<(), WireError> {
+        polls += 1;
+        if polls > 500 {
+            return Err(WireError::timeout("no hello ack within 10s"));
+        }
+        Ok(())
+    };
+    let got = wire::read_frame(stream, &mut buf, &mut wait).unwrap();
+    assert_eq!(got, Some(FrameType::HelloAck));
+}
+
+#[test]
+fn mid_frame_disconnect_is_survived_and_metered() {
+    let schema = common::schema();
+    let spec = common::all_specs().into_iter().next().unwrap();
+    let protocol = spec.build_arc(&schema).unwrap();
+    let (server, obs) = common::start_server(&schema, &spec, ServeConfig::default());
+    let addr = server.local_addr();
+
+    // A well-behaved client first, so loss would be observable.
+    let mut good = WireClient::connect(
+        addr,
+        schema.clone(),
+        spec.clone(),
+        ClientConfig::default(),
+        Arc::new(MonotonicClock::new()),
+    )
+    .unwrap();
+    let batch = common::deterministic_batch(&protocol.channel_sizes(), 3, 30);
+    good.send_batch(0, &batch).unwrap();
+    good.flush().unwrap();
+    assert_eq!(good.acked_reports(), 30);
+
+    // The faulty client: handshake, then die 10 bytes into a batch frame.
+    let mut faulty = TcpStream::connect(addr).unwrap();
+    let hello = Hello {
+        schema: schema.clone(),
+        spec: spec.clone(),
+    };
+    raw_handshake(&mut faulty, &hello);
+    let payload = wire::encode_batch_payload(0, 0, &batch).unwrap();
+    let frame = wire::encode_frame(FrameType::Batch, &payload).unwrap();
+    faulty.write_all(&frame[..10]).unwrap();
+    faulty.flush().unwrap();
+    drop(faulty);
+
+    // The server notices the mid-frame close and meters it as a typed
+    // reject — no panic, no stuck session.
+    assert!(
+        common::wait_until(|| {
+            obs.registry()
+                .snapshot()
+                .counter_value("serve_rejects_total", &[("reason", "closed")])
+                .unwrap_or(0)
+                >= 1
+        }),
+        "mid-frame disconnect was never metered as a closed reject"
+    );
+
+    // The surviving client still works, and nothing acknowledged was lost.
+    good.send_batch(1, &batch).unwrap();
+    good.flush().unwrap();
+    assert_eq!(good.acked_reports(), 60);
+    good.close().unwrap();
+
+    let drained = server.drain().unwrap();
+    assert_eq!(drained.acked_reports, 60, "acknowledged reports were lost");
+    assert_eq!(drained.collector.total_reports(), 60);
+}
+
+#[test]
+fn slowloris_hits_the_frame_budget_and_is_cut_off() {
+    let schema = common::schema();
+    let spec = common::all_specs().into_iter().next().unwrap();
+    let protocol = spec.build_arc(&schema).unwrap();
+    let config = ServeConfig {
+        // A tight mid-frame budget so the test is fast: 100 ms.
+        frame_budget_nanos: 100_000_000,
+        poll_interval_nanos: 2_000_000,
+        ..ServeConfig::default()
+    };
+    let (server, obs) = common::start_server(&schema, &spec, config);
+    let addr = server.local_addr();
+
+    let mut slow = TcpStream::connect(addr).unwrap();
+    let hello = Hello {
+        schema: schema.clone(),
+        spec: spec.clone(),
+    };
+    raw_handshake(&mut slow, &hello);
+
+    // Dribble a valid batch frame one byte per 25 ms: the frame budget
+    // expires after ~4 bytes.
+    let batch = common::deterministic_batch(&protocol.channel_sizes(), 5, 40);
+    let payload = wire::encode_batch_payload(0, 0, &batch).unwrap();
+    let frame = wire::encode_frame(FrameType::Batch, &payload).unwrap();
+    for byte in &frame {
+        if slow.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // the server already cut us off
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let timed_out = obs
+            .registry()
+            .snapshot()
+            .counter_value("serve_rejects_total", &[("reason", "timeout")])
+            .unwrap_or(0)
+            >= 1;
+        if timed_out {
+            break;
+        }
+    }
+    assert!(
+        common::wait_until(|| {
+            obs.registry()
+                .snapshot()
+                .counter_value("serve_rejects_total", &[("reason", "timeout")])
+                .unwrap_or(0)
+                >= 1
+        }),
+        "the slowloris connection never hit the frame budget"
+    );
+
+    // The client side sees a typed outcome: either the server's timeout
+    // error frame, or a typed I/O failure once the socket is torn down.
+    slow.set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut polls = 0u32;
+    let mut wait = move |_: usize| -> Result<(), WireError> {
+        polls += 1;
+        if polls > 250 {
+            return Err(WireError::timeout("no verdict within 5s"));
+        }
+        Ok(())
+    };
+    match wire::read_frame(&mut slow, &mut buf, &mut wait) {
+        Ok(Some(FrameType::Error)) => {
+            let (code, message) = wire::decode_error_payload(wire::frame_payload(&buf)).unwrap();
+            assert_eq!(code, error_code::TIMEOUT, "unexpected verdict: {message}");
+        }
+        Ok(Some(other)) => panic!("expected an error frame, got {other}"),
+        Ok(None) | Err(WireError::Io { .. }) | Err(WireError::Closed { .. }) => {}
+        Err(other) => panic!("expected a typed cut-off, got {other}"),
+    }
+    drop(slow);
+
+    // The server is still healthy afterwards.
+    let mut good = WireClient::connect(
+        addr,
+        schema.clone(),
+        spec.clone(),
+        ClientConfig::default(),
+        Arc::new(MonotonicClock::new()),
+    )
+    .unwrap();
+    good.send_batch(0, &batch).unwrap();
+    good.flush().unwrap();
+    assert_eq!(good.close().unwrap(), 40);
+
+    let drained = server.drain().unwrap();
+    assert_eq!(drained.acked_reports, 40);
+}
+
+#[test]
+fn drain_mid_send_loses_no_acknowledged_report() {
+    let schema = common::schema();
+    let spec = common::all_specs().into_iter().next().unwrap();
+    let protocol = spec.build_arc(&schema).unwrap();
+    let sizes = protocol.channel_sizes();
+    let (server, _obs) = common::start_server(&schema, &spec, ServeConfig::default());
+    let addr = server.local_addr();
+
+    // Two clients streaming as fast as they can until the drain cuts
+    // them off; each returns its acked ledger and the typed error that
+    // ended it.
+    let workers: Vec<_> = (0..2u32)
+        .map(|c| {
+            let schema = schema.clone();
+            let spec = spec.clone();
+            let batch = common::deterministic_batch(&sizes, 11 + c as u64, 50);
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(
+                    addr,
+                    schema,
+                    spec,
+                    ClientConfig::default(),
+                    Arc::new(MonotonicClock::new()),
+                )
+                .unwrap();
+                let error = loop {
+                    match client.send_batch(c, &batch) {
+                        Ok(_) => {}
+                        Err(e) => break e,
+                    }
+                };
+                (client.acked_reports(), error)
+            })
+        })
+        .collect();
+
+    // Let traffic build up, then drain mid-stream.
+    assert!(
+        common::wait_until(|| server.acked_reports() >= 500),
+        "clients never got going"
+    );
+    let dir = common::scratch_dir("drain-mid-send");
+    let (manifest, drained) = server
+        .drain_to_checkpoint(&dir, Some("drain test"))
+        .unwrap();
+
+    let mut client_acked_sum = 0u64;
+    for worker in workers {
+        let (acked, error) = worker.join().unwrap();
+        client_acked_sum += acked;
+        match error {
+            WireError::Remote { code, .. } => assert_eq!(code, error_code::DRAINING),
+            WireError::Closed { .. } | WireError::Io { .. } | WireError::Timeout { .. } => {}
+            other => panic!("expected a typed drain cut-off, got {other}"),
+        }
+    }
+
+    // Zero accepted-report loss: every report a client saw acked is in
+    // the drained collector, the manifest, and the restored state.
+    assert!(
+        drained.acked_reports >= client_acked_sum,
+        "server acked {} but clients hold acks for {client_acked_sum}",
+        drained.acked_reports
+    );
+    assert_eq!(manifest.total_reports, drained.acked_reports);
+    let restored = ShardedCollector::restore(&dir).unwrap();
+    assert_eq!(restored.collector.total_reports(), drained.acked_reports);
+    assert_eq!(restored.collector.shards(), drained.collector.shards());
+    assert_eq!(restored.app_state.as_deref(), Some("drain test"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,6 +30,12 @@
 //!   atomically committed manifest, so a crash loses nothing and shard
 //!   files from independent machines pool exactly via
 //!   [`mdrr_store::merge_snapshot_files`];
+//! * [`wire`] / [`client`] — the collector network boundary: a
+//!   length-framed, CRC-checksummed, versioned wire protocol (the
+//!   `docs/WIRE.md` contract, decoded with the same
+//!   typed-error-never-panic discipline as the snapshot format) and the
+//!   [`WireClient`] SDK that dials an `mdrr-serve` daemon with retrying
+//!   backoff and pipelines batches under a backpressure window;
 //! * [`instrument`] — opt-in observability: attaching a [`StreamObs`]
 //!   (per-shard report/batch counters, ingest latency histograms, an
 //!   imbalance gauge and a bounded event journal, all timed by an
@@ -76,15 +82,19 @@
 pub mod accumulator;
 pub mod batch;
 pub mod checkpoint;
+pub mod client;
 pub mod collector;
 pub mod error;
 pub mod instrument;
 pub mod report;
+pub mod wire;
 
 pub use accumulator::Accumulator;
 pub use batch::ReportBatch;
 pub use checkpoint::{CheckpointManifest, RestoredCheckpoint, MANIFEST_FILE};
+pub use client::{ClientConfig, WireClient};
 pub use collector::{offset_base_seed, ShardedCollector, StreamSnapshot, ENCODE_BATCH};
 pub use error::{MdrrError, StreamError};
 pub use instrument::{StreamObs, DEFAULT_JOURNAL_CAPACITY};
 pub use report::Report;
+pub use wire::{FrameType, WireError, MAX_WIRE_PAYLOAD, WIRE_MAGIC, WIRE_VERSION};

@@ -26,6 +26,13 @@
 //!   for accumulator state with crash-safe atomic writes, checkpoint/
 //!   restore of sharded collectors and exact cross-process shard merging
 //!   ([`store`]);
+//! * the collector network daemon — a thread-per-connection TCP server
+//!   speaking the length-framed, CRC-checked wire protocol of
+//!   `docs/WIRE.md`, with backpressure windows, typed rejection of every
+//!   malformed frame and graceful drain-to-checkpoint ([`serve`]; the
+//!   client-encoder SDK lives in [`stream::wire`] / `stream::WireClient`);
+//! * the observability substrate — lock-free counters/gauges/histograms,
+//!   an injected monotonic clock and a bounded event journal ([`obs`]);
 //! * the evaluation harness that regenerates every table and figure of the
 //!   paper ([`eval`]).
 //!
@@ -66,7 +73,9 @@ pub use mdrr_core as core;
 pub use mdrr_data as data;
 pub use mdrr_eval as eval;
 pub use mdrr_math as math;
+pub use mdrr_obs as obs;
 pub use mdrr_protocols as protocols;
+pub use mdrr_serve as serve;
 pub use mdrr_store as store;
 pub use mdrr_stream as stream;
 
@@ -87,12 +96,13 @@ pub mod prelude {
         ProtocolError, ProtocolSpec, RRAdjustment, RRClusters, RRIndependent, RRJoint,
         RandomizationLevel, Release,
     };
+    pub use mdrr_serve::{CollectorServer, DrainedCollector, ServeConfig};
     pub use mdrr_store::{
         merge_snapshot_files, merge_snapshots, Snapshot, SnapshotReader, SnapshotWriter, StoreError,
     };
     pub use mdrr_stream::{
-        Accumulator, CheckpointManifest, Report, ReportBatch, RestoredCheckpoint, ShardedCollector,
-        StreamSnapshot,
+        Accumulator, CheckpointManifest, ClientConfig, Report, ReportBatch, RestoredCheckpoint,
+        ShardedCollector, StreamSnapshot, WireClient, WireError,
     };
 }
 
